@@ -1,0 +1,34 @@
+; A file-based kernel in the amnesiac assembly format: computes the dot
+; product of a read-only input vector with a recomputable ramp vector
+; (tmp[i] = i·a + b), then reduces. Loaded by examples/asm_kernel.rs.
+.name dotprod
+.entry 0
+.data 0x1000 3 5                 ; a, b (read-only parameters)
+.readonly 0x1000 2
+.output 0x1100 1
+li r1, 0x1000
+ld r10, [r1+0]                   ; a
+ld r11, [r1+1]                   ; b
+li r2, 0x2000                    ; tmp base
+li r3, 0                         ; i
+li r4, 40960                     ; n
+; fill: tmp[i] = i*a + b
+bgeu r3, r4, @13
+mul r5, r3, r10
+add r5, r5, r11
+add r6, r2, r3
+st r5, [r6+0]
+addi r3, r3, 0x1
+j @6
+; reduce: acc = sum tmp[i] (the swappable reloads)
+li r7, 0
+li r3, 0
+bgeu r3, r4, @21
+add r6, r2, r3
+ld r8, [r6+0]
+add r7, r7, r8
+addi r3, r3, 0x1
+j @15
+li r9, 0x1100
+st r7, [r9+0]
+halt

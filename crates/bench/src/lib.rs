@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! # amnesiac-bench
+//!
+//! Criterion benchmark harness. Each bench target regenerates one of the
+//! paper's tables or figures (at test scale, so `cargo bench` stays
+//! minutes, not hours) and measures the stages of the amnesic pipeline:
+//!
+//! * `paper_artifacts` — one benchmark per paper artifact (Table 1,
+//!   Figs. 3–8, Tables 4–6): the cost of producing each result.
+//! * `pipeline_stages` — profiling, compilation, classic execution, and
+//!   amnesic execution per policy, on representative kernels.
+//!
+//! The *numbers the paper reports* are produced by the
+//! `amnesiac-experiments` binaries (`cargo run --release -p
+//! amnesiac-experiments --bin all`); these benches track the harness's own
+//! performance and act as end-to-end smoke tests under `cargo bench`.

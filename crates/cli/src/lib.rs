@@ -1,0 +1,450 @@
+#![warn(missing_docs)]
+
+//! # amnesiac-cli
+//!
+//! The `amnesiac` command-line driver: run, disassemble, profile, compile,
+//! and policy-compare programs written in the textual assembly format (or
+//! any of the built-in benchmark kernels).
+//!
+//! ```text
+//! amnesiac run <prog.asm | prog.bin | bench:NAME>      # classic execution
+//! amnesiac disasm <prog.asm | prog.bin | bench:NAME>   # listing
+//! amnesiac profile <prog | bench:NAME>                 # load-site report
+//! amnesiac compile <prog | bench:NAME>                 # annotate + report
+//! amnesiac compare <prog | bench:NAME>                 # classic vs policies
+//! amnesiac encode <prog | bench:NAME> <out.bin>        # binary image
+//! amnesiac trace <prog | bench:NAME>                   # dynamic trace
+//! ```
+//!
+//! Programs are referenced either as a path to an `.asm` file or as
+//! `bench:<name>` for any of the 33 built-in kernels (at test scale by
+//! default; append `--paper-scale` for the evaluation inputs).
+
+use std::fmt::Write as _;
+
+use amnesiac_compiler::{compile, CompileOptions, SiteOutcome};
+use amnesiac_core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac_isa::{disassemble, parse_asm, Program};
+use amnesiac_profile::profile_program;
+use amnesiac_sim::{ClassicCore, CoreConfig};
+use amnesiac_workloads::{
+    build_control, build_extended, build_focal, Scale, CONTROL_NAMES, EXTENDED_NAMES, FOCAL_NAMES,
+};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// The subcommand verb.
+    pub verb: Verb,
+    /// Program reference: a path or `bench:<name>`.
+    pub target: String,
+    /// Output path (for `encode`).
+    pub output: Option<String>,
+    /// Use paper-scale inputs for built-in benchmarks.
+    pub paper_scale: bool,
+}
+
+/// CLI subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // verbs are documented in the module header
+pub enum Verb {
+    Run,
+    Disasm,
+    Profile,
+    Compile,
+    Compare,
+    Encode,
+    Trace,
+}
+
+/// CLI errors (also carry the usage text).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; print usage.
+    Usage(String),
+    /// Anything the toolchain reported.
+    Tool(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Tool(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
+<prog.asm | prog.bin | bench:NAME> [--paper-scale]
+       amnesiac encode <prog | bench:NAME> <out.bin>
+  built-in benchmarks: 11 focal (mcf sx cg is ca fs fe rt bp bfs sr),
+  5 controls, 17 extended (see `amnesiac-workloads`)";
+
+/// Parses the argument list (without the binary name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on unknown verbs, missing targets, or
+/// unknown flags.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut verb = None;
+    let mut target = None;
+    let mut output = None;
+    let mut paper_scale = false;
+    for arg in args {
+        match arg.as_str() {
+            "run" | "disasm" | "profile" | "compile" | "compare" | "encode" | "trace"
+                if verb.is_none() =>
+            {
+                verb = Some(match arg.as_str() {
+                    "run" => Verb::Run,
+                    "disasm" => Verb::Disasm,
+                    "profile" => Verb::Profile,
+                    "compile" => Verb::Compile,
+                    "compare" => Verb::Compare,
+                    "trace" => Verb::Trace,
+                    _ => Verb::Encode,
+                });
+            }
+            "--paper-scale" => paper_scale = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`")));
+            }
+            other if verb.is_some() && target.is_none() => target = Some(other.to_string()),
+            other if verb == Some(Verb::Encode) && output.is_none() => {
+                output = Some(other.to_string())
+            }
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let verb = verb.ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+    if verb == Verb::Encode && output.is_none() {
+        return Err(CliError::Usage("encode needs an output path".into()));
+    }
+    Ok(Command {
+        verb,
+        target: target.ok_or_else(|| CliError::Usage("missing program".into()))?,
+        output,
+        paper_scale,
+    })
+}
+
+/// Loads the target program (an `.asm` file or a built-in benchmark).
+///
+/// # Errors
+///
+/// Returns [`CliError::Tool`] for unreadable files, parse errors, or
+/// unknown benchmark names.
+pub fn load_program(target: &str, paper_scale: bool) -> Result<Program, CliError> {
+    if let Some(name) = target.strip_prefix("bench:") {
+        let scale = if paper_scale { Scale::Paper } else { Scale::Test };
+        let workload = if FOCAL_NAMES.contains(&name) {
+            build_focal(name, scale)
+        } else if CONTROL_NAMES.contains(&name) {
+            build_control(name, scale)
+        } else if EXTENDED_NAMES.contains(&name) {
+            build_extended(name, scale)
+        } else {
+            return Err(CliError::Tool(format!("unknown benchmark `{name}`")));
+        };
+        return Ok(workload.program);
+    }
+    let bytes = std::fs::read(target)
+        .map_err(|e| CliError::Tool(format!("cannot read `{target}`: {e}")))?;
+    if bytes.starts_with(amnesiac_isa::binary::MAGIC) {
+        return amnesiac_isa::decode_program(&bytes)
+            .map_err(|e| CliError::Tool(format!("{target}: {e}")));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|e| CliError::Tool(format!("{target}: not UTF-8: {e}")))?;
+    parse_asm(&text).map_err(|e| CliError::Tool(format!("{target}: {e}")))
+}
+
+/// Executes a command, returning the report text.
+///
+/// # Errors
+///
+/// Returns [`CliError::Tool`] when any pipeline stage fails.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    let program = load_program(&command.target, command.paper_scale)?;
+    let config = CoreConfig::paper();
+    let tool = |e: &dyn std::fmt::Display| CliError::Tool(e.to_string());
+    match command.verb {
+        Verb::Encode => {
+            let out = command.output.as_deref().expect("parse_args enforced this");
+            let bytes = amnesiac_isa::encode_program(&program);
+            std::fs::write(out, &bytes)
+                .map_err(|e| CliError::Tool(format!("cannot write `{out}`: {e}")))?;
+            Ok(format!(
+                "wrote {} bytes ({} instructions) to {out}\n",
+                bytes.len(),
+                program.instructions.len()
+            ))
+        }
+        Verb::Disasm => Ok(disassemble(&program)),
+        Verb::Trace => {
+            let mut tracer = amnesiac_sim::TraceWriter::new(200);
+            ClassicCore::new(config)
+                .run_observed(&program, &mut tracer)
+                .map_err(|e| tool(&e))?;
+            Ok(tracer.render())
+        }
+        Verb::Run => {
+            let result = ClassicCore::new(config).run(&program).map_err(|e| tool(&e))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "program `{}` halted", program.name);
+            let _ = writeln!(
+                out,
+                "  {} instructions, {} loads, {} stores",
+                result.instructions, result.loads, result.stores
+            );
+            let _ = writeln!(
+                out,
+                "  energy {:.1} nJ, time {} cycles, EDP {:.3e}",
+                result.account.total_nj(),
+                result.account.cycles(),
+                result.edp()
+            );
+            for (addr, value) in collect_sorted(&result.final_memory) {
+                let _ = writeln!(out, "  out[{addr:#x}] = {value:#x}");
+            }
+            Ok(out)
+        }
+        Verb::Profile => {
+            let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{} load sites over {} dynamic instructions:",
+                profile.loads.len(),
+                profile.instructions
+            );
+            for site in profile.loads.values() {
+                let pr = site.probabilities();
+                let _ = write!(
+                    out,
+                    "  pc {:>5}: {:>9} instances, L1/L2/Mem {:>5.1}/{:>4.1}/{:>5.1}%, \
+                     locality {:>5.1}%",
+                    site.pc,
+                    site.count,
+                    100.0 * pr[0],
+                    100.0 * pr[1],
+                    100.0 * pr[2],
+                    100.0 * site.value_locality()
+                );
+                match (&site.tree, site.unswappable) {
+                    (Some(t), _) => {
+                        let _ = writeln!(out, ", producer tree {} nodes", t.size());
+                    }
+                    (None, Some(why)) => {
+                        let _ = writeln!(out, ", unswappable ({why:?})");
+                    }
+                    (None, None) => {
+                        let _ = writeln!(out);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Verb::Compile => {
+            let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
+            let (binary, report) =
+                compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{} of {} sites swapped; {} RECs; storage bounds: SFile {} / Hist {} / IBuff {}",
+                report.n_selected(),
+                report.decisions.len(),
+                report.rec_count,
+                report.storage.sfile_entries,
+                report.storage.hist_entries,
+                report.storage.ibuff_entries
+            );
+            for d in &report.decisions {
+                match &d.outcome {
+                    SiteOutcome::Selected { slice_len, height, est_recompute_nj, est_load_nj, .. } => {
+                        let _ = writeln!(
+                            out,
+                            "  pc {:>5}: SELECTED ({slice_len} insts, h={height}, \
+                             E_rc {est_recompute_nj:.2} < E_ld {est_load_nj:.2} nJ)",
+                            d.load_pc
+                        );
+                    }
+                    other => {
+                        let _ = writeln!(out, "  pc {:>5}: {other:?}", d.load_pc);
+                    }
+                }
+            }
+            let _ = writeln!(out, "\n{}", disassemble(&binary));
+            Ok(out)
+        }
+        Verb::Compare => {
+            let classic = ClassicCore::new(config.clone())
+                .run(&program)
+                .map_err(|e| tool(&e))?;
+            let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
+            let (binary, _) =
+                compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<10} {:>14} {:>12} {:>12} {:>9}",
+                "policy", "energy (nJ)", "cycles", "EDP", "gain"
+            );
+            let _ = writeln!(
+                out,
+                "{:<10} {:>14.1} {:>12} {:>12.3e} {:>9}",
+                "classic",
+                classic.account.total_nj(),
+                classic.account.cycles(),
+                classic.edp(),
+                "-"
+            );
+            for policy in Policy::ALL_EXTENDED {
+                let result = AmnesicCore::new(AmnesicConfig::paper(policy))
+                    .run(&binary)
+                    .map_err(|e| tool(&e))?;
+                if result.run.final_memory != classic.final_memory {
+                    return Err(CliError::Tool(format!("{policy} diverged from classic")));
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>14.1} {:>12} {:>12.3e} {:>8.2}%",
+                    policy.to_string(),
+                    result.run.account.total_nj(),
+                    result.run.account.cycles(),
+                    result.edp(),
+                    100.0 * (1.0 - result.edp() / classic.edp())
+                );
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn collect_sorted(map: &std::collections::HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = map.iter().map(|(&a, &b)| (a, b)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_verbs_and_flags() {
+        let c = parse_args(&args(&["compare", "bench:is", "--paper-scale"])).unwrap();
+        assert_eq!(c.verb, Verb::Compare);
+        assert_eq!(c.target, "bench:is");
+        assert!(c.paper_scale);
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(matches!(parse_args(&args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&args(&["run"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["run", "x", "--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["frobnicate", "x"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn runs_a_builtin_benchmark() {
+        let cmd = parse_args(&args(&["run", "bench:is"])).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("halted"));
+        assert!(out.contains("EDP"));
+    }
+
+    #[test]
+    fn compares_policies_on_a_builtin() {
+        let cmd = parse_args(&args(&["compare", "bench:is"])).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("classic"));
+        assert!(out.contains("Predictor"));
+    }
+
+    #[test]
+    fn profiles_and_compiles_builtins() {
+        for verb in ["profile", "compile", "disasm"] {
+            let cmd = parse_args(&args(&[verb, "bench:sr"])).unwrap();
+            let out = execute(&cmd).unwrap();
+            assert!(!out.is_empty(), "{verb}");
+        }
+    }
+
+    #[test]
+    fn encode_then_run_binary_image_roundtrips() {
+        let dir = std::env::temp_dir().join("amnesiac-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin_path = dir.join("is.bin");
+        let bin_str = bin_path.to_string_lossy().into_owned();
+        let cmd = parse_args(&args(&["encode", "bench:is", &bin_str])).unwrap();
+        let report = execute(&cmd).unwrap();
+        assert!(report.contains("wrote"));
+        // run the image and compare against the built-in run
+        let from_image = execute(&parse_args(&args(&["run", &bin_str])).unwrap()).unwrap();
+        let from_builtin = execute(&parse_args(&args(&["run", "bench:is"])).unwrap()).unwrap();
+        assert_eq!(from_image, from_builtin);
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn runs_an_asm_file_from_disk() {
+        let dir = std::env::temp_dir().join("amnesiac-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let asm_path = dir.join("tiny.asm");
+        std::fs::write(
+            &asm_path,
+            ".name tiny\n.output 0x1000 1\nli r1, 0x1000\nli r2, 9\nst r2, [r1+0]\nhalt\n",
+        )
+        .unwrap();
+        let path = asm_path.to_string_lossy().into_owned();
+        let out = execute(&parse_args(&args(&["run", &path])).unwrap()).unwrap();
+        assert!(out.contains("out[0x1000] = 0x9"), "{out}");
+        std::fs::remove_file(&asm_path).ok();
+    }
+
+    #[test]
+    fn trace_renders_retirements() {
+        let cmd = parse_args(&args(&["trace", "bench:bfs"])).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("pc "));
+        assert!(out.contains("elided"), "bfs retires more than 200 insts");
+    }
+
+    #[test]
+    fn encode_without_output_is_usage_error() {
+        assert!(matches!(
+            parse_args(&args(&["encode", "bench:is"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_tool_error() {
+        let cmd = parse_args(&args(&["run", "bench:nope"])).unwrap();
+        assert!(matches!(execute(&cmd), Err(CliError::Tool(_))));
+    }
+
+    #[test]
+    fn missing_file_is_a_tool_error() {
+        let cmd = parse_args(&args(&["run", "/no/such/file.asm"])).unwrap();
+        assert!(matches!(execute(&cmd), Err(CliError::Tool(_))));
+    }
+}

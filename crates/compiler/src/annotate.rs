@@ -1,0 +1,343 @@
+//! Binary rewriting: embeds selected slices into a classic program,
+//! producing the annotated amnesic binary (§3.1.2).
+
+use std::collections::BTreeMap;
+
+use amnesiac_isa::{
+    Instruction, IsaError, LeafInfo, OperandPlan, Program, SliceId, SliceMeta,
+};
+
+use crate::slice::SliceSpec;
+
+/// Rewrites `program` with the given slices:
+///
+/// * each selected load becomes `RCMP dst, [base+offset], slice`;
+/// * a `REC @key` is inserted immediately **before** every origin
+///   instruction whose replica has `Hist`-sourced operands, checkpointing
+///   the origin's source registers pre-execution (so instructions that
+///   overwrite their own sources remain recomputable). `Hist` is keyed by
+///   *leaf address* — one `REC` (and one entry) per origin, shared by
+///   every slice that replicates it, as in the paper's §3.2;
+/// * slice bodies are appended after the main code, leaves first, each
+///   terminated by its `RTN`;
+/// * all branch/jump targets are remapped; targets land *before* any
+///   inserted `REC` so checkpoints execute on every path.
+///
+/// # Errors
+///
+/// Returns an [`IsaError`] if a spec references a pc that is not a load, or
+/// if the rewritten program fails validation.
+///
+/// # Panics
+///
+/// Panics if `program` is already annotated.
+pub fn annotate(program: &Program, specs: &[SliceSpec]) -> Result<Program, IsaError> {
+    annotate_with_map(program, specs).map(|(p, _)| p)
+}
+
+/// Like [`annotate`], additionally returning the mapping from each
+/// original main-code pc to the rewritten instruction's position (used by
+/// the store-elision pass and diagnostics).
+pub fn annotate_with_map(
+    program: &Program,
+    specs: &[SliceSpec],
+) -> Result<(Program, Vec<usize>), IsaError> {
+    assert!(
+        !program.is_annotated(),
+        "annotate() takes a classic (un-annotated) program"
+    );
+    let mut specs: Vec<SliceSpec> = specs.to_vec();
+    specs.sort_by_key(|s| s.load_pc);
+
+    // slice id per load pc, in pc order
+    let slice_of_load: BTreeMap<usize, SliceId> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.load_pc, SliceId(i as u32)))
+        .collect();
+
+    // assign one leaf-address key per distinct origin needing a checkpoint,
+    // and rewrite the operand plans with the real keys
+    let mut key_of_origin: BTreeMap<usize, u16> = BTreeMap::new();
+    for spec in &mut specs {
+        for inst in &mut spec.insts {
+            if !inst.needs_hist() {
+                continue;
+            }
+            let next = key_of_origin.len() as u16;
+            let key = *key_of_origin.entry(inst.origin_pc).or_insert(next);
+            for source in inst.sources.iter_mut() {
+                if let Some(amnesiac_isa::OperandSource::Hist { key: k }) = source {
+                    *k = key;
+                }
+            }
+        }
+    }
+
+    // one REC per checkpointed origin, inserted before it
+    let mut recs: BTreeMap<usize, Vec<Instruction>> = BTreeMap::new();
+    for (&origin_pc, &key) in &key_of_origin {
+        let origin = &program.instructions[origin_pc];
+        recs.entry(origin_pc).or_default().push(Instruction::Rec {
+            key,
+            srcs: origin.srcs(),
+        });
+    }
+
+    // rewrite main code, tracking the block start (first REC) per old pc
+    let code_len = program.code_len;
+    let mut new_code: Vec<Instruction> = Vec::with_capacity(code_len + recs.len());
+    let mut block_start = vec![0usize; code_len];
+    for (pc, inst) in program.instructions[..code_len].iter().enumerate() {
+        block_start[pc] = new_code.len();
+        if let Some(rec_list) = recs.get(&pc) {
+            new_code.extend(rec_list.iter().cloned());
+        }
+        match (inst, slice_of_load.get(&pc)) {
+            (Instruction::Load { dst, base, offset }, Some(&slice)) => {
+                new_code.push(Instruction::Rcmp {
+                    dst: *dst,
+                    base: *base,
+                    offset: *offset,
+                    slice,
+                });
+            }
+            (_, Some(_)) => {
+                return Err(IsaError::MalformedSlice {
+                    slice: slice_of_load[&pc].0,
+                    reason: format!("slice load_pc {pc} is not a load instruction"),
+                })
+            }
+            (other, None) => new_code.push(other.clone()),
+        }
+    }
+    let rcmp_pos: BTreeMap<usize, usize> = slice_of_load
+        .keys()
+        .map(|&old_pc| {
+            let pos = block_start[old_pc] + recs.get(&old_pc).map_or(0, Vec::len);
+            (old_pc, pos)
+        })
+        .collect();
+
+    // remap control-flow targets
+    for inst in &mut new_code {
+        match inst {
+            Instruction::Branch { target, .. } | Instruction::Jump { target } => {
+                *target = block_start[*target];
+            }
+            _ => {}
+        }
+    }
+
+    // append slice bodies
+    let new_code_len = new_code.len();
+    let mut instructions = new_code;
+    let mut slices = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let id = SliceId(i as u32);
+        let entry = instructions.len();
+        let mut plans = Vec::with_capacity(spec.insts.len());
+        let mut leaves = Vec::new();
+        for (k, s) in spec.insts.iter().enumerate() {
+            instructions.push(s.inst.clone());
+            plans.push(OperandPlan { sources: s.sources });
+            if s.is_leaf() {
+                leaves.push(LeafInfo {
+                    index: k as u16,
+                    needs_hist: s.needs_hist(),
+                    origin_pc: Some(s.origin_pc),
+                });
+            }
+        }
+        instructions.push(Instruction::Rtn { slice: id });
+        slices.push(SliceMeta {
+            id,
+            rcmp_pc: rcmp_pos[&spec.load_pc],
+            entry,
+            len: spec.insts.len() + 1,
+            root_reg: spec.root_reg(),
+            plans,
+            leaves,
+            has_nonrecomputable: spec.has_nonrecomputable(),
+            est_recompute_nj: spec.est_recompute_nj,
+            est_load_nj: spec.est_load_nj,
+            height: spec.height,
+        });
+    }
+
+    // per-pc map to the rewritten instruction position (after its RECs)
+    let pc_map: Vec<usize> = (0..code_len)
+        .map(|pc| block_start[pc] + recs.get(&pc).map_or(0, Vec::len))
+        .collect();
+
+    let annotated = Program {
+        name: program.name.clone(),
+        instructions,
+        code_len: new_code_len,
+        entry: block_start[program.entry],
+        slices,
+        data: program.data.clone(),
+        output: program.output.clone(),
+        read_only: program.read_only.clone(),
+    };
+    amnesiac_isa::validate::validate(&annotated)?;
+    Ok((annotated, pc_map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::SliceInstSpec;
+    use amnesiac_isa::{AluOp, BranchCond, OperandSource, ProgramBuilder, Reg};
+
+    /// li r1,#cell ; li r2,#20 ; add3: r3 = r2+3 ; store ; load ; halt
+    fn base_program() -> (Program, usize, usize) {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(1);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 20);
+        let add_pc = b.alui(AluOp::Add, Reg(3), Reg(2), 3);
+        b.store(Reg(3), Reg(1), 0);
+        let load_pc = b.load(Reg(4), Reg(1), 0);
+        b.halt();
+        (b.finish().unwrap(), add_pc, load_pc)
+    }
+
+    fn spec_for(load_pc: usize, add_pc: usize, hist: bool) -> SliceSpec {
+        SliceSpec {
+            load_pc,
+            insts: vec![SliceInstSpec {
+                inst: Instruction::Alui { op: AluOp::Add, dst: Reg(3), src: Reg(2), imm: 3 },
+                origin_pc: add_pc,
+                sources: [
+                    Some(if hist {
+                        OperandSource::Hist { key: 0 }
+                    } else {
+                        OperandSource::LiveReg
+                    }),
+                    None,
+                    None,
+                ],
+            }],
+            height: 0,
+            est_recompute_nj: 1.0,
+            est_load_nj: 20.0,
+        }
+    }
+
+    #[test]
+    fn annotates_live_leaf_without_rec() {
+        let (p, add_pc, load_pc) = base_program();
+        let spec = spec_for(load_pc, add_pc, false);
+        let a = annotate(&p, &[spec]).unwrap();
+        assert_eq!(a.code_len, p.code_len, "no RECs inserted");
+        assert!(matches!(a.instructions[load_pc], Instruction::Rcmp { .. }));
+        assert_eq!(a.slices.len(), 1);
+        assert_eq!(a.slices[0].rcmp_pc, load_pc);
+        assert!(!a.slices[0].has_nonrecomputable);
+        assert!(matches!(
+            a.instructions[a.slices[0].entry],
+            Instruction::Alui { .. }
+        ));
+        assert!(matches!(
+            a.instructions[a.slices[0].entry + 1],
+            Instruction::Rtn { .. }
+        ));
+    }
+
+    #[test]
+    fn annotates_hist_leaf_with_rec_before_origin() {
+        let (p, add_pc, load_pc) = base_program();
+        let spec = spec_for(load_pc, add_pc, true);
+        let a = annotate(&p, &[spec]).unwrap();
+        assert_eq!(a.code_len, p.code_len + 1, "one REC inserted");
+        // the REC sits where the add used to be; the add follows it
+        assert!(matches!(a.instructions[add_pc], Instruction::Rec { .. }));
+        assert!(matches!(a.instructions[add_pc + 1], Instruction::Alui { .. }));
+        // REC checkpoints the origin's source registers
+        match &a.instructions[add_pc] {
+            Instruction::Rec { srcs, key } => {
+                assert_eq!(*srcs, [Some(Reg(2)), None, None]);
+                assert_eq!(*key, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(a.slices[0].has_nonrecomputable);
+        // the load moved one slot down
+        assert!(matches!(
+            a.instructions[load_pc + 1],
+            Instruction::Rcmp { .. }
+        ));
+        assert_eq!(a.slices[0].rcmp_pc, load_pc + 1);
+    }
+
+    #[test]
+    fn branch_targets_are_remapped_before_recs() {
+        // loop whose body contains the producer; branching back must land
+        // on the REC, not after it
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(1);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 0);
+        b.li(Reg(6), 3);
+        let top = b.label();
+        let done = b.label();
+        b.bind(top).unwrap();
+        let top_pc = b.pc();
+        b.branch(BranchCond::Geu, Reg(2), Reg(6), done);
+        let add_pc = b.alui(AluOp::Add, Reg(3), Reg(2), 7);
+        b.store(Reg(3), Reg(1), 0);
+        let load_pc = b.load(Reg(4), Reg(1), 0);
+        b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+        b.jump(top);
+        b.bind(done).unwrap();
+        b.halt();
+        let p = b.finish().unwrap();
+
+        // REC attaches to the branch-target instruction itself: make the
+        // origin the loop-top branch's successor (add_pc is top_pc+1, so
+        // instead attach to top_pc+0? — use add_pc; the jump targets top_pc)
+        let spec = spec_for(load_pc, add_pc, true);
+        let a = annotate(&p, &[spec]).unwrap();
+        // find the jump and check it still targets the (unshifted) loop top
+        let jump_target = a.instructions[..a.code_len]
+            .iter()
+            .find_map(|i| match i {
+                Instruction::Jump { target } => Some(*target),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(jump_target, top_pc, "loop top is before the REC insertion");
+        // and the REC precedes the add on the fallthrough path
+        assert!(matches!(a.instructions[add_pc], Instruction::Rec { .. }));
+        assert!(matches!(a.instructions[add_pc + 1], Instruction::Alui { .. }));
+    }
+
+    #[test]
+    fn rejects_spec_on_non_load_pc() {
+        let (p, add_pc, _) = base_program();
+        let spec = spec_for(add_pc, add_pc, false); // add is not a load
+        assert!(annotate(&p, &[spec]).is_err());
+    }
+
+    #[test]
+    fn multiple_slices_get_sequential_ids() {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(2);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 20);
+        let add_pc = b.alui(AluOp::Add, Reg(3), Reg(2), 3);
+        b.store(Reg(3), Reg(1), 0);
+        b.store(Reg(3), Reg(1), 1);
+        let load_a = b.load(Reg(4), Reg(1), 0);
+        let load_b = b.load(Reg(5), Reg(1), 1);
+        b.halt();
+        let p = b.finish().unwrap();
+        let specs = vec![spec_for(load_b, add_pc, false), spec_for(load_a, add_pc, false)];
+        let a = annotate(&p, &specs).unwrap();
+        assert_eq!(a.slices.len(), 2);
+        // ids ordered by load pc regardless of input order
+        assert_eq!(a.slices[0].rcmp_pc, load_a);
+        assert_eq!(a.slices[1].rcmp_pc, load_b);
+    }
+}

@@ -1,0 +1,516 @@
+//! The end-to-end compile pipeline: select → annotate → validate.
+
+use std::collections::BTreeSet;
+
+use amnesiac_energy::EnergyModel;
+use amnesiac_isa::{IsaError, Program};
+use amnesiac_mem::ServiceLevel;
+use amnesiac_profile::{ProgramProfile, Unswappable};
+use amnesiac_sim::RunError;
+
+use crate::annotate::annotate_with_map;
+use crate::estimate::SliceEstimator;
+use crate::replay::replay_validate;
+use crate::slice::SliceSpec;
+use crate::storage::StorageBounds;
+
+/// How the set of embedded slices is chosen (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SliceSetPolicy {
+    /// The compiler's probabilistic energy model: embed a slice iff its
+    /// estimated `E_rc` is below the expected `E_ld = Σ PrLi × EPI_Li`.
+    /// This is the set `S` used by the `Compiler`, `FLC`, `LLC`, and
+    /// `C-Oracle` runtime policies.
+    #[default]
+    Probabilistic,
+    /// The `Oracle` set: embed a slice iff recomputing only the *beneficial*
+    /// dynamic instances (known exactly) yields a positive net gain. This
+    /// set is typically a superset of the probabilistic one — it keeps
+    /// slices for mostly-L1 loads whose occasional misses are worth
+    /// recovering.
+    Oracle,
+}
+
+/// Compiler configuration.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Energy model used for the §3.1.1 estimates.
+    pub energy: EnergyModel,
+    /// Slice-set selection policy.
+    pub slice_set: SliceSetPolicy,
+    /// Maximum slice tree height `h` (§3.4: the compiler caps `h`).
+    pub max_height: u32,
+    /// Maximum compute instructions per slice (ties `SFile`/`IBuff` sizing).
+    pub max_slice_insts: usize,
+    /// Run the validation replay and drop any slice that ever fails to
+    /// reproduce the loaded value. Disable only in tests.
+    pub validate: bool,
+    /// Dynamic-instruction fuse for the validation replay.
+    pub replay_fuse: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            energy: EnergyModel::paper(),
+            slice_set: SliceSetPolicy::Probabilistic,
+            max_height: 48,
+            max_slice_insts: 64,
+            validate: true,
+            replay_fuse: 400_000_000,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Default options with the `Oracle` slice set.
+    pub fn oracle() -> Self {
+        CompileOptions {
+            slice_set: SliceSetPolicy::Oracle,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-site compilation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteOutcome {
+    /// The load was swapped for a recomputation slice.
+    Selected {
+        /// Compute instructions in the slice body.
+        slice_len: usize,
+        /// Chosen cut height.
+        height: u32,
+        /// Whether the slice has non-recomputable (`Hist`) inputs.
+        has_nonrecomputable: bool,
+        /// Estimated `E_rc` (nJ).
+        est_recompute_nj: f64,
+        /// Estimated `E_ld` (nJ).
+        est_load_nj: f64,
+    },
+    /// Recomputation was estimated more expensive than the load.
+    RejectedEnergy {
+        /// Estimated `E_rc` of the best cut (nJ).
+        est_recompute_nj: f64,
+        /// Estimated `E_ld` (nJ).
+        est_load_nj: f64,
+    },
+    /// The profiler found the site unswappable.
+    Unswappable(Unswappable),
+    /// The validation replay found a value mismatch and dropped the slice.
+    DroppedByValidation,
+}
+
+/// One load site's decision record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteDecision {
+    /// Static pc of the load in the *original* program.
+    pub load_pc: usize,
+    /// Dynamic instances observed while profiling.
+    pub dyn_count: u64,
+    /// What the compiler did.
+    pub outcome: SiteOutcome,
+}
+
+/// Summary of a compile run.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Per-site decisions, in pc order.
+    pub decisions: Vec<SiteDecision>,
+    /// §3.4 storage bounds of the final binary.
+    pub storage: StorageBounds,
+    /// Validation rounds executed (0 when validation is disabled).
+    pub validation_rounds: u32,
+    /// `REC` instructions inserted into the final binary.
+    pub rec_count: usize,
+    /// Mapping from each original main-code pc to the annotated binary's
+    /// position of the same (or replacing) instruction.
+    pub pc_map: Vec<usize>,
+}
+
+impl CompileReport {
+    /// Pcs (in the original program) of the selected loads.
+    pub fn selected_load_pcs(&self) -> BTreeSet<usize> {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.outcome, SiteOutcome::Selected { .. }))
+            .map(|d| d.load_pc)
+            .collect()
+    }
+
+    /// Number of selected sites.
+    pub fn n_selected(&self) -> usize {
+        self.selected_load_pcs().len()
+    }
+}
+
+/// Errors from the compile pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The rewritten binary failed structural validation (a compiler bug).
+    Isa(IsaError),
+    /// The validation replay failed to run.
+    Replay(RunError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Isa(e) => write!(f, "annotation produced an invalid binary: {e}"),
+            CompileError::Replay(e) => write!(f, "validation replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<IsaError> for CompileError {
+    fn from(e: IsaError) -> Self {
+        CompileError::Isa(e)
+    }
+}
+
+impl From<RunError> for CompileError {
+    fn from(e: RunError) -> Self {
+        CompileError::Replay(e)
+    }
+}
+
+/// Runs the amnesic compiler pass on a classic program.
+///
+/// Returns the annotated binary and the per-site report. If no site is
+/// worth swapping, the returned program is the input program unchanged
+/// (with an empty slice table) — amnesic execution then degenerates to
+/// classic execution, as the paper's semantics require.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if annotation or validation replay fails
+/// structurally (never because slices mis-predict — those are dropped).
+pub fn compile(
+    program: &Program,
+    profile: &ProgramProfile,
+    options: &CompileOptions,
+) -> Result<(Program, CompileReport), CompileError> {
+    let estimator = SliceEstimator::new(&options.energy, profile);
+    let mut decisions = Vec::new();
+    let mut specs: Vec<SliceSpec> = Vec::new();
+
+    // plan every swappable site first: the Oracle criterion amortises REC
+    // overheads across slices that share checkpointed origins (Hist is
+    // keyed by leaf address, §3.2)
+    let mut planned = Vec::new();
+    let mut origin_usage: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    for site in profile.loads.values() {
+        if let Some(why) = site.unswappable {
+            decisions.push(SiteDecision {
+                load_pc: site.pc,
+                dyn_count: site.count,
+                outcome: SiteOutcome::Unswappable(why),
+            });
+            continue;
+        }
+        let Some((cost, insts)) =
+            estimator.plan_site(site, options.max_height, options.max_slice_insts)
+        else {
+            decisions.push(SiteDecision {
+                load_pc: site.pc,
+                dyn_count: site.count,
+                outcome: SiteOutcome::Unswappable(Unswappable::NoProducer),
+            });
+            continue;
+        };
+        for inst in insts.iter().filter(|i| i.needs_hist()) {
+            *origin_usage.entry(inst.origin_pc).or_insert(0) += 1;
+        }
+        planned.push((site, cost, insts));
+    }
+
+    for (site, cost, insts) in planned {
+        let est_load = match options.slice_set {
+            SliceSetPolicy::Probabilistic => estimator.load_energy_global(),
+            SliceSetPolicy::Oracle => estimator.load_energy_site(site),
+        };
+        let select = match options.slice_set {
+            // the paper's §3.1.1 model: E_rc is the recomputation energy
+            // itself (instruction mix × EPI + operand supply); the REC
+            // main-path overhead is paid either way and does not gate
+            // selection
+            SliceSetPolicy::Probabilistic => cost.fire_nj < est_load,
+            SliceSetPolicy::Oracle => {
+                let pr = site.probabilities();
+                let gain: f64 = ServiceLevel::ALL
+                    .iter()
+                    .zip(pr.iter())
+                    .map(|(&level, &p)| {
+                        p * (options.energy.load_energy(level) - cost.fire_nj).max(0.0)
+                    })
+                    .sum();
+                // this site's share of the shared REC traffic
+                let standing: f64 = insts
+                    .iter()
+                    .filter(|i| i.needs_hist())
+                    .map(|i| {
+                        let execs = profile.pc_count(i.origin_pc).max(1) as f64;
+                        let share = origin_usage[&i.origin_pc].max(1) as f64;
+                        execs * options.energy.hist_write_nj
+                            / (share * site.count.max(1) as f64)
+                    })
+                    .sum();
+                gain > standing
+            }
+        };
+        if select {
+            decisions.push(SiteDecision {
+                load_pc: site.pc,
+                dyn_count: site.count,
+                outcome: SiteOutcome::Selected {
+                    slice_len: insts.len(),
+                    height: cost.height,
+                    has_nonrecomputable: insts.iter().any(|s| s.needs_hist()),
+                    est_recompute_nj: cost.total_nj(),
+                    est_load_nj: est_load,
+                },
+            });
+            specs.push(SliceSpec {
+                load_pc: site.pc,
+                insts,
+                height: cost.height,
+                // the runtime scheduler compares this against the actual
+                // load energy when deciding to fire: the REC standing cost
+                // is sunk at that point, so only the fire cost belongs here
+                est_recompute_nj: cost.fire_nj,
+                est_load_nj: est_load,
+            });
+        } else {
+            decisions.push(SiteDecision {
+                load_pc: site.pc,
+                dyn_count: site.count,
+                outcome: SiteOutcome::RejectedEnergy {
+                    est_recompute_nj: cost.total_nj(),
+                    est_load_nj: est_load,
+                },
+            });
+        }
+    }
+
+    // annotate + validate, dropping any slice that ever mismatches
+    let mut validation_rounds = 0;
+    let (mut annotated, mut pc_map) = annotate_with_map(program, &specs)?;
+    if options.validate && !specs.is_empty() {
+        loop {
+            validation_rounds += 1;
+            let outcome = replay_validate(&annotated, options.replay_fuse)?;
+            let failing = outcome.failing_slices();
+            if failing.is_empty() || validation_rounds >= 8 {
+                break;
+            }
+            // slice ids are assigned in load-pc order by annotate()
+            let mut by_pc: Vec<usize> = specs.iter().map(|s| s.load_pc).collect();
+            by_pc.sort_unstable();
+            let dropped_pcs: BTreeSet<usize> =
+                failing.iter().map(|&id| by_pc[id as usize]).collect();
+            specs.retain(|s| !dropped_pcs.contains(&s.load_pc));
+            for d in &mut decisions {
+                if dropped_pcs.contains(&d.load_pc) {
+                    d.outcome = SiteOutcome::DroppedByValidation;
+                }
+            }
+            (annotated, pc_map) = annotate_with_map(program, &specs)?;
+            if specs.is_empty() {
+                break;
+            }
+        }
+    }
+
+    let rec_count = annotated.instructions[..annotated.code_len]
+        .iter()
+        .filter(|i| matches!(i, amnesiac_isa::Instruction::Rec { .. }))
+        .count();
+    decisions.sort_by_key(|d| d.load_pc);
+    let report = CompileReport {
+        storage: StorageBounds::of(&annotated),
+        decisions,
+        validation_rounds,
+        rec_count,
+        pc_map,
+    };
+    Ok((annotated, report))
+}
+
+/// Stores whose every profiled consumer load was swapped for recomputation:
+/// candidates for elision under amnesic execution (§2 — "the corresponding
+/// store can become redundant if no other load depends on it"). Reported,
+/// not applied: a runtime policy may still perform the load.
+pub fn redundant_stores(profile: &ProgramProfile, selected: &BTreeSet<usize>) -> Vec<usize> {
+    profile
+        .stores
+        .iter()
+        .filter(|(_, s)| {
+            !s.consumers.is_empty() && s.consumers.keys().all(|pc| selected.contains(pc))
+        })
+        .map(|(&pc, _)| pc)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_isa::{AluOp, BranchCond, Instruction, ProgramBuilder, Reg};
+    use amnesiac_profile::profile_program;
+    use amnesiac_sim::CoreConfig;
+
+    /// A machine with deliberately tiny caches so that the test kernel's
+    /// reloads are serviced by main memory, making recomputation pay.
+    fn small_config() -> CoreConfig {
+        use amnesiac_mem::{CacheConfig, HierarchyConfig};
+        let mut c = CoreConfig::paper();
+        // 8-byte lines defeat spatial locality, so streaming reloads miss
+        c.hierarchy = HierarchyConfig {
+            l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
+            l1d: CacheConfig { size_bytes: 128, ways: 2, line_bytes: 8 },
+            l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 8 },
+                    next_line_prefetch: false,
+        };
+        c
+    }
+
+    /// A kernel whose loads read back values computed from live inputs:
+    /// for i in 0..n { tmp[i] = a·i + b } ; sum = Σ tmp[i] (second loop).
+    /// With the tiny caches of `small_config`, the second loop's reloads
+    /// come from main memory, and the slices are tiny (mul+add from live
+    /// registers), so the compiler selects them.
+    fn kernel(n: u64) -> Program {
+        let mut b = ProgramBuilder::new("k");
+        let tmp = b.alloc_zeroed(n);
+        let out = b.alloc_zeroed(1);
+        b.mark_output(out, 1);
+        b.li(Reg(1), tmp);
+        b.li(Reg(2), 0); // i
+        b.li(Reg(3), n);
+        b.li(Reg(4), 7); // a
+        b.li(Reg(5), 13); // b
+        let top = b.label();
+        let fill_done = b.label();
+        b.bind(top).unwrap();
+        b.branch(BranchCond::Geu, Reg(2), Reg(3), fill_done);
+        b.alu(AluOp::Mul, Reg(6), Reg(4), Reg(2));
+        b.alu(AluOp::Add, Reg(6), Reg(6), Reg(5));
+        b.alu(AluOp::Add, Reg(7), Reg(1), Reg(2));
+        b.store(Reg(6), Reg(7), 0);
+        b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+        b.jump(top);
+        b.bind(fill_done).unwrap();
+        b.li(Reg(2), 0);
+        b.li(Reg(8), 0); // sum
+        let top2 = b.label();
+        let done = b.label();
+        b.bind(top2).unwrap();
+        b.branch(BranchCond::Geu, Reg(2), Reg(3), done);
+        b.alu(AluOp::Add, Reg(7), Reg(1), Reg(2));
+        b.load(Reg(9), Reg(7), 0);
+        b.alu(AluOp::Add, Reg(8), Reg(8), Reg(9));
+        b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+        b.jump(top2);
+        b.bind(done).unwrap();
+        b.li(Reg(10), out);
+        b.store(Reg(8), Reg(10), 0);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn compiles_and_validates_a_loop_kernel() {
+        let p = kernel(50);
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (annotated, report) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        assert!(report.n_selected() >= 1, "the tmp[i] reload is recomputable");
+        assert!(annotated.is_annotated());
+        assert!(report.validation_rounds >= 1);
+        // every surviving slice validated exactly
+        let outcome = replay_validate(&annotated, 1_000_000).unwrap();
+        assert!(outcome.failing_slices().is_empty());
+        // RCMPs replaced the selected loads
+        let rcmps = annotated.instructions[..annotated.code_len]
+            .iter()
+            .filter(|i| matches!(i, Instruction::Rcmp { .. }))
+            .count();
+        assert_eq!(rcmps, report.n_selected());
+    }
+
+    #[test]
+    fn selected_slices_respect_the_energy_budget() {
+        let p = kernel(50);
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (_, report) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        for d in &report.decisions {
+            if let SiteOutcome::Selected { est_recompute_nj, est_load_nj, .. } = d.outcome {
+                assert!(
+                    est_recompute_nj < est_load_nj,
+                    "budget rule violated at pc {}: E_rc {est_recompute_nj} ≥ E_ld {est_load_nj}",
+                    d.load_pc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_set_contains_probabilistic_set_here() {
+        let p = kernel(50);
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (_, prob) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        let (_, oracle) = compile(&p, &profile, &CompileOptions::oracle()).unwrap();
+        let prob_set = prob.selected_load_pcs();
+        let oracle_set = oracle.selected_load_pcs();
+        assert!(
+            prob_set.is_subset(&oracle_set),
+            "oracle keeps every probabilistically-good slice: {prob_set:?} ⊄ {oracle_set:?}"
+        );
+    }
+
+    #[test]
+    fn no_candidates_yields_unannotated_program() {
+        // a program whose only load reads a read-only input
+        let mut b = ProgramBuilder::new("t");
+        let input = b.alloc_data(&[1]);
+        b.mark_read_only(input, 1);
+        b.li(Reg(1), input);
+        b.load(Reg(2), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (annotated, report) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        assert_eq!(report.n_selected(), 0);
+        assert!(!annotated.is_annotated());
+        assert_eq!(annotated.instructions, p.instructions);
+    }
+
+    #[test]
+    fn storage_bounds_reflect_slices() {
+        let p = kernel(50);
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (_, report) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        assert!(report.storage.n_slices >= 1);
+        assert!(report.storage.max_insts_per_slice >= 1);
+        assert_eq!(
+            report.storage.sfile_entries,
+            report.storage.max_insts_per_slice * 4
+        );
+    }
+
+    #[test]
+    fn redundant_store_analysis_flags_fully_swapped_flows() {
+        let p = kernel(50);
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (_, report) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        let selected = report.selected_load_pcs();
+        let redundant = redundant_stores(&profile, &selected);
+        // the tmp[i] store's only consumer is the swapped load
+        if !selected.is_empty() {
+            assert!(!redundant.is_empty());
+        }
+        // and with nothing selected, nothing is redundant
+        assert!(redundant_stores(&profile, &BTreeSet::new()).is_empty());
+    }
+}

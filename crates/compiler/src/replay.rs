@@ -1,0 +1,260 @@
+//! Functional validation replay: runs an annotated binary (no caches, no
+//! energy) firing every slice at every `RCMP`, and checks that each slice
+//! reproduces the value the load would have read. This is the compiler's
+//! safety net — only slices with a 100% match rate stay in the binary, so
+//! amnesic execution is bit-exact on the profiled input.
+
+use std::collections::HashMap;
+
+use amnesiac_isa::{Instruction, OperandSource, Program, NUM_REGS};
+use amnesiac_sim::{eval_compute, RunError};
+
+/// Per-slice replay statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceReplayStats {
+    /// Times the slice was traversed.
+    pub fired: u64,
+    /// Traversals whose recomputed value equalled the loaded value.
+    pub matches: u64,
+    /// Traversals that produced a different value.
+    pub mismatches: u64,
+    /// Traversals that found no `Hist` entry for a checkpointed operand
+    /// (the origin had not executed yet) — counted as mismatches too.
+    pub missing_hist: u64,
+}
+
+impl SliceReplayStats {
+    /// `true` if every traversal reproduced the loaded value.
+    pub fn is_exact(&self) -> bool {
+        self.mismatches == 0 && self.missing_hist == 0
+    }
+}
+
+/// Outcome of a validation replay.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Statistics per slice, indexed by slice id.
+    pub per_slice: Vec<SliceReplayStats>,
+    /// Values of the program's output ranges at halt (must equal the
+    /// classic run's — the replay always uses the loaded value).
+    pub output: HashMap<u64, u64>,
+}
+
+impl ReplayOutcome {
+    /// Ids of slices that ever failed to reproduce the loaded value.
+    pub fn failing_slices(&self) -> Vec<u32> {
+        self.per_slice
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_exact())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Replay error (re-exported alias of the simulator's error type).
+pub type ReplayError = RunError;
+
+/// Runs the validation replay.
+///
+/// # Errors
+///
+/// * [`RunError::FuseBlown`] after `max_instructions` dynamic instructions;
+/// * [`RunError::PcOutOfRange`] if control escapes the main code region.
+pub fn replay_validate(program: &Program, max_instructions: u64) -> Result<ReplayOutcome, RunError> {
+    let mut regs = [0u64; NUM_REGS];
+    let mut mem: HashMap<u64, u64> = program.data.iter().collect();
+    let mut hist: HashMap<u16, [u64; 3]> = HashMap::new();
+    let mut per_slice = vec![SliceReplayStats::default(); program.slices.len()];
+
+    let mut pc = program.entry;
+    let mut retired = 0u64;
+    loop {
+        if retired >= max_instructions {
+            return Err(RunError::FuseBlown { limit: max_instructions });
+        }
+        if pc >= program.code_len {
+            return Err(RunError::PcOutOfRange { pc });
+        }
+        retired += 1;
+        let inst = &program.instructions[pc];
+        let srcs = inst.srcs();
+        let mut vals = [0u64; 3];
+        for (j, s) in srcs.iter().enumerate() {
+            if let Some(r) = s {
+                vals[j] = regs[r.index()];
+            }
+        }
+        let mut next = pc + 1;
+        match inst {
+            Instruction::Halt => break,
+            Instruction::Load { dst, offset, .. } => {
+                let addr = vals[0].wrapping_add(*offset as u64);
+                regs[dst.index()] = mem.get(&addr).copied().unwrap_or(0);
+            }
+            Instruction::Store { offset, .. } => {
+                let addr = vals[1].wrapping_add(*offset as u64);
+                mem.insert(addr, vals[0]);
+            }
+            Instruction::Branch { cond, target, .. } => {
+                if cond.eval(vals[0], vals[1]) {
+                    next = *target;
+                }
+            }
+            Instruction::Jump { target } => next = *target,
+            Instruction::Rec { key, .. } => {
+                hist.insert(*key, vals);
+            }
+            Instruction::Rcmp { dst, offset, slice, .. } => {
+                let addr = vals[0].wrapping_add(*offset as u64);
+                let actual = mem.get(&addr).copied().unwrap_or(0);
+                let stats = &mut per_slice[slice.index()];
+                stats.fired += 1;
+                match traverse(program, slice.0, &regs, &hist) {
+                    Some(recomputed) if recomputed == actual => stats.matches += 1,
+                    Some(_) => stats.mismatches += 1,
+                    None => stats.missing_hist += 1,
+                }
+                // validation always keeps the architecturally correct value
+                regs[dst.index()] = actual;
+            }
+            Instruction::Rtn { .. } => {
+                return Err(RunError::UnexpectedInstruction {
+                    pc,
+                    what: inst.to_string(),
+                })
+            }
+            compute => {
+                let dst = compute.dst().expect("compute has dst");
+                regs[dst.index()] = eval_compute(compute, vals);
+            }
+        }
+        pc = next;
+    }
+
+    let mut output = HashMap::new();
+    for range in &program.output {
+        for addr in range.iter() {
+            output.insert(addr, mem.get(&addr).copied().unwrap_or(0));
+        }
+    }
+    Ok(ReplayOutcome { per_slice, output })
+}
+
+/// Functionally traverses a slice; returns the recomputed value, or `None`
+/// if a required `Hist` entry is missing.
+fn traverse(
+    program: &Program,
+    slice_id: u32,
+    regs: &[u64; NUM_REGS],
+    hist: &HashMap<u16, [u64; 3]>,
+) -> Option<u64> {
+    let meta = &program.slices[slice_id as usize];
+    let body = &program.instructions[meta.entry..meta.entry + meta.compute_len()];
+    let mut values: Vec<u64> = Vec::with_capacity(body.len());
+    for (k, inst) in body.iter().enumerate() {
+        let plan = &meta.plans[k];
+        let srcs = inst.srcs();
+        let mut vals = [0u64; 3];
+        for j in 0..3 {
+            let Some(source) = plan.sources[j] else { continue };
+            vals[j] = match source {
+                OperandSource::SFile { producer } => values[producer as usize],
+                OperandSource::LiveReg => {
+                    regs[srcs[j].expect("planned operand exists").index()]
+                }
+                OperandSource::Hist { key } => {
+                    let entry = hist.get(&key)?;
+                    entry[j]
+                }
+            };
+        }
+        values.push(eval_compute(inst, vals));
+    }
+    values.last().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+    use crate::slice::{SliceInstSpec, SliceSpec};
+    use amnesiac_isa::{AluOp, ProgramBuilder, Reg};
+
+    /// Program computing v = r2 + 3, storing, loading back; slice recomputes
+    /// it from a Hist-checkpointed operand.
+    fn annotated(hist: bool, clobber: bool) -> Program {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(1);
+        b.mark_output(cell, 1);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 20);
+        let add_pc = b.alui(AluOp::Add, Reg(3), Reg(2), 3);
+        b.store(Reg(3), Reg(1), 0);
+        if clobber {
+            b.li(Reg(2), 999); // kills the LiveReg assumption
+        }
+        let load_pc = b.load(Reg(4), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let spec = SliceSpec {
+            load_pc,
+            insts: vec![SliceInstSpec {
+                inst: Instruction::Alui { op: AluOp::Add, dst: Reg(3), src: Reg(2), imm: 3 },
+                origin_pc: add_pc,
+                sources: [
+                    Some(if hist {
+                        OperandSource::Hist { key: 0 }
+                    } else {
+                        OperandSource::LiveReg
+                    }),
+                    None,
+                    None,
+                ],
+            }],
+            height: 0,
+            est_recompute_nj: 1.0,
+            est_load_nj: 20.0,
+        };
+        annotate(&p, &[spec]).unwrap()
+    }
+
+    #[test]
+    fn live_leaf_matches_when_register_survives() {
+        let outcome = replay_validate(&annotated(false, false), 10_000).unwrap();
+        assert_eq!(outcome.per_slice[0].fired, 1);
+        assert!(outcome.per_slice[0].is_exact());
+        assert!(outcome.failing_slices().is_empty());
+    }
+
+    #[test]
+    fn live_leaf_mismatches_when_register_is_clobbered() {
+        let outcome = replay_validate(&annotated(false, true), 10_000).unwrap();
+        assert_eq!(outcome.per_slice[0].mismatches, 1);
+        assert_eq!(outcome.failing_slices(), vec![0]);
+    }
+
+    #[test]
+    fn hist_leaf_survives_clobbering() {
+        let outcome = replay_validate(&annotated(true, true), 10_000).unwrap();
+        assert!(outcome.per_slice[0].is_exact(), "REC checkpointed the operand");
+    }
+
+    #[test]
+    fn output_is_architecturally_correct_either_way() {
+        for (hist, clobber) in [(false, false), (false, true), (true, true)] {
+            let outcome = replay_validate(&annotated(hist, clobber), 10_000).unwrap();
+            let (&_addr, &v) = outcome.output.iter().next().unwrap();
+            assert_eq!(v, 23, "replay keeps the loaded value regardless");
+        }
+    }
+
+    #[test]
+    fn fuse_guards_against_runaway() {
+        let p = annotated(false, false);
+        assert!(matches!(
+            replay_validate(&p, 2),
+            Err(RunError::FuseBlown { .. })
+        ));
+    }
+}

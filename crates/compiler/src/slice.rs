@@ -1,0 +1,129 @@
+//! Slice specifications: a chosen cut of a producer tree, flattened into
+//! the execution order of the eventual slice body.
+
+use amnesiac_isa::{Instruction, OperandSource, Reg};
+
+/// One instruction of a slice body, before embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceInstSpec {
+    /// The replica instruction (verbatim copy of the producer).
+    pub inst: Instruction,
+    /// Main-code pc of the original producer.
+    pub origin_pc: usize,
+    /// Operand sourcing, aligned with [`Instruction::srcs`].
+    pub sources: [Option<OperandSource>; 3],
+}
+
+impl SliceInstSpec {
+    /// `true` if any operand must be checkpointed into `Hist` by a `REC`.
+    pub fn needs_hist(&self) -> bool {
+        self.sources
+            .iter()
+            .any(|s| matches!(s, Some(OperandSource::Hist { .. })))
+    }
+
+    /// `true` if no operand comes from the `SFile` — a leaf of the slice
+    /// tree (paper Fig. 1).
+    pub fn is_leaf(&self) -> bool {
+        !self
+            .sources
+            .iter()
+            .any(|s| matches!(s, Some(OperandSource::SFile { .. })))
+    }
+}
+
+/// A fully specified recomputation slice for one load site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceSpec {
+    /// Main-code pc of the load this slice replaces.
+    pub load_pc: usize,
+    /// Slice instructions in dependency order (leaves first, root last).
+    pub insts: Vec<SliceInstSpec>,
+    /// Height of the chosen cut.
+    pub height: u32,
+    /// Estimated recomputation energy `E_rc` (nJ), including structure and
+    /// amortised `REC` overheads.
+    pub est_recompute_nj: f64,
+    /// Estimated probabilistic load energy `E_ld` (nJ).
+    pub est_load_nj: f64,
+}
+
+impl SliceSpec {
+    /// The register holding the recomputed value after the root executes.
+    pub fn root_reg(&self) -> Reg {
+        self.insts
+            .last()
+            .and_then(|s| s.inst.dst())
+            .expect("slices are non-empty and roots have destinations")
+    }
+
+    /// `true` if any instruction has non-recomputable (`Hist`) inputs.
+    pub fn has_nonrecomputable(&self) -> bool {
+        self.insts.iter().any(|s| s.needs_hist())
+    }
+
+    /// Distinct origin pcs that need a `REC` checkpoint inserted.
+    pub fn rec_origins(&self) -> Vec<(usize, u16)> {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.needs_hist())
+            .map(|(i, s)| (s.origin_pc, i as u16))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_isa::AluOp;
+
+    fn spec(load_pc: usize) -> SliceSpec {
+        SliceSpec {
+            load_pc,
+            insts: vec![
+                SliceInstSpec {
+                    inst: Instruction::Alui { op: AluOp::Add, dst: Reg(3), src: Reg(2), imm: 1 },
+                    origin_pc: 1,
+                    sources: [Some(OperandSource::LiveReg), None, None],
+                },
+                SliceInstSpec {
+                    inst: Instruction::Alui { op: AluOp::Add, dst: Reg(4), src: Reg(5), imm: 2 },
+                    origin_pc: 2,
+                    sources: [Some(OperandSource::Hist { key: 0 }), None, None],
+                },
+                SliceInstSpec {
+                    inst: Instruction::Alu { op: AluOp::Add, dst: Reg(5), lhs: Reg(3), rhs: Reg(4) },
+                    origin_pc: 10,
+                    sources: [
+                        Some(OperandSource::SFile { producer: 0 }),
+                        Some(OperandSource::SFile { producer: 1 }),
+                        None,
+                    ],
+                },
+            ],
+            height: 1,
+            est_recompute_nj: 1.0,
+            est_load_nj: 10.0,
+        }
+    }
+
+    #[test]
+    fn leaf_and_hist_classification() {
+        let s = spec(7);
+        assert!(s.insts[0].is_leaf());
+        assert!(!s.insts[0].needs_hist());
+        assert!(s.insts[1].is_leaf());
+        assert!(s.insts[1].needs_hist());
+        assert!(!s.insts[2].is_leaf());
+        assert!(!s.insts[2].needs_hist());
+    }
+
+    #[test]
+    fn spec_helpers() {
+        let s = spec(7);
+        assert_eq!(s.root_reg(), Reg(5));
+        assert!(s.has_nonrecomputable());
+        assert_eq!(s.rec_origins(), vec![(2, 1)]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Runtime scheduler policies (§3.3.1).
+
+use std::fmt;
+
+/// When the amnesic scheduler fires recomputation for an `RCMP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Always fire: trust the compiler's hints unconditionally. No probing
+    /// cost, but may recompute values sitting in L1.
+    Compiler,
+    /// Probe the first-level cache; fire on an L1-D miss. Pays the L1 tag
+    /// probe on each fired recomputation.
+    Flc,
+    /// Probe down to the last-level cache; fire on an L2 miss. Pays both
+    /// probes on each fired recomputation — the paper's main delimiter for
+    /// this policy.
+    Llc,
+    /// Knows exactly where the load would be serviced, at zero probing
+    /// cost, and fires iff the slice's recomputation energy is below that
+    /// load's energy. On the probabilistic slice set this is the paper's
+    /// *C-Oracle*; on the oracle slice set it is *Oracle* (§5.1).
+    Oracle,
+    /// History-based miss prediction (the paper's §3.3.1 future-work
+    /// refinement): a per-site 2-bit counter predicts whether the load
+    /// would miss L1; predicted misses fire recomputation with **no**
+    /// probing overhead. See [`crate::MissPredictor`].
+    Predictor,
+}
+
+impl Policy {
+    /// The paper's evaluated policies, in its figure ordering (oracle
+    /// first). [`Policy::Predictor`] is the future-work extension and is
+    /// evaluated separately.
+    pub const ALL: [Policy; 4] = [Policy::Oracle, Policy::Compiler, Policy::Flc, Policy::Llc];
+
+    /// Every implemented policy, extensions included.
+    pub const ALL_EXTENDED: [Policy; 5] = [
+        Policy::Oracle,
+        Policy::Compiler,
+        Policy::Flc,
+        Policy::Llc,
+        Policy::Predictor,
+    ];
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Compiler => write!(f, "Compiler"),
+            Policy::Flc => write!(f, "FLC"),
+            Policy::Llc => write!(f, "LLC"),
+            Policy::Oracle => write!(f, "Oracle"),
+            Policy::Predictor => write!(f, "Predictor"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Policy::Compiler.to_string(), "Compiler");
+        assert_eq!(Policy::Flc.to_string(), "FLC");
+        assert_eq!(Policy::Llc.to_string(), "LLC");
+        assert_eq!(Policy::Oracle.to_string(), "Oracle");
+        assert_eq!(Policy::Predictor.to_string(), "Predictor");
+        assert_eq!(Policy::ALL.len(), 4);
+        assert_eq!(Policy::ALL_EXTENDED.len(), 5);
+    }
+}

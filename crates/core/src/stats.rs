@@ -1,0 +1,146 @@
+//! Amnesic-execution statistics: everything the paper's Tables 4–5 and
+//! Figs. 6–7 report, plus structure occupancies for the §3.4 checks.
+
+use std::collections::BTreeMap;
+
+use amnesiac_mem::{LevelStats, ServiceLevel};
+use amnesiac_sim::ExceptionKind;
+
+/// Per-slice runtime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceRuntimeStats {
+    /// `RCMP` instances that fired recomputation.
+    pub fired: u64,
+    /// `RCMP` instances where the policy performed the load instead.
+    pub loaded: u64,
+    /// `RCMP` instances forced to load because a `REC` had failed (`Hist`
+    /// overflow, §3.5) or the slice did not fit the `SFile`.
+    pub forced_loads: u64,
+}
+
+/// An exception recorded during slice traversal and deferred past `RTN`
+/// (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeferredException {
+    /// The slice that raised it.
+    pub slice: u32,
+    /// Slice-relative instruction index.
+    pub slice_inst: u16,
+    /// What was raised.
+    pub kind: ExceptionKind,
+}
+
+/// Aggregate statistics of one amnesic run.
+#[derive(Debug, Clone, Default)]
+pub struct AmnesicStats {
+    /// Per-slice counters, indexed by slice id.
+    pub per_slice: Vec<SliceRuntimeStats>,
+    /// Residency (at decision time) of the loads that were *swapped* —
+    /// i.e. `RCMP` instances that fired recomputation. This is the paper's
+    /// Table 5 profile: where those loads would have been serviced under
+    /// classic execution.
+    pub swapped_levels: LevelStats,
+    /// Residency of `RCMP` instances that performed the load.
+    pub performed_levels: LevelStats,
+    /// Dynamic count of recomputing instructions executed.
+    pub recompute_insts: u64,
+    /// Deferred exceptions recorded during traversals.
+    pub deferred_exceptions: Vec<DeferredException>,
+    /// Structure occupancy high-water marks (SFile, Hist, IBuff).
+    pub sfile_high_water: usize,
+    /// See [`AmnesicStats::sfile_high_water`].
+    pub hist_high_water: usize,
+    /// See [`AmnesicStats::sfile_high_water`].
+    pub ibuff_high_water: usize,
+    /// `IBuff` hits / misses over fired traversals.
+    pub ibuff_hits: u64,
+    /// See [`AmnesicStats::ibuff_hits`].
+    pub ibuff_misses: u64,
+    /// `Hist` reads (leaf operand fetches).
+    pub hist_reads: u64,
+    /// `REC` writes rejected by `Hist` capacity.
+    pub hist_failed_writes: u64,
+    /// Rename requests serviced.
+    pub rename_requests: u64,
+    /// Miss predictions made (Predictor policy only).
+    pub predictions: u64,
+    /// Mispredictions observed (Predictor policy only).
+    pub mispredictions: u64,
+}
+
+impl AmnesicStats {
+    /// Total `RCMP` instances encountered.
+    pub fn rcmp_total(&self) -> u64 {
+        self.per_slice
+            .iter()
+            .map(|s| s.fired + s.loaded + s.forced_loads)
+            .sum()
+    }
+
+    /// Total fired recomputations.
+    pub fn fired_total(&self) -> u64 {
+        self.per_slice.iter().map(|s| s.fired).sum()
+    }
+
+    /// Records an `RCMP` decision.
+    pub(crate) fn record_decision(&mut self, slice: usize, fired: bool, level: ServiceLevel) {
+        let s = &mut self.per_slice[slice];
+        if fired {
+            s.fired += 1;
+            self.swapped_levels.record(level);
+        } else {
+            s.loaded += 1;
+            self.performed_levels.record(level);
+        }
+    }
+
+    /// Histogram of slice body lengths over *recomputed* slices (those that
+    /// fired at least once), as `(length, slice count)` — the paper's
+    /// Fig. 6 data, given the owning program's slice table.
+    pub fn recomputed_length_histogram(&self, lengths: &[usize]) -> BTreeMap<usize, usize> {
+        let mut hist = BTreeMap::new();
+        for (i, s) in self.per_slice.iter().enumerate() {
+            if s.fired > 0 {
+                *hist.entry(lengths[i]).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_decisions() {
+        let mut stats = AmnesicStats {
+            per_slice: vec![SliceRuntimeStats::default(); 2],
+            ..AmnesicStats::default()
+        };
+        stats.record_decision(0, true, ServiceLevel::Mem);
+        stats.record_decision(0, false, ServiceLevel::L1);
+        stats.record_decision(1, true, ServiceLevel::L2);
+        assert_eq!(stats.rcmp_total(), 3);
+        assert_eq!(stats.fired_total(), 2);
+        assert_eq!(stats.swapped_levels.total(), 2);
+        assert_eq!(stats.performed_levels.total(), 1);
+        assert_eq!(
+            stats.swapped_levels.by_level[ServiceLevel::Mem.index()],
+            1
+        );
+    }
+
+    #[test]
+    fn length_histogram_counts_only_fired_slices() {
+        let mut stats = AmnesicStats {
+            per_slice: vec![SliceRuntimeStats::default(); 3],
+            ..AmnesicStats::default()
+        };
+        stats.per_slice[0].fired = 5;
+        stats.per_slice[2].fired = 1;
+        let hist = stats.recomputed_length_histogram(&[4, 9, 4]);
+        assert_eq!(hist[&4], 2);
+        assert!(!hist.contains_key(&9), "slice 1 never fired");
+    }
+}

@@ -1,0 +1,343 @@
+//! The amnesic storage structures of the paper's Fig. 2: `SFile`, the
+//! `Renamer`, `Hist`, and `IBuff`. All feature per-entry validity and
+//! capacity limits; occupancy high-water marks are tracked so runs can be
+//! checked against the §3.4 analytic bounds.
+
+use std::collections::HashMap;
+
+use amnesiac_isa::SliceId;
+
+/// The scratch file: dedicated buffering for in-flight recomputation
+/// results, keeping the architectural register file intact (Condition-I of
+/// §3.2). Only one slice is traversed at a time, so slots are allocated per
+/// traversal and bulk-freed at `RTN`.
+#[derive(Debug, Clone)]
+pub struct SFile {
+    slots: Vec<Option<u64>>,
+    in_use: usize,
+    high_water: usize,
+}
+
+impl SFile {
+    /// Creates an `SFile` with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        SFile {
+            slots: vec![None; capacity],
+            in_use: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocates the next slot and writes `value`; returns the slot index,
+    /// or `None` when the file is full (the slice cannot be traversed).
+    pub fn alloc_write(&mut self, value: u64) -> Option<usize> {
+        if self.in_use >= self.slots.len() {
+            return None;
+        }
+        let slot = self.in_use;
+        self.slots[slot] = Some(value);
+        self.in_use += 1;
+        self.high_water = self.high_water.max(self.in_use);
+        Some(slot)
+    }
+
+    /// Reads a previously written slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never allocated in this traversal — the
+    /// validator guarantees producers precede consumers.
+    pub fn read(&self, slot: usize) -> u64 {
+        self.slots[slot].expect("SFile read of unallocated slot")
+    }
+
+    /// Frees all slots (end of traversal, `RTN`).
+    pub fn release_all(&mut self) {
+        for slot in &mut self.slots[..self.in_use] {
+            *slot = None;
+        }
+        self.in_use = 0;
+    }
+
+    /// Maximum simultaneous occupancy seen so far.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+/// The renamer: maps a slice instruction's producer index to its `SFile`
+/// slot for the current traversal (§3.2). The compiler resolves dependences
+/// to producer indices, so the mapping table is keyed by slice-relative
+/// instruction index.
+#[derive(Debug, Clone, Default)]
+pub struct Renamer {
+    map: Vec<usize>,
+    requests: u64,
+}
+
+impl Renamer {
+    /// Creates an empty renamer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that slice instruction `index` wrote `slot`.
+    pub fn bind(&mut self, index: usize, slot: usize) {
+        debug_assert_eq!(index, self.map.len(), "instructions rename in order");
+        self.map.push(slot);
+        self.requests += 1;
+    }
+
+    /// Resolves a producer index to its `SFile` slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer has not executed yet (validator-checked).
+    pub fn resolve(&mut self, producer: usize) -> usize {
+        self.requests += 1;
+        self.map[producer]
+    }
+
+    /// Clears all mappings (end of traversal).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Total rename requests serviced (reads + writes).
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+}
+
+/// The history table: buffers non-recomputable input operands per leaf
+/// (Condition-II of §3.2). Entries are keyed by *leaf address* (the
+/// compiler-assigned origin key), so slices replicating the same producer
+/// share one entry — the paper's design. Capacity overflow fails the
+/// `REC`; the scheduler then forces the affected `RCMP`s to perform the
+/// load (§3.5).
+#[derive(Debug, Clone)]
+pub struct Hist {
+    entries: HashMap<u16, [u64; 3]>,
+    capacity: usize,
+    high_water: usize,
+    reads: u64,
+    writes: u64,
+    failed_writes: u64,
+}
+
+impl Hist {
+    /// Creates a `Hist` with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Hist {
+            entries: HashMap::new(),
+            capacity,
+            high_water: 0,
+            reads: 0,
+            writes: 0,
+            failed_writes: 0,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records (or refreshes) the checkpoint for leaf address `key`.
+    /// Returns `false` if a new entry was needed but the table is full.
+    pub fn write(&mut self, key: u16, values: [u64; 3]) -> bool {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            self.failed_writes += 1;
+            return false;
+        }
+        self.entries.insert(key, values);
+        self.high_water = self.high_water.max(self.entries.len());
+        self.writes += 1;
+        true
+    }
+
+    /// Reads the checkpoint for leaf address `key`.
+    pub fn read(&mut self, key: u16) -> Option<[u64; 3]> {
+        self.reads += 1;
+        self.entries.get(&key).copied()
+    }
+
+    /// Maximum simultaneous occupancy seen so far.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total successful writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes rejected for capacity.
+    pub fn failed_writes(&self) -> u64 {
+        self.failed_writes
+    }
+}
+
+/// The instruction buffer: caches recomputing instructions per slice so
+/// repeated traversals do not pressure the L1 instruction cache (§3.2).
+/// Whole slices are the allocation unit; LRU among slices.
+#[derive(Debug, Clone)]
+pub struct IBuff {
+    capacity: usize,
+    resident: HashMap<SliceId, (usize, u64)>, // size, last-use
+    occupancy: usize,
+    high_water: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl IBuff {
+    /// Creates an `IBuff` holding up to `capacity` instructions.
+    pub fn new(capacity: usize) -> Self {
+        IBuff {
+            capacity,
+            resident: HashMap::new(),
+            occupancy: 0,
+            high_water: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total capacity in instructions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a slice of `size` instructions; on miss, fills it (evicting
+    /// LRU slices as needed) if it can fit at all. Returns `true` on hit.
+    pub fn access(&mut self, slice: SliceId, size: usize) -> bool {
+        self.clock += 1;
+        if let Some(entry) = self.resident.get_mut(&slice) {
+            entry.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if size > self.capacity {
+            return false; // can never fit; always streamed from L1-I
+        }
+        while self.occupancy + size > self.capacity {
+            let victim = self
+                .resident
+                .iter()
+                .min_by_key(|(_, &(_, last))| last)
+                .map(|(&id, _)| id)
+                .expect("occupancy > 0 implies a resident slice");
+            let (freed, _) = self.resident.remove(&victim).expect("victim resident");
+            self.occupancy -= freed;
+        }
+        self.resident.insert(slice, (size, self.clock));
+        self.occupancy += size;
+        self.high_water = self.high_water.max(self.occupancy);
+        false
+    }
+
+    /// Maximum simultaneous occupancy seen so far.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Traversals served from the buffer.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Traversals that had to stream from the instruction cache.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sfile_alloc_read_release() {
+        let mut s = SFile::new(3);
+        assert_eq!(s.alloc_write(10), Some(0));
+        assert_eq!(s.alloc_write(20), Some(1));
+        assert_eq!(s.read(0), 10);
+        assert_eq!(s.read(1), 20);
+        assert_eq!(s.alloc_write(30), Some(2));
+        assert_eq!(s.alloc_write(40), None, "full");
+        assert_eq!(s.high_water(), 3);
+        s.release_all();
+        assert_eq!(s.alloc_write(50), Some(0), "slots recycle after release");
+        assert_eq!(s.high_water(), 3, "high water persists");
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn sfile_read_unallocated_panics() {
+        let s = SFile::new(2);
+        s.read(0);
+    }
+
+    #[test]
+    fn renamer_binds_and_resolves() {
+        let mut r = Renamer::new();
+        r.bind(0, 5);
+        r.bind(1, 7);
+        assert_eq!(r.resolve(0), 5);
+        assert_eq!(r.resolve(1), 7);
+        assert_eq!(r.requests(), 4);
+        r.clear();
+        r.bind(0, 2);
+        assert_eq!(r.resolve(0), 2);
+    }
+
+    #[test]
+    fn hist_write_read_and_overflow() {
+        let mut h = Hist::new(2);
+        assert!(h.write(0, [1, 2, 3]));
+        assert!(h.write(1, [4, 5, 6]));
+        assert!(!h.write(2, [7, 8, 9]), "capacity reached");
+        assert_eq!(h.failed_writes(), 1);
+        // refreshing an existing key always succeeds
+        assert!(h.write(0, [9, 9, 9]));
+        assert_eq!(h.read(0), Some([9, 9, 9]));
+        assert_eq!(h.read(2), None);
+        assert_eq!(h.high_water(), 2);
+        assert_eq!(h.reads(), 2);
+        assert_eq!(h.writes(), 3);
+    }
+
+    #[test]
+    fn ibuff_caches_slices_with_lru() {
+        let mut b = IBuff::new(10);
+        assert!(!b.access(SliceId(0), 4), "cold miss fills");
+        assert!(b.access(SliceId(0), 4), "hit");
+        assert!(!b.access(SliceId(1), 4));
+        assert!(!b.access(SliceId(2), 4), "evicts LRU (slice 0)");
+        assert!(b.access(SliceId(1), 4), "slice 1 survived");
+        assert!(!b.access(SliceId(0), 4), "slice 0 was evicted");
+        assert_eq!(b.high_water(), 8);
+    }
+
+    #[test]
+    fn ibuff_rejects_oversized_slices() {
+        let mut b = IBuff::new(4);
+        assert!(!b.access(SliceId(0), 100));
+        assert!(!b.access(SliceId(0), 100), "never resident");
+        assert_eq!(b.hits(), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the amnesic storage structures against brute-force
+//! reference models.
+
+use amnesiac_core::{Hist, IBuff, SFile};
+use amnesiac_isa::SliceId;
+use proptest::prelude::*;
+
+proptest! {
+    /// `SFile` slots allocate densely, read back exactly, and recycle on
+    /// release; the high-water mark is the max prefix length.
+    #[test]
+    fn sfile_matches_a_vec(
+        traversals in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..20), 1..20)
+    ) {
+        let mut sfile = SFile::new(16);
+        let mut high = 0usize;
+        for values in &traversals {
+            let mut shadow = Vec::new();
+            for &v in values {
+                match sfile.alloc_write(v) {
+                    Some(slot) => {
+                        prop_assert_eq!(slot, shadow.len());
+                        shadow.push(v);
+                    }
+                    None => {
+                        prop_assert!(shadow.len() == 16, "refuses only when full");
+                        break;
+                    }
+                }
+            }
+            for (slot, &v) in shadow.iter().enumerate() {
+                prop_assert_eq!(sfile.read(slot), v);
+            }
+            high = high.max(shadow.len());
+            prop_assert_eq!(sfile.high_water(), high);
+            sfile.release_all();
+        }
+    }
+
+    /// `Hist` behaves like a capacity-capped map: refreshes always land,
+    /// fresh keys are rejected exactly when the table is full.
+    #[test]
+    fn hist_matches_a_map(
+        ops in prop::collection::vec((0u16..12, any::<u64>()), 1..100)
+    ) {
+        use std::collections::HashMap;
+        let mut hist = Hist::new(6);
+        let mut shadow: HashMap<u16, [u64; 3]> = HashMap::new();
+        for &(key, v) in &ops {
+            let values = [v, v ^ 1, v ^ 2];
+            let fits = shadow.contains_key(&key) || shadow.len() < 6;
+            prop_assert_eq!(hist.write(key, values), fits);
+            if fits {
+                shadow.insert(key, values);
+            }
+            prop_assert_eq!(hist.read(key), shadow.get(&key).copied());
+        }
+        prop_assert!(hist.high_water() <= 6);
+    }
+
+    /// `IBuff` residency matches a brute-force LRU-of-slices model.
+    #[test]
+    fn ibuff_matches_reference_lru(
+        ops in prop::collection::vec((0u32..8, 1usize..6), 1..100)
+    ) {
+        let mut ibuff = IBuff::new(10);
+        // reference: (id, size) most-recently-used first
+        let mut shadow: Vec<(u32, usize)> = Vec::new();
+        for &(id, size) in &ops {
+            let hit = ibuff.access(SliceId(id), size);
+            let ref_hit = shadow.iter().any(|&(i, _)| i == id);
+            prop_assert_eq!(hit, ref_hit, "id {} size {}", id, size);
+            if ref_hit {
+                let pos = shadow.iter().position(|&(i, _)| i == id).unwrap();
+                let entry = shadow.remove(pos);
+                shadow.insert(0, entry);
+            } else if size <= 10 {
+                while shadow.iter().map(|&(_, s)| s).sum::<usize>() + size > 10 {
+                    shadow.pop();
+                }
+                shadow.insert(0, (id, size));
+            }
+        }
+    }
+}

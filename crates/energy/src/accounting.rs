@@ -1,0 +1,251 @@
+//! Run-level energy, time, and EDP accounting.
+
+use std::collections::BTreeMap;
+
+use amnesiac_isa::Category;
+
+/// Microarchitectural energy events outside the per-instruction EPI table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UarchEvent {
+    /// Leaf operand fetch from `Hist` (charged to the Table 4 "Hist Read"
+    /// column).
+    HistRead,
+    /// `REC` checkpoint write into `Hist` (charged as part of the `REC`
+    /// instruction itself; kept for occupancy reporting).
+    HistWrite,
+    /// `SFile` read or write during slice traversal.
+    SFileAccess,
+    /// Recomputing-instruction fetch serviced by `IBuff`.
+    IBuffRead,
+    /// Slice instruction filled into `IBuff` (first traversal).
+    IBuffFill,
+    /// L1 tag probe (FLC/LLC policy overhead).
+    ProbeL1,
+    /// L2 tag probe (LLC policy overhead).
+    ProbeL2,
+    /// Dirty line written back L1 → L2.
+    WritebackL1,
+    /// Dirty line written back L2 → memory.
+    WritebackL2,
+    /// Instruction-fetch line fill serviced by L2 (L1-I miss).
+    IFetchL2,
+    /// Instruction-fetch line fill serviced by main memory.
+    IFetchMem,
+    /// Next-line data prefetch fill (charged at its source level's access
+    /// energy; latency overlaps).
+    Prefetch,
+}
+
+/// The paper's Table 4 energy breakdown: shares of total energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// % of total energy consumed by loads (incl. `RCMP`-performed loads).
+    pub load_pct: f64,
+    /// % consumed by stores (incl. write-backs).
+    pub store_pct: f64,
+    /// % consumed by all other instructions and structures.
+    pub non_mem_pct: f64,
+    /// % consumed by `Hist` reads (a sub-share reported separately in
+    /// Table 4; included in `non_mem_pct`'s complement accounting below).
+    pub hist_read_pct: f64,
+}
+
+/// Accumulates energy (nJ) and time (cycles) over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyAccount {
+    by_category: BTreeMap<Category, (u64, f64)>,
+    by_event: BTreeMap<UarchEvent, (u64, f64)>,
+    cycles: u64,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one dynamic instruction of `category` costing `nj`.
+    pub fn record(&mut self, category: Category, nj: f64) {
+        let slot = self.by_category.entry(category).or_insert((0, 0.0));
+        slot.0 += 1;
+        slot.1 += nj;
+    }
+
+    /// Records a microarchitectural event costing `nj`.
+    pub fn record_event(&mut self, event: UarchEvent, nj: f64) {
+        let slot = self.by_event.entry(event).or_insert((0, 0.0));
+        slot.0 += 1;
+        slot.1 += nj;
+    }
+
+    /// Advances simulated time by `cycles`.
+    pub fn add_cycles(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Retracts `cycles` from the elapsed time — used when work previously
+    /// charged turns out to overlap with other execution (e.g. offloaded
+    /// recomputation on a helper core). Saturates at zero.
+    pub fn add_cycles_saved(&mut self, cycles: u64) {
+        self.cycles = self.cycles.saturating_sub(cycles);
+    }
+
+    /// Total simulated time in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Dynamic instruction count of one category.
+    pub fn count(&self, category: Category) -> u64 {
+        self.by_category.get(&category).map_or(0, |s| s.0)
+    }
+
+    /// Energy (nJ) attributed to one category.
+    pub fn energy(&self, category: Category) -> f64 {
+        self.by_category.get(&category).map_or(0.0, |s| s.1)
+    }
+
+    /// Event count.
+    pub fn event_count(&self, event: UarchEvent) -> u64 {
+        self.by_event.get(&event).map_or(0, |s| s.0)
+    }
+
+    /// Energy (nJ) attributed to one event class.
+    pub fn event_energy(&self, event: UarchEvent) -> f64 {
+        self.by_event.get(&event).map_or(0.0, |s| s.1)
+    }
+
+    /// Total dynamic instruction count (events excluded).
+    pub fn total_instructions(&self) -> u64 {
+        self.by_category.values().map(|s| s.0).sum()
+    }
+
+    /// Total energy in nanojoules (instructions + events).
+    pub fn total_nj(&self) -> f64 {
+        self.by_category.values().map(|s| s.1).sum::<f64>()
+            + self.by_event.values().map(|s| s.1).sum::<f64>()
+    }
+
+    /// Energy-delay product in nJ·cycles — the paper's efficiency proxy.
+    pub fn edp(&self) -> f64 {
+        self.total_nj() * self.cycles as f64
+    }
+
+    /// Dynamic instruction mix as `(category, count)` pairs.
+    pub fn mix(&self) -> Vec<(Category, u64)> {
+        self.by_category.iter().map(|(&c, &(n, _))| (c, n)).collect()
+    }
+
+    /// The Table 4 breakdown. Store energy includes write-back traffic;
+    /// load energy includes loads performed by `RCMP` (recorded under
+    /// [`Category::Load`] by the executors).
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        let total = self.total_nj();
+        if total == 0.0 {
+            return EnergyBreakdown {
+                load_pct: 0.0,
+                store_pct: 0.0,
+                non_mem_pct: 0.0,
+                hist_read_pct: 0.0,
+            };
+        }
+        let load = self.energy(Category::Load);
+        let store = self.energy(Category::Store)
+            + self.event_energy(UarchEvent::WritebackL1)
+            + self.event_energy(UarchEvent::WritebackL2);
+        let hist = self.event_energy(UarchEvent::HistRead);
+        let non_mem = total - load - store - hist;
+        EnergyBreakdown {
+            load_pct: 100.0 * load / total,
+            store_pct: 100.0 * store / total,
+            non_mem_pct: 100.0 * non_mem / total,
+            hist_read_pct: 100.0 * hist / total,
+        }
+    }
+
+    /// Merges another account into this one (e.g. per-phase accounting).
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for (&c, &(n, e)) in &other.by_category {
+            let slot = self.by_category.entry(c).or_insert((0, 0.0));
+            slot.0 += n;
+            slot.1 += e;
+        }
+        for (&ev, &(n, e)) in &other.by_event {
+            let slot = self.by_event.entry(ev).or_insert((0, 0.0));
+            slot.0 += n;
+            slot.1 += e;
+        }
+        self.cycles += other.cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_energy_and_cycles() {
+        let mut a = EnergyAccount::new();
+        a.record(Category::IntAlu, 0.35);
+        a.record(Category::IntAlu, 0.35);
+        a.record(Category::Load, 52.14);
+        a.record_event(UarchEvent::HistRead, 0.88);
+        a.add_cycles(10);
+        assert_eq!(a.count(Category::IntAlu), 2);
+        assert_eq!(a.count(Category::Load), 1);
+        assert_eq!(a.event_count(UarchEvent::HistRead), 1);
+        assert_eq!(a.total_instructions(), 3);
+        assert!((a.total_nj() - (0.7 + 52.14 + 0.88)).abs() < 1e-12);
+        assert_eq!(a.cycles(), 10);
+        assert!((a.edp() - a.total_nj() * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_100_percent() {
+        let mut a = EnergyAccount::new();
+        a.record(Category::Load, 80.0);
+        a.record(Category::Store, 10.0);
+        a.record(Category::IntAlu, 5.0);
+        a.record_event(UarchEvent::HistRead, 3.0);
+        a.record_event(UarchEvent::WritebackL2, 2.0);
+        let b = a.breakdown();
+        let sum = b.load_pct + b.store_pct + b.non_mem_pct + b.hist_read_pct;
+        assert!((sum - 100.0).abs() < 1e-9, "breakdown sums to 100, got {sum}");
+        assert!((b.load_pct - 80.0).abs() < 1e-9);
+        assert!((b.store_pct - 12.0).abs() < 1e-9, "write-backs count as stores");
+        assert!((b.hist_read_pct - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = EnergyAccount::new().breakdown();
+        assert_eq!(b.load_pct, 0.0);
+        assert_eq!(b.store_pct, 0.0);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = EnergyAccount::new();
+        a.record(Category::Fma, 0.7);
+        a.add_cycles(5);
+        let mut b = EnergyAccount::new();
+        b.record(Category::Fma, 0.7);
+        b.record_event(UarchEvent::SFileAccess, 0.02);
+        b.add_cycles(7);
+        a.merge(&b);
+        assert_eq!(a.count(Category::Fma), 2);
+        assert_eq!(a.event_count(UarchEvent::SFileAccess), 1);
+        assert_eq!(a.cycles(), 12);
+    }
+
+    #[test]
+    fn mix_reports_counts() {
+        let mut a = EnergyAccount::new();
+        a.record(Category::IntAlu, 0.35);
+        a.record(Category::Branch, 0.3);
+        a.record(Category::Branch, 0.3);
+        let mix = a.mix();
+        assert!(mix.contains(&(Category::IntAlu, 1)));
+        assert!(mix.contains(&(Category::Branch, 2)));
+    }
+}

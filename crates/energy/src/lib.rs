@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # amnesiac-energy
+//!
+//! Energy-per-instruction (EPI) tables, timing parameters, the
+//! technology-scaling model behind the paper's Table 1, and energy/EDP
+//! accounting.
+//!
+//! All dynamic-energy quantities are in **nanojoules**, all times in **core
+//! cycles** of the paper's 1.09 GHz machine (Table 3). The headline numbers
+//! are taken directly from the paper:
+//!
+//! | quantity | value |
+//! |---|---|
+//! | L1 access | 0.88 nJ, 3.66 ns |
+//! | L2 access | 7.72 nJ, 24.77 ns |
+//! | memory read | 52.14 nJ, 100 ns |
+//! | memory write | 62.14 nJ, 100 ns |
+//! | mean non-memory EPI | 0.45 nJ |
+//!
+//! giving the paper's default compute/communication cost ratio
+//! `R_default = 0.45 / 52.14 ≈ 0.0086` (§5.5). [`EnergyModel::with_r_factor`]
+//! scales every non-memory EPI for the Table 6 break-even sweep.
+
+mod accounting;
+mod epi;
+mod technology;
+
+pub use accounting::{EnergyAccount, EnergyBreakdown, UarchEvent};
+pub use epi::{EnergyModel, EPI_NON_MEM_DEFAULT, R_DEFAULT};
+pub use technology::{NodeParams, TechnologyModel, TechnologyPoint};

@@ -1,0 +1,79 @@
+//! Property tests for the energy account: merging is additive, the Table 4
+//! breakdown always partitions the total, and EDP composes.
+
+use amnesiac_energy::{EnergyAccount, UarchEvent};
+use amnesiac_isa::Category;
+use proptest::prelude::*;
+
+fn category(idx: u8) -> Category {
+    Category::ALL[(idx as usize) % Category::ALL.len()]
+}
+
+proptest! {
+    #[test]
+    fn merge_is_additive_in_every_dimension(
+        a in prop::collection::vec((any::<u8>(), 0.0f64..100.0), 0..50),
+        b in prop::collection::vec((any::<u8>(), 0.0f64..100.0), 0..50),
+        cyc_a in 0u64..10_000,
+        cyc_b in 0u64..10_000,
+    ) {
+        let mut left = EnergyAccount::new();
+        for &(c, nj) in &a {
+            left.record(category(c), nj);
+        }
+        left.add_cycles(cyc_a);
+        let mut right = EnergyAccount::new();
+        for &(c, nj) in &b {
+            right.record(category(c), nj);
+        }
+        right.record_event(UarchEvent::HistRead, 1.0);
+        right.add_cycles(cyc_b);
+
+        let total_before = left.total_nj() + right.total_nj();
+        let insts_before = left.total_instructions() + right.total_instructions();
+        left.merge(&right);
+        prop_assert!((left.total_nj() - total_before).abs() < 1e-6);
+        prop_assert_eq!(left.total_instructions(), insts_before);
+        prop_assert_eq!(left.cycles(), cyc_a + cyc_b);
+        prop_assert_eq!(left.event_count(UarchEvent::HistRead), 1);
+    }
+
+    #[test]
+    fn breakdown_always_partitions_the_total(
+        recs in prop::collection::vec((any::<u8>(), 0.01f64..100.0), 1..60),
+        hist_nj in 0.0f64..50.0,
+        wb_nj in 0.0f64..50.0,
+    ) {
+        let mut account = EnergyAccount::new();
+        for &(c, nj) in &recs {
+            account.record(category(c), nj);
+        }
+        account.record_event(UarchEvent::HistRead, hist_nj);
+        account.record_event(UarchEvent::WritebackL2, wb_nj);
+        let b = account.breakdown();
+        let sum = b.load_pct + b.store_pct + b.non_mem_pct + b.hist_read_pct;
+        prop_assert!((sum - 100.0).abs() < 1e-6, "sum {}", sum);
+        prop_assert!(b.load_pct >= 0.0 && b.store_pct >= 0.0 && b.hist_read_pct >= 0.0);
+    }
+
+    #[test]
+    fn cycles_saved_never_underflows(
+        add in prop::collection::vec(0u64..1000, 0..20),
+        sub in prop::collection::vec(0u64..2000, 0..20),
+    ) {
+        let mut account = EnergyAccount::new();
+        for &c in &add {
+            account.add_cycles(c);
+        }
+        for &c in &sub {
+            account.add_cycles_saved(c);
+        }
+        let net: i128 = add.iter().map(|&c| c as i128).sum::<i128>()
+            - sub.iter().map(|&c| c as i128).sum::<i128>();
+        if net >= 0 {
+            // interleaving here is add-all-then-sub-all, so saturation can
+            // only trigger when the net is negative
+            prop_assert_eq!(account.cycles() as i128, net);
+        }
+    }
+}

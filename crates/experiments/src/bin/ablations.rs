@@ -1,0 +1,21 @@
+//! Runs the ablation studies (structure sizing, Hist capacity, probe cost,
+//! technology trend).
+use amnesiac_experiments::{ablations, EvalSuite};
+use amnesiac_workloads::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let suite = EvalSuite::compute(scale);
+    println!("{}", ablations::predictor_policy(&suite));
+    println!("{}", ablations::store_elision_applied(&suite));
+    println!("{}", ablations::offload(&suite));
+    println!("{}", ablations::prefetch_interaction(&suite));
+    println!("{}", ablations::structure_sizing(&suite));
+    println!("{}", ablations::hist_sizing(&suite));
+    println!("{}", ablations::probe_cost(&suite));
+    println!("{}", ablations::technology_trend(&suite));
+}

@@ -1,0 +1,30 @@
+//! Regenerates every table and figure of the paper in one run.
+use amnesiac_experiments::{
+    ablations, fig3, fig6, fig7, fig8, table1, table2, table3, table4, table5, table6, EvalSuite,
+};
+use amnesiac_workloads::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    println!("{}", table1::render());
+    println!("{}", table2::render());
+    println!("{}", table3::render());
+    let suite = EvalSuite::compute(scale);
+    println!("{}", fig3::render(&suite));
+    println!("{}", fig3::render_energy(&suite));
+    println!("{}", fig3::render_time(&suite));
+    println!("{}", table4::render(&suite));
+    println!("{}", table5::render(&suite));
+    println!("{}", fig6::render(&suite));
+    println!("{}", fig7::render(&suite));
+    println!("{}", fig8::render(&suite));
+    println!("{}", ablations::store_elision(&suite));
+    println!("{}", table6::render(scale));
+    let controls = EvalSuite::compute_controls(scale);
+    println!("Controls (the paper's non-responders):");
+    println!("{}", fig3::render(&controls));
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figs. 3-5 and Tables 4-5 and Figs. 6-8 from one suite
+//! computation. Pass `--test-scale` for a quick run.
+use amnesiac_experiments::{ablations, fig3, fig6, fig7, fig8, table4, table5, EvalSuite};
+use amnesiac_workloads::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let suite = EvalSuite::compute(scale);
+    println!("{}", fig3::render(&suite));
+    println!("{}", fig3::render_energy(&suite));
+    println!("{}", fig3::render_time(&suite));
+    println!("{}", table4::render(&suite));
+    println!("{}", table5::render(&suite));
+    println!("{}", fig6::render(&suite));
+    println!("{}", fig7::render(&suite));
+    println!("{}", fig8::render(&suite));
+    println!("{}", ablations::store_elision(&suite));
+}

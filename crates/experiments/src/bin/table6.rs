@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table 6 (break-even R sweep).
+use amnesiac_workloads::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    println!("{}", amnesiac_experiments::table6::render(scale));
+}

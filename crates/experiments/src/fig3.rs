@@ -1,0 +1,90 @@
+//! Figs. 3–5: EDP, energy, and execution-time gains under amnesic
+//! execution, per benchmark and runtime policy.
+
+use crate::pipeline::{EvalSuite, PolicyOutcome};
+use crate::report::{bar_chart, Table};
+
+fn gains_chart(
+    suite: &EvalSuite,
+    title: &str,
+    gain: impl Fn(&crate::pipeline::BenchEval, PolicyOutcome) -> f64,
+) -> String {
+    let mut groups = Vec::new();
+    let mut max_abs = 1.0f64;
+    for bench in &suite.benches {
+        let series: Vec<(String, f64)> = PolicyOutcome::ALL
+            .iter()
+            .map(|&p| {
+                let g = gain(bench, p);
+                max_abs = max_abs.max(g.abs());
+                (p.label().to_string(), g)
+            })
+            .collect();
+        groups.push((bench.name.to_string(), series));
+    }
+    let chart = bar_chart(title, &groups, max_abs);
+
+    let mut table = Table::new(&["bench", "Oracle", "C-Oracle", "Compiler", "FLC", "LLC"]);
+    for bench in &suite.benches {
+        table.row(
+            std::iter::once(bench.name.to_string())
+                .chain(
+                    PolicyOutcome::ALL
+                        .iter()
+                        .map(|&p| format!("{:+.2}", gain(bench, p))),
+                )
+                .collect(),
+        );
+    }
+    format!("{chart}\n{}", table.render())
+}
+
+/// Fig. 3: % EDP gain.
+pub fn render(suite: &EvalSuite) -> String {
+    gains_chart(
+        suite,
+        "Fig. 3: EDP gain (%) under amnesic execution",
+        |b, p| b.edp_gain(p),
+    )
+}
+
+/// Fig. 4: % energy gain.
+pub fn render_energy(suite: &EvalSuite) -> String {
+    gains_chart(
+        suite,
+        "Fig. 4: Energy gain (%) under amnesic execution",
+        |b, p| b.energy_gain(p),
+    )
+}
+
+/// Fig. 5: % reduction in execution time.
+pub fn render_time(suite: &EvalSuite) -> String {
+    gains_chart(
+        suite,
+        "Fig. 5: Performance gain (%) under amnesic execution",
+        |b, p| b.time_gain(p),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_energy::EnergyModel;
+    use amnesiac_workloads::{build_focal, Scale};
+
+    #[test]
+    fn renders_all_policies_for_a_benchmark() {
+        let suite = EvalSuite {
+            benches: vec![crate::pipeline::BenchEval::compute(
+                build_focal("is", Scale::Test),
+                &EnergyModel::paper(),
+            )],
+            energy: EnergyModel::paper(),
+        };
+        for text in [render(&suite), render_energy(&suite), render_time(&suite)] {
+            assert!(text.contains("is"));
+            assert!(text.contains("C-Oracle"));
+            assert!(text.contains("LLC"));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Fig. 6: histograms of instruction count per recomputed RSlice under the
+//! Compiler policy.
+
+use crate::pipeline::{EvalSuite, PolicyOutcome};
+use crate::report::{bucketize, histogram};
+
+/// Renders one histogram per benchmark, plus the aggregate statistics the
+/// paper quotes (§5.4: 78.32% of RSlices under 10 instructions, 0.09%
+/// above 50).
+pub fn render(suite: &EvalSuite) -> String {
+    let mut out = String::new();
+    let mut all_lengths: Vec<usize> = Vec::new();
+    for bench in &suite.benches {
+        let lengths: Vec<usize> = bench
+            .prob_binary
+            .slices
+            .iter()
+            .map(|s| s.compute_len())
+            .collect();
+        let stats = &bench.run(PolicyOutcome::Compiler).stats;
+        let hist = stats.recomputed_length_histogram(&lengths);
+        let values: Vec<(f64, u64)> = hist
+            .iter()
+            .map(|(&len, &count)| (len as f64, count as u64))
+            .collect();
+        for (&len, &count) in &hist {
+            for _ in 0..count {
+                all_lengths.push(len);
+            }
+        }
+        let max = values
+            .iter()
+            .map(|&(l, _)| l)
+            .fold(10.0f64, f64::max)
+            .max(10.0);
+        let bin = (max / 8.0).ceil().max(1.0);
+        let bins = bucketize(&values, bin, bin * 8.0);
+        out.push_str(&histogram(
+            &format!("Fig. 6 ({}): instructions per recomputed RSlice", bench.name),
+            &bins,
+        ));
+        out.push('\n');
+    }
+    if !all_lengths.is_empty() {
+        let short = all_lengths.iter().filter(|&&l| l < 10).count();
+        let long = all_lengths.iter().filter(|&&l| l > 50).count();
+        out.push_str(&format!(
+            "Aggregate: {:.2}% of recomputed RSlices are under 10 instructions \
+             (paper: 78.32%), {:.2}% above 50 (paper: 0.09%)\n",
+            100.0 * short as f64 / all_lengths.len() as f64,
+            100.0 * long as f64 / all_lengths.len() as f64,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::BenchEval;
+    use amnesiac_energy::EnergyModel;
+    use amnesiac_workloads::{build_focal, Scale};
+
+    #[test]
+    fn histogram_reflects_slice_table() {
+        let suite = EvalSuite {
+            benches: vec![BenchEval::compute(
+                build_focal("is", Scale::Test),
+                &EnergyModel::paper(),
+            )],
+            energy: EnergyModel::paper(),
+        };
+        let text = render(&suite);
+        assert!(text.contains("Fig. 6 (is)"));
+    }
+}

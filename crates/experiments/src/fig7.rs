@@ -1,0 +1,72 @@
+//! Fig. 7: share of RSlices with non-recomputable leaf inputs, and the
+//! accompanying `Hist` sizing analysis (§5.4).
+
+use crate::pipeline::EvalSuite;
+use crate::report::Table;
+
+/// Renders the paper's Fig. 7 as a table, plus observed `Hist` occupancy
+/// against the ≤600-entry design point the paper derives.
+pub fn render(suite: &EvalSuite) -> String {
+    let mut t = Table::new(&["bench", "slices", "w/ nc %", "w/o nc %", "Hist high-water"]);
+    let mut worst_hist = 0usize;
+    for bench in &suite.benches {
+        let total = bench.prob_binary.slices.len();
+        let with_nc = bench
+            .prob_binary
+            .slices
+            .iter()
+            .filter(|s| s.has_nonrecomputable)
+            .count();
+        let hist_hw = bench
+            .runs
+            .iter()
+            .map(|(_, r)| r.stats.hist_high_water)
+            .max()
+            .unwrap_or(0);
+        worst_hist = worst_hist.max(hist_hw);
+        let (w, wo) = if total == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                100.0 * with_nc as f64 / total as f64,
+                100.0 * (total - with_nc) as f64 / total as f64,
+            )
+        };
+        t.row(vec![
+            bench.name.to_string(),
+            total.to_string(),
+            format!("{w:.1}"),
+            format!("{wo:.1}"),
+            hist_hw.to_string(),
+        ]);
+    }
+    format!(
+        "Fig. 7: RSlices with non-recomputable (nc) leaf inputs\n\n{}\n\
+         Worst-case Hist occupancy observed: {} entries \
+         (paper sizes Hist at no more than 600 entries)\n",
+        t.render(),
+        worst_hist
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::BenchEval;
+    use amnesiac_energy::EnergyModel;
+    use amnesiac_workloads::{build_focal, Scale};
+
+    #[test]
+    fn shares_sum_to_100_for_annotated_binaries() {
+        let suite = EvalSuite {
+            benches: vec![BenchEval::compute(
+                build_focal("is", Scale::Test),
+                &EnergyModel::paper(),
+            )],
+            energy: EnergyModel::paper(),
+        };
+        let text = render(&suite);
+        assert!(text.contains("w/ nc"));
+        assert!(text.contains("Hist"));
+    }
+}

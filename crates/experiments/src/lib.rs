@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # amnesiac-experiments
+//!
+//! Experiment drivers that regenerate **every table and figure** of the
+//! paper's evaluation (§4–§5), plus the ablations called out in DESIGN.md.
+//!
+//! The shared machinery lives in [`pipeline`]: one [`BenchEval`] per
+//! benchmark bundles the classic baseline, the compiled binaries
+//! (probabilistic and oracle slice sets), and the amnesic runs under every
+//! runtime policy. Each `table*`/`fig*` module renders one paper artifact
+//! from that data; the `all` binary computes the suite once and renders
+//! everything (this is what EXPERIMENTS.md records).
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — communication vs computation energy across nodes |
+//! | [`table2`] | Table 2 — the 33-benchmark deployment |
+//! | [`table3`] | Table 3 — the simulated architecture |
+//! | [`fig3`]   | Fig. 3 — EDP gain per policy |
+//! | [`fig4`]   | Fig. 4 — energy gain per policy |
+//! | [`fig5`]   | Fig. 5 — execution-time gain per policy |
+//! | [`table4`] | Table 4 — dynamic instruction mix & energy breakdown |
+//! | [`table5`] | Table 5 — residency profile of swapped loads |
+//! | [`fig6`]   | Fig. 6 — instruction count per recomputed RSlice |
+//! | [`fig7`]   | Fig. 7 — share of RSlices with non-recomputable inputs |
+//! | [`fig8`]   | Fig. 8 — value locality of swapped loads |
+//! | [`table6`] | Table 6 — break-even `R` per benchmark |
+//! | [`ablations`] | structure-sizing, probe-cost and store-elision studies |
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod pipeline;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+pub use pipeline::{BenchEval, EvalSuite, PolicyOutcome};
+
+/// Re-exported figure modules 4 and 5 share fig3's machinery.
+pub mod fig4 {
+    pub use crate::fig3::render_energy as render;
+}
+
+/// See [`fig4`].
+pub mod fig5 {
+    pub use crate::fig3::render_time as render;
+}

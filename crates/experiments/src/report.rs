@@ -1,0 +1,176 @@
+//! Plain-text rendering helpers: fixed-width tables, horizontal bar
+//! charts, and histograms, shared by all experiment drivers.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let n = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}", w = widths[0]);
+                } else {
+                    let _ = write!(out, "  {cell:>w$}", w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a grouped horizontal bar chart: one group per benchmark, one
+/// bar per series (the paper's Figs. 3–5 as text).
+pub fn bar_chart(title: &str, groups: &[(String, Vec<(String, f64)>)], max_abs: f64) -> String {
+    const WIDTH: usize = 50;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let scale = if max_abs <= 0.0 { 1.0 } else { WIDTH as f64 / max_abs };
+    for (group, series) in groups {
+        let _ = writeln!(out, "{group}");
+        for (label, value) in series {
+            let n = ((value.abs() * scale).round() as usize).min(WIDTH);
+            let bar: String = std::iter::repeat_n(if *value >= 0.0 { '█' } else { '▒' }, n.max(if value.abs() > 0.05 { 1 } else { 0 }))
+                .collect();
+            let _ = writeln!(out, "  {label:>9} {value:>7.2}% |{bar}");
+        }
+    }
+    out
+}
+
+/// Renders a histogram of `(bin label, count)` pairs as percentages.
+pub fn histogram(title: &str, bins: &[(String, u64)]) -> String {
+    const WIDTH: usize = 50;
+    let total: u64 = bins.iter().map(|(_, c)| c).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  (n = {total})");
+    if total == 0 {
+        let _ = writeln!(out, "  (empty)");
+        return out;
+    }
+    let max = bins.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    for (label, count) in bins {
+        let pct = 100.0 * *count as f64 / total as f64;
+        let n = (*count as usize * WIDTH) / max as usize;
+        let bar: String = "█".repeat(n.max(usize::from(*count > 0)));
+        let _ = writeln!(out, "  {label:>10} {pct:>6.2}% |{bar}");
+    }
+    out
+}
+
+/// Buckets values into fixed-width bins over `[0, max)`, labelling each
+/// `lo-hi`.
+pub fn bucketize(values: &[(f64, u64)], bin_width: f64, max: f64) -> Vec<(String, u64)> {
+    let n_bins = (max / bin_width).ceil() as usize;
+    let mut bins = vec![0u64; n_bins];
+    for &(v, weight) in values {
+        let idx = ((v / bin_width) as usize).min(n_bins - 1);
+        bins[idx] += weight;
+    }
+    bins.iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            (
+                format!(
+                    "{}-{}",
+                    (i as f64 * bin_width) as u64,
+                    ((i + 1) as f64 * bin_width) as u64
+                ),
+                c,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["bench", "gain"]);
+        t.row(vec!["mcf".into(), "45.2".into()]);
+        t.row(vec!["is".into(), "87.0".into()]);
+        let text = t.render();
+        assert!(text.contains("bench"));
+        assert!(text.contains("mcf"));
+        assert!(text.lines().count() == 4);
+        // columns align: every line has the same width for col 0
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].starts_with("mcf  "));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn bar_chart_handles_negatives() {
+        let groups = vec![(
+            "sr".to_string(),
+            vec![("Compiler".to_string(), -7.0), ("FLC".to_string(), 3.0)],
+        )];
+        let text = bar_chart("EDP", &groups, 10.0);
+        assert!(text.contains("▒"), "negative bars render distinctly");
+        assert!(text.contains("█"));
+    }
+
+    #[test]
+    fn histogram_percentages_sum_to_100() {
+        let bins = vec![("0-10".to_string(), 3), ("10-20".to_string(), 1)];
+        let text = histogram("h", &bins);
+        assert!(text.contains("75.00%"));
+        assert!(text.contains("25.00%"));
+    }
+
+    #[test]
+    fn bucketize_clamps_overflow() {
+        let bins = bucketize(&[(5.0, 2), (95.0, 1), (200.0, 1)], 10.0, 100.0);
+        assert_eq!(bins.len(), 10);
+        assert_eq!(bins[0].1, 2);
+        assert_eq!(bins[9].1, 2, "out-of-range lands in the last bin");
+    }
+}

@@ -1,0 +1,70 @@
+//! Table 4: dynamic instruction mix and energy breakdown under amnesic
+//! execution (Compiler policy — the maximum possible number of
+//! recomputations, as in the paper).
+
+use crate::pipeline::{EvalSuite, PolicyOutcome};
+use crate::report::Table;
+
+/// Renders the paper's Table 4.
+pub fn render(suite: &EvalSuite) -> String {
+    let mut t = Table::new(&[
+        "bench",
+        "Δinst %",
+        "Δload %",
+        "cl Load%",
+        "cl Store%",
+        "cl Nonmem%",
+        "am Load%",
+        "am Store%",
+        "am Nonmem%",
+        "am Hist%",
+    ]);
+    for bench in &suite.benches {
+        let amnesic = bench.run(PolicyOutcome::Compiler);
+        let inst_increase = 100.0
+            * (amnesic.run.instructions as f64 / bench.classic.instructions as f64 - 1.0);
+        let load_decrease =
+            100.0 * (1.0 - amnesic.run.loads as f64 / bench.classic.loads.max(1) as f64);
+        let cl = bench.classic.account.breakdown();
+        let am = amnesic.run.account.breakdown();
+        t.row(vec![
+            bench.name.to_string(),
+            format!("{inst_increase:+.2}"),
+            format!("{load_decrease:+.2}"),
+            format!("{:.2}", cl.load_pct),
+            format!("{:.2}", cl.store_pct),
+            format!("{:.2}", cl.non_mem_pct),
+            format!("{:.2}", am.load_pct),
+            format!("{:.2}", am.store_pct),
+            format!("{:.2}", am.non_mem_pct),
+            format!("{:.3}", am.hist_read_pct),
+        ]);
+    }
+    format!(
+        "Table 4: Dynamic instruction mix and energy breakdown under amnesic \
+         execution (Compiler policy)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::BenchEval;
+    use amnesiac_energy::EnergyModel;
+    use amnesiac_workloads::{build_focal, Scale};
+
+    #[test]
+    fn breakdown_row_renders() {
+        let suite = EvalSuite {
+            benches: vec![BenchEval::compute(
+                build_focal("is", Scale::Test),
+                &EnergyModel::paper(),
+            )],
+            energy: EnergyModel::paper(),
+        };
+        let text = render(&suite);
+        assert!(text.contains("Δinst"));
+        assert!(text.contains("is"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 5: memory-access profile of the loads swapped for recomputation
+//! under the Compiler, FLC, and LLC policies.
+
+use amnesiac_mem::ServiceLevel;
+
+use crate::pipeline::{EvalSuite, PolicyOutcome};
+use crate::report::Table;
+
+const POLICIES: [PolicyOutcome; 3] = [
+    PolicyOutcome::Compiler,
+    PolicyOutcome::Flc,
+    PolicyOutcome::Llc,
+];
+
+/// Renders the paper's Table 5: for each policy, where the swapped loads
+/// (the `RCMP` instances that fired) would have been serviced.
+pub fn render(suite: &EvalSuite) -> String {
+    let mut t = Table::new(&[
+        "bench",
+        "Cmp L1%", "Cmp L2%", "Cmp Mem%",
+        "FLC L1%", "FLC L2%", "FLC Mem%",
+        "LLC L1%", "LLC L2%", "LLC Mem%",
+    ]);
+    for bench in &suite.benches {
+        let mut cells = vec![bench.name.to_string()];
+        for policy in POLICIES {
+            let swapped = &bench.run(policy).stats.swapped_levels;
+            for level in ServiceLevel::ALL {
+                cells.push(format!("{:.2}", 100.0 * swapped.fraction(level)));
+            }
+        }
+        t.row(cells);
+    }
+    format!(
+        "Table 5: Memory access profile of load instructions swapped for \
+         recomputation (per policy)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::BenchEval;
+    use amnesiac_energy::EnergyModel;
+    use amnesiac_workloads::{build_focal, Scale};
+
+    #[test]
+    fn flc_column_shows_no_l1_swaps() {
+        let suite = EvalSuite {
+            benches: vec![BenchEval::compute(
+                build_focal("is", Scale::Test),
+                &EnergyModel::paper(),
+            )],
+            energy: EnergyModel::paper(),
+        };
+        let bench = &suite.benches[0];
+        let flc = &bench.run(PolicyOutcome::Flc).stats.swapped_levels;
+        assert_eq!(
+            flc.by_level[ServiceLevel::L1.index()],
+            0,
+            "FLC never swaps an L1-resident load"
+        );
+        assert!(render(&suite).contains("Cmp L1%"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Program representation: instruction stream, data image, and the slice
+//! annotations produced by the amnesic compiler.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::inst::{Instruction, MAX_SRC_OPERANDS};
+use crate::Reg;
+
+/// Identifier of a recomputation slice embedded in a binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SliceId(pub u32);
+
+impl SliceId {
+    /// Returns the id as a `usize`, for indexing [`Program::slices`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice{}", self.0)
+    }
+}
+
+/// Where a slice instruction's register operand is sourced from during
+/// recomputation (paper §3.5: leaves read from the register file or `Hist`;
+/// intermediate operands come from the `SFile`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandSource {
+    /// Produced by the slice instruction at slice-relative index `producer`;
+    /// read from the scratch file via the renamer. The compiler resolves the
+    /// dependency (the paper's §3.5 leaf/interior annotation), so the
+    /// runtime renamer maps producer indices to `SFile` slots without
+    /// register-name clashes.
+    SFile {
+        /// Slice-relative index of the producing instruction.
+        producer: u16,
+    },
+    /// A live architectural register value, read from the register file.
+    LiveReg,
+    /// A checkpointed (non-recomputable) value, read from the `Hist` entry
+    /// for the producing instruction's leaf address `key` (the paper keys
+    /// `Hist` by leaf address, so slices sharing a producer share the
+    /// entry), at the operand's position.
+    Hist {
+        /// Compiler-assigned leaf-address id; matches the `REC` that
+        /// checkpoints it.
+        key: u16,
+    },
+}
+
+/// Per-instruction operand sourcing plan inside a slice body.
+///
+/// `sources[i]` describes where the `i`-th register source (in
+/// [`Instruction::srcs`] order) comes from; positions without a register
+/// operand are `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperandPlan {
+    /// One entry per potential source operand.
+    pub sources: [Option<OperandSource>; MAX_SRC_OPERANDS],
+}
+
+impl OperandPlan {
+    /// A plan with no register sources (e.g. for `Li`).
+    pub fn empty() -> Self {
+        OperandPlan {
+            sources: [None; MAX_SRC_OPERANDS],
+        }
+    }
+
+    /// Returns `true` if no operand reads the `SFile` — the definition of a
+    /// leaf instruction (no in-slice producers).
+    pub fn is_leaf(&self) -> bool {
+        !self
+            .sources
+            .iter()
+            .any(|s| matches!(s, Some(OperandSource::SFile { .. })))
+    }
+
+    /// Returns `true` if any operand reads the `Hist` table.
+    pub fn reads_hist(&self) -> bool {
+        self.sources
+            .iter()
+            .any(|s| matches!(s, Some(OperandSource::Hist { .. })))
+    }
+
+    /// Leaf-address keys of the `Hist`-sourced operands.
+    pub fn hist_keys(&self) -> impl Iterator<Item = u16> + '_ {
+        self.sources.iter().filter_map(|s| match s {
+            Some(OperandSource::Hist { key }) => Some(*key),
+            _ => None,
+        })
+    }
+}
+
+/// Metadata about one leaf of a slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafInfo {
+    /// Slice-relative index of the leaf instruction (0 = slice entry).
+    pub index: u16,
+    /// `true` if the leaf has at least one `Hist`-sourced operand, i.e. a
+    /// non-recomputable input that must have been checkpointed by `REC`.
+    pub needs_hist: bool,
+    /// Program counter of the producer instruction in the main code whose
+    /// replica this leaf is (the instruction followed by the matching `REC`),
+    /// if any. Leaves synthesised from constants have no origin.
+    pub origin_pc: Option<usize>,
+}
+
+/// Compiler-produced metadata describing one recomputation slice.
+///
+/// The slice body occupies `instructions[entry .. entry + len]` of the owning
+/// [`Program`]; its last instruction is the `RTN`. Instructions appear in
+/// dependency order: data flows from the leaves (first) to the root (last
+/// compute instruction before `RTN`), as in the paper's Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceMeta {
+    /// The slice's id; equals its index in [`Program::slices`].
+    pub id: SliceId,
+    /// Program counter of the `RCMP` that owns this slice.
+    pub rcmp_pc: usize,
+    /// Absolute index of the first slice instruction.
+    pub entry: usize,
+    /// Number of instructions in the body, including the terminating `RTN`.
+    pub len: usize,
+    /// Register holding the recomputed value `v` after the root executes;
+    /// copied into the `RCMP` destination before return.
+    pub root_reg: Reg,
+    /// Operand sourcing plan for each compute instruction of the body (one
+    /// per instruction, excluding the final `RTN`).
+    pub plans: Vec<OperandPlan>,
+    /// Leaves of the slice tree.
+    pub leaves: Vec<LeafInfo>,
+    /// `true` if any leaf has non-recomputable inputs (needs `Hist`).
+    pub has_nonrecomputable: bool,
+    /// Compiler estimate of the recomputation energy `E_rc` in nanojoules
+    /// (instruction mix × EPI, §3.1.1).
+    pub est_recompute_nj: f64,
+    /// Compiler estimate of the probabilistic load energy `E_ld` in
+    /// nanojoules (Σ PrLi × EPI_Li, §3.1.1).
+    pub est_load_nj: f64,
+    /// Height of the slice tree (root at height 0 plus `height` producer
+    /// levels).
+    pub height: u32,
+}
+
+impl SliceMeta {
+    /// Number of compute instructions in the body (excluding `RTN`).
+    pub fn compute_len(&self) -> usize {
+        self.len.saturating_sub(1)
+    }
+
+    /// Distinct `Hist` leaf-address keys this slice reads.
+    pub fn hist_keys(&self) -> Vec<u16> {
+        let mut keys: Vec<u16> = self
+            .plans
+            .iter()
+            .flat_map(|p| p.hist_keys())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
+/// A half-open range of word addresses `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRange {
+    /// First word address of the range.
+    pub start: u64,
+    /// Number of 64-bit words.
+    pub len: u64,
+}
+
+impl MemRange {
+    /// Creates a range.
+    pub fn new(start: u64, len: u64) -> Self {
+        MemRange { start, len }
+    }
+
+    /// Returns `true` if `addr` falls within the range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.start + self.len
+    }
+
+    /// Iterates over the word addresses of the range.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        self.start..self.start + self.len
+    }
+}
+
+/// Initial data memory contents, word addressed (one `u64` per address).
+///
+/// Word address `a` corresponds to byte address `8·a` in the cache model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataImage {
+    words: BTreeMap<u64, u64>,
+}
+
+impl DataImage {
+    /// Creates an empty image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the initial value of a word.
+    pub fn set(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr, value);
+    }
+
+    /// Returns the initial value of a word (0 if never set).
+    pub fn get(&self, addr: u64) -> u64 {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if the word was explicitly initialised.
+    pub fn is_initialized(&self, addr: u64) -> bool {
+        self.words.contains_key(&addr)
+    }
+
+    /// Number of explicitly initialised words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if no word was initialised.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates over `(address, value)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.words.iter().map(|(&a, &v)| (a, v))
+    }
+}
+
+impl FromIterator<(u64, u64)> for DataImage {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        DataImage {
+            words: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A complete executable program in the amnesiac mini-ISA.
+///
+/// The instruction stream has two regions: the *main code* occupies
+/// `instructions[..code_len]` and must be terminated by `Halt`; slice bodies
+/// (if the program was annotated by the amnesic compiler) occupy
+/// `instructions[code_len..]` and are only reachable through `RCMP`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Human-readable program name (used in reports).
+    pub name: String,
+    /// The full instruction stream: main code followed by slice bodies.
+    pub instructions: Vec<Instruction>,
+    /// Length of the main code region (slice bodies start here).
+    pub code_len: usize,
+    /// Entry program counter.
+    pub entry: usize,
+    /// Slice annotations (empty for classic binaries).
+    pub slices: Vec<SliceMeta>,
+    /// Initial data memory.
+    pub data: DataImage,
+    /// Word ranges holding the program's observable output; used by
+    /// equivalence checks between classic and amnesic execution.
+    pub output: Vec<MemRange>,
+    /// Word ranges holding read-only program inputs (non-recomputable by
+    /// definition, §2.2).
+    pub read_only: Vec<MemRange>,
+}
+
+impl Program {
+    /// Creates an empty program shell with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            instructions: Vec::new(),
+            code_len: 0,
+            entry: 0,
+            slices: Vec::new(),
+            data: DataImage::new(),
+            output: Vec::new(),
+            read_only: Vec::new(),
+        }
+    }
+
+    /// Looks up the slice with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (a validated annotated program
+    /// always has ids `0..slices.len()`).
+    pub fn slice(&self, id: SliceId) -> &SliceMeta {
+        &self.slices[id.index()]
+    }
+
+    /// Returns `true` if the program carries amnesic annotations.
+    pub fn is_annotated(&self) -> bool {
+        !self.slices.is_empty()
+    }
+
+    /// Returns `true` if `addr` lies in a read-only input region.
+    pub fn is_read_only(&self, addr: u64) -> bool {
+        self.read_only.iter().any(|r| r.contains(addr))
+    }
+
+    /// Static count of instructions per category in the main code region.
+    pub fn static_mix(&self) -> BTreeMap<crate::Category, usize> {
+        let mut mix = BTreeMap::new();
+        for inst in &self.instructions[..self.code_len] {
+            *mix.entry(inst.category()).or_insert(0) += 1;
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::AluOp;
+
+    #[test]
+    fn data_image_roundtrip() {
+        let mut img = DataImage::new();
+        assert!(img.is_empty());
+        img.set(10, 99);
+        img.set(11, 100);
+        assert_eq!(img.get(10), 99);
+        assert_eq!(img.get(12), 0, "uninitialised words read as zero");
+        assert!(img.is_initialized(11));
+        assert!(!img.is_initialized(12));
+        assert_eq!(img.len(), 2);
+        let pairs: Vec<_> = img.iter().collect();
+        assert_eq!(pairs, vec![(10, 99), (11, 100)]);
+    }
+
+    #[test]
+    fn data_image_from_iterator() {
+        let img: DataImage = vec![(1, 2), (3, 4)].into_iter().collect();
+        assert_eq!(img.get(1), 2);
+        assert_eq!(img.get(3), 4);
+    }
+
+    #[test]
+    fn mem_range_contains() {
+        let r = MemRange::new(100, 5);
+        assert!(r.contains(100));
+        assert!(r.contains(104));
+        assert!(!r.contains(105));
+        assert!(!r.contains(99));
+        assert_eq!(r.iter().count(), 5);
+    }
+
+    #[test]
+    fn operand_plan_leaf_detection() {
+        let leaf = OperandPlan {
+            sources: [Some(OperandSource::LiveReg), Some(OperandSource::Hist { key: 0 }), None],
+        };
+        assert!(leaf.is_leaf());
+        assert!(leaf.reads_hist());
+
+        let interior = OperandPlan {
+            sources: [Some(OperandSource::SFile { producer: 0 }), Some(OperandSource::LiveReg), None],
+        };
+        assert!(!interior.is_leaf());
+        assert!(!interior.reads_hist());
+
+        assert!(OperandPlan::empty().is_leaf());
+    }
+
+    #[test]
+    fn program_static_mix() {
+        let mut p = Program::new("t");
+        p.instructions = vec![
+            Instruction::Li { dst: Reg(1), imm: 0 },
+            Instruction::Alu { op: AluOp::Mul, dst: Reg(2), lhs: Reg(1), rhs: Reg(1) },
+            Instruction::Halt,
+        ];
+        p.code_len = 3;
+        let mix = p.static_mix();
+        assert_eq!(mix[&crate::Category::IntAlu], 1);
+        assert_eq!(mix[&crate::Category::IntMul], 1);
+        assert_eq!(mix[&crate::Category::Jump], 1);
+        assert!(!p.is_annotated());
+    }
+
+    #[test]
+    fn read_only_lookup() {
+        let mut p = Program::new("t");
+        p.read_only.push(MemRange::new(50, 10));
+        assert!(p.is_read_only(55));
+        assert!(!p.is_read_only(60));
+    }
+}

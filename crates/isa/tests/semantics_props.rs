@@ -1,0 +1,76 @@
+//! Property tests pinning the ISA's functional semantics to independent
+//! Rust reference expressions (so a regression in `apply` cannot hide).
+
+use amnesiac_isa::{AluOp, BranchCond, CvtKind, FpOp, FpUnOp};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn alu_ops_match_reference(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(AluOp::Add.apply(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.apply(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::Mul.apply(a, b), a.wrapping_mul(b));
+        prop_assert_eq!(
+            AluOp::Div.apply(a, b),
+            a.checked_div(b).unwrap_or(u64::MAX)
+        );
+        prop_assert_eq!(AluOp::Rem.apply(a, b), if b == 0 { a } else { a % b });
+        prop_assert_eq!(AluOp::And.apply(a, b), a & b);
+        prop_assert_eq!(AluOp::Or.apply(a, b), a | b);
+        prop_assert_eq!(AluOp::Xor.apply(a, b), a ^ b);
+        prop_assert_eq!(AluOp::Shl.apply(a, b), a << (b % 64));
+        prop_assert_eq!(AluOp::Shr.apply(a, b), a >> (b % 64));
+        prop_assert_eq!(AluOp::Slt.apply(a, b), ((a as i64) < (b as i64)) as u64);
+        prop_assert_eq!(AluOp::Sltu.apply(a, b), (a < b) as u64);
+        prop_assert_eq!(AluOp::Seq.apply(a, b), (a == b) as u64);
+        prop_assert_eq!(AluOp::Min.apply(a, b), a.min(b));
+        prop_assert_eq!(AluOp::Max.apply(a, b), a.max(b));
+    }
+
+    #[test]
+    fn branch_conditions_match_reference(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(BranchCond::Eq.eval(a, b), a == b);
+        prop_assert_eq!(BranchCond::Ne.eval(a, b), a != b);
+        prop_assert_eq!(BranchCond::Lt.eval(a, b), (a as i64) < (b as i64));
+        prop_assert_eq!(BranchCond::Ge.eval(a, b), (a as i64) >= (b as i64));
+        prop_assert_eq!(BranchCond::Ltu.eval(a, b), a < b);
+        prop_assert_eq!(BranchCond::Geu.eval(a, b), a >= b);
+    }
+
+    #[test]
+    fn fp_ops_match_reference(a in any::<f64>(), b in any::<f64>()) {
+        let (ab, bb) = (a.to_bits(), b.to_bits());
+        prop_assert_eq!(FpOp::Add.apply(ab, bb), (a + b).to_bits());
+        prop_assert_eq!(FpOp::Sub.apply(ab, bb), (a - b).to_bits());
+        prop_assert_eq!(FpOp::Mul.apply(ab, bb), (a * b).to_bits());
+        prop_assert_eq!(FpOp::Div.apply(ab, bb), (a / b).to_bits());
+        prop_assert_eq!(FpOp::Flt.apply(ab, bb), (a < b) as u64);
+        // min/max keep the first operand on NaN — check agreement on
+        // non-NaN inputs against the std reference
+        if !a.is_nan() && !b.is_nan() {
+            prop_assert_eq!(f64::from_bits(FpOp::Min.apply(ab, bb)), a.min(b));
+            prop_assert_eq!(f64::from_bits(FpOp::Max.apply(ab, bb)), a.max(b));
+        }
+    }
+
+    #[test]
+    fn fp_unary_and_cvt_match_reference(a in any::<f64>(), n in any::<i64>()) {
+        let ab = a.to_bits();
+        prop_assert_eq!(FpUnOp::Neg.apply(ab), (-a).to_bits());
+        prop_assert_eq!(FpUnOp::Abs.apply(ab), a.abs().to_bits());
+        prop_assert_eq!(FpUnOp::Sqrt.apply(ab), a.sqrt().to_bits());
+        prop_assert_eq!(CvtKind::I2F.apply(n as u64), (n as f64).to_bits());
+        if !a.is_nan() {
+            prop_assert_eq!(CvtKind::F2I.apply(ab), (a as i64) as u64);
+        } else {
+            prop_assert_eq!(CvtKind::F2I.apply(ab), 0);
+        }
+    }
+
+    /// Shifts never panic for any operand (the % 64 convention).
+    #[test]
+    fn shifts_are_total(a in any::<u64>(), b in any::<u64>()) {
+        let _ = AluOp::Shl.apply(a, b);
+        let _ = AluOp::Shr.apply(a, b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests: the set-associative cache must agree with a brute-force
+//! reference model under arbitrary access streams.
+
+use amnesiac_mem::{AccessKind, Cache, CacheConfig, ServiceLevel};
+use amnesiac_mem::{HierarchyConfig, MemoryHierarchy};
+use proptest::prelude::*;
+
+/// Brute-force LRU write-back cache: a list of (line_addr, dirty) per set,
+/// most-recently-used first.
+struct RefCache {
+    line_bytes: u64,
+    n_sets: u64,
+    ways: usize,
+    sets: Vec<Vec<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> Self {
+        let n_sets = config.n_sets() as u64;
+        RefCache {
+            line_bytes: config.line_bytes as u64,
+            n_sets,
+            ways: config.ways,
+            sets: vec![Vec::new(); n_sets as usize],
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes) % self.n_sets) as usize
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    /// Returns (hit, writeback address).
+    fn access(&mut self, addr: u64, write: bool) -> (bool, Option<u64>) {
+        let set = self.set_of(addr);
+        let line = self.line_of(addr);
+        let ways = self.ways;
+        let line_bytes = self.line_bytes;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&(l, _)| l == line) {
+            let (l, dirty) = entries.remove(pos);
+            entries.insert(0, (l, dirty || write));
+            return (true, None);
+        }
+        let mut writeback = None;
+        if entries.len() == ways {
+            let (victim, dirty) = entries.pop().expect("full set");
+            if dirty {
+                writeback = Some(victim * line_bytes);
+            }
+        }
+        entries.insert(0, (line, write));
+        (false, writeback)
+    }
+
+    fn peek(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let line = self.line_of(addr);
+        self.sets[set].iter().any(|&(l, _)| l == line)
+    }
+}
+
+fn access_kind(write: bool) -> AccessKind {
+    if write {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+proptest! {
+    /// Hit/miss, write-back addresses and residency all match the reference
+    /// model for every prefix of a random access stream.
+    #[test]
+    fn cache_matches_reference(
+        ops in prop::collection::vec((0u64..4096, any::<bool>()), 1..400)
+    ) {
+        let config = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 };
+        let mut dut = Cache::new(config);
+        let mut reference = RefCache::new(config);
+        for (i, &(addr, write)) in ops.iter().enumerate() {
+            let got = dut.access(addr, access_kind(write));
+            let (want_hit, want_wb) = reference.access(addr, write);
+            prop_assert_eq!(got.hit, want_hit, "op {} addr {:#x}", i, addr);
+            prop_assert_eq!(got.writeback, want_wb, "op {} addr {:#x}", i, addr);
+        }
+        // final residency agrees everywhere touched
+        for &(addr, _) in &ops {
+            prop_assert_eq!(dut.peek(addr), reference.peek(addr));
+        }
+    }
+
+    /// Occupancy never exceeds capacity, and peek never disturbs state
+    /// (interleaving peeks must not change hit/miss behaviour).
+    #[test]
+    fn peek_transparency(
+        ops in prop::collection::vec((0u64..2048, any::<bool>()), 1..200)
+    ) {
+        let config = CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 };
+        let mut plain = Cache::new(config);
+        let mut peeked = Cache::new(config);
+        for &(addr, write) in &ops {
+            // interleave heavy peeking on one of the two caches
+            for probe in [0u64, 64, 128, addr] {
+                let _ = peeked.peek(probe);
+            }
+            let a = plain.access(addr, access_kind(write));
+            let b = peeked.access(addr, access_kind(write));
+            prop_assert_eq!(a, b);
+            prop_assert!(plain.valid_lines() <= 4);
+        }
+    }
+
+    /// The full hierarchy never reports a nearer level than where the line
+    /// actually is, and peek agrees with a subsequent read's service level.
+    #[test]
+    fn hierarchy_peek_predicts_read_level(
+        ops in prop::collection::vec((0u64..8192, any::<bool>()), 1..300)
+    ) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig {
+            l1i: CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64 },
+            l1d: CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64 },
+            l2: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 },
+                    next_line_prefetch: false,
+        });
+        for &(addr, write) in &ops {
+            let predicted = m.peek_data(addr);
+            let got = if write { m.write_data(addr) } else { m.read_data(addr) };
+            prop_assert_eq!(got.level, predicted,
+                "peek said {:?} but access was serviced at {:?}", predicted, got.level);
+        }
+        // loads + stores recorded = ops issued
+        let s = m.stats();
+        prop_assert_eq!(s.loads.total() + s.stores.total(), ops.len() as u64);
+    }
+
+    /// After any access the line is L1-resident.
+    #[test]
+    fn accessed_line_becomes_l1_resident(
+        ops in prop::collection::vec(0u64..8192, 1..200)
+    ) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::paper());
+        for &addr in &ops {
+            m.read_data(addr);
+            prop_assert_eq!(m.peek_data(addr), ServiceLevel::L1);
+        }
+    }
+
+    /// With the next-line prefetcher, every L1 load miss leaves BOTH the
+    /// accessed line and its successor L1-resident, and the prefetch
+    /// source level is reported whenever one was issued.
+    #[test]
+    fn prefetcher_invariants(
+        ops in prop::collection::vec(0u64..8192, 1..200)
+    ) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::paper_with_prefetch());
+        let mut issued = 0u64;
+        for &addr in &ops {
+            let access = m.read_data(addr);
+            prop_assert_eq!(m.peek_data(addr), ServiceLevel::L1);
+            if access.level != ServiceLevel::L1 {
+                prop_assert_eq!(m.peek_data(addr + 64), ServiceLevel::L1);
+            }
+            if access.prefetch_from.is_some() {
+                issued += 1;
+                prop_assert!(access.level != ServiceLevel::L1,
+                    "prefetches only trigger on misses");
+            }
+        }
+        prop_assert_eq!(m.stats().prefetches, issued);
+    }
+}

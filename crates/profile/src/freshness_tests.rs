@@ -1,0 +1,170 @@
+//! Focused unit tests for the checkpoint-freshness analysis — the
+//! correctness linchpin that decides whether a `Hist` entry (which always
+//! holds the producer's most recent operands) can stand in for an operand.
+
+use amnesiac_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+use amnesiac_sim::CoreConfig;
+
+use crate::profiler::profile_program;
+
+/// Producer runs repeatedly with a loop-varying operand; the value is
+/// consumed long after production → the operand is stale for all but the
+/// last instance.
+#[test]
+fn loop_varying_operand_is_stale() {
+    let mut b = ProgramBuilder::new("t");
+    let arr = b.alloc_zeroed(8);
+    b.li(Reg(1), arr);
+    b.li(Reg(2), 0);
+    b.li(Reg(3), 8);
+    let top = b.label();
+    let done = b.label();
+    b.bind(top).unwrap();
+    b.branch(BranchCond::Geu, Reg(2), Reg(3), done);
+    b.alui(AluOp::Mul, Reg(4), Reg(2), 3); // producer: operand varies with i
+    b.alu(AluOp::Add, Reg(5), Reg(1), Reg(2));
+    b.store(Reg(4), Reg(5), 0);
+    b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+    b.jump(top);
+    b.bind(done).unwrap();
+    // consume in REVERSE order so even the producer's own register (r2)
+    // does not match
+    b.li(Reg(6), 0);
+    b.li(Reg(7), 0);
+    let top2 = b.label();
+    let done2 = b.label();
+    b.bind(top2).unwrap();
+    b.branch(BranchCond::Geu, Reg(6), Reg(3), done2);
+    b.li(Reg(8), 7);
+    b.alu(AluOp::Sub, Reg(8), Reg(8), Reg(6));
+    b.alu(AluOp::Add, Reg(5), Reg(1), Reg(8));
+    b.load(Reg(9), Reg(5), 0);
+    b.alu(AluOp::Add, Reg(7), Reg(7), Reg(9));
+    b.alui(AluOp::Add, Reg(6), Reg(6), 1);
+    b.jump(top2);
+    b.bind(done2).unwrap();
+    b.halt();
+    let p = b.finish().unwrap();
+    let (profile, _) = profile_program(&p, &CoreConfig::paper()).unwrap();
+    let site = profile
+        .loads
+        .values()
+        .find(|s| s.count == 8)
+        .expect("the reload ran 8 times");
+    let tree = site.tree.as_ref().expect("stable root");
+    let op = tree.operands[0].as_ref().expect("mul has one reg operand");
+    assert!(!op.always_live, "r2 holds the consume-time value, not i");
+    assert!(
+        !op.checkpoint_fresh,
+        "the producer re-ran with other operands since each instance"
+    );
+}
+
+/// Producer mixes a loop-varying operand (the index) with a loop-invariant
+/// one (a loaded parameter): the invariant side is checkpoint-fresh even
+/// after its register is clobbered; the varying side is live only because
+/// the consumer reuses the same register.
+#[test]
+fn invariant_operand_is_fresh_varying_operand_is_live_by_register_reuse() {
+    let mut b = ProgramBuilder::new("t");
+    let arr = b.alloc_zeroed(8);
+    let params = b.alloc_data(&[42]);
+    b.mark_read_only(params, 1);
+    b.li(Reg(1), arr);
+    b.li(Reg(4), params);
+    b.load(Reg(10), Reg(4), 0); // the invariant parameter
+    b.li(Reg(2), 0);
+    b.li(Reg(3), 8);
+    let top = b.label();
+    let done = b.label();
+    b.bind(top).unwrap();
+    b.branch(BranchCond::Geu, Reg(2), Reg(3), done);
+    b.alu(AluOp::Add, Reg(5), Reg(2), Reg(10)); // producer: i + param
+    b.alu(AluOp::Add, Reg(6), Reg(1), Reg(2));
+    b.store(Reg(5), Reg(6), 0);
+    b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+    b.jump(top);
+    b.bind(done).unwrap();
+    b.li(Reg(10), 0); // clobber the parameter register
+    // consume with the index in the SAME register the producer used
+    b.li(Reg(2), 0);
+    b.li(Reg(7), 0);
+    let top2 = b.label();
+    let done2 = b.label();
+    b.bind(top2).unwrap();
+    b.branch(BranchCond::Geu, Reg(2), Reg(3), done2);
+    b.alu(AluOp::Add, Reg(6), Reg(1), Reg(2));
+    b.load(Reg(9), Reg(6), 0);
+    b.alu(AluOp::Add, Reg(7), Reg(7), Reg(9));
+    b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+    b.jump(top2);
+    b.bind(done2).unwrap();
+    b.halt();
+    let p = b.finish().unwrap();
+    let (profile, _) = profile_program(&p, &CoreConfig::paper()).unwrap();
+    let site = profile
+        .loads
+        .values()
+        .find(|s| s.count == 8)
+        .expect("the reload ran 8 times");
+    let tree = site.tree.as_ref().expect("stable root");
+    let index_op = tree.operands[0].as_ref().expect("lhs operand");
+    let param_op = tree.operands[1].as_ref().expect("rhs operand");
+    assert!(
+        index_op.always_live,
+        "the consumer re-derives i in the producer's register"
+    );
+    assert!(
+        !param_op.always_live,
+        "the parameter register was clobbered"
+    );
+    assert!(
+        param_op.checkpoint_fresh,
+        "the parameter never varied, so the latest checkpoint is right"
+    );
+    assert!(
+        param_op.child.is_none(),
+        "a read-only load has no expandable producer"
+    );
+}
+
+/// Produce-consume-soon: the consumer reads the value right after the
+/// producer ran, so even a varying operand is checkpoint-fresh (this is
+/// srad's pattern).
+#[test]
+fn immediate_reload_keeps_varying_operands_fresh() {
+    let mut b = ProgramBuilder::new("t");
+    let cell = b.alloc_zeroed(1);
+    b.li(Reg(1), cell);
+    b.li(Reg(2), 0);
+    b.li(Reg(3), 8);
+    let top = b.label();
+    let done = b.label();
+    b.bind(top).unwrap();
+    b.branch(BranchCond::Geu, Reg(2), Reg(3), done);
+    b.alui(AluOp::Mul, Reg(4), Reg(2), 5); // varying producer
+    b.store(Reg(4), Reg(1), 0);
+    b.li(Reg(4), 0); // clobber the producer's destination
+    b.load(Reg(5), Reg(1), 0); // reload immediately
+    b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+    b.jump(top);
+    b.bind(done).unwrap();
+    b.halt();
+    let p = b.finish().unwrap();
+    let (profile, _) = profile_program(&p, &CoreConfig::paper()).unwrap();
+    let site = profile
+        .loads
+        .values()
+        .find(|s| s.count == 8)
+        .expect("the reload ran 8 times");
+    let tree = site.tree.as_ref().expect("stable root");
+    let op = tree.operands[0].as_ref().expect("mul reads one register");
+    assert!(
+        op.always_live,
+        "r2 still holds this iteration's index at the reload"
+    );
+    assert!(
+        op.checkpoint_fresh,
+        "the producer's most recent execution is this very iteration"
+    );
+}

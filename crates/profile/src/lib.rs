@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # amnesiac-profile
+//!
+//! The runtime profiler of the amnesic toolchain (the paper's Pin-based
+//! dependency profiler, §4, rebuilt on top of `amnesiac-sim`).
+//!
+//! A profiling run executes the classic binary once while tracking:
+//!
+//! * **dynamic def-use provenance** — for every register and memory word,
+//!   which instruction produced its current value and from which operands
+//!   (a depth-capped DAG, see [`ProvNode`]);
+//! * **per-load-site producer trees** — at every dynamic load the profiler
+//!   extracts the backward slice of the loaded value (seeing *through*
+//!   intermediate loads, since slices may not contain memory instructions,
+//!   §3.1.1) and merges it into a canonical per-site tree, pruning any
+//!   subtree whose shape varies across instances;
+//! * **liveness** — whether a producer's source register still holds the
+//!   operand value at the load (the paper's live-register leaves, §2.2);
+//! * **PrLi** — per-site and global service-level distributions (§3.1.1);
+//! * **value locality** — for the paper's Fig. 8 analysis;
+//! * **store→load flows** — for the dead-store elision analysis (§2).
+//!
+//! The output, [`ProgramProfile`], is exactly the information the amnesic
+//! compiler needs to form and annotate recomputation slices.
+
+#[cfg(test)]
+mod freshness_tests;
+mod profiler;
+mod provenance;
+mod tree;
+
+pub use profiler::{
+    profile_program, LoadSiteProfile, ProgramProfile, StoreSiteProfile, Unswappable,
+};
+pub use tree::{ProvNode, ProvOperand};

@@ -1,0 +1,574 @@
+//! The profiling pass: one observed classic run producing a
+//! [`ProgramProfile`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use amnesiac_isa::{Instruction, Program, NUM_REGS};
+use amnesiac_mem::LevelStats;
+use amnesiac_sim::{ClassicCore, CoreConfig, Observer, RetireEvent, RunError, RunResult};
+
+use crate::provenance::ValueNode;
+use crate::tree::ProvNode;
+
+/// Why a load site cannot be swapped for recomputation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unswappable {
+    /// The loaded value is a read-only program input (§2.2): there is
+    /// nothing to recompute.
+    ReadOnlyRoot,
+    /// No tracked producer (uninitialised memory, or the producer chain was
+    /// depth-cut before reaching a compute instruction).
+    NoProducer,
+    /// The immediate producer differed across dynamic instances; a single
+    /// embedded slice cannot cover the site.
+    UnstableRoot,
+}
+
+/// Profile of one static load site.
+#[derive(Debug, Clone)]
+pub struct LoadSiteProfile {
+    /// Static pc of the load.
+    pub pc: usize,
+    /// Dynamic execution count.
+    pub count: u64,
+    /// Service-level distribution of this site's dynamic instances — the
+    /// per-site `PrLi` of §3.1.1.
+    pub levels: LevelStats,
+    /// Canonical producer tree, if the site is swappable.
+    pub tree: Option<ProvNode>,
+    /// Set when the site cannot be recomputed.
+    pub unswappable: Option<Unswappable>,
+    value_matches: u64,
+    last_value: Option<u64>,
+}
+
+impl LoadSiteProfile {
+    fn new(pc: usize) -> Self {
+        LoadSiteProfile {
+            pc,
+            count: 0,
+            levels: LevelStats::default(),
+            tree: None,
+            unswappable: None,
+            value_matches: 0,
+            last_value: None,
+        }
+    }
+
+    /// Builds a bare site profile for tests in downstream crates.
+    #[doc(hidden)]
+    pub fn for_tests(pc: usize, count: u64) -> Self {
+        LoadSiteProfile {
+            count,
+            ..LoadSiteProfile::new(pc)
+        }
+    }
+
+    /// Value locality in `[0, 1]`: the fraction of dynamic instances whose
+    /// value matched the immediately preceding instance (history depth 1,
+    /// after Lipasti et al.; the paper's Fig. 8 metric).
+    pub fn value_locality(&self) -> f64 {
+        if self.count <= 1 {
+            0.0
+        } else {
+            self.value_matches as f64 / (self.count - 1) as f64
+        }
+    }
+
+    /// Per-site `PrLi` probability vector over `[L1, L2, Mem]`.
+    pub fn probabilities(&self) -> [f64; 3] {
+        self.levels.probabilities()
+    }
+
+    fn mark_unswappable(&mut self, why: Unswappable) {
+        // first reason sticks; the tree is no longer meaningful
+        if self.unswappable.is_none() {
+            self.unswappable = Some(why);
+        }
+        self.tree = None;
+    }
+}
+
+/// Profile of one static store site (for the dead-store elision analysis).
+#[derive(Debug, Clone, Default)]
+pub struct StoreSiteProfile {
+    /// Dynamic execution count.
+    pub count: u64,
+    /// Dynamic count of loads that read this store's values, per load pc.
+    pub consumers: BTreeMap<usize, u64>,
+    /// Dynamic count of stored words that were overwritten or never read.
+    pub unread: u64,
+}
+
+/// Everything the amnesic compiler needs to know about one program's
+/// dynamic behaviour.
+#[derive(Debug, Clone)]
+pub struct ProgramProfile {
+    /// Per static load site.
+    pub loads: BTreeMap<usize, LoadSiteProfile>,
+    /// Per static store site.
+    pub stores: BTreeMap<usize, StoreSiteProfile>,
+    /// Global load service-level distribution (whole-program `PrLi`).
+    pub all_loads: LevelStats,
+    /// Dynamic instruction count of the profiling run.
+    pub instructions: u64,
+    /// Dynamic execution count per static pc (for amortising `REC`
+    /// overheads in the compiler's energy estimates).
+    pub pc_counts: BTreeMap<usize, u64>,
+}
+
+impl ProgramProfile {
+    /// Dynamic execution count of the instruction at `pc`.
+    pub fn pc_count(&self, pc: usize) -> u64 {
+        self.pc_counts.get(&pc).copied().unwrap_or(0)
+    }
+}
+
+impl ProgramProfile {
+    /// Swappable sites: those with a canonical producer tree.
+    pub fn swappable_sites(&self) -> impl Iterator<Item = &LoadSiteProfile> {
+        self.loads.values().filter(|s| s.tree.is_some())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MemCell {
+    node: Option<Rc<ValueNode>>,
+    store_pc: usize,
+    read: bool,
+}
+
+struct Tracker<'p> {
+    program: &'p Program,
+    regs: [u64; NUM_REGS],
+    reg_prov: Vec<Option<Rc<ValueNode>>>,
+    mem_prov: HashMap<u64, MemCell>,
+    loads: BTreeMap<usize, LoadSiteProfile>,
+    stores: BTreeMap<usize, StoreSiteProfile>,
+    all_loads: LevelStats,
+    pc_counts: BTreeMap<usize, u64>,
+    /// operand values of each compute pc's most recent execution, for the
+    /// checkpoint-freshness analysis
+    last_exec: HashMap<usize, [u64; 3]>,
+}
+
+impl<'p> Tracker<'p> {
+    fn new(program: &'p Program) -> Self {
+        Tracker {
+            program,
+            regs: [0; NUM_REGS],
+            reg_prov: vec![None; NUM_REGS],
+            mem_prov: HashMap::new(),
+            loads: BTreeMap::new(),
+            stores: BTreeMap::new(),
+            all_loads: LevelStats::default(),
+            pc_counts: BTreeMap::new(),
+            last_exec: HashMap::new(),
+        }
+    }
+
+    fn on_load(&mut self, event: &RetireEvent<'_>) {
+        let addr = event.addr.expect("loads carry an address");
+        let value = event.result.expect("loads produce a value");
+        let level = event.level.expect("loads carry a service level");
+        let pc = event.pc;
+
+        self.all_loads.record(level);
+        let regs = &self.regs;
+        let site = self
+            .loads
+            .entry(pc)
+            .or_insert_with(|| LoadSiteProfile::new(pc));
+        site.count += 1;
+        site.levels.record(level);
+        if site.last_value == Some(value) {
+            site.value_matches += 1;
+        }
+        site.last_value = Some(value);
+
+        // provenance of the value the load observed
+        let cell_node = match self.mem_prov.get_mut(&addr) {
+            Some(cell) => {
+                cell.read = true;
+                let store_pc = cell.store_pc;
+                let node = cell.node.clone();
+                *self
+                    .stores
+                    .entry(store_pc)
+                    .or_default()
+                    .consumers
+                    .entry(pc)
+                    .or_insert(0) += 1;
+                match node {
+                    Some(n) => Some(n),
+                    None => {
+                        site.mark_unswappable(Unswappable::NoProducer);
+                        None
+                    }
+                }
+            }
+            None => {
+                let why = if self.program.is_read_only(addr) {
+                    Unswappable::ReadOnlyRoot
+                } else {
+                    Unswappable::NoProducer
+                };
+                site.mark_unswappable(why);
+                None
+            }
+        };
+
+        if site.unswappable.is_none() {
+            if let Some(node) = &cell_node {
+                match ProvNode::extract(node, regs, &self.last_exec) {
+                    Some(instance) => match &mut site.tree {
+                        None => site.tree = Some(instance),
+                        Some(canon) => {
+                            if !canon.merge(&instance) {
+                                site.mark_unswappable(Unswappable::UnstableRoot);
+                            }
+                        }
+                    },
+                    None => site.mark_unswappable(Unswappable::NoProducer),
+                }
+            }
+        }
+
+        // register provenance of the destination
+        let dst = event.inst.dst().expect("loads have a destination");
+        self.reg_prov[dst.index()] =
+            Some(ValueNode::load(pc, event.inst.clone(), value, addr, cell_node));
+        self.regs[dst.index()] = value;
+    }
+
+    fn on_store(&mut self, event: &RetireEvent<'_>) {
+        let addr = event.addr.expect("stores carry an address");
+        let src_reg = event.inst.srcs()[0].expect("stores read a source register");
+        let store = self.stores.entry(event.pc).or_default();
+        store.count += 1;
+        let previous = self.mem_prov.insert(
+            addr,
+            MemCell {
+                node: self.reg_prov[src_reg.index()].clone(),
+                store_pc: event.pc,
+                read: false,
+            },
+        );
+        if let Some(prev) = previous {
+            if !prev.read {
+                self.stores.entry(prev.store_pc).or_default().unread += 1;
+            }
+        }
+    }
+
+    fn on_compute(&mut self, event: &RetireEvent<'_>) {
+        let value = event.result.expect("compute instructions produce a value");
+        let dst = event.inst.dst().expect("compute instructions have a dst");
+        let mut srcs: [Option<Rc<ValueNode>>; 3] = [None, None, None];
+        for (j, reg) in event.inst.srcs().iter().enumerate() {
+            if let Some(r) = reg {
+                srcs[j] = self.reg_prov[r.index()].clone();
+            }
+        }
+        let node = ValueNode::compute(event.pc, event.inst.clone(), value, srcs, event.src_values);
+        self.reg_prov[dst.index()] = Some(node);
+        self.regs[dst.index()] = value;
+        self.last_exec.insert(event.pc, event.src_values);
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn finish(
+        mut self,
+    ) -> (
+        BTreeMap<usize, LoadSiteProfile>,
+        BTreeMap<usize, StoreSiteProfile>,
+        LevelStats,
+        BTreeMap<usize, u64>,
+    ) {
+        // words never read before halt count as unread for their last store
+        for cell in self.mem_prov.values() {
+            if !cell.read {
+                self.stores.entry(cell.store_pc).or_default().unread += 1;
+            }
+        }
+        (self.loads, self.stores, self.all_loads, self.pc_counts)
+    }
+}
+
+impl Observer for Tracker<'_> {
+    fn on_retire(&mut self, event: &RetireEvent<'_>) {
+        *self.pc_counts.entry(event.pc).or_insert(0) += 1;
+        match event.inst {
+            Instruction::Load { .. } => self.on_load(event),
+            Instruction::Store { .. } => self.on_store(event),
+            inst if inst.is_slice_compute() => self.on_compute(event),
+            _ => {} // control flow carries no value provenance
+        }
+    }
+}
+
+/// Profiles a classic program with one observed run.
+///
+/// Returns the profile and the run result (the classic baseline numbers of
+/// the same run — the profiling input is also the evaluation input, as in
+/// the paper's single-input methodology).
+///
+/// # Errors
+///
+/// Propagates any [`RunError`] from the underlying classic run.
+pub fn profile_program(
+    program: &Program,
+    config: &CoreConfig,
+) -> Result<(ProgramProfile, RunResult), RunError> {
+    let mut tracker = Tracker::new(program);
+    let result = ClassicCore::new(config.clone()).run_observed(program, &mut tracker)?;
+    let (loads, stores, all_loads, pc_counts) = tracker.finish();
+    Ok((
+        ProgramProfile {
+            loads,
+            stores,
+            all_loads,
+            instructions: result.instructions,
+            pc_counts,
+        },
+        result,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+    use amnesiac_mem::ServiceLevel;
+
+    fn profile(p: &Program) -> ProgramProfile {
+        profile_program(p, &CoreConfig::paper()).expect("run succeeds").0
+    }
+
+    /// store computed value, load it back: the load site must get a tree
+    /// rooted at the computing instruction.
+    #[test]
+    fn load_of_computed_value_gets_producer_tree() {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(1);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 20);
+        let mul_pc = b.alui(AluOp::Mul, Reg(3), Reg(2), 3); // r3 = 60
+        b.store(Reg(3), Reg(1), 0);
+        let load_pc = b.load(Reg(4), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+
+        let prof = profile(&p);
+        let site = &prof.loads[&load_pc];
+        assert_eq!(site.count, 1);
+        assert!(site.unswappable.is_none());
+        let tree = site.tree.as_ref().expect("swappable");
+        assert_eq!(tree.pc, mul_pc, "root is the immediate producer P(v)");
+        // producer chain continues into the li
+        let op = tree.operands[0].as_ref().unwrap();
+        assert_eq!(op.reg, Reg(2));
+        assert!(op.always_live, "r2 still holds 20 at the load");
+        assert_eq!(op.child.as_ref().unwrap().pc, 1);
+    }
+
+    #[test]
+    fn load_of_read_only_input_is_unswappable() {
+        let mut b = ProgramBuilder::new("t");
+        let input = b.alloc_data(&[5]);
+        b.mark_read_only(input, 1);
+        b.li(Reg(1), input);
+        let load_pc = b.load(Reg(2), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        assert_eq!(
+            prof.loads[&load_pc].unswappable,
+            Some(Unswappable::ReadOnlyRoot)
+        );
+    }
+
+    #[test]
+    fn load_of_unmarked_initial_memory_has_no_producer() {
+        let mut b = ProgramBuilder::new("t");
+        let data = b.alloc_data(&[5]);
+        b.li(Reg(1), data);
+        let load_pc = b.load(Reg(2), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        assert_eq!(
+            prof.loads[&load_pc].unswappable,
+            Some(Unswappable::NoProducer)
+        );
+    }
+
+    /// Copy through memory: st A ← f(x); ld r ← A; st B ← r; ld r' ← B.
+    /// The second load's tree must see through to f's instruction.
+    #[test]
+    fn provenance_sees_through_intermediate_loads() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.alloc_zeroed(1);
+        let c = b.alloc_zeroed(1);
+        b.li(Reg(1), a);
+        b.li(Reg(2), c);
+        b.li(Reg(3), 7);
+        let add_pc = b.alui(AluOp::Add, Reg(4), Reg(3), 1); // f(x) = 8
+        b.store(Reg(4), Reg(1), 0);
+        b.load(Reg(5), Reg(1), 0);
+        b.store(Reg(5), Reg(2), 0);
+        let load2 = b.load(Reg(6), Reg(2), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        let site = &prof.loads[&load2];
+        let tree = site.tree.as_ref().expect("swappable through the copy");
+        assert_eq!(tree.pc, add_pc);
+    }
+
+    /// A loop that overwrites r2 before the load: operand no longer live.
+    #[test]
+    fn overwritten_operand_is_not_live() {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(1);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 20);
+        b.alui(AluOp::Add, Reg(3), Reg(2), 1);
+        b.store(Reg(3), Reg(1), 0);
+        b.li(Reg(2), 999); // clobber the producer's operand register
+        let load_pc = b.load(Reg(4), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        let tree = prof.loads[&load_pc].tree.as_ref().unwrap();
+        let op = tree.operands[0].as_ref().unwrap();
+        assert!(!op.always_live, "r2 was overwritten before the load");
+    }
+
+    /// Two stores from different producers to the same address, each read
+    /// back: the root producers differ between instances → unstable.
+    #[test]
+    fn alternating_producers_make_site_unstable() {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(1);
+        b.li(Reg(1), cell);
+        b.li(Reg(5), 0); // i = 0
+        b.li(Reg(6), 2); // n = 2
+        let top = b.label();
+        let done = b.label();
+        let else_ = b.label();
+        let join = b.label();
+        b.bind(top).unwrap();
+        b.branch(BranchCond::Geu, Reg(5), Reg(6), done);
+        b.branch(BranchCond::Ne, Reg(5), Reg(5), else_); // never taken…
+        // iteration body: pick producer by parity
+        let odd = b.label();
+        let after = b.label();
+        b.alui(AluOp::And, Reg(7), Reg(5), 1);
+        b.li(Reg(8), 1);
+        b.branch(BranchCond::Eq, Reg(7), Reg(8), odd);
+        b.alui(AluOp::Add, Reg(3), Reg(5), 100); // producer A
+        b.jump(after);
+        b.bind(odd).unwrap();
+        b.alui(AluOp::Mul, Reg(3), Reg(5), 3); // producer B
+        b.bind(after).unwrap();
+        b.store(Reg(3), Reg(1), 0);
+        b.load(Reg(4), Reg(1), 0);
+        b.alui(AluOp::Add, Reg(5), Reg(5), 1);
+        b.jump(top);
+        b.bind(else_).unwrap();
+        b.jump(join);
+        b.bind(join).unwrap();
+        b.jump(top);
+        b.bind(done).unwrap();
+        b.halt();
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        let site = prof
+            .loads
+            .values()
+            .find(|s| s.count == 2)
+            .expect("the in-loop load ran twice");
+        assert_eq!(site.unswappable, Some(Unswappable::UnstableRoot));
+    }
+
+    #[test]
+    fn value_locality_tracks_repeats() {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(1);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 5);
+        b.store(Reg(2), Reg(1), 0);
+        // three loads of the same value → locality 1.0
+        let load_pc = b.load(Reg(3), Reg(1), 0);
+        b.load(Reg(3), Reg(1), 0);
+        b.load(Reg(3), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        // the three loads are distinct static sites; check the first
+        let site = &prof.loads[&load_pc];
+        assert_eq!(site.count, 1);
+        assert_eq!(site.value_locality(), 0.0, "single instance has no history");
+
+        // same site in a loop with a constant value
+        let mut b = ProgramBuilder::new("t2");
+        let cell = b.alloc_zeroed(1);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 5);
+        b.store(Reg(2), Reg(1), 0);
+        b.li(Reg(5), 0);
+        b.li(Reg(6), 4);
+        let top = b.label();
+        let done = b.label();
+        b.bind(top).unwrap();
+        b.branch(BranchCond::Geu, Reg(5), Reg(6), done);
+        let lp = b.load(Reg(3), Reg(1), 0);
+        b.alui(AluOp::Add, Reg(5), Reg(5), 1);
+        b.jump(top);
+        b.bind(done).unwrap();
+        b.halt();
+        let p2 = b.finish().unwrap();
+        let prof2 = profile(&p2);
+        assert_eq!(prof2.loads[&lp].count, 4);
+        assert_eq!(prof2.loads[&lp].value_locality(), 1.0);
+    }
+
+    #[test]
+    fn store_consumer_and_unread_tracking() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.alloc_zeroed(2);
+        b.li(Reg(1), a);
+        b.li(Reg(2), 3);
+        b.alui(AluOp::Add, Reg(3), Reg(2), 0);
+        let st_read = b.store(Reg(3), Reg(1), 0);
+        let st_dead = b.store(Reg(3), Reg(1), 1);
+        let ld = b.load(Reg(4), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        assert_eq!(prof.stores[&st_read].consumers[&ld], 1);
+        assert_eq!(prof.stores[&st_read].unread, 0);
+        assert_eq!(prof.stores[&st_dead].count, 1);
+        assert_eq!(prof.stores[&st_dead].unread, 1, "never read before halt");
+    }
+
+    #[test]
+    fn global_load_levels_accumulate() {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.alloc_zeroed(1);
+        b.li(Reg(1), cell);
+        b.li(Reg(2), 1);
+        b.store(Reg(2), Reg(1), 0);
+        b.load(Reg(3), Reg(1), 0);
+        b.load(Reg(3), Reg(1), 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        assert_eq!(prof.all_loads.total(), 2);
+        // store warmed the line: both loads hit L1
+        assert_eq!(prof.all_loads.by_level[ServiceLevel::L1.index()], 2);
+        assert!(prof.instructions > 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The dynamic provenance DAG: which instruction produced each live value,
+//! and from which operand values.
+//!
+//! Nodes are reference-counted and depth-capped: when a new node would
+//! exceed [`TRACK_DEPTH_CAP`], its deep operands are cut (the reference is
+//! dropped), bounding both memory and later extraction work. The amnesic
+//! compiler caps slice height far below this anyway (§3.4: tall slices
+//! cannot be energy-efficient).
+
+use std::rc::Rc;
+
+use amnesiac_isa::Instruction;
+
+/// Maximum provenance depth retained while tracking.
+pub const TRACK_DEPTH_CAP: u32 = 64;
+
+/// How a tracked value came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Produced by a register-to-register compute instruction.
+    Compute,
+    /// Produced by a load; `srcs[0]` (if kept) is the provenance of the
+    /// stored value the load observed — slices see *through* loads.
+    Load {
+        /// Word address the load read.
+        addr: u64,
+    },
+}
+
+/// One node of the provenance DAG.
+#[derive(Debug)]
+pub struct ValueNode {
+    /// Static pc of the producing instruction.
+    pub pc: usize,
+    /// Snapshot of the producing instruction.
+    pub inst: Instruction,
+    /// The produced value.
+    pub value: u64,
+    /// Provenance of each source operand ([`Instruction::srcs`] order);
+    /// `None` when untracked (never-written register) or depth-cut.
+    pub srcs: [Option<Rc<ValueNode>>; 3],
+    /// Operand values at production time.
+    pub src_values: [u64; 3],
+    /// What kind of producer this is.
+    pub kind: NodeKind,
+    /// Longest path to a leaf below this node.
+    pub depth: u32,
+    /// `true` if this node's children were dropped by the depth cap — its
+    /// operand producers are *unknown* (a tracking artifact), not absent.
+    pub truncated: bool,
+}
+
+impl ValueNode {
+    /// Builds a compute node. Children that would push the node past the
+    /// depth cap are replaced by *shallow clones* (the child node without
+    /// its own children): the immediate producer structure survives —
+    /// essential for stable tree shapes across loop iterations whose
+    /// induction-variable chains grow without bound — while memory stays
+    /// bounded.
+    pub fn compute(
+        pc: usize,
+        inst: Instruction,
+        value: u64,
+        mut srcs: [Option<Rc<ValueNode>>; 3],
+        src_values: [u64; 3],
+    ) -> Rc<Self> {
+        let mut depth = 0;
+        for slot in srcs.iter_mut() {
+            if let Some(child) = slot {
+                // self-recurrences (loop counters `i ← i+1`, accumulators)
+                // grow without bound and are never recomputable as chains —
+                // the merge prunes them anyway. Cut them at one level so
+                // they cannot blow the depth cap and truncate unrelated
+                // structure around them.
+                if child.pc == pc && child.inst == inst {
+                    if !child.srcs.iter().all(Option::is_none) {
+                        *slot = Some(child.shallow_clone());
+                    }
+                    depth = depth.max(1);
+                } else if child.depth + 1 >= TRACK_DEPTH_CAP {
+                    *slot = Some(child.shallow_clone());
+                    depth = depth.max(1);
+                } else {
+                    depth = depth.max(child.depth + 1);
+                }
+            }
+        }
+        Rc::new(ValueNode {
+            pc,
+            inst,
+            value,
+            srcs,
+            src_values,
+            kind: NodeKind::Compute,
+            depth,
+            truncated: false,
+        })
+    }
+
+    /// A copy of this node with its children dropped (depth 0).
+    pub fn shallow_clone(&self) -> Rc<Self> {
+        Rc::new(ValueNode {
+            pc: self.pc,
+            inst: self.inst.clone(),
+            value: self.value,
+            srcs: [None, None, None],
+            src_values: self.src_values,
+            kind: self.kind,
+            depth: 0,
+            truncated: true,
+        })
+    }
+
+    /// Builds a load node wrapping the provenance of the value it read.
+    pub fn load(
+        pc: usize,
+        inst: Instruction,
+        value: u64,
+        addr: u64,
+        source: Option<Rc<ValueNode>>,
+    ) -> Rc<Self> {
+        let (srcs, depth) = match source {
+            Some(node) => {
+                let node = if node.depth + 1 >= TRACK_DEPTH_CAP {
+                    node.shallow_clone()
+                } else {
+                    node
+                };
+                let d = node.depth; // see-through: loads add no slice depth
+                ([Some(node), None, None], d)
+            }
+            None => ([None, None, None], 0),
+        };
+        Rc::new(ValueNode {
+            pc,
+            inst,
+            value,
+            srcs,
+            src_values: [0; 3],
+            kind: NodeKind::Load { addr },
+            depth,
+            truncated: false,
+        })
+    }
+
+    /// Follows `Load` pass-through links to the nearest compute producer,
+    /// if any survives the depth cap.
+    pub fn resolve_compute(self: &Rc<Self>) -> Option<Rc<ValueNode>> {
+        let mut current = Rc::clone(self);
+        loop {
+            match current.kind {
+                NodeKind::Compute => return Some(current),
+                NodeKind::Load { .. } => match &current.srcs[0] {
+                    Some(next) => current = Rc::clone(next),
+                    None => return None,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_isa::{AluOp, Reg};
+
+    fn li(pc: usize, value: u64) -> Rc<ValueNode> {
+        ValueNode::compute(
+            pc,
+            Instruction::Li { dst: Reg(1), imm: value },
+            value,
+            [None, None, None],
+            [0; 3],
+        )
+    }
+
+    fn add(pc: usize, a: &Rc<ValueNode>, b: &Rc<ValueNode>) -> Rc<ValueNode> {
+        ValueNode::compute(
+            pc,
+            Instruction::Alu { op: AluOp::Add, dst: Reg(3), lhs: Reg(1), rhs: Reg(2) },
+            a.value.wrapping_add(b.value),
+            [Some(Rc::clone(a)), Some(Rc::clone(b)), None],
+            [a.value, b.value, 0],
+        )
+    }
+
+    #[test]
+    fn depth_grows_with_chains() {
+        let a = li(0, 1);
+        assert_eq!(a.depth, 0);
+        let b = add(1, &a, &a);
+        assert_eq!(b.depth, 1);
+        let c = add(2, &b, &a);
+        assert_eq!(c.depth, 2);
+    }
+
+    #[test]
+    fn chains_are_cut_at_the_cap() {
+        let mut node = li(0, 0);
+        for pc in 1..100 {
+            node = add(pc, &node, &node);
+        }
+        assert!(node.depth < TRACK_DEPTH_CAP);
+        // the deep end was cut: walking down bottoms out
+        let mut depth_walked = 0;
+        let mut cur = Rc::clone(&node);
+        while let Some(next) = cur.srcs[0].clone() {
+            cur = next;
+            depth_walked += 1;
+            assert!(depth_walked <= TRACK_DEPTH_CAP, "walk must terminate");
+        }
+    }
+
+    #[test]
+    fn load_nodes_pass_through_to_compute() {
+        let producer = li(0, 42);
+        let ld1 = ValueNode::load(
+            1,
+            Instruction::Load { dst: Reg(2), base: Reg(1), offset: 0 },
+            42,
+            100,
+            Some(Rc::clone(&producer)),
+        );
+        let ld2 = ValueNode::load(
+            2,
+            Instruction::Load { dst: Reg(3), base: Reg(1), offset: 0 },
+            42,
+            101,
+            Some(Rc::clone(&ld1)),
+        );
+        let resolved = ld2.resolve_compute().expect("resolves through two loads");
+        assert_eq!(resolved.pc, 0);
+        assert_eq!(resolved.value, 42);
+    }
+
+    #[test]
+    fn untracked_load_resolves_to_none() {
+        let ld = ValueNode::load(
+            1,
+            Instruction::Load { dst: Reg(2), base: Reg(1), offset: 0 },
+            0,
+            100,
+            None,
+        );
+        assert!(ld.resolve_compute().is_none());
+    }
+
+    #[test]
+    fn loads_do_not_add_slice_depth() {
+        let producer = li(0, 7);
+        let ld = ValueNode::load(
+            1,
+            Instruction::Load { dst: Reg(2), base: Reg(1), offset: 0 },
+            7,
+            100,
+            Some(Rc::clone(&producer)),
+        );
+        assert_eq!(ld.depth, producer.depth, "pass-through is free");
+    }
+}

@@ -1,0 +1,285 @@
+//! Canonical per-load-site producer trees.
+//!
+//! Each dynamic instance of a load yields an instance tree extracted from
+//! the provenance DAG. Instances are merged into one canonical tree per
+//! static load: identical subtrees are kept, differing subtrees are pruned
+//! to checkpointable operands, and per-operand liveness flags accumulate
+//! (`always_live` holds only if the operand's register still held the
+//! operand value at *every* dynamic instance of the load).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use amnesiac_isa::{Instruction, Reg};
+
+use crate::provenance::{NodeKind, ValueNode};
+
+/// Maximum height of extracted trees. The compiler's own height cap is
+/// lower; this bounds extraction work.
+pub const EXTRACT_DEPTH_CAP: u32 = 48;
+
+/// One source operand of a [`ProvNode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvOperand {
+    /// Architectural register the parent instruction reads.
+    pub reg: Reg,
+    /// `true` while the register has held the operand value at the load,
+    /// for every observed instance — the paper's live-register leaf inputs
+    /// (§2.2), which need no `Hist` buffering.
+    pub always_live: bool,
+    /// Producer subtree, when the operand is recomputable and its shape is
+    /// stable across instances.
+    pub child: Option<Box<ProvNode>>,
+    /// `true` when `child` is `None` only because the provenance tracker's
+    /// depth cap dropped the subtree for this operand (an artifact), rather
+    /// than the producer being genuinely absent or divergent. Unknown
+    /// operands do not veto a known canonical subtree during merging — the
+    /// compiler's validation replay remains the correctness backstop.
+    pub unknown: bool,
+    /// `true` while, at every observed load instance, the parent
+    /// instruction's *most recent* dynamic execution used exactly this
+    /// operand value — i.e. a `REC` checkpoint (which always holds the
+    /// latest execution's operands, §3.1.2) would deliver the right value.
+    /// Operands that are neither live nor checkpoint-fresh cannot be `Hist`
+    /// leaves; the compiler must expand their producer into the slice.
+    pub checkpoint_fresh: bool,
+}
+
+/// A node of a canonical producer tree (the raw material of an RSlice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvNode {
+    /// Static pc of the producer in the main code.
+    pub pc: usize,
+    /// The producer instruction (always a compute instruction; loads are
+    /// seen through during extraction).
+    pub inst: Instruction,
+    /// Source operands, aligned with [`Instruction::srcs`].
+    pub operands: [Option<ProvOperand>; 3],
+}
+
+impl ProvNode {
+    /// Extracts an instance tree from the provenance DAG.
+    ///
+    /// `regs` is the architectural register file at the load (the
+    /// anticipated recomputation point), used for liveness flags.
+    ///
+    /// Returns `None` if `root` has no compute producer (e.g. a pure copy
+    /// of a read-only input).
+    pub fn extract(
+        root: &Rc<ValueNode>,
+        regs: &[u64],
+        last_exec: &HashMap<usize, [u64; 3]>,
+    ) -> Option<ProvNode> {
+        let compute = root.resolve_compute()?;
+        Some(Self::extract_compute(&compute, regs, last_exec, 0))
+    }
+
+    fn extract_compute(
+        node: &Rc<ValueNode>,
+        regs: &[u64],
+        last_exec: &HashMap<usize, [u64; 3]>,
+        depth: u32,
+    ) -> ProvNode {
+        debug_assert_eq!(node.kind, NodeKind::Compute);
+        let regs_of = node.inst.srcs();
+        let mut operands: [Option<ProvOperand>; 3] = [None, None, None];
+        for j in 0..3 {
+            let Some(reg) = regs_of[j] else { continue };
+            let (child, unknown) = if node.truncated || depth + 1 >= EXTRACT_DEPTH_CAP {
+                (None, true)
+            } else {
+                let child = node.srcs[j]
+                    .as_ref()
+                    .and_then(|n| n.resolve_compute())
+                    .map(|n| Box::new(Self::extract_compute(&n, regs, last_exec, depth + 1)));
+                (child, false)
+            };
+            let fresh = last_exec
+                .get(&node.pc)
+                .is_some_and(|vals| vals[j] == node.src_values[j]);
+            operands[j] = Some(ProvOperand {
+                reg,
+                always_live: regs[reg.index()] == node.src_values[j],
+                child,
+                unknown,
+                checkpoint_fresh: fresh,
+            });
+        }
+        ProvNode {
+            pc: node.pc,
+            inst: node.inst.clone(),
+            operands,
+        }
+    }
+
+    /// Merges another instance into this canonical tree.
+    ///
+    /// Returns `false` when the *root* producers differ — the site cannot
+    /// be recomputed with a single embedded slice and must be marked
+    /// unstable. Differences below the root only prune the affected
+    /// operand's subtree.
+    pub fn merge(&mut self, other: &ProvNode) -> bool {
+        if self.pc != other.pc || self.inst != other.inst {
+            return false;
+        }
+        for j in 0..3 {
+            match (&mut self.operands[j], &other.operands[j]) {
+                (Some(mine), Some(theirs)) => {
+                    debug_assert_eq!(mine.reg, theirs.reg, "same static instruction");
+                    mine.always_live &= theirs.always_live;
+                    mine.checkpoint_fresh &= theirs.checkpoint_fresh;
+                    let keep_child = match (&mut mine.child, &theirs.child) {
+                        (Some(a), Some(b)) => a.merge(b),
+                        // the instance didn't record the subtree: keep the
+                        // canonical one (validated later)
+                        (Some(_), None) if theirs.unknown => true,
+                        (Some(_), None) => false,
+                        // the canonical side was a truncation artifact:
+                        // adopt the instance's subtree (liveness/freshness
+                        // flags re-accumulate from here; the validation
+                        // replay remains the correctness backstop)
+                        (None, Some(b)) if mine.unknown => {
+                            mine.child = Some(b.clone());
+                            true
+                        }
+                        (None, _) => true, // semantically absent: stays pruned
+                    };
+                    if !keep_child {
+                        mine.child = None;
+                    }
+                    // a semantic absence in either instance is sticky
+                    if !theirs.unknown && theirs.child.is_none() {
+                        mine.unknown = false;
+                    }
+                }
+                (None, None) => {}
+                _ => unreachable!("operand shape is fixed by the static instruction"),
+            }
+        }
+        true
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self
+            .operands
+            .iter()
+            .flatten()
+            .filter_map(|o| o.child.as_ref())
+            .map(|c| c.size())
+            .sum::<usize>()
+    }
+
+    /// Height of the tree (a lone root has height 0), the paper's `h`.
+    pub fn height(&self) -> u32 {
+        self.operands
+            .iter()
+            .flatten()
+            .filter_map(|o| o.child.as_ref())
+            .map(|c| 1 + c.height())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Visits nodes in post-order (children before parents) — the order in
+    /// which a slice body must execute (data flows leaves → root, Fig. 1).
+    pub fn post_order<'a>(&'a self, visit: &mut impl FnMut(&'a ProvNode)) {
+        for operand in self.operands.iter().flatten() {
+            if let Some(child) = &operand.child {
+                child.post_order(visit);
+            }
+        }
+        visit(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_isa::AluOp;
+
+    fn leaf(pc: usize, reg: u8, live: bool) -> ProvNode {
+        ProvNode {
+            pc,
+            inst: Instruction::Alui { op: AluOp::Add, dst: Reg(9), src: Reg(reg), imm: 1 },
+            operands: [
+                Some(ProvOperand { reg: Reg(reg), always_live: live, child: None, unknown: false, checkpoint_fresh: true }),
+                None,
+                None,
+            ],
+        }
+    }
+
+    fn parent(pc: usize, a: ProvNode, b: ProvNode) -> ProvNode {
+        ProvNode {
+            pc,
+            inst: Instruction::Alu { op: AluOp::Add, dst: Reg(9), lhs: Reg(1), rhs: Reg(2) },
+            operands: [
+                Some(ProvOperand { reg: Reg(1), always_live: true, child: Some(Box::new(a)), unknown: false, checkpoint_fresh: true }),
+                Some(ProvOperand { reg: Reg(2), always_live: true, child: Some(Box::new(b)), unknown: false, checkpoint_fresh: true }),
+                None,
+            ],
+        }
+    }
+
+    #[test]
+    fn size_and_height() {
+        let t = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.height(), 1);
+        assert_eq!(leaf(1, 3, true).height(), 0);
+    }
+
+    #[test]
+    fn merge_identical_keeps_shape() {
+        let mut a = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        let b = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        assert!(a.merge(&b));
+        assert_eq!(a.size(), 3);
+    }
+
+    #[test]
+    fn merge_root_mismatch_fails() {
+        let mut a = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        let b = parent(11, leaf(1, 3, true), leaf(2, 4, true));
+        assert!(!a.merge(&b));
+    }
+
+    #[test]
+    fn merge_prunes_differing_subtrees() {
+        let mut a = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        let b = parent(10, leaf(7, 3, true), leaf(2, 4, true)); // left child differs
+        assert!(a.merge(&b));
+        assert!(a.operands[0].as_ref().unwrap().child.is_none(), "left pruned");
+        assert!(a.operands[1].as_ref().unwrap().child.is_some(), "right kept");
+        assert_eq!(a.size(), 2);
+    }
+
+    #[test]
+    fn merge_accumulates_liveness_conjunctively() {
+        let mut a = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        let b = parent(10, leaf(1, 3, false), leaf(2, 4, true));
+        assert!(a.merge(&b));
+        let left_leaf = a.operands[0].as_ref().unwrap().child.as_ref().unwrap();
+        assert!(!left_leaf.operands[0].as_ref().unwrap().always_live);
+        let right_leaf = a.operands[1].as_ref().unwrap().child.as_ref().unwrap();
+        assert!(right_leaf.operands[0].as_ref().unwrap().always_live);
+    }
+
+    #[test]
+    fn merge_with_missing_child_prunes() {
+        let mut a = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        let mut b = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        b.operands[1].as_mut().unwrap().child = None;
+        assert!(a.merge(&b));
+        assert!(a.operands[1].as_ref().unwrap().child.is_none());
+    }
+
+    #[test]
+    fn post_order_visits_leaves_first() {
+        let t = parent(10, leaf(1, 3, true), leaf(2, 4, true));
+        let mut pcs = Vec::new();
+        t.post_order(&mut |n| pcs.push(n.pc));
+        assert_eq!(pcs, vec![1, 2, 10]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Compute-bound controls: kernels standing in for the 22 benchmarks the
+//! paper reports as *not* benefiting from amnesic execution — their loads
+//! are few, cache-resident, or read-only, so the compiler finds little or
+//! nothing worth swapping (§5: "they did not have many energy-hungry
+//! loads").
+
+use amnesiac_isa::{AluOp, CvtKind, FpOp, FpUnOp, Program, ProgramBuilder, Reg};
+
+use crate::util::{loop_footer, loop_header};
+use crate::Scale;
+
+/// PARSEC `blackscholes` stand-in: per-option closed-form pricing.
+///
+/// Pure FP computation over read-only option parameters; the only loads
+/// read program inputs (non-recomputable by definition, §2.2).
+pub fn blackscholes(scale: Scale) -> Program {
+    let n: u64 = match scale {
+        Scale::Test => 64,
+        Scale::Paper => 24_000,
+    };
+    let mut b = ProgramBuilder::new("blackscholes");
+    let spots: Vec<u64> = (0..n).map(|i| (80.0 + (i % 41) as f64).to_bits()).collect();
+    let spot = b.alloc_data(&spots);
+    b.mark_read_only(spot, n);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let (r_spot, r_i, r_lim, r_addr) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    let (r_k, r_r, r_acc) = (Reg(10), Reg(11), Reg(5));
+    let (t1, t2) = (Reg(40), Reg(41));
+    b.li(r_spot, spot);
+    b.lfi(r_k, 100.0);
+    b.lfi(r_r, 0.05);
+    b.lfi(r_acc, 0.0);
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.alu(AluOp::Add, r_addr, r_spot, r_i);
+    b.load(t1, r_addr, 0); // read-only input: unswappable
+    b.fpu(FpOp::Div, t2, t1, r_k);
+    b.fpu_un(FpUnOp::Ln, t2, t2);
+    b.fpu(FpOp::Add, t2, t2, r_r);
+    b.fpu_un(FpUnOp::Exp, t2, t2);
+    b.fpu(FpOp::Mul, t2, t2, t1);
+    b.fpu_un(FpUnOp::Sqrt, t2, t2);
+    b.fpu(FpOp::Add, r_acc, r_acc, t2);
+    loop_footer(&mut b, r_i, top, done);
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("blackscholes builds")
+}
+
+/// PARSEC `swaptions` stand-in: Monte-Carlo path accumulation.
+///
+/// An in-register LCG drives the paths; there is hardly a load in sight.
+pub fn swaptions(scale: Scale) -> Program {
+    let n: u64 = match scale {
+        Scale::Test => 256,
+        Scale::Paper => 60_000,
+    };
+    let mut b = ProgramBuilder::new("swaptions");
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+    let (r_i, r_lim, r_addr) = (Reg(1), Reg(2), Reg(3));
+    let (r_state, r_a, r_c, r_acc, t1, t2) = (Reg(10), Reg(11), Reg(12), Reg(4), Reg(40), Reg(41));
+    b.li(r_state, 88172645463325252);
+    b.li(r_a, 6364136223846793005);
+    b.li(r_c, 1442695040888963407);
+    b.lfi(r_acc, 0.0);
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.alu(AluOp::Mul, r_state, r_state, r_a);
+    b.alu(AluOp::Add, r_state, r_state, r_c);
+    b.alui(AluOp::Shr, t1, r_state, 33);
+    b.cvt(CvtKind::I2F, t1, t1);
+    b.lfi(t2, 4294967296.0);
+    b.fpu(FpOp::Div, t1, t1, t2);
+    b.fpu_un(FpUnOp::Sqrt, t1, t1);
+    b.fpu(FpOp::Add, r_acc, r_acc, t1);
+    loop_footer(&mut b, r_i, top, done);
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("swaptions builds")
+}
+
+/// PARSEC `freqmine` stand-in: itemset counting over a tiny hot table.
+///
+/// The count table fits comfortably in L1, so every swappable load has an
+/// `E_ld` budget of a single L1 access — recomputation cannot pay.
+pub fn freqmine(scale: Scale) -> Program {
+    let n: u64 = match scale {
+        Scale::Test => 256,
+        Scale::Paper => 48_000,
+    };
+    const TABLE: u64 = 64;
+    let mut b = ProgramBuilder::new("freqmine");
+    let counts = b.alloc_zeroed(TABLE);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+    let (r_counts, r_i, r_lim, r_addr) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    let (r_acc, t1, t2) = (Reg(5), Reg(40), Reg(41));
+    b.li(r_counts, counts);
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.alui(AluOp::Mul, t1, r_i, 2654435761);
+    b.alui(AluOp::Shr, t1, t1, 8);
+    b.alui(AluOp::And, t1, t1, TABLE - 1);
+    b.alu(AluOp::Add, r_addr, r_counts, t1);
+    b.load(t2, r_addr, 0); // hot L1 load: rejected by the budget rule
+    b.alui(AluOp::Add, t2, t2, 1);
+    b.store(t2, r_addr, 0);
+    loop_footer(&mut b, r_i, top, done);
+    b.li(r_acc, 0);
+    let (top, done) = loop_header(&mut b, r_i, r_lim, TABLE);
+    b.alu(AluOp::Add, r_addr, r_counts, r_i);
+    b.load(t2, r_addr, 0);
+    b.alu(AluOp::Add, r_acc, r_acc, t2);
+    loop_footer(&mut b, r_i, top, done);
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("freqmine builds")
+}
+
+/// Rodinia `kmeans` stand-in: distance evaluation against hot centroids.
+pub fn kmeans(scale: Scale) -> Program {
+    let n: u64 = match scale {
+        Scale::Test => 128,
+        Scale::Paper => 32_000,
+    };
+    const K: u64 = 8;
+    let mut b = ProgramBuilder::new("kmeans");
+    let cents: Vec<u64> = (0..K).map(|k| (1.5 * k as f64).to_bits()).collect();
+    let cent = b.alloc_data(&cents);
+    b.mark_read_only(cent, K);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+    let (r_cent, r_i, r_lim, r_addr) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    let (r_if, r_best, r_acc, t1, t2) = (Reg(5), Reg(6), Reg(7), Reg(40), Reg(41));
+    b.li(r_cent, cent);
+    b.lfi(r_acc, 0.0);
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.cvt(CvtKind::I2F, r_if, r_i);
+    b.lfi(r_best, 1.0e300);
+    for k in 0..K {
+        b.load(t1, r_cent, k as i64); // read-only centroid: unswappable
+        b.fpu(FpOp::Sub, t2, r_if, t1);
+        b.fpu(FpOp::Mul, t2, t2, t2);
+        b.fpu(FpOp::Min, r_best, r_best, t2);
+    }
+    b.fpu(FpOp::Add, r_acc, r_acc, r_best);
+    loop_footer(&mut b, r_i, top, done);
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("kmeans builds")
+}
+
+/// Rodinia `hotspot` stand-in: small-grid thermal relaxation.
+///
+/// Like `srad` structurally, but the grid is tiny and the per-cell chain
+/// is dominated by cheap adds — recomputation has nothing expensive to
+/// displace, so gains stay marginal.
+pub fn hotspot(scale: Scale) -> Program {
+    let (n, sweeps): (u64, u64) = match scale {
+        Scale::Test => (64, 2),
+        Scale::Paper => (512, 24),
+    };
+    let mut b = ProgramBuilder::new("hotspot");
+    let grid = b.alloc_data(&vec![2.0f64.to_bits(); n as usize]);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+    let (r_grid, r_j, r_lim, r_addr) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    let (r_k, r_s, r_slim, t_c, t1) = (Reg(10), Reg(5), Reg(6), Reg(40), Reg(41));
+    b.li(r_grid, grid);
+    b.lfi(r_k, 0.9375);
+    let (stop, sdone) = loop_header(&mut b, r_s, r_slim, sweeps);
+    {
+        let (top, done) = loop_header(&mut b, r_j, Reg(42), n);
+        b.alu(AluOp::Add, r_addr, r_grid, r_j);
+        b.load(t_c, r_addr, 0);
+        b.fpu(FpOp::Mul, t_c, t_c, r_k);
+        b.store(t_c, r_addr, 0);
+        loop_footer(&mut b, r_j, top, done);
+    }
+    loop_footer(&mut b, r_s, stop, sdone);
+    let r_acc = Reg(7);
+    b.lfi(r_acc, 0.0);
+    let (top, done) = loop_header(&mut b, r_j, r_lim, n);
+    b.alu(AluOp::Add, r_addr, r_grid, r_j);
+    b.load(t1, r_addr, 0);
+    b.fpu(FpOp::Add, r_acc, r_acc, t1);
+    loop_footer(&mut b, r_j, top, done);
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("hotspot builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_sim::{ClassicCore, CoreConfig};
+
+    fn runs_and_produces_output(p: &Program) {
+        let r = ClassicCore::new(CoreConfig::paper()).run(p).unwrap();
+        assert_eq!(r.final_memory.len(), 1);
+    }
+
+    #[test]
+    fn all_controls_run_at_test_scale() {
+        for p in [
+            blackscholes(Scale::Test),
+            swaptions(Scale::Test),
+            freqmine(Scale::Test),
+            kmeans(Scale::Test),
+            hotspot(Scale::Test),
+        ] {
+            runs_and_produces_output(&p);
+        }
+    }
+
+    #[test]
+    fn freqmine_counts_every_item() {
+        let p = freqmine(Scale::Test);
+        let r = ClassicCore::new(CoreConfig::paper()).run(&p).unwrap();
+        let addr = *r.final_memory.keys().next().unwrap();
+        assert_eq!(r.final_memory[&addr], 256, "every key lands in a bucket");
+    }
+
+    #[test]
+    fn hotspot_decays_toward_zero() {
+        let p = hotspot(Scale::Test);
+        let r = ClassicCore::new(CoreConfig::paper()).run(&p).unwrap();
+        let addr = *r.final_memory.keys().next().unwrap();
+        let total = f64::from_bits(r.final_memory[&addr]);
+        let expected = 64.0 * 2.0 * 0.9375f64.powi(2);
+        assert!((total - expected).abs() < 1e-9, "{total} vs {expected}");
+    }
+}

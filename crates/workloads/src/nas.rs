@@ -1,0 +1,253 @@
+//! NAS Parallel Benchmark stand-ins: `cg` and `is`.
+
+use amnesiac_isa::{AluOp, BranchCond, CvtKind, FpOp, Program, ProgramBuilder, Reg};
+
+use crate::util::{loop_footer, loop_header, random_indices};
+use crate::Scale;
+
+/// Number of struct-of-arrays lanes in the CG stand-in (the band width of
+/// the sparse operator).
+const CG_LANES: u8 = 6;
+
+/// NAS `CG` stand-in: conjugate-gradient-style sparse operator.
+///
+/// The vectors are laid out struct-of-arrays (as NAS CG lays out its
+/// matrix): phase 1 fills `x_d[i] = float(i)·a_d + b_d` per lane, phase 2
+/// applies the operator `y[i] = Σ_d w_d · x_d[i]`, phase 3 folds
+/// `Σ y[i]²`. The vectors exceed L2, so the streaming reloads show the
+/// paper's 87/0/12 profile, and the `y` reloads of phase 3 carry *long*
+/// slices — the whole per-element operator chain, seen through the
+/// intermediate `x_d` loads (Fig. 6c shows cg slices up to ~60).
+///
+/// All slice leaves are pure functions of the element index (kept in the
+/// same register by every phase) and of lane constants, some of which are
+/// clobbered after phase 2 to exercise `Hist`.
+pub fn cg(scale: Scale) -> Program {
+    let n: u64 = match scale {
+        Scale::Test => 96,
+        Scale::Paper => 16_000,
+    };
+    let mut b = ProgramBuilder::new("cg");
+    let lanes: Vec<u64> = (0..CG_LANES).map(|_| b.alloc_zeroed(n)).collect();
+    let offsets: Vec<f64> = (0..CG_LANES).map(|d| 1.0 - 0.125 * d as f64).collect();
+    let off_base = b.alloc_f64(&offsets);
+    b.mark_read_only(off_base, CG_LANES as u64);
+    let y = b.alloc_zeroed(n);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_i = Reg(1); // element index, shared by all phases
+    let r_lim = Reg(2);
+    let r_addr = Reg(3);
+    let r_if = Reg(4);
+    let r_acc = Reg(5);
+    let r_y = Reg(6);
+    // lane parameters: a_d in r10.., b_d in r16.. (the matrix diagonal
+    // offsets, loaded from the read-only problem input), w_d in r22..
+    b.li(r_addr, off_base);
+    for d in 0..CG_LANES {
+        b.lfi(Reg(10 + d), 0.5 + 0.25 * d as f64);
+        b.load(Reg(16 + d), r_addr, d as i64);
+        b.lfi(Reg(22 + d), 0.0625 * (d + 1) as f64);
+    }
+    b.li(r_y, y);
+    let r_lane0 = Reg(7);
+    b.li(r_lane0, lanes[0]);
+
+    let (t1, t2) = (Reg(40), Reg(41));
+
+    // phase 1: fill the lanes
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.cvt(CvtKind::I2F, r_if, r_i);
+    for (d, &lane) in lanes.iter().enumerate() {
+        b.fpu(FpOp::Mul, t1, r_if, Reg(10 + d as u8));
+        b.fpu(FpOp::Add, t1, t1, Reg(16 + d as u8));
+        b.li(r_addr, lane);
+        b.alu(AluOp::Add, r_addr, r_addr, r_i);
+        b.store(t1, r_addr, 0);
+    }
+    loop_footer(&mut b, r_i, top, done);
+
+    // phase 2: y = Σ_d w_d · x_d (the x_d reloads carry short slices)
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.lfi(r_acc, 0.0);
+    for (d, &lane) in lanes.iter().enumerate() {
+        b.li(r_addr, lane);
+        b.alu(AluOp::Add, r_addr, r_addr, r_i);
+        b.load(t1, r_addr, 0);
+        b.fma(r_acc, t1, Reg(22 + d as u8), r_acc);
+    }
+    b.alu(AluOp::Add, r_addr, r_y, r_i);
+    b.store(r_acc, r_addr, 0);
+    loop_footer(&mut b, r_i, top, done);
+
+    // clobber the b_d offsets: they become Hist-buffered leaves
+    for d in 0..CG_LANES {
+        b.lfi(Reg(16 + d), 0.0);
+    }
+
+    // phase 3: Σ y² (the y reloads carry the full operator slice)
+    b.lfi(r_acc, 0.0);
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.alu(AluOp::Add, r_addr, r_y, r_i);
+    b.load(t2, r_addr, 0);
+    b.fma(r_acc, t2, t2, r_acc);
+    loop_footer(&mut b, r_i, top, done);
+
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("cg builds")
+}
+
+/// Number of buckets in the IS stand-in.
+const IS_BUCKETS: u64 = 32;
+
+/// NAS `IS` stand-in: integer bucket sort of a large key space.
+///
+/// Phase 1 counts bucket occupancy over a read-only key array; phase 2
+/// writes the sorted sequence bucket-major-interleaved (`out[b + B·r] =
+/// b·σ + κ`); phase 3 re-walks the same nested structure verifying a
+/// checksum. The interleaved layout defeats spatial locality, so the
+/// reloads reach L2 and memory heavily — the driver of IS's standout EDP
+/// gain in the paper (87%, Fig. 3), with the near-trivial slices of
+/// Fig. 6d and, uniquely among the benchmarks, almost no
+/// non-recomputable inputs (Fig. 7): the slice leaves are the live bucket
+/// register and constants.
+pub fn is(scale: Scale) -> Program {
+    is_with_input(scale, 23)
+}
+
+/// [`is`] with a custom RNG seed for its key array — used by the
+/// cross-input generalization tests.
+pub fn is_with_input(scale: Scale, seed: u64) -> Program {
+    let n_keys: u64 = match scale {
+        Scale::Test => 256,
+        Scale::Paper => 144_000,
+    };
+    let mut b = ProgramBuilder::new("is");
+    let keys = b.alloc_data(&random_indices(seed, n_keys as usize, IS_BUCKETS));
+    b.mark_read_only(keys, n_keys);
+    let counts = b.alloc_zeroed(IS_BUCKETS);
+    let outbuf = b.alloc_zeroed(n_keys + IS_BUCKETS);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_keys = Reg(1);
+    let r_counts = Reg(2);
+    let r_out = Reg(3);
+    let r_k = Reg(4);
+    let r_lim = Reg(5);
+    let r_addr = Reg(6);
+    let r_b = Reg(7); // bucket index, shared by phases 2 and 3
+    let r_r = Reg(8); // rank within bucket
+    let r_run = Reg(9);
+    let r_sigma = Reg(10);
+    let r_kappa = Reg(11);
+    let (t1, t2) = (Reg(40), Reg(41));
+
+    b.li(r_keys, keys);
+    b.li(r_counts, counts);
+    b.li(r_out, outbuf);
+    b.li(r_sigma, 1103);
+    b.li(r_kappa, 17);
+
+    // phase 1: histogram
+    let (top, done) = loop_header(&mut b, r_k, r_lim, n_keys);
+    b.alu(AluOp::Add, r_addr, r_keys, r_k);
+    b.load(t1, r_addr, 0);
+    b.alu(AluOp::Add, r_addr, r_counts, t1);
+    b.load(t2, r_addr, 0);
+    b.alui(AluOp::Add, t2, t2, 1);
+    b.store(t2, r_addr, 0);
+    loop_footer(&mut b, r_k, top, done);
+
+    // phase 2: emit bucket-major-interleaved sorted values
+    let r_blim = Reg(12);
+    let (btop, bdone) = loop_header(&mut b, r_b, r_blim, IS_BUCKETS);
+    b.alu(AluOp::Add, r_addr, r_counts, r_b);
+    b.load(r_run, r_addr, 0);
+    {
+        b.li(r_r, 0);
+        let rtop = b.label();
+        let rdone = b.label();
+        b.bind(rtop).expect("fresh");
+        b.branch(BranchCond::Geu, r_r, r_run, rdone);
+        b.alu(AluOp::Mul, t1, r_b, r_sigma); // the recomputable value
+        b.alu(AluOp::Add, t1, t1, r_kappa);
+        b.alui(AluOp::Mul, t2, r_r, IS_BUCKETS); // b + B·r addressing
+        b.alu(AluOp::Add, t2, t2, r_b);
+        b.alu(AluOp::Add, r_addr, r_out, t2);
+        b.store(t1, r_addr, 0);
+        b.alui(AluOp::Add, r_r, r_r, 1);
+        b.jump(rtop);
+        b.bind(rdone).expect("fresh");
+    }
+    loop_footer(&mut b, r_b, btop, bdone);
+
+    // phase 3: verify in the same nested order (r_b live at the reloads)
+    let r_acc = Reg(13);
+    b.li(r_acc, 0);
+    let (btop, bdone) = loop_header(&mut b, r_b, r_blim, IS_BUCKETS);
+    b.alu(AluOp::Add, r_addr, r_counts, r_b);
+    b.load(r_run, r_addr, 0);
+    {
+        b.li(r_r, 0);
+        let rtop = b.label();
+        let rdone = b.label();
+        b.bind(rtop).expect("fresh");
+        b.branch(BranchCond::Geu, r_r, r_run, rdone);
+        b.alui(AluOp::Mul, t2, r_r, IS_BUCKETS);
+        b.alu(AluOp::Add, t2, t2, r_b);
+        b.alu(AluOp::Add, r_addr, r_out, t2);
+        b.load(t1, r_addr, 0); // the swappable sorted-value load
+        b.alu(AluOp::Add, r_acc, r_acc, t1);
+        b.alui(AluOp::Add, r_r, r_r, 1);
+        b.jump(rtop);
+        b.bind(rdone).expect("fresh");
+    }
+    loop_footer(&mut b, r_b, btop, bdone);
+
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("is builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_sim::{ClassicCore, CoreConfig};
+
+    #[test]
+    fn cg_norm_matches_reference() {
+        let p = cg(Scale::Test);
+        let r = ClassicCore::new(CoreConfig::paper()).run(&p).unwrap();
+        let n = 96u64;
+        let mut expected = 0.0f64;
+        for i in 0..n {
+            let fi = i as f64;
+            let mut y = 0.0f64;
+            for d in 0..CG_LANES {
+                let x = fi * (0.5 + 0.25 * d as f64) + (1.0 - 0.125 * d as f64);
+                y = x.mul_add(0.0625 * (d + 1) as f64, y);
+            }
+            expected = y.mul_add(y, expected);
+        }
+        let out_addr = *r.final_memory.keys().next().unwrap();
+        assert_eq!(f64::from_bits(r.final_memory[&out_addr]), expected);
+    }
+
+    #[test]
+    fn is_checksum_counts_every_key() {
+        let p = is(Scale::Test);
+        let r = ClassicCore::new(CoreConfig::paper()).run(&p).unwrap();
+        let keys = random_indices(23, 256, IS_BUCKETS);
+        let expected: u64 = keys
+            .iter()
+            .map(|&b| b.wrapping_mul(1103).wrapping_add(17))
+            .fold(0u64, |a, x| a.wrapping_add(x));
+        let out_addr = *r.final_memory.keys().next().unwrap();
+        assert_eq!(r.final_memory[&out_addr], expected);
+    }
+}

@@ -1,0 +1,436 @@
+//! PARSEC stand-ins: `canneal`, `facesim`, `ferret`, and `raytrace`.
+
+use amnesiac_isa::{AluOp, BranchCond, CvtKind, FpOp, Program, ProgramBuilder, Reg};
+
+use crate::util::{loop_footer, loop_header, random_indices};
+use crate::Scale;
+
+/// Emits a loop header whose counter advances by `step` (the builder's
+/// footer idiom with a custom stride, used by the strided consumers).
+fn strided_loop(
+    b: &mut ProgramBuilder,
+    counter: Reg,
+    limit: Reg,
+    n: u64,
+    step: u64,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    b.li(counter, 0);
+    b.li(limit, n);
+    let top = b.label();
+    let done = b.label();
+    b.bind(top).expect("fresh");
+    b.branch(BranchCond::Geu, counter, limit, done);
+    body(b);
+    b.alui(AluOp::Add, counter, counter, step);
+    b.jump(top);
+    b.bind(done).expect("fresh");
+}
+
+/// PARSEC `canneal` stand-in: annealing cost table with random swap reads.
+///
+/// Phase 1 computes a routing-cost entry per netlist element — an integer
+/// mix of the element index and placement weights. Phase 2 models the
+/// annealing loop: random element pairs are visited (indices from a
+/// read-only "swap schedule") and their costs accumulated. Random access
+/// over a memory-resident table gives canneal's 28/8/65 profile.
+pub fn canneal(scale: Scale) -> Program {
+    canneal_with_input(scale, 31)
+}
+
+/// [`canneal`] with a custom RNG seed for its swap schedule — used by the
+/// cross-input generalization tests.
+pub fn canneal_with_input(scale: Scale, seed: u64) -> Program {
+    let (n, m): (u64, u64) = match scale {
+        Scale::Test => (128, 96),
+        Scale::Paper => (128_000, 64_000),
+    };
+    let mut b = ProgramBuilder::new("ca");
+    let cost = b.alloc_zeroed(n);
+    let sched = b.alloc_data(&random_indices(seed, m as usize, n));
+    b.mark_read_only(sched, m);
+    let weights = b.alloc_data(&[2166136261, 1299721]);
+    b.mark_read_only(weights, 2);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_cost = Reg(1);
+    let r_sched = Reg(2);
+    let r_i = Reg(3); // element index, shared by producer and consumer
+    let r_lim = Reg(4);
+    let r_addr = Reg(5);
+    let r_wx = Reg(10);
+    let r_wy = Reg(11);
+    let r_wb = Reg(12);
+    let (t1, t2) = (Reg(40), Reg(41));
+
+    b.li(r_cost, cost);
+    b.li(r_sched, sched);
+    b.li(r_wx, 40503);
+    // the placement weights come from the read-only netlist description
+    b.li(r_addr, weights);
+    b.load(r_wy, r_addr, 0);
+    b.load(r_wb, r_addr, 1);
+
+    // phase 1: cost table
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.alu(AluOp::Mul, t1, r_i, r_wx);
+    b.alu(AluOp::Mul, t2, r_i, r_wy);
+    b.alui(AluOp::Shr, t2, t2, 2);
+    b.alu(AluOp::Xor, t1, t1, t2);
+    b.alu(AluOp::Add, t1, t1, r_wb);
+    b.alu(AluOp::Add, r_addr, r_cost, r_i);
+    b.store(t1, r_addr, 0);
+    loop_footer(&mut b, r_i, top, done);
+
+    // the placement weights are re-targeted for the next temperature step:
+    // wy and wb become Hist-buffered slice inputs
+    b.li(r_wy, 0);
+    b.li(r_wb, 0);
+
+    // phase 2: annealing swap evaluation
+    let r_k = Reg(6);
+    let r_klim = Reg(7);
+    let r_acc = Reg(8);
+    b.li(r_acc, 0);
+    let (top, done) = loop_header(&mut b, r_k, r_klim, m);
+    b.alu(AluOp::Add, r_addr, r_sched, r_k);
+    b.load(r_i, r_addr, 0); // element id into the producer's register
+    b.alu(AluOp::Add, r_addr, r_cost, r_i);
+    b.load(t1, r_addr, 0); // the swappable cost load
+    b.alu(AluOp::Add, r_acc, r_acc, t1);
+    loop_footer(&mut b, r_k, top, done);
+
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("ca builds")
+}
+
+/// PARSEC `facesim` stand-in: dense per-node physics update.
+///
+/// Phase 1 computes a stress value per mesh node through a long FP chain
+/// (nested products of affine functions of the node index — facesim's
+/// per-node slices run to ~50 instructions in Fig. 6f). Phase 2 sweeps the
+/// node array with stride 4 (visiting the x-component of a 4-word node
+/// record), splitting residency between L1 and memory as in the paper's
+/// 56/2/42 profile.
+pub fn facesim(scale: Scale) -> Program {
+    let n: u64 = match scale {
+        Scale::Test => 256,
+        Scale::Paper => 96_000,
+    };
+    let mut b = ProgramBuilder::new("fs");
+    let nodes = b.alloc_zeroed(n);
+    let material: Vec<f64> = [1, 3, 6].iter().map(|&k| 0.35 + 0.11 * k as f64).collect();
+    let mat_base = b.alloc_f64(&material);
+    b.mark_read_only(mat_base, 3);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_nodes = Reg(1);
+    let r_i = Reg(2);
+    let r_lim = Reg(3);
+    let r_addr = Reg(4);
+    let r_if = Reg(5);
+    // material parameters c1..c8; c2/c4/c7 come from the read-only
+    // material model
+    for k in 0..8u8 {
+        b.lfi(Reg(10 + k), 0.35 + 0.11 * k as f64);
+    }
+    b.li(r_addr, mat_base);
+    b.load(Reg(11), r_addr, 0);
+    b.load(Reg(13), r_addr, 1);
+    b.load(Reg(16), r_addr, 2);
+    b.li(r_nodes, nodes);
+    let (t1, t2, t3) = (Reg(40), Reg(41), Reg(42));
+
+    // phase 1: stress chains
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.cvt(CvtKind::I2F, r_if, r_i);
+    b.fpu(FpOp::Mul, t1, r_if, Reg(10));
+    b.fpu(FpOp::Add, t1, t1, Reg(11));
+    b.fpu(FpOp::Mul, t2, r_if, Reg(12));
+    b.fpu(FpOp::Add, t2, t2, Reg(13));
+    b.fpu(FpOp::Mul, t3, t1, t2);
+    b.fma(t3, t1, Reg(14), t3);
+    b.fma(t3, t2, Reg(15), t3);
+    b.fpu(FpOp::Mul, t1, t3, t3);
+    b.fma(t1, t3, Reg(16), t1);
+    b.fpu(FpOp::Add, t1, t1, Reg(17));
+    b.alu(AluOp::Add, r_addr, r_nodes, r_i);
+    b.store(t1, r_addr, 0);
+    loop_footer(&mut b, r_i, top, done);
+
+    // the material constants are rescaled between frames: c2/c4/c6 become
+    // Hist-buffered inputs
+    b.lfi(Reg(11), 0.0);
+    b.lfi(Reg(13), 0.0);
+    b.lfi(Reg(16), 0.0);
+
+    // phase 2: strided gather of node x-components
+    let r_acc = Reg(6);
+    b.lfi(r_acc, 0.0);
+    strided_loop(&mut b, r_i, r_lim, n, 4, |b| {
+        b.alu(AluOp::Add, r_addr, r_nodes, r_i);
+        b.load(t1, r_addr, 0); // the swappable stress load
+        b.fpu(FpOp::Add, r_acc, r_acc, t1);
+    });
+
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("fs builds")
+}
+
+/// PARSEC `ferret` stand-in: image-feature distance scoring.
+///
+/// Phase 1 computes, per candidate image, an 8-dimension squared distance
+/// between the query descriptor and the candidate's descriptor (a linear
+/// function of the candidate id) — ferret's medium-length slices. Phase 2
+/// ranks candidates with a stride-3 sweep (63/10/27 residency).
+pub fn ferret(scale: Scale) -> Program {
+    let n: u64 = match scale {
+        Scale::Test => 192,
+        Scale::Paper => 96_000,
+    };
+    let mut b = ProgramBuilder::new("fe");
+    let dist = b.alloc_zeroed(n);
+    let query_base = b.alloc_f64(&[3.0]);
+    b.mark_read_only(query_base, 1);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_dist = Reg(1);
+    let r_i = Reg(2);
+    let r_lim = Reg(3);
+    let r_addr = Reg(4);
+    let r_if = Reg(5);
+    let r_acc = Reg(6);
+    // query descriptor q_d in r10..r17 (loaded from the read-only query
+    // image), candidate basis c_d in r18..r25
+    b.li(r_addr, query_base);
+    b.load(Reg(10), r_addr, 0);
+    for d in 1..6u8 {
+        b.lfi(Reg(10 + d), 3.0 - 0.3 * d as f64);
+    }
+    for d in 0..6u8 {
+        b.lfi(Reg(18 + d), 0.01 + 0.004 * d as f64);
+    }
+    b.li(r_dist, dist);
+    let t1 = Reg(40);
+
+    // phase 1: distance table
+    let (top, done) = loop_header(&mut b, r_i, r_lim, n);
+    b.cvt(CvtKind::I2F, r_if, r_i);
+    b.lfi(r_acc, 0.0);
+    for d in 0..6u8 {
+        b.fpu(FpOp::Mul, t1, r_if, Reg(18 + d));
+        b.fpu(FpOp::Sub, t1, t1, Reg(10 + d));
+        b.fma(r_acc, t1, t1, r_acc);
+    }
+    b.alu(AluOp::Add, r_addr, r_dist, r_i);
+    b.store(r_acc, r_addr, 0);
+    loop_footer(&mut b, r_i, top, done);
+
+    // the query registers are reused for the next query: q_d become
+    // Hist-buffered inputs
+    for d in 0..6u8 {
+        b.lfi(Reg(10 + d), 0.0);
+    }
+
+    // phase 2: stride-3 ranking sweep
+    let r_best = Reg(7);
+    b.lfi(r_best, 1.0e300);
+    strided_loop(&mut b, r_i, r_lim, n, 3, |b| {
+        b.alu(AluOp::Add, r_addr, r_dist, r_i);
+        b.load(t1, r_addr, 0); // the swappable distance load
+        b.fpu(FpOp::Min, r_best, r_best, t1);
+    });
+
+    b.li(r_addr, out);
+    b.store(r_best, r_addr, 0);
+    b.halt();
+    b.finish().expect("fe builds")
+}
+
+/// PARSEC `raytrace` stand-in: ray-sphere intersection against a hot
+/// scene table.
+///
+/// Phase 1 derives per-sphere intersection coefficients from the sphere
+/// index and camera parameters (short slices). Phase 2 shoots rays; each
+/// ray selects a sphere by hashing the ray id into the *same* register the
+/// builder used and evaluates a discriminant, writing a framebuffer
+/// stream. The scene table stays cache-hot (93/1/6 in the paper) while the
+/// framebuffer stream provides light eviction pressure.
+pub fn raytrace(scale: Scale) -> Program {
+    let (spheres, rays, texture_words): (u64, u64, u64) = match scale {
+        Scale::Test => (64, 128, 256),
+        Scale::Paper => (2_048, 48_000, 65_536),
+    };
+    debug_assert!(spheres.is_power_of_two());
+    debug_assert!(texture_words.is_power_of_two());
+    let mut b = ProgramBuilder::new("rt");
+    let scene = b.alloc_zeroed(spheres);
+    let camera = b.alloc_f64(&[-1.25, 2.5]);
+    b.mark_read_only(camera, 2);
+    let texture: Vec<f64> = (0..texture_words).map(|i| 0.001 * (i % 251) as f64).collect();
+    let tex_base = b.alloc_f64(&texture);
+    b.mark_read_only(tex_base, texture_words);
+    let frame = b.alloc_zeroed(rays);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_scene = Reg(1);
+    let r_s = Reg(2); // sphere index, shared by producer and consumer
+    let r_lim = Reg(3);
+    let r_addr = Reg(4);
+    let r_sf = Reg(5);
+    let r_cam1 = Reg(10);
+    let r_cam2 = Reg(11);
+    let r_cam3 = Reg(12);
+    let (t1, t2) = (Reg(40), Reg(41));
+
+    b.li(r_scene, scene);
+    b.lfi(r_cam1, 0.75);
+    // the camera pose is part of the read-only scene description
+    b.li(r_addr, camera);
+    b.load(r_cam2, r_addr, 0);
+    b.load(r_cam3, r_addr, 1);
+
+    // phase 1: per-sphere coefficients (rt slices are the shortest of the
+    // PARSEC set — Fig. 6h: mostly 2-3 instructions)
+    let (top, done) = loop_header(&mut b, r_s, r_lim, spheres);
+    b.cvt(CvtKind::I2F, r_sf, r_s);
+    b.fma(t2, r_sf, r_cam1, r_cam2);
+    b.alu(AluOp::Add, r_addr, r_scene, r_s);
+    b.store(t2, r_addr, 0);
+    loop_footer(&mut b, r_s, top, done);
+    let _ = (t1, r_cam3);
+
+    // the camera moves between frames: cam2 becomes a Hist input
+    b.lfi(r_cam2, 0.0);
+
+    // phase 2: shoot rays
+    let r_k = Reg(6);
+    let r_klim = Reg(7);
+    let r_frame = Reg(8);
+    let r_acc = Reg(9);
+    b.li(r_frame, frame);
+    b.lfi(r_acc, 0.0);
+    let r_tex = Reg(13);
+    b.li(r_tex, tex_base);
+    let (top, done) = loop_header(&mut b, r_k, r_klim, rays);
+    // hash the ray id to a sphere, into the producer's index register
+    b.alui(AluOp::Mul, r_s, r_k, 2654435761);
+    b.alui(AluOp::Shr, r_s, r_s, 7);
+    b.alui(AluOp::And, r_s, r_s, spheres - 1);
+    b.alu(AluOp::Add, r_addr, r_scene, r_s);
+    b.load(t1, r_addr, 0); // the swappable coefficient load
+    b.fpu(FpOp::Add, r_acc, r_acc, t1);
+    // texture sample on every fourth ray: random access over the
+    // memory-resident texture (read-only, unswappable — rt's off-chip
+    // load traffic)
+    {
+        use amnesiac_isa::BranchCond;
+        let skip_tex = b.label();
+        b.alui(AluOp::And, t2, r_k, 3);
+        let zero = Reg(14);
+        b.li(zero, 0);
+        b.branch(BranchCond::Ne, t2, zero, skip_tex);
+        b.alui(AluOp::Mul, t2, r_k, 0x9e3779b9);
+        b.alui(AluOp::Shr, t2, t2, 5);
+        b.alui(AluOp::And, t2, t2, texture_words - 1);
+        b.alu(AluOp::Add, t2, t2, r_tex);
+        b.load(t2, t2, 0);
+        b.fpu(FpOp::Add, r_acc, r_acc, t2);
+        b.bind(skip_tex).expect("fresh");
+    }
+    // framebuffer stream (eviction pressure)
+    b.alu(AluOp::Add, r_addr, r_frame, r_k);
+    b.store(t1, r_addr, 0);
+    loop_footer(&mut b, r_k, top, done);
+
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("rt builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_sim::{ClassicCore, CoreConfig};
+
+    fn out_value(p: &Program) -> u64 {
+        let r = ClassicCore::new(CoreConfig::paper()).run(p).unwrap();
+        let addr = *r.final_memory.keys().next().unwrap();
+        r.final_memory[&addr]
+    }
+
+    #[test]
+    fn canneal_checksum_matches_reference() {
+        let cost = |i: u64| {
+            (i.wrapping_mul(40503) ^ (i.wrapping_mul(2166136261) >> 2)).wrapping_add(1299721)
+        };
+        let sched = random_indices(31, 96, 128);
+        let expected = sched
+            .iter()
+            .fold(0u64, |a, &i| a.wrapping_add(cost(i)));
+        assert_eq!(out_value(&canneal(Scale::Test)), expected);
+    }
+
+    #[test]
+    fn facesim_stride_sum_matches_reference() {
+        let c: Vec<f64> = (0..8).map(|k| 0.35 + 0.11 * k as f64).collect();
+        let stress = |i: u64| {
+            let v = i as f64;
+            let t1 = v * c[0] + c[1];
+            let t2 = v * c[2] + c[3];
+            let mut t3 = t1 * t2;
+            t3 = t1.mul_add(c[4], t3);
+            t3 = t2.mul_add(c[5], t3);
+            let mut r = t3 * t3;
+            r = t3.mul_add(c[6], r);
+            r + c[7]
+        };
+        let expected = (0..256u64)
+            .step_by(4)
+            .fold(0.0f64, |a, i| a + stress(i));
+        assert_eq!(f64::from_bits(out_value(&facesim(Scale::Test))), expected);
+    }
+
+    #[test]
+    fn ferret_finds_minimum_distance() {
+        let dist = |i: u64| {
+            let v = i as f64;
+            (0..6).fold(0.0f64, |acc, d| {
+                let q = 3.0 - 0.3 * d as f64;
+                let cb = 0.01 + 0.004 * d as f64;
+                let t = v * cb - q;
+                t.mul_add(t, acc)
+            })
+        };
+        let expected = (0..192u64)
+            .step_by(3)
+            .map(dist)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(f64::from_bits(out_value(&ferret(Scale::Test))), expected);
+    }
+
+    #[test]
+    fn raytrace_accumulates_coefficients_and_texture() {
+        let coeff = |s: u64| (s as f64).mul_add(0.75, -1.25);
+        // accumulate in program order (fp addition is not associative)
+        let mut expected = 0.0f64;
+        for k in 0..128u64 {
+            let s = (k.wrapping_mul(2654435761) >> 7) & 63;
+            expected += coeff(s);
+            if k % 4 == 0 {
+                let t = (k.wrapping_mul(0x9e3779b9) >> 5) & 255;
+                expected += 0.001 * (t % 251) as f64;
+            }
+        }
+        assert_eq!(f64::from_bits(out_value(&raytrace(Scale::Test))), expected);
+    }
+}

@@ -1,0 +1,446 @@
+//! Rodinia stand-ins: `backprop`, `bfs`, and `srad`.
+
+use amnesiac_isa::{AluOp, BranchCond, CvtKind, FpOp, Program, ProgramBuilder, Reg};
+
+use crate::util::{loop_footer, loop_header, random_indices};
+use crate::Scale;
+
+/// Rodinia `backprop` stand-in: MLP forward activations reused in the
+/// backward pass.
+///
+/// The forward pass computes one sigmoid activation per (sample, hidden
+/// unit) pair — an unrolled 4-input weighted sum squashed through
+/// `1/(1+e^-x)` — into a memory-resident activation buffer. The backward
+/// pass reads the buffer twice: a sequential delta sweep and a stride-8
+/// weight-gradient gather, blending to backprop's 72/0/27 residency.
+/// The input weights live in registers that the backward pass reuses,
+/// making them `Hist`-buffered slice leaves.
+pub fn backprop(scale: Scale) -> Program {
+    let n: u64 = match scale {
+        Scale::Test => 192,
+        Scale::Paper => 80_000,
+    };
+    let mut b = ProgramBuilder::new("bp");
+    let acts = b.alloc_zeroed(n);
+    let wt_base = b.alloc_f64(&[0.02]);
+    b.mark_read_only(wt_base, 1);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_acts = Reg(1);
+    let r_j = Reg(2); // unit index, shared by forward and backward passes
+    let r_lim = Reg(3);
+    let r_addr = Reg(4);
+    let r_jf = Reg(5);
+    let r_one = Reg(6);
+    // weights w_d in r10..r13 (loaded from the read-only trained model),
+    // input couplings s_d in r14..r17
+    b.li(r_addr, wt_base);
+    b.load(Reg(10), r_addr, 0);
+    for d in 0..4u8 {
+        if d > 0 {
+            b.lfi(Reg(10 + d), 0.02 + 0.015 * d as f64);
+        }
+        b.lfi(Reg(14 + d), 1.0 / (1.0 + d as f64));
+    }
+    b.lfi(r_one, 1.0);
+    b.li(r_acts, acts);
+    let (t1, t2) = (Reg(40), Reg(41));
+
+    // forward pass: act[j] = sigmoid(Σ_d w_d·(j·s_d))
+    let (top, done) = loop_header(&mut b, r_j, r_lim, n);
+    b.cvt(CvtKind::I2F, r_jf, r_j);
+    b.lfi(t2, -0.5);
+    for d in 0..4u8 {
+        b.fpu(FpOp::Mul, t1, r_jf, Reg(14 + d));
+        b.fma(t2, t1, Reg(10 + d), t2);
+    }
+    // quadratic squash (a cheap activation, keeping bp's slices under the
+    // ~20-instruction lengths of Fig. 6i)
+    b.fpu(FpOp::Mul, t2, t2, t2);
+    b.fpu(FpOp::Add, t2, t2, r_one);
+    b.alu(AluOp::Add, r_addr, r_acts, r_j);
+    b.store(t2, r_addr, 0);
+    loop_footer(&mut b, r_j, top, done);
+
+    // the backward pass reuses the weight registers for gradients
+    for d in 0..4u8 {
+        b.lfi(Reg(10 + d), 0.0);
+    }
+
+    // backward pass 1: sequential delta sweep
+    let r_acc = Reg(7);
+    b.lfi(r_acc, 0.0);
+    let (top, done) = loop_header(&mut b, r_j, r_lim, n);
+    b.alu(AluOp::Add, r_addr, r_acts, r_j);
+    b.load(t1, r_addr, 0); // swappable activation load
+    b.fpu(FpOp::Add, r_acc, r_acc, t1);
+    loop_footer(&mut b, r_j, top, done);
+
+    // backward pass 2: stride-4 weight-gradient gather (two epochs)
+    for _ in 0..2 {
+        b.li(r_j, 0);
+        b.li(r_lim, n);
+        let top = b.label();
+        let done = b.label();
+        b.bind(top).expect("fresh");
+        b.branch(BranchCond::Geu, r_j, r_lim, done);
+        b.alu(AluOp::Add, r_addr, r_acts, r_j);
+        b.load(t1, r_addr, 0); // swappable activation load (strided)
+        b.fma(r_acc, t1, t1, r_acc);
+        b.alui(AluOp::Add, r_j, r_j, 4);
+        b.jump(top);
+        b.bind(done).expect("fresh");
+    }
+
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("bp builds")
+}
+
+/// Degree of every node in the BFS stand-in graph.
+const BFS_DEGREE: u64 = 8;
+
+/// Rodinia `bfs` stand-in: level-synchronous BFS over an adjacency list.
+///
+/// The BFS itself marks each reached node's component id (a value produced
+/// by a single constant-generator instruction) and maintains a level
+/// array. After the traversal, sweeps re-read the component marks — loads
+/// that are L1-resident (the mark array is tiny, 98% L1 in Table 5),
+/// carry the shortest possible slices (Fig. 6j: ≤ 5 instructions), have
+/// *no* non-recomputable inputs (Fig. 7), and exhibit the ~90% value
+/// locality of Fig. 8j — every property the paper reports for bfs.
+pub fn bfs(scale: Scale) -> Program {
+    let (n, sweeps): (u64, u64) = match scale {
+        Scale::Test => (64, 2),
+        Scale::Paper => (2_048, 6),
+    };
+    debug_assert!(n.is_power_of_two());
+    // ring + random chords: connected by construction
+    let mut adj = Vec::with_capacity((n * BFS_DEGREE) as usize);
+    let chords = random_indices(41, (n * (BFS_DEGREE - 2)) as usize, n);
+    for v in 0..n {
+        adj.push((v + 1) % n);
+        adj.push((v + n - 1) % n);
+        for c in 0..(BFS_DEGREE - 2) {
+            adj.push(chords[(v * (BFS_DEGREE - 2) + c) as usize]);
+        }
+    }
+
+    let mut b = ProgramBuilder::new("bfs");
+    let adj_base = b.alloc_data(&adj);
+    b.mark_read_only(adj_base, n * BFS_DEGREE);
+    let level = b.alloc_zeroed(n);
+    let comp = b.alloc_zeroed(n);
+    let cur = b.alloc_zeroed(n);
+    let next = b.alloc_zeroed(n);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_adj = Reg(1);
+    let r_level = Reg(2);
+    let r_comp = Reg(3);
+    let r_cur = Reg(4);
+    let r_next = Reg(5);
+    let r_addr = Reg(6);
+    let r_id = Reg(10); // the component id: the producer of every mark
+    let r_lvl = Reg(11);
+    let r_cur_n = Reg(12); // frontier size
+    let r_next_n = Reg(13);
+    let (r_f, r_e, r_v, r_u, t1) = (Reg(14), Reg(15), Reg(16), Reg(17), Reg(40));
+
+    b.li(r_adj, adj_base);
+    b.li(r_level, level);
+    b.li(r_comp, comp);
+    b.li(r_cur, cur);
+    b.li(r_next, next);
+    b.li(r_id, 7); // the single static producer of all component marks
+
+    // seed: node 0 at level 1
+    b.li(t1, 1);
+    b.store(t1, r_level, 0);
+    b.store(r_id, r_comp, 0);
+    b.li(t1, 0);
+    b.store(t1, r_cur, 0);
+    b.li(r_cur_n, 1);
+    b.li(r_lvl, 1);
+
+    let zero = Reg(41);
+    b.li(zero, 0);
+
+    // level-synchronous BFS
+    let bfs_top = b.label();
+    let bfs_done = b.label();
+    b.bind(bfs_top).expect("fresh");
+    b.branch(BranchCond::Eq, r_cur_n, zero, bfs_done);
+    b.li(r_next_n, 0);
+    b.alui(AluOp::Add, r_lvl, r_lvl, 1);
+    // for each frontier node
+    b.li(r_f, 0);
+    let ftop = b.label();
+    let fdone = b.label();
+    b.bind(ftop).expect("fresh");
+    b.branch(BranchCond::Geu, r_f, r_cur_n, fdone);
+    b.alu(AluOp::Add, r_addr, r_cur, r_f);
+    b.load(r_v, r_addr, 0);
+    // for each neighbour
+    b.li(r_e, 0);
+    let etop = b.label();
+    let edone = b.label();
+    let skip = b.label();
+    b.bind(etop).expect("fresh");
+    {
+        let elim = Reg(42);
+        b.li(elim, BFS_DEGREE);
+        b.branch(BranchCond::Geu, r_e, elim, edone);
+    }
+    b.alui(AluOp::Mul, t1, r_v, BFS_DEGREE);
+    b.alu(AluOp::Add, t1, t1, r_e);
+    b.alu(AluOp::Add, r_addr, r_adj, t1);
+    b.load(r_u, r_addr, 0); // read-only adjacency
+    b.alu(AluOp::Add, r_addr, r_level, r_u);
+    b.load(t1, r_addr, 0); // mixed-provenance level check: stays a load
+    b.branch(BranchCond::Ne, t1, zero, skip);
+    // visit u
+    b.store(r_lvl, r_addr, 0);
+    b.alu(AluOp::Add, r_addr, r_comp, r_u);
+    b.store(r_id, r_addr, 0); // the component mark: produced by one Li
+    b.alu(AluOp::Add, r_addr, r_next, r_next_n);
+    b.store(r_u, r_addr, 0);
+    b.alui(AluOp::Add, r_next_n, r_next_n, 1);
+    b.bind(skip).expect("fresh");
+    b.alui(AluOp::Add, r_e, r_e, 1);
+    b.jump(etop);
+    b.bind(edone).expect("fresh");
+    b.alui(AluOp::Add, r_f, r_f, 1);
+    b.jump(ftop);
+    b.bind(fdone).expect("fresh");
+    // swap frontiers
+    b.alu(AluOp::Add, t1, r_cur, zero);
+    b.alu(AluOp::Add, r_cur, r_next, zero);
+    b.alu(AluOp::Add, r_next, t1, zero);
+    b.alu(AluOp::Add, r_cur_n, r_next_n, zero);
+    b.jump(bfs_top);
+    b.bind(bfs_done).expect("fresh");
+
+    // component-mark sweeps: the swappable loads (producer: the r_id Li)
+    let r_acc = Reg(18);
+    let r_s = Reg(19);
+    let r_slim = Reg(20);
+    b.li(r_acc, 0);
+    let (stop, sdone) = loop_header(&mut b, r_s, r_slim, sweeps);
+    {
+        let (top, done) = loop_header(&mut b, r_v, Reg(43), n);
+        b.alu(AluOp::Add, r_addr, r_comp, r_v);
+        b.load(t1, r_addr, 0); // the swappable component load
+        b.alu(AluOp::Add, r_acc, r_acc, t1);
+        loop_footer(&mut b, r_v, top, done);
+    }
+    loop_footer(&mut b, r_s, stop, sdone);
+
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("bfs builds")
+}
+
+/// Rodinia `srad` stand-in: SRAD-style diffusion sweep.
+///
+/// Each cell update computes a diffusion coefficient from the (slowly
+/// varying) local image statistics, stores it into the coefficient grid,
+/// and re-reads it a moment later for the divergence update — the
+/// produce-store-reload pattern of Rodinia's srad kernel. That reload is
+/// the dominant swappable site: L1-resident, with a one-instruction slice
+/// (Fig. 6k: sr slices ≤ 7) whose checkpointed λ operand comes from the
+/// read-only parameter block (Fig. 7: sr is nc-heavy). A second site
+/// re-reads a neighbouring cell of the *previous* sweep within the same
+/// statistics window (same coefficient value by construction); the
+/// streaming image reads keep evicting those older grid lines, giving sr
+/// its small off-chip tail (Table 5: 93.7/0/6.3). The coefficient changes
+/// only every 64 cells — the ~99% value locality of Fig. 8k.
+///
+/// Because most reloads sit in L1 while the *global* probabilistic model
+/// is inflated by the image traffic, the `Compiler` policy keeps firing
+/// recomputations that cannot pay and **degrades** EDP — the paper's
+/// signature sr result — while `FLC` only fires on the evicted
+/// second-site reads and stays near break-even.
+pub fn srad(scale: Scale) -> Program {
+    // the window arithmetic below needs n to be a multiple of 64×32 so
+    // that a cell's statistics window is sweep-invariant
+    let (n, sweeps, image_words): (u64, u64, u64) = match scale {
+        Scale::Test => (2_048, 2, 256),
+        Scale::Paper => (2_048, 6, 65_536),
+    };
+    debug_assert!(n % 2_048 == 0);
+    debug_assert!(image_words.is_power_of_two());
+    let mut b = ProgramBuilder::new("sr");
+    let grid = b.alloc_zeroed(n);
+    let image: Vec<f64> = (0..image_words).map(|i| 1.0 + (i % 97) as f64 * 0.01).collect();
+    let image_base = b.alloc_f64(&image);
+    b.mark_read_only(image_base, image_words);
+    let params = b.alloc_f64(&[0.25]);
+    b.mark_read_only(params, 1);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+
+    let r_grid = Reg(1);
+    let r_img = Reg(2);
+    let r_t = Reg(3); // global cell counter, shared with the slice leaves
+    let r_lim = Reg(4);
+    let r_addr = Reg(5);
+    let r_k1 = Reg(10);
+    let r_k2 = Reg(11); // re-loaded per iteration, clobbered by the image read
+    let r_params = Reg(12);
+    let r_n = Reg(13);
+    let r_one = Reg(14);
+    let r_acc = Reg(6);
+    let (t_jm, t_s, t_sf, t_v, t_w, t_b) = (Reg(40), Reg(41), Reg(42), Reg(43), Reg(44), Reg(45));
+
+    b.li(r_grid, grid);
+    b.li(r_img, image_base);
+    b.li(r_params, params);
+    b.lfi(r_k1, 0.9);
+    b.li(r_n, n);
+    b.li(r_one, 1);
+    b.lfi(r_acc, 0.0);
+
+    let total = n * sweeps;
+    let (top, done) = loop_header(&mut b, r_t, r_lim, total);
+    // diffusion coefficient: recomputed at each statistics-window head
+    // (it is constant across the window's 64 cells)
+    {
+        let same_window = b.label();
+        b.alui(AluOp::And, t_s, r_t, 63);
+        let zero = Reg(16);
+        b.li(zero, 0);
+        b.branch(BranchCond::Ne, t_s, zero, same_window);
+        b.load(r_k2, r_params, 0); // spill-reload of the λ parameter
+        b.alui(AluOp::Shr, t_s, r_t, 6);
+        b.alui(AluOp::And, t_s, t_s, 31);
+        b.cvt(CvtKind::I2F, t_sf, t_s);
+        b.fma(t_v, t_sf, r_k1, r_k2); // the producer root
+        b.bind(same_window).expect("fresh");
+    }
+    b.alui(AluOp::And, t_jm, r_t, n - 1);
+    b.alu(AluOp::Add, r_addr, r_grid, t_jm);
+    b.store(t_v, r_addr, 0);
+    // image statistics stream (stride 8 defeats spatial locality: the
+    // off-chip traffic of the real kernel's image reads)
+    b.alui(AluOp::Mul, t_s, r_t, 8);
+    b.alui(AluOp::And, t_s, t_s, image_words - 1);
+    b.alu(AluOp::Add, t_s, t_s, r_img);
+    b.load(r_k2, t_s, 0); // read-only image word — clobbers the λ register
+    // divergence update: re-read the coefficient (swappable site A)
+    b.load(t_w, r_addr, 0);
+    b.fpu(FpOp::Add, r_acc, r_acc, t_w);
+    b.fpu(FpOp::Add, r_acc, r_acc, r_k2);
+    // neighbourhood term: every other cell, re-read a pseudo-random cell
+    // of the same statistics window (previous sweep — same coefficient by
+    // construction). Skipped during the cold first sweep. Swappable site B
+    // with mixed residency: the image stream keeps evicting old grid lines.
+    {
+        let skip = b.label();
+        b.alui(AluOp::And, t_s, r_t, 1);
+        b.branch(BranchCond::Eq, t_s, r_one, skip);
+        b.branch(BranchCond::Ltu, r_t, r_n, skip);
+        b.alui(AluOp::Mul, t_b, r_t, 13);
+        b.alui(AluOp::And, t_b, t_b, 63);
+        b.alui(AluOp::And, t_s, t_jm, !63 & (n - 1));
+        b.alu(AluOp::Or, t_b, t_b, t_s);
+        b.alu(AluOp::Add, r_addr, r_grid, t_b);
+        b.load(t_w, r_addr, 0); // swappable site B
+        b.fpu(FpOp::Add, r_acc, r_acc, t_w);
+        b.bind(skip).expect("fresh");
+    }
+    loop_footer(&mut b, r_t, top, done);
+
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    b.finish().expect("sr builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_sim::{ClassicCore, CoreConfig};
+
+    fn out_value(p: &Program) -> u64 {
+        let r = ClassicCore::new(CoreConfig::paper()).run(p).unwrap();
+        let addr = *r.final_memory.keys().next().unwrap();
+        r.final_memory[&addr]
+    }
+
+    #[test]
+    fn backprop_sums_match_reference() {
+        let act = |j: u64| {
+            let jf = j as f64;
+            let mut pre = -0.5f64;
+            for d in 0..4 {
+                let s = 1.0 / (1.0 + d as f64);
+                let w = 0.02 + 0.015 * d as f64;
+                pre = (jf * s).mul_add(w, pre);
+            }
+            pre * pre + 1.0
+        };
+        let n = 192u64;
+        let mut acc = 0.0f64;
+        for j in 0..n {
+            acc += act(j);
+        }
+        for _ in 0..2 {
+            let mut j = 0;
+            while j < n {
+                let a = act(j);
+                acc = a.mul_add(a, acc);
+                j += 4;
+            }
+        }
+        assert_eq!(f64::from_bits(out_value(&backprop(Scale::Test))), acc);
+    }
+
+    #[test]
+    fn bfs_reaches_every_node() {
+        // component sum = sweeps × n × id (all nodes reached: ring graph)
+        let expected = 2 * 64 * 7;
+        assert_eq!(out_value(&bfs(Scale::Test)), expected);
+    }
+
+    #[test]
+    fn srad_checksum_matches_reference() {
+        let n = 2_048u64;
+        let sweeps = 2u64;
+        let image_words = 256u64;
+        let mut acc = 0.0f64;
+        for t in 0..n * sweeps {
+            let s = ((t >> 6) & 31) as f64;
+            let coefficient = s.mul_add(0.9, 0.25);
+            let idx = (t * 8) & (image_words - 1);
+            let image_word = 1.0 + (idx % 97) as f64 * 0.01;
+            acc += coefficient;
+            acc += image_word;
+            if t % 2 == 0 && t >= n {
+                // site B reads a same-window cell: same coefficient value
+                acc += coefficient;
+            }
+        }
+        assert_eq!(f64::from_bits(out_value(&srad(Scale::Test))), acc);
+    }
+
+    #[test]
+    fn srad_reload_value_locality_is_high() {
+        use amnesiac_profile::profile_program;
+        let p = srad(Scale::Test);
+        let (profile, _) = profile_program(&p, &CoreConfig::paper()).unwrap();
+        // the swappable coefficient reload repeats its value within each
+        // 64-cell window
+        let best = profile
+            .loads
+            .values()
+            .filter(|s| s.tree.is_some())
+            .map(|s| s.value_locality())
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.9, "coefficient locality {best} should be ~0.98");
+    }
+}

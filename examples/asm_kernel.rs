@@ -1,0 +1,44 @@
+//! Runs a kernel written in the textual assembly format (see
+//! `assets/dotprod.asm`) through the whole amnesic pipeline — the
+//! file-based path a downstream user would take for custom workloads.
+//!
+//! ```sh
+//! cargo run --release --example asm_kernel
+//! ```
+
+use amnesiac::compiler::{compile, CompileOptions};
+use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac::isa::parse_asm;
+use amnesiac::profile::profile_program;
+use amnesiac::sim::{ClassicCore, CoreConfig};
+
+const SOURCE: &str = include_str!("../assets/dotprod.asm");
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_asm(SOURCE)?;
+    println!(
+        "parsed `{}`: {} instructions, {} data words",
+        program.name,
+        program.instructions.len(),
+        program.data.len()
+    );
+
+    let config = CoreConfig::paper();
+    let classic = ClassicCore::new(config.clone()).run(&program)?;
+    let (profile, _) = profile_program(&program, &config)?;
+    let (binary, report) = compile(&program, &profile, &CompileOptions::default())?;
+    println!(
+        "compiled: {} slices embedded, {} RECs",
+        report.n_selected(),
+        report.rec_count
+    );
+    let amnesic = AmnesicCore::new(AmnesicConfig::paper(Policy::Compiler)).run(&binary)?;
+    assert_eq!(amnesic.run.final_memory, classic.final_memory);
+    println!(
+        "classic EDP {:.3e}, amnesic EDP {:.3e} ({:+.2}%)",
+        classic.edp(),
+        amnesic.edp(),
+        100.0 * (1.0 - amnesic.edp() / classic.edp())
+    );
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Quickstart: build a tiny kernel, run it classically, compile it with
+//! the amnesic compiler, and run it on the amnesic core.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use amnesiac::compiler::{compile, CompileOptions};
+use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+use amnesiac::profile::profile_program;
+use amnesiac::sim::{ClassicCore, CoreConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Write a kernel: fill tmp[i] = 7·i + 13, then sum it back.
+    //    The reload of tmp[i] is recomputable from the live loop index.
+    let n = 50_000u64;
+    let mut b = ProgramBuilder::new("quickstart");
+    let tmp = b.alloc_zeroed(n);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+    b.li(Reg(1), tmp);
+    b.li(Reg(2), 0); // i — shared by both loops, so slice leaves stay live
+    b.li(Reg(3), n);
+    b.li(Reg(4), 7);
+    b.li(Reg(5), 13);
+    let top = b.label();
+    let fill_done = b.label();
+    b.bind(top)?;
+    b.branch(BranchCond::Geu, Reg(2), Reg(3), fill_done);
+    b.alu(AluOp::Mul, Reg(6), Reg(4), Reg(2));
+    b.alu(AluOp::Add, Reg(6), Reg(6), Reg(5));
+    b.alu(AluOp::Add, Reg(7), Reg(1), Reg(2));
+    b.store(Reg(6), Reg(7), 0);
+    b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+    b.jump(top);
+    b.bind(fill_done)?;
+    b.li(Reg(2), 0);
+    b.li(Reg(8), 0);
+    let top2 = b.label();
+    let done = b.label();
+    b.bind(top2)?;
+    b.branch(BranchCond::Geu, Reg(2), Reg(3), done);
+    b.alu(AluOp::Add, Reg(7), Reg(1), Reg(2));
+    b.load(Reg(9), Reg(7), 0); // ← the load the compiler will swap
+    b.alu(AluOp::Add, Reg(8), Reg(8), Reg(9));
+    b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+    b.jump(top2);
+    b.bind(done)?;
+    b.li(Reg(10), out);
+    b.store(Reg(8), Reg(10), 0);
+    b.halt();
+    let program = b.finish()?;
+
+    // 2. Classic baseline.
+    let config = CoreConfig::paper();
+    let classic = ClassicCore::new(config.clone()).run(&program)?;
+    println!(
+        "classic:  {:>9} insts, {:>12.1} nJ, {:>9} cycles, EDP {:.3e}",
+        classic.instructions,
+        classic.account.total_nj(),
+        classic.account.cycles(),
+        classic.edp()
+    );
+
+    // 3. Profile + compile.
+    let (profile, _) = profile_program(&program, &config)?;
+    let (annotated, report) = compile(&program, &profile, &CompileOptions::default())?;
+    println!(
+        "compiled: {} of {} load sites swapped for recomputation slices \
+         ({} REC checkpoints inserted)",
+        report.n_selected(),
+        report.decisions.len(),
+        report.rec_count
+    );
+
+    // 4. Amnesic run (always-recompute policy).
+    let amnesic = AmnesicCore::new(AmnesicConfig::paper(Policy::Compiler)).run(&annotated)?;
+    assert_eq!(amnesic.run.final_memory, classic.final_memory, "bit-exact");
+    println!(
+        "amnesic:  {:>9} insts, {:>12.1} nJ, {:>9} cycles, EDP {:.3e}",
+        amnesic.run.instructions,
+        amnesic.run.account.total_nj(),
+        amnesic.run.account.cycles(),
+        amnesic.edp()
+    );
+    println!(
+        "EDP gain: {:+.2}%  (loads: {} → {}, recomputations fired: {})",
+        100.0 * (1.0 - amnesic.edp() / classic.edp()),
+        classic.loads,
+        amnesic.run.loads,
+        amnesic.stats.fired_total()
+    );
+    Ok(())
+}

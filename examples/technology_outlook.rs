@@ -1,0 +1,50 @@
+//! The motivating trend (Table 1) and its consequence (Table 6): how the
+//! widening compute/communication energy gap changes what is worth
+//! recomputing.
+//!
+//! ```sh
+//! cargo run --release --example technology_outlook
+//! ```
+
+use amnesiac::compiler::{compile, CompileOptions};
+use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac::energy::{EnergyModel, TechnologyModel, R_DEFAULT};
+use amnesiac::profile::profile_program;
+use amnesiac::sim::{ClassicCore, CoreConfig};
+use amnesiac::workloads::{build_focal, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Table 1: the gap that motivates recomputation
+    println!("Table 1 — 64-bit SRAM load energy, normalized to a 64-bit FMA:");
+    for point in TechnologyModel::paper().table1() {
+        println!(
+            "  {:>5} {:>3} @ {:.2} V: {:>5.2}×",
+            point.node, point.corner, point.voltage, point.ratio
+        );
+    }
+    println!("\nR_default = EPI_non-mem / EPI_ld(Mem) = {R_DEFAULT:.4}\n");
+
+    // sweep R on one benchmark: as compute gets relatively dearer the
+    // gains evaporate; as it gets cheaper (the technology trend), they grow
+    let workload = build_focal("is", Scale::Test);
+    let (profile, _) = profile_program(&workload.program, &CoreConfig::paper())?;
+    println!("EDP gain of `is` (test scale) vs the R scaling factor:");
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0] {
+        let energy = EnergyModel::paper().with_r_factor(factor);
+        let config = CoreConfig::with_energy(energy.clone());
+        let classic = ClassicCore::new(config.clone()).run(&workload.program)?;
+        let options = CompileOptions { energy, ..CompileOptions::default() };
+        let (binary, report) = compile(&workload.program, &profile, &options)?;
+        let amnesic = AmnesicCore::new(AmnesicConfig {
+            core: config,
+            ..AmnesicConfig::paper(Policy::Oracle)
+        })
+        .run(&binary)?;
+        println!(
+            "  R × {factor:>6.2}: {:+7.2}%   ({} slices selected)",
+            100.0 * (1.0 - amnesic.edp() / classic.edp()),
+            report.n_selected()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # amnesiac
+//!
+//! Facade crate for the AMNESIAC reproduction (ASPLOS 2017): amnesic
+//! execution trades energy-hungry loads for recomputation along compiler-
+//! extracted backward slices. Re-exports the public API of every
+//! subsystem crate; see the repository README and DESIGN.md for the
+//! architecture and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! ```
+//! use amnesiac::compiler::{compile, CompileOptions};
+//! use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
+//! use amnesiac::profile::profile_program;
+//! use amnesiac::sim::{ClassicCore, CoreConfig};
+//! use amnesiac::workloads::{build_focal, Scale};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = build_focal("is", Scale::Test).program;
+//! let config = CoreConfig::paper();
+//! let classic = ClassicCore::new(config.clone()).run(&program)?;
+//! let (profile, _) = profile_program(&program, &config)?;
+//! let (binary, _) = compile(&program, &profile, &CompileOptions::default())?;
+//! let amnesic = AmnesicCore::new(AmnesicConfig::paper(Policy::Compiler)).run(&binary)?;
+//! assert_eq!(amnesic.run.final_memory, classic.final_memory); // bit-exact
+//! # Ok(())
+//! # }
+//! ```
+
+/// The amnesic compiler pass (slice planning, annotation, validation,
+/// store elision).
+pub use amnesiac_compiler as compiler;
+/// The amnesic microarchitecture and runtime scheduler.
+pub use amnesiac_core as core;
+/// EPI tables, technology scaling, and energy/EDP accounting.
+pub use amnesiac_energy as energy;
+/// Drivers regenerating the paper's tables and figures.
+pub use amnesiac_experiments as experiments;
+/// The mini-ISA, program representation, builder, and assembler.
+pub use amnesiac_isa as isa;
+/// The cache/memory-hierarchy simulator.
+pub use amnesiac_mem as mem;
+/// The dynamic dependency profiler.
+pub use amnesiac_profile as profile;
+/// The in-order classic-execution simulator.
+pub use amnesiac_sim as sim;
+/// The 33-benchmark workload suite.
+pub use amnesiac_workloads as workloads;

@@ -1,0 +1,88 @@
+//! Cross-input generalization: the paper profiles and evaluates on the
+//! same input. Here we go further — compile on input A, then run the
+//! annotated binary on input B (same program structure, different
+//! read-only data). Because the surviving slices recompute pure functions
+//! of live registers and invariant checkpoints, they must stay bit-exact
+//! on inputs they were never profiled on. The runtime's `check_values`
+//! cross-check stays enabled, so any stale-slice escape would fail loudly.
+
+use amnesiac::compiler::{compile, CompileOptions};
+use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac::profile::profile_program;
+use amnesiac::sim::{ClassicCore, CoreConfig};
+use amnesiac::mem::{CacheConfig, HierarchyConfig};
+use amnesiac::workloads::{build_focal_with_input, Scale};
+
+/// Tiny caches (8-byte lines) so the test-scale kernels' reloads miss and
+/// the compiler actually selects slices.
+fn small_config() -> CoreConfig {
+    let mut c = CoreConfig::paper();
+    c.hierarchy = HierarchyConfig {
+        l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
+        l1d: CacheConfig { size_bytes: 128, ways: 2, line_bytes: 8 },
+        l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 8 },
+        next_line_prefetch: false,
+    };
+    c
+}
+
+const SEED_TRAIN: u64 = 1_000;
+const SEED_TEST: u64 = 2_000;
+
+#[test]
+fn slices_compiled_on_one_input_stay_exact_on_another() {
+    for name in ["mcf", "is", "ca"] {
+        let train = build_focal_with_input(name, Scale::Test, SEED_TRAIN).program;
+        let test = build_focal_with_input(name, Scale::Test, SEED_TEST).program;
+        assert_eq!(
+            train.instructions, test.instructions,
+            "{name}: seeded variants must share code"
+        );
+
+        let config = small_config();
+        let (profile, _) = profile_program(&train, &config).expect("profiles train input");
+        let (binary_train, report) =
+            compile(&train, &profile, &CompileOptions::default()).expect("compiles");
+        assert!(
+            report.n_selected() >= 1,
+            "{name}: the train input should produce slices at test scale"
+        );
+
+        // transplant the annotated code onto the test input's data image
+        let mut binary_test = binary_train.clone();
+        binary_test.data = test.data.clone();
+
+        let classic_test = ClassicCore::new(config.clone()).run(&test).expect("classic");
+        for policy in Policy::ALL_EXTENDED {
+            let result = AmnesicCore::new(AmnesicConfig {
+                core: config.clone(),
+                ..AmnesicConfig::paper(policy)
+            })
+            .run(&binary_test)
+                .unwrap_or_else(|e| panic!("{name}: {policy} on unseen input failed: {e}"));
+            assert_eq!(
+                result.run.final_memory, classic_test.final_memory,
+                "{name}: {policy} diverged on an unseen input"
+            );
+        }
+    }
+}
+
+#[test]
+fn profiles_of_different_inputs_agree_on_slice_shapes() {
+    // the canonical producer trees are input-independent for these
+    // kernels: compiling either input yields the same slice bodies
+    for name in ["mcf", "is"] {
+        let a = build_focal_with_input(name, Scale::Test, SEED_TRAIN).program;
+        let b = build_focal_with_input(name, Scale::Test, SEED_TEST).program;
+        let config = small_config();
+        let (profile_a, _) = profile_program(&a, &config).unwrap();
+        let (profile_b, _) = profile_program(&b, &config).unwrap();
+        let (bin_a, _) = compile(&a, &profile_a, &CompileOptions::default()).unwrap();
+        let (bin_b, _) = compile(&b, &profile_b, &CompileOptions::default()).unwrap();
+        assert_eq!(
+            bin_a.instructions, bin_b.instructions,
+            "{name}: slice bodies must not depend on the input data"
+        );
+    }
+}

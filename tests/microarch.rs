@@ -1,0 +1,180 @@
+//! Integration tests of the amnesic microarchitecture's edge behaviour:
+//! deferred exceptions (§2.3), Hist overflow fallback (§3.5), and the
+//! §3.4 occupancy bounds, across the real workloads.
+
+use amnesiac::compiler::{compile, CompileOptions, StorageBounds};
+use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+use amnesiac::profile::profile_program;
+use amnesiac::mem::{CacheConfig, HierarchyConfig};
+use amnesiac::sim::{ClassicCore, CoreConfig, ExceptionKind};
+use amnesiac::workloads::{build_focal, Scale, FOCAL_NAMES};
+
+/// A machine with tiny caches (and no spatial locality) so that the small
+/// test kernels' reloads genuinely miss and recomputation pays.
+fn small_config() -> CoreConfig {
+    let mut c = CoreConfig::paper();
+    c.hierarchy = HierarchyConfig {
+        l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
+        l1d: CacheConfig { size_bytes: 128, ways: 2, line_bytes: 8 },
+        l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 8 },
+        next_line_prefetch: false,
+    };
+    c
+}
+
+/// fill arr[i] = k / divisor (divisor = 0 from a read-only parameter) then
+/// re-read: the embedded slice re-raises a divide-by-zero on every
+/// recomputation, which must be recorded and deferred, not trapped.
+#[test]
+fn divide_by_zero_inside_a_slice_is_deferred() {
+    let n = 64u64;
+    let mut b = ProgramBuilder::new("divzero");
+    let arr = b.alloc_zeroed(n);
+    let params = b.alloc_data(&[0]); // the zero divisor
+    b.mark_read_only(params, 1);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+    let (r_arr, r_i, r_lim, r_addr, r_div, r_acc, t) =
+        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(10), Reg(5), Reg(40));
+    b.li(r_arr, arr);
+    b.li(r_addr, params);
+    b.load(r_div, r_addr, 0);
+    b.li(r_i, 0);
+    b.li(r_lim, n);
+    let top = b.label();
+    let done = b.label();
+    b.bind(top).unwrap();
+    b.branch(BranchCond::Geu, r_i, r_lim, done);
+    b.alui(AluOp::Add, t, r_i, 7);
+    b.alu(AluOp::Div, t, t, r_div); // ÷0: yields all-ones, raises
+    b.alu(AluOp::Add, r_addr, r_arr, r_i);
+    b.store(t, r_addr, 0);
+    b.alui(AluOp::Add, r_i, r_i, 1);
+    b.jump(top);
+    b.bind(done).unwrap();
+    b.li(r_div, 1); // clobber: divisor becomes a Hist input
+    b.li(r_acc, 0);
+    b.li(r_i, 0);
+    let top2 = b.label();
+    let done2 = b.label();
+    b.bind(top2).unwrap();
+    b.branch(BranchCond::Geu, r_i, r_lim, done2);
+    b.alu(AluOp::Add, r_addr, r_arr, r_i);
+    b.load(t, r_addr, 0);
+    b.alu(AluOp::Add, r_acc, r_acc, t);
+    b.alui(AluOp::Add, r_i, r_i, 1);
+    b.jump(top2);
+    b.bind(done2).unwrap();
+    b.li(r_addr, out);
+    b.store(r_acc, r_addr, 0);
+    b.halt();
+    let program = b.finish().unwrap();
+
+    let config = small_config();
+    let classic = ClassicCore::new(config.clone()).run(&program).unwrap();
+    let (profile, _) = profile_program(&program, &config).unwrap();
+    let (binary, report) = compile(&program, &profile, &CompileOptions::default()).unwrap();
+    assert!(report.n_selected() >= 1, "the ÷0 chain is recomputable");
+    let result = AmnesicCore::new(AmnesicConfig {
+        core: config,
+        ..AmnesicConfig::paper(Policy::Compiler)
+    })
+    .run(&binary)
+    .unwrap();
+    assert_eq!(result.run.final_memory, classic.final_memory);
+    assert!(
+        !result.stats.deferred_exceptions.is_empty(),
+        "recomputing the ÷0 chain must record deferred exceptions"
+    );
+    assert!(result
+        .stats
+        .deferred_exceptions
+        .iter()
+        .all(|e| e.kind == ExceptionKind::DivideByZero));
+}
+
+#[test]
+fn observed_occupancies_stay_within_section_3_4_bounds() {
+    for name in FOCAL_NAMES {
+        let program = build_focal(name, Scale::Test).program;
+        let config = CoreConfig::paper();
+        let (profile, _) = profile_program(&program, &config).unwrap();
+        let (binary, _) = compile(&program, &profile, &CompileOptions::default()).unwrap();
+        if !binary.is_annotated() {
+            continue;
+        }
+        let bounds = StorageBounds::of(&binary);
+        let result = AmnesicCore::new(AmnesicConfig::paper(Policy::Compiler))
+            .run(&binary)
+            .unwrap();
+        assert!(
+            result.stats.sfile_high_water <= bounds.sfile_entries,
+            "{name}: SFile {} > bound {}",
+            result.stats.sfile_high_water,
+            bounds.sfile_entries
+        );
+        assert!(
+            result.stats.hist_high_water <= bounds.hist_entries,
+            "{name}: Hist {} > bound {}",
+            result.stats.hist_high_water,
+            bounds.hist_entries
+        );
+        assert!(
+            result.stats.ibuff_high_water <= bounds.ibuff_entries.max(256),
+            "{name}: IBuff {} over capacity",
+            result.stats.ibuff_high_water
+        );
+    }
+}
+
+#[test]
+fn every_structure_starvation_combination_stays_exact() {
+    let program = build_focal("mcf", Scale::Test).program;
+    let config = CoreConfig::paper();
+    let classic = ClassicCore::new(config.clone()).run(&program).unwrap();
+    let (profile, _) = profile_program(&program, &config).unwrap();
+    let (binary, _) = compile(&program, &profile, &CompileOptions::default()).unwrap();
+    for sfile in [0usize, 1, 3, 256] {
+        for hist in [0usize, 1, 600] {
+            for ibuff in [0usize, 2, 256] {
+                let amnesic_config = AmnesicConfig {
+                    sfile_capacity: sfile,
+                    hist_capacity: hist,
+                    ibuff_capacity: ibuff,
+                    ..AmnesicConfig::paper(Policy::Compiler)
+                };
+                let result = AmnesicCore::new(amnesic_config).run(&binary).unwrap();
+                assert_eq!(
+                    result.run.final_memory, classic.final_memory,
+                    "sfile {sfile} hist {hist} ibuff {ibuff}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flc_and_llc_swap_strictly_fewer_loads_than_compiler() {
+    for name in ["mcf", "ca", "is"] {
+        let program = build_focal(name, Scale::Test).program;
+        let config = CoreConfig::paper();
+        let (profile, _) = profile_program(&program, &config).unwrap();
+        let (binary, _) = compile(&program, &profile, &CompileOptions::default()).unwrap();
+        if !binary.is_annotated() {
+            continue;
+        }
+        let fired = |policy| {
+            AmnesicCore::new(AmnesicConfig::paper(policy))
+                .run(&binary)
+                .unwrap()
+                .stats
+                .fired_total()
+        };
+        let compiler = fired(Policy::Compiler);
+        let flc = fired(Policy::Flc);
+        let llc = fired(Policy::Llc);
+        assert!(flc <= compiler, "{name}");
+        assert!(llc <= flc, "{name}: LLC fires on a subset of FLC's misses");
+    }
+}

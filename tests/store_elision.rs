@@ -1,0 +1,65 @@
+//! Applied store elision (§2): elided binaries must stay
+//! output-equivalent under always-fire execution, while actually removing
+//! dynamic stores (the paper's memory-footprint/store-energy reduction).
+
+use std::collections::BTreeSet;
+
+use amnesiac::compiler::{compile, redundant_stores, remove_stores, CompileOptions};
+use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac::profile::profile_program;
+use amnesiac::sim::{ClassicCore, CoreConfig};
+use amnesiac::workloads::{build_focal, Scale, FOCAL_NAMES};
+
+#[test]
+fn elided_binaries_stay_output_equivalent_and_save_stores() {
+    let mut any_elided = false;
+    for name in FOCAL_NAMES {
+        let program = build_focal(name, Scale::Test).program;
+        let config = CoreConfig::paper();
+        let classic = ClassicCore::new(config.clone()).run(&program).unwrap();
+        let (profile, _) = profile_program(&program, &config).unwrap();
+        let (annotated, report) =
+            compile(&program, &profile, &CompileOptions::default()).unwrap();
+        let selected = report.selected_load_pcs();
+        let redundant = redundant_stores(&profile, &selected);
+        if redundant.is_empty() {
+            continue;
+        }
+        let remove: BTreeSet<usize> =
+            redundant.iter().map(|&pc| report.pc_map[pc]).collect();
+        let elided = remove_stores(&annotated, &remove).unwrap();
+
+        // the elision envelope: always fire, ample structures, and no
+        // memory-value cross-check (memory is intentionally stale)
+        let amnesic_config = AmnesicConfig {
+            check_values: false,
+            ..AmnesicConfig::paper(Policy::Compiler)
+        };
+        let result = AmnesicCore::new(amnesic_config).run(&elided).unwrap();
+        let forced: u64 = result.stats.per_slice.iter().map(|s| s.forced_loads).sum();
+        assert_eq!(forced, 0, "{name}: the envelope requires zero fallbacks");
+        assert_eq!(
+            result.run.final_memory, classic.final_memory,
+            "{name}: elided binary diverged"
+        );
+        assert!(
+            result.run.stores < classic.stores,
+            "{name}: elision must remove dynamic stores ({} vs {})",
+            result.run.stores,
+            classic.stores
+        );
+        any_elided = true;
+    }
+    assert!(any_elided, "at least one benchmark must exercise elision");
+}
+
+#[test]
+fn elision_refuses_non_store_pcs() {
+    let program = build_focal("is", Scale::Test).program;
+    let config = CoreConfig::paper();
+    let (profile, _) = profile_program(&program, &config).unwrap();
+    let (annotated, _) = compile(&program, &profile, &CompileOptions::default()).unwrap();
+    let not_a_store: BTreeSet<usize> = [0usize].into_iter().collect();
+    let result = std::panic::catch_unwind(|| remove_stores(&annotated, &not_a_store));
+    assert!(result.is_err(), "removing a non-store must panic loudly");
+}
