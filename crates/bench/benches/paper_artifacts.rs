@@ -1,99 +1,45 @@
-//! One Criterion benchmark per paper artifact: each target regenerates the
+//! One benchmark per paper artifact: each target regenerates the
 //! corresponding table/figure from a shared test-scale evaluation suite.
+//! Set `AMNESIAC_BENCH_JSON=<path>` to also dump the measurements as JSON.
 
 use std::sync::OnceLock;
 
-use amnesiac_experiments::{ablations, fig3, fig6, fig7, fig8, table1, table4, table5, table6, EvalSuite};
-use amnesiac_workloads::Scale;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use amnesiac_bench::Bencher;
+use amnesiac_experiments::{
+    ablations, fig3, fig6, fig7, fig8, table1, table4, table5, table6, EvalSuite,
+};
+use amnesiac_profile::profile_program;
+use amnesiac_sim::CoreConfig;
+use amnesiac_workloads::{build_focal, Scale};
 
 fn suite() -> &'static EvalSuite {
     static SUITE: OnceLock<EvalSuite> = OnceLock::new();
     SUITE.get_or_init(|| EvalSuite::compute(Scale::Test))
 }
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_technology_model", |b| {
-        b.iter(|| black_box(table1::render()))
-    });
-}
-
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
+    let mut b = Bencher::new(10);
     let s = suite();
-    c.bench_function("fig3_edp_gains", |b| b.iter(|| black_box(fig3::render(s))));
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    let s = suite();
-    c.bench_function("fig4_energy_gains", |b| {
-        b.iter(|| black_box(fig3::render_energy(s)))
-    });
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    let s = suite();
-    c.bench_function("fig5_time_gains", |b| {
-        b.iter(|| black_box(fig3::render_time(s)))
-    });
-}
-
-fn bench_table4(c: &mut Criterion) {
-    let s = suite();
-    c.bench_function("table4_instruction_mix", |b| {
-        b.iter(|| black_box(table4::render(s)))
-    });
-}
-
-fn bench_table5(c: &mut Criterion) {
-    let s = suite();
-    c.bench_function("table5_swapped_residency", |b| {
-        b.iter(|| black_box(table5::render(s)))
-    });
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    let s = suite();
-    c.bench_function("fig6_slice_lengths", |b| b.iter(|| black_box(fig6::render(s))));
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let s = suite();
-    c.bench_function("fig7_nonrecomputable_shares", |b| {
-        b.iter(|| black_box(fig7::render(s)))
-    });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    let s = suite();
-    c.bench_function("fig8_value_locality", |b| b.iter(|| black_box(fig8::render(s))));
-}
-
-fn bench_table6(c: &mut Criterion) {
+    b.bench("table1_technology_model", table1::render);
+    b.bench("fig3_edp_gains", || fig3::render(s));
+    b.bench("fig4_energy_gains", || fig3::render_energy(s));
+    b.bench("fig5_time_gains", || fig3::render_time(s));
+    b.bench("table4_instruction_mix", || table4::render(s));
+    b.bench("table5_swapped_residency", || table5::render(s));
+    b.bench("fig6_slice_lengths", || fig6::render(s));
+    b.bench("fig7_nonrecomputable_shares", || fig7::render(s));
+    b.bench("fig8_value_locality", || fig8::render(s));
     // the break-even search recompiles and re-runs per probe: bench one
     // benchmark's full bisection at test scale
-    use amnesiac_profile::profile_program;
-    use amnesiac_sim::CoreConfig;
-    use amnesiac_workloads::build_focal;
     let w = build_focal("is", Scale::Test);
     let (profile, _) = profile_program(&w.program, &CoreConfig::paper()).expect("profiles");
-    c.bench_function("table6_break_even_bisection", |b| {
-        b.iter(|| black_box(table6::break_even(&w.program, &profile)))
+    b.bench("table6_break_even_bisection", || {
+        table6::break_even(&w.program, &profile)
     });
-}
+    b.bench("extension_store_elision", || ablations::store_elision(s));
 
-fn bench_store_elision(c: &mut Criterion) {
-    let s = suite();
-    c.bench_function("extension_store_elision", |b| {
-        b.iter(|| black_box(ablations::store_elision(s)))
-    });
+    if let Ok(path) = std::env::var("AMNESIAC_BENCH_JSON") {
+        b.write_json(&path).expect("write bench JSON");
+        println!("wrote {path}");
+    }
 }
-
-criterion_group! {
-    name = artifacts;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1, bench_fig3, bench_fig4, bench_fig5, bench_table4,
-              bench_table5, bench_fig6, bench_fig7, bench_fig8, bench_table6,
-              bench_store_elision
-}
-criterion_main!(artifacts);

@@ -1,77 +1,59 @@
-//! Criterion benchmarks of the amnesic toolchain's stages — profiling,
-//! compilation, classic simulation, and amnesic simulation per policy —
-//! on representative kernels.
+//! Benchmarks of the amnesic toolchain's stages — profiling, compilation,
+//! classic simulation, and amnesic simulation per policy — on
+//! representative kernels. Set `AMNESIAC_BENCH_JSON=<path>` to also dump
+//! the measurements as JSON.
 
+use amnesiac_bench::Bencher;
 use amnesiac_compiler::{compile, CompileOptions};
 use amnesiac_core::{AmnesicConfig, AmnesicCore, Policy};
 use amnesiac_profile::profile_program;
 use amnesiac_sim::{ClassicCore, CoreConfig};
 use amnesiac_workloads::{build_focal, Scale};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 const KERNELS: [&str; 3] = ["is", "sr", "bfs"];
 
-fn bench_classic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classic_execution");
+fn main() {
+    let mut b = Bencher::new(10);
+
     for name in KERNELS {
         let program = build_focal(name, Scale::Test).program;
         let core = ClassicCore::new(CoreConfig::paper());
-        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
-            b.iter(|| black_box(core.run(p).expect("runs")))
+        b.bench(&format!("classic_execution/{name}"), || {
+            core.run(&program).expect("runs")
         });
     }
-    group.finish();
-}
 
-fn bench_profiling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profiling");
     for name in KERNELS {
         let program = build_focal(name, Scale::Test).program;
         let config = CoreConfig::paper();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
-            b.iter(|| black_box(profile_program(p, &config).expect("profiles")))
+        b.bench(&format!("profiling/{name}"), || {
+            profile_program(&program, &config).expect("profiles")
         });
     }
-    group.finish();
-}
 
-fn bench_compilation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("amnesic_compile");
     for name in KERNELS {
         let program = build_focal(name, Scale::Test).program;
-        let (profile, _) =
-            profile_program(&program, &CoreConfig::paper()).expect("profiles");
-        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
-            b.iter(|| black_box(compile(p, &profile, &CompileOptions::default()).expect("ok")))
+        let (profile, _) = profile_program(&program, &CoreConfig::paper()).expect("profiles");
+        b.bench(&format!("amnesic_compile/{name}"), || {
+            compile(&program, &profile, &CompileOptions::default()).expect("ok")
         });
     }
-    group.finish();
-}
 
-fn bench_amnesic_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("amnesic_execution");
     for name in KERNELS {
         let program = build_focal(name, Scale::Test).program;
-        let (profile, _) =
-            profile_program(&program, &CoreConfig::paper()).expect("profiles");
+        let (profile, _) = profile_program(&program, &CoreConfig::paper()).expect("profiles");
         let (binary, _) =
             compile(&program, &profile, &CompileOptions::default()).expect("compiles");
         for policy in Policy::ALL {
             let core = AmnesicCore::new(AmnesicConfig::paper(policy));
-            group.bench_with_input(
-                BenchmarkId::new(name, policy),
-                &binary,
-                |b, bin| b.iter(|| black_box(core.run(bin).expect("runs"))),
-            );
+            b.bench(&format!("amnesic_execution/{name}/{policy}"), || {
+                core.run(&binary).expect("runs")
+            });
         }
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = stages;
-    config = Criterion::default().sample_size(10);
-    targets = bench_classic, bench_profiling, bench_compilation, bench_amnesic_policies
+    if let Ok(path) = std::env::var("AMNESIAC_BENCH_JSON") {
+        b.write_json(&path).expect("write bench JSON");
+        println!("wrote {path}");
+    }
 }
-criterion_main!(stages);

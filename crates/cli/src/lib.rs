@@ -14,7 +14,16 @@
 //! amnesiac compare <prog | bench:NAME>                 # classic vs policies
 //! amnesiac encode <prog | bench:NAME> <out.bin>        # binary image
 //! amnesiac trace <prog | bench:NAME>                   # dynamic trace
+//! amnesiac experiments --json <dir>                    # suite + JSON twins
+//! amnesiac bench-snapshot <out.json>                   # perf baseline
+//! amnesiac bench-compare <baseline.json> [--tolerance <pp>]
 //! ```
+//!
+//! The last three drive the full evaluation suite (test scale unless
+//! `--paper-scale`): `experiments` writes the machine-readable results
+//! directory, `bench-snapshot` records a perf/gain baseline, and
+//! `bench-compare` re-runs the suite and exits non-zero when any gain
+//! fell more than the tolerance below the baseline.
 //!
 //! Programs are referenced either as a path to an `.asm` file or as
 //! `bench:<name>` for any of the 33 built-in kernels (at test scale by
@@ -32,16 +41,21 @@ use amnesiac_workloads::{
 };
 
 /// A parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Command {
     /// The subcommand verb.
     pub verb: Verb,
-    /// Program reference: a path or `bench:<name>`.
-    pub target: String,
+    /// Program reference (a path or `bench:<name>`) — or, for the suite
+    /// verbs, the snapshot/baseline path.
+    pub target: Option<String>,
     /// Output path (for `encode`).
     pub output: Option<String>,
     /// Use paper-scale inputs for built-in benchmarks.
     pub paper_scale: bool,
+    /// Results directory for machine-readable output (`--json <dir>`).
+    pub json_dir: Option<String>,
+    /// Regression tolerance in percentage points (`--tolerance <pp>`).
+    pub tolerance: Option<f64>,
 }
 
 /// CLI subcommands.
@@ -55,6 +69,9 @@ pub enum Verb {
     Compare,
     Encode,
     Trace,
+    Experiments,
+    BenchSnapshot,
+    BenchCompare,
 }
 
 /// CLI errors (also carry the usage text).
@@ -81,6 +98,9 @@ impl std::error::Error for CliError {}
 pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
 <prog.asm | prog.bin | bench:NAME> [--paper-scale]
        amnesiac encode <prog | bench:NAME> <out.bin>
+       amnesiac experiments --json <dir> [--paper-scale]
+       amnesiac bench-snapshot <out.json> [--paper-scale]
+       amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--paper-scale]
   built-in benchmarks: 11 focal (mcf sx cg is ca fs fe rt bp bfs sr),
   5 controls, 17 extended (see `amnesiac-workloads`)";
 
@@ -95,22 +115,47 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut target = None;
     let mut output = None;
     let mut paper_scale = false;
-    for arg in args {
-        match arg.as_str() {
+    let mut json_dir = None;
+    let mut tolerance = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
             "run" | "disasm" | "profile" | "compile" | "compare" | "encode" | "trace"
+            | "experiments" | "bench-snapshot" | "bench-compare"
                 if verb.is_none() =>
             {
-                verb = Some(match arg.as_str() {
+                verb = Some(match arg {
                     "run" => Verb::Run,
                     "disasm" => Verb::Disasm,
                     "profile" => Verb::Profile,
                     "compile" => Verb::Compile,
                     "compare" => Verb::Compare,
                     "trace" => Verb::Trace,
+                    "experiments" => Verb::Experiments,
+                    "bench-snapshot" => Verb::BenchSnapshot,
+                    "bench-compare" => Verb::BenchCompare,
                     _ => Verb::Encode,
                 });
             }
             "--paper-scale" => paper_scale = true,
+            "--json" => {
+                i += 1;
+                json_dir = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::Usage("--json needs a directory".into()))?
+                        .clone(),
+                );
+            }
+            "--tolerance" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--tolerance needs a value".into()))?;
+                tolerance = Some(raw.parse::<f64>().map_err(|_| {
+                    CliError::Usage(format!("--tolerance: `{raw}` is not a number"))
+                })?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")));
             }
@@ -120,16 +165,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
         }
+        i += 1;
     }
     let verb = verb.ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
-    if verb == Verb::Encode && output.is_none() {
-        return Err(CliError::Usage("encode needs an output path".into()));
+    match verb {
+        Verb::Encode if output.is_none() => {
+            return Err(CliError::Usage("encode needs an output path".into()));
+        }
+        Verb::Experiments if json_dir.is_none() => {
+            return Err(CliError::Usage("experiments needs --json <dir>".into()));
+        }
+        Verb::BenchSnapshot if target.is_none() => {
+            return Err(CliError::Usage(
+                "bench-snapshot needs an output path".into(),
+            ));
+        }
+        Verb::BenchCompare if target.is_none() => {
+            return Err(CliError::Usage(
+                "bench-compare needs a baseline path".into(),
+            ));
+        }
+        Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => {}
+        _ if target.is_none() => {
+            return Err(CliError::Usage("missing program".into()));
+        }
+        _ => {}
     }
     Ok(Command {
         verb,
-        target: target.ok_or_else(|| CliError::Usage("missing program".into()))?,
+        target,
         output,
         paper_scale,
+        json_dir,
+        tolerance,
     })
 }
 
@@ -141,7 +209,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 /// unknown benchmark names.
 pub fn load_program(target: &str, paper_scale: bool) -> Result<Program, CliError> {
     if let Some(name) = target.strip_prefix("bench:") {
-        let scale = if paper_scale { Scale::Paper } else { Scale::Test };
+        let scale = if paper_scale {
+            Scale::Paper
+        } else {
+            Scale::Test
+        };
         let workload = if FOCAL_NAMES.contains(&name) {
             build_focal(name, scale)
         } else if CONTROL_NAMES.contains(&name) {
@@ -168,9 +240,17 @@ pub fn load_program(target: &str, paper_scale: bool) -> Result<Program, CliError
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Tool`] when any pipeline stage fails.
+/// Returns [`CliError::Tool`] when any pipeline stage fails — including a
+/// `bench-compare` that finds regressions, so the process exits non-zero.
 pub fn execute(command: &Command) -> Result<String, CliError> {
-    let program = load_program(&command.target, command.paper_scale)?;
+    if matches!(
+        command.verb,
+        Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare
+    ) {
+        return execute_suite_verb(command);
+    }
+    let target = command.target.as_deref().expect("parse_args enforced this");
+    let program = load_program(target, command.paper_scale)?;
     let config = CoreConfig::paper();
     let tool = |e: &dyn std::fmt::Display| CliError::Tool(e.to_string());
     match command.verb {
@@ -194,7 +274,9 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             Ok(tracer.render())
         }
         Verb::Run => {
-            let result = ClassicCore::new(config).run(&program).map_err(|e| tool(&e))?;
+            let result = ClassicCore::new(config)
+                .run(&program)
+                .map_err(|e| tool(&e))?;
             let mut out = String::new();
             let _ = writeln!(out, "program `{}` halted", program.name);
             let _ = writeln!(
@@ -267,7 +349,13 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             );
             for d in &report.decisions {
                 match &d.outcome {
-                    SiteOutcome::Selected { slice_len, height, est_recompute_nj, est_load_nj, .. } => {
+                    SiteOutcome::Selected {
+                        slice_len,
+                        height,
+                        est_recompute_nj,
+                        est_load_nj,
+                        ..
+                    } => {
                         let _ = writeln!(
                             out,
                             "  pc {:>5}: SELECTED ({slice_len} insts, h={height}, \
@@ -324,6 +412,85 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => {
+            unreachable!("suite verbs are dispatched before program loading")
+        }
+    }
+}
+
+/// The suite verbs: `experiments`, `bench-snapshot`, `bench-compare`.
+fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
+    use amnesiac_experiments::{export, regress, EvalSuite};
+
+    let scale = if command.paper_scale {
+        amnesiac_workloads::Scale::Paper
+    } else {
+        amnesiac_workloads::Scale::Test
+    };
+    match command.verb {
+        Verb::Experiments => {
+            let dir = std::path::PathBuf::from(
+                command
+                    .json_dir
+                    .as_deref()
+                    .expect("parse_args enforced this"),
+            );
+            let suite = EvalSuite::compute(scale);
+            let mut written = export::write_suite_artifacts(&dir, &suite)
+                .map_err(|e| CliError::Tool(format!("cannot write `{}`: {e}", dir.display())))?;
+            for (name, json) in [
+                ("table1.json", export::table1_json()),
+                ("table2.json", export::table2_json()),
+            ] {
+                let path = dir.join(name);
+                export::write_json(&path, &json).map_err(|e| {
+                    CliError::Tool(format!("cannot write `{}`: {e}", path.display()))
+                })?;
+                written.push(path);
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "computed {} benchmarks; wrote {} artifacts to {}:",
+                suite.benches.len(),
+                written.len(),
+                dir.display()
+            );
+            for path in written {
+                let _ = writeln!(out, "  {}", path.display());
+            }
+            Ok(out)
+        }
+        Verb::BenchSnapshot => {
+            let out_path = command.target.as_deref().expect("parse_args enforced this");
+            let suite = EvalSuite::compute(scale);
+            let snap = regress::snapshot(&suite);
+            export::write_json(std::path::Path::new(out_path), &snap)
+                .map_err(|e| CliError::Tool(format!("cannot write `{out_path}`: {e}")))?;
+            Ok(format!(
+                "wrote bench baseline for {} benchmarks to {out_path}\n",
+                suite.benches.len()
+            ))
+        }
+        Verb::BenchCompare => {
+            let baseline_path = command.target.as_deref().expect("parse_args enforced this");
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| CliError::Tool(format!("cannot read `{baseline_path}`: {e}")))?;
+            let baseline = amnesiac_telemetry::parse(&text)
+                .map_err(|e| CliError::Tool(format!("{baseline_path}: {e}")))?;
+            let suite = EvalSuite::compute(scale);
+            let current = regress::snapshot(&suite);
+            let tolerance = command.tolerance.unwrap_or(regress::DEFAULT_TOLERANCE_PP);
+            let regressions =
+                regress::compare(&baseline, &current, tolerance).map_err(CliError::Tool)?;
+            let report = regress::render_report(&regressions, tolerance);
+            if regressions.is_empty() {
+                Ok(report)
+            } else {
+                Err(CliError::Tool(report))
+            }
+        }
+        _ => unreachable!("only suite verbs reach execute_suite_verb"),
     }
 }
 
@@ -345,14 +512,17 @@ mod tests {
     fn parses_verbs_and_flags() {
         let c = parse_args(&args(&["compare", "bench:is", "--paper-scale"])).unwrap();
         assert_eq!(c.verb, Verb::Compare);
-        assert_eq!(c.target, "bench:is");
+        assert_eq!(c.target.as_deref(), Some("bench:is"));
         assert!(c.paper_scale);
     }
 
     #[test]
     fn rejects_bad_invocations() {
         assert!(matches!(parse_args(&args(&[])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&args(&["run"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["run"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse_args(&args(&["run", "x", "--bogus"])),
             Err(CliError::Usage(_))
@@ -361,6 +531,87 @@ mod tests {
             parse_args(&args(&["frobnicate", "x"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_suite_verbs() {
+        let c = parse_args(&args(&["experiments", "--json", "results"])).unwrap();
+        assert_eq!(c.verb, Verb::Experiments);
+        assert_eq!(c.json_dir.as_deref(), Some("results"));
+        assert!(matches!(
+            parse_args(&args(&["experiments"])),
+            Err(CliError::Usage(_))
+        ));
+        let c = parse_args(&args(&[
+            "bench-compare",
+            "base.json",
+            "--tolerance",
+            "0.25",
+        ]))
+        .unwrap();
+        assert_eq!(c.verb, Verb::BenchCompare);
+        assert_eq!(c.target.as_deref(), Some("base.json"));
+        assert_eq!(c.tolerance, Some(0.25));
+        assert!(matches!(
+            parse_args(&args(&["bench-snapshot"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["bench-compare", "x", "--tolerance", "abc"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_then_compare_is_clean_and_catches_doctored_baselines() {
+        let dir = std::env::temp_dir().join("amnesiac-cli-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let baseline_str = baseline.to_string_lossy().into_owned();
+
+        let snap_cmd = parse_args(&args(&["bench-snapshot", &baseline_str])).unwrap();
+        assert!(execute(&snap_cmd).unwrap().contains("wrote bench baseline"));
+
+        // gains are deterministic, so a fresh run matches its own baseline
+        let cmp_cmd = parse_args(&args(&["bench-compare", &baseline_str])).unwrap();
+        assert!(execute(&cmp_cmd).unwrap().contains("OK"));
+
+        // inflate one baseline gain: the fresh run must now look regressed
+        let mut doc =
+            amnesiac_telemetry::parse(&std::fs::read_to_string(&baseline).unwrap()).unwrap();
+        let benches = doc.get_mut("benches").unwrap();
+        let (first, _) = {
+            let fields = benches.as_obj().unwrap();
+            (fields[0].0.clone(), ())
+        };
+        let gains = benches
+            .get_mut(&first)
+            .and_then(|b| b.get_mut("gains"))
+            .and_then(|g| g.get_mut("Compiler"))
+            .unwrap();
+        let old = gains
+            .get("edp_gain_pct")
+            .and_then(amnesiac_telemetry::Json::as_f64)
+            .unwrap();
+        gains.set("edp_gain_pct", old + 50.0);
+        std::fs::write(&baseline, doc.pretty()).unwrap();
+        assert!(matches!(execute(&cmp_cmd), Err(CliError::Tool(_))));
+        std::fs::remove_file(&baseline).ok();
+    }
+
+    #[test]
+    fn experiments_writes_the_results_dir() {
+        let dir = std::env::temp_dir().join("amnesiac-cli-results-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_string_lossy().into_owned();
+        let cmd = parse_args(&args(&["experiments", "--json", &dir_str])).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("artifacts"));
+        for name in ["fig3.json", "table4.json", "suite.json", "table2.json"] {
+            let text = std::fs::read_to_string(dir.join(name)).expect(name);
+            amnesiac_telemetry::parse(&text).expect(name);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,9 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use amnesiac_isa::{
-    Instruction, IsaError, LeafInfo, OperandPlan, Program, SliceId, SliceMeta,
-};
+use amnesiac_isa::{Instruction, IsaError, LeafInfo, OperandPlan, Program, SliceId, SliceMeta};
 
 use crate::slice::SliceSpec;
 
@@ -207,7 +205,12 @@ mod tests {
         SliceSpec {
             load_pc,
             insts: vec![SliceInstSpec {
-                inst: Instruction::Alui { op: AluOp::Add, dst: Reg(3), src: Reg(2), imm: 3 },
+                inst: Instruction::Alui {
+                    op: AluOp::Add,
+                    dst: Reg(3),
+                    src: Reg(2),
+                    imm: 3,
+                },
                 origin_pc: add_pc,
                 sources: [
                     Some(if hist {
@@ -253,7 +256,10 @@ mod tests {
         assert_eq!(a.code_len, p.code_len + 1, "one REC inserted");
         // the REC sits where the add used to be; the add follows it
         assert!(matches!(a.instructions[add_pc], Instruction::Rec { .. }));
-        assert!(matches!(a.instructions[add_pc + 1], Instruction::Alui { .. }));
+        assert!(matches!(
+            a.instructions[add_pc + 1],
+            Instruction::Alui { .. }
+        ));
         // REC checkpoints the origin's source registers
         match &a.instructions[add_pc] {
             Instruction::Rec { srcs, key } => {
@@ -310,7 +316,10 @@ mod tests {
         assert_eq!(jump_target, top_pc, "loop top is before the REC insertion");
         // and the REC precedes the add on the fallthrough path
         assert!(matches!(a.instructions[add_pc], Instruction::Rec { .. }));
-        assert!(matches!(a.instructions[add_pc + 1], Instruction::Alui { .. }));
+        assert!(matches!(
+            a.instructions[add_pc + 1],
+            Instruction::Alui { .. }
+        ));
     }
 
     #[test]
@@ -333,7 +342,10 @@ mod tests {
         let load_b = b.load(Reg(5), Reg(1), 1);
         b.halt();
         let p = b.finish().unwrap();
-        let specs = vec![spec_for(load_b, add_pc, false), spec_for(load_a, add_pc, false)];
+        let specs = vec![
+            spec_for(load_b, add_pc, false),
+            spec_for(load_a, add_pc, false),
+        ];
         let a = annotate(&p, &specs).unwrap();
         assert_eq!(a.slices.len(), 2);
         // ids ordered by load pc regardless of input order

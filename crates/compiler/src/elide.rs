@@ -93,18 +93,30 @@ mod tests {
     use super::*;
     use crate::pipeline::{compile, CompileOptions};
     use crate::redundant_stores;
-    use amnesiac_profile::profile_program;
-    use amnesiac_sim::{ClassicCore, CoreConfig};
     use amnesiac_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
     use amnesiac_mem::{CacheConfig, HierarchyConfig};
+    use amnesiac_profile::profile_program;
+    use amnesiac_sim::{ClassicCore, CoreConfig};
 
     fn small_config() -> CoreConfig {
         let mut c = CoreConfig::paper();
         c.hierarchy = HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
-            l1d: CacheConfig { size_bytes: 128, ways: 2, line_bytes: 8 },
-            l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 8 },
-                    next_line_prefetch: false,
+            l1i: CacheConfig {
+                size_bytes: 256,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                size_bytes: 128,
+                ways: 2,
+                line_bytes: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 8,
+            },
+            next_line_prefetch: false,
         };
         c
     }
@@ -156,17 +168,13 @@ mod tests {
         let config = small_config();
         let classic = ClassicCore::new(config.clone()).run(&program).unwrap();
         let (profile, _) = profile_program(&program, &config).unwrap();
-        let (annotated, report) =
-            compile(&program, &profile, &CompileOptions::default()).unwrap();
+        let (annotated, report) = compile(&program, &profile, &CompileOptions::default()).unwrap();
         assert!(report.n_selected() >= 1);
         let selected = report.selected_load_pcs();
         let redundant: Vec<usize> = redundant_stores(&profile, &selected);
         assert!(!redundant.is_empty(), "the fill store is redundant");
         // map original store pcs into the annotated binary
-        let remove: BTreeSet<usize> = redundant
-            .iter()
-            .map(|&pc| report.pc_map[pc])
-            .collect();
+        let remove: BTreeSet<usize> = redundant.iter().map(|&pc| report.pc_map[pc]).collect();
         let elided = remove_stores(&annotated, &remove).unwrap();
         assert_eq!(
             elided.code_len,

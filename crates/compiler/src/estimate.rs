@@ -244,7 +244,12 @@ mod tests {
     fn alui_node(pc: usize, op: ProvOperand) -> ProvNode {
         ProvNode {
             pc,
-            inst: Instruction::Alui { op: AluOp::Add, dst: Reg(2), src: op.reg, imm: 1 },
+            inst: Instruction::Alui {
+                op: AluOp::Add,
+                dst: Reg(2),
+                src: op.reg,
+                imm: 1,
+            },
             operands: [Some(op), None, None],
         }
     }
@@ -288,7 +293,10 @@ mod tests {
         let site = site_with(alui_node(3, operand(1, false, false, Some(child))), 10);
         let (cost, insts) = est.plan_site(&site, 12, 64).unwrap();
         assert_eq!(insts.len(), 2, "child expanded");
-        assert_eq!(insts[1].sources[0], Some(OperandSource::SFile { producer: 0 }));
+        assert_eq!(
+            insts[1].sources[0],
+            Some(OperandSource::SFile { producer: 0 })
+        );
         assert_eq!(cost.height, 1);
     }
 
@@ -323,7 +331,12 @@ mod tests {
         let grandchild = alui_node(0, operand(6, true, false, None));
         let child = ProvNode {
             pc: 1,
-            inst: Instruction::Alu { op: AluOp::Div, dst: Reg(5), lhs: Reg(6), rhs: Reg(7) },
+            inst: Instruction::Alu {
+                op: AluOp::Div,
+                dst: Reg(5),
+                lhs: Reg(6),
+                rhs: Reg(7),
+            },
             operands: [
                 Some(operand(6, false, false, Some(grandchild))),
                 Some(operand(7, true, false, None)),
@@ -343,7 +356,10 @@ mod tests {
         let est = SliceEstimator::new(&energy, &profile);
         let child = alui_node(1, operand(5, true, false, None));
         let site = site_with(alui_node(3, operand(1, false, false, Some(child))), 10);
-        assert!(est.plan_site(&site, 0, 64).is_none(), "expansion needs depth");
+        assert!(
+            est.plan_site(&site, 0, 64).is_none(),
+            "expansion needs depth"
+        );
         assert!(est.plan_site(&site, 1, 64).is_some());
         assert!(est.plan_site(&site, 1, 1).is_none(), "2 insts > cap 1");
     }
@@ -358,7 +374,12 @@ mod tests {
         let right = alui_node(2, operand(6, true, false, None));
         let root = ProvNode {
             pc: 3,
-            inst: Instruction::Alu { op: AluOp::Add, dst: Reg(9), lhs: Reg(1), rhs: Reg(2) },
+            inst: Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(9),
+                lhs: Reg(1),
+                rhs: Reg(2),
+            },
             operands: [
                 Some(operand(1, false, false, Some(left))),
                 Some(operand(2, false, false, Some(right))),
@@ -368,8 +389,14 @@ mod tests {
         let site = site_with(root, 10);
         let (_, insts) = est.plan_site(&site, 12, 64).unwrap();
         assert_eq!(insts.len(), 3);
-        assert_eq!(insts[2].sources[0], Some(OperandSource::SFile { producer: 0 }));
-        assert_eq!(insts[2].sources[1], Some(OperandSource::SFile { producer: 1 }));
+        assert_eq!(
+            insts[2].sources[0],
+            Some(OperandSource::SFile { producer: 0 })
+        );
+        assert_eq!(
+            insts[2].sources[1],
+            Some(OperandSource::SFile { producer: 1 })
+        );
         for (i, inst) in insts.iter().enumerate() {
             for s in inst.sources.iter().flatten() {
                 if let OperandSource::SFile { producer } = s {

@@ -7,6 +7,7 @@ use amnesiac_isa::{IsaError, Program};
 use amnesiac_mem::ServiceLevel;
 use amnesiac_profile::{ProgramProfile, Unswappable};
 use amnesiac_sim::RunError;
+use amnesiac_telemetry::{Json, ToJson};
 
 use crate::annotate::annotate_with_map;
 use crate::estimate::SliceEstimator;
@@ -144,6 +145,37 @@ impl CompileReport {
     }
 }
 
+impl ToJson for CompileReport {
+    /// Compile summary: per-outcome site counts, inserted `REC`s,
+    /// validation rounds, and the §3.4 storage bounds.
+    fn to_json(&self) -> Json {
+        let mut rejected_energy = 0usize;
+        let mut unswappable = 0usize;
+        let mut dropped_by_validation = 0usize;
+        let mut max_slice_len = 0usize;
+        for d in &self.decisions {
+            match &d.outcome {
+                SiteOutcome::Selected { slice_len, .. } => {
+                    max_slice_len = max_slice_len.max(*slice_len);
+                }
+                SiteOutcome::RejectedEnergy { .. } => rejected_energy += 1,
+                SiteOutcome::Unswappable(_) => unswappable += 1,
+                SiteOutcome::DroppedByValidation => dropped_by_validation += 1,
+            }
+        }
+        Json::obj()
+            .with("n_sites", self.decisions.len())
+            .with("n_selected", self.n_selected())
+            .with("rejected_energy", rejected_energy)
+            .with("unswappable", unswappable)
+            .with("dropped_by_validation", dropped_by_validation)
+            .with("max_selected_slice_len", max_slice_len)
+            .with("rec_count", self.rec_count)
+            .with("validation_rounds", self.validation_rounds)
+            .with("storage", self.storage.to_json())
+    }
+}
+
 /// Errors from the compile pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
@@ -254,8 +286,7 @@ pub fn compile(
                     .map(|i| {
                         let execs = profile.pc_count(i.origin_pc).max(1) as f64;
                         let share = origin_usage[&i.origin_pc].max(1) as f64;
-                        execs * options.energy.hist_write_nj
-                            / (share * site.count.max(1) as f64)
+                        execs * options.energy.hist_write_nj / (share * site.count.max(1) as f64)
                     })
                     .sum();
                 gain > standing
@@ -368,10 +399,22 @@ mod tests {
         let mut c = CoreConfig::paper();
         // 8-byte lines defeat spatial locality, so streaming reloads miss
         c.hierarchy = HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
-            l1d: CacheConfig { size_bytes: 128, ways: 2, line_bytes: 8 },
-            l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 8 },
-                    next_line_prefetch: false,
+            l1i: CacheConfig {
+                size_bytes: 256,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                size_bytes: 128,
+                ways: 2,
+                line_bytes: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 8,
+            },
+            next_line_prefetch: false,
         };
         c
     }
@@ -425,7 +468,10 @@ mod tests {
         let p = kernel(50);
         let (profile, _) = profile_program(&p, &small_config()).unwrap();
         let (annotated, report) = compile(&p, &profile, &CompileOptions::default()).unwrap();
-        assert!(report.n_selected() >= 1, "the tmp[i] reload is recomputable");
+        assert!(
+            report.n_selected() >= 1,
+            "the tmp[i] reload is recomputable"
+        );
         assert!(annotated.is_annotated());
         assert!(report.validation_rounds >= 1);
         // every surviving slice validated exactly
@@ -445,7 +491,12 @@ mod tests {
         let (profile, _) = profile_program(&p, &small_config()).unwrap();
         let (_, report) = compile(&p, &profile, &CompileOptions::default()).unwrap();
         for d in &report.decisions {
-            if let SiteOutcome::Selected { est_recompute_nj, est_load_nj, .. } = d.outcome {
+            if let SiteOutcome::Selected {
+                est_recompute_nj,
+                est_load_nj,
+                ..
+            } = d.outcome
+            {
                 assert!(
                     est_recompute_nj < est_load_nj,
                     "budget rule violated at pc {}: E_rc {est_recompute_nj} ≥ E_ld {est_load_nj}",

@@ -61,7 +61,10 @@ pub type ReplayError = RunError;
 ///
 /// * [`RunError::FuseBlown`] after `max_instructions` dynamic instructions;
 /// * [`RunError::PcOutOfRange`] if control escapes the main code region.
-pub fn replay_validate(program: &Program, max_instructions: u64) -> Result<ReplayOutcome, RunError> {
+pub fn replay_validate(
+    program: &Program,
+    max_instructions: u64,
+) -> Result<ReplayOutcome, RunError> {
     let mut regs = [0u64; NUM_REGS];
     let mut mem: HashMap<u64, u64> = program.data.iter().collect();
     let mut hist: HashMap<u16, [u64; 3]> = HashMap::new();
@@ -71,7 +74,9 @@ pub fn replay_validate(program: &Program, max_instructions: u64) -> Result<Repla
     let mut retired = 0u64;
     loop {
         if retired >= max_instructions {
-            return Err(RunError::FuseBlown { limit: max_instructions });
+            return Err(RunError::FuseBlown {
+                limit: max_instructions,
+            });
         }
         if pc >= program.code_len {
             return Err(RunError::PcOutOfRange { pc });
@@ -105,7 +110,9 @@ pub fn replay_validate(program: &Program, max_instructions: u64) -> Result<Repla
             Instruction::Rec { key, .. } => {
                 hist.insert(*key, vals);
             }
-            Instruction::Rcmp { dst, offset, slice, .. } => {
+            Instruction::Rcmp {
+                dst, offset, slice, ..
+            } => {
                 let addr = vals[0].wrapping_add(*offset as u64);
                 let actual = mem.get(&addr).copied().unwrap_or(0);
                 let stats = &mut per_slice[slice.index()];
@@ -157,12 +164,12 @@ fn traverse(
         let srcs = inst.srcs();
         let mut vals = [0u64; 3];
         for j in 0..3 {
-            let Some(source) = plan.sources[j] else { continue };
+            let Some(source) = plan.sources[j] else {
+                continue;
+            };
             vals[j] = match source {
                 OperandSource::SFile { producer } => values[producer as usize],
-                OperandSource::LiveReg => {
-                    regs[srcs[j].expect("planned operand exists").index()]
-                }
+                OperandSource::LiveReg => regs[srcs[j].expect("planned operand exists").index()],
                 OperandSource::Hist { key } => {
                     let entry = hist.get(&key)?;
                     entry[j]
@@ -200,7 +207,12 @@ mod tests {
         let spec = SliceSpec {
             load_pc,
             insts: vec![SliceInstSpec {
-                inst: Instruction::Alui { op: AluOp::Add, dst: Reg(3), src: Reg(2), imm: 3 },
+                inst: Instruction::Alui {
+                    op: AluOp::Add,
+                    dst: Reg(3),
+                    src: Reg(2),
+                    imm: 3,
+                },
                 origin_pc: add_pc,
                 sources: [
                     Some(if hist {
@@ -237,7 +249,10 @@ mod tests {
     #[test]
     fn hist_leaf_survives_clobbering() {
         let outcome = replay_validate(&annotated(true, true), 10_000).unwrap();
-        assert!(outcome.per_slice[0].is_exact(), "REC checkpointed the operand");
+        assert!(
+            outcome.per_slice[0].is_exact(),
+            "REC checkpointed the operand"
+        );
     }
 
     #[test]

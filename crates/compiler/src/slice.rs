@@ -83,17 +83,32 @@ mod tests {
             load_pc,
             insts: vec![
                 SliceInstSpec {
-                    inst: Instruction::Alui { op: AluOp::Add, dst: Reg(3), src: Reg(2), imm: 1 },
+                    inst: Instruction::Alui {
+                        op: AluOp::Add,
+                        dst: Reg(3),
+                        src: Reg(2),
+                        imm: 1,
+                    },
                     origin_pc: 1,
                     sources: [Some(OperandSource::LiveReg), None, None],
                 },
                 SliceInstSpec {
-                    inst: Instruction::Alui { op: AluOp::Add, dst: Reg(4), src: Reg(5), imm: 2 },
+                    inst: Instruction::Alui {
+                        op: AluOp::Add,
+                        dst: Reg(4),
+                        src: Reg(5),
+                        imm: 2,
+                    },
                     origin_pc: 2,
                     sources: [Some(OperandSource::Hist { key: 0 }), None, None],
                 },
                 SliceInstSpec {
-                    inst: Instruction::Alu { op: AluOp::Add, dst: Reg(5), lhs: Reg(3), rhs: Reg(4) },
+                    inst: Instruction::Alu {
+                        op: AluOp::Add,
+                        dst: Reg(5),
+                        lhs: Reg(3),
+                        rhs: Reg(4),
+                    },
                     origin_pc: 10,
                     sources: [
                         Some(OperandSource::SFile { producer: 0 }),

@@ -2,6 +2,7 @@
 //! amnesic structures implied by a compiled binary.
 
 use amnesiac_isa::{Program, MAX_DEST_OPERANDS, MAX_SRC_OPERANDS};
+use amnesiac_telemetry::{Json, ToJson};
 
 /// Analytic capacity bounds for the amnesic microarchitecture (paper §3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,12 +34,7 @@ impl StorageBounds {
         let hist_entries = program
             .slices
             .iter()
-            .map(|s| {
-                s.plans
-                    .iter()
-                    .filter(|p| p.reads_hist())
-                    .count()
-            })
+            .map(|s| s.plans.iter().filter(|p| p.reads_hist()).count())
             .sum();
         StorageBounds {
             sfile_entries: max_insts * (MAX_SRC_OPERANDS + MAX_DEST_OPERANDS),
@@ -47,6 +43,17 @@ impl StorageBounds {
             max_insts_per_slice: max_insts,
             n_slices: program.slices.len(),
         }
+    }
+}
+
+impl ToJson for StorageBounds {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("sfile_entries", self.sfile_entries)
+            .with("hist_entries", self.hist_entries)
+            .with("ibuff_entries", self.ibuff_entries)
+            .with("max_insts_per_slice", self.max_insts_per_slice)
+            .with("n_slices", self.n_slices)
     }
 }
 

@@ -7,6 +7,7 @@ use amnesiac_energy::UarchEvent;
 use amnesiac_isa::{Category, Instruction, OperandSource, Program, SliceId};
 use amnesiac_mem::ServiceLevel;
 use amnesiac_sim::{compute_exception, eval_compute, CoreConfig, Machine, RunError, RunResult};
+use amnesiac_telemetry::{Json, ToJson};
 
 use crate::policy::Policy;
 use crate::predictor::MissPredictor;
@@ -77,7 +78,12 @@ impl std::fmt::Display for AmnesicError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AmnesicError::Run(e) => write!(f, "{e}"),
-            AmnesicError::ValueMismatch { pc, slice, expected, got } => write!(
+            AmnesicError::ValueMismatch {
+                pc,
+                slice,
+                expected,
+                got,
+            } => write!(
                 f,
                 "recomputation mismatch at pc {pc} (slice {slice}): memory {expected:#x}, \
                  recomputed {got:#x}"
@@ -107,6 +113,14 @@ impl AmnesicRunResult {
     /// Energy-delay product.
     pub fn edp(&self) -> f64 {
         self.run.account.edp()
+    }
+}
+
+impl ToJson for AmnesicRunResult {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("run", self.run.to_json())
+            .with("amnesic", self.stats.to_json())
     }
 }
 
@@ -155,8 +169,7 @@ impl AmnesicCore {
         // slice depends on (§3.5: failed RECs force the owning RCMPs to
         // perform the load)
         let mut failed_keys: HashSet<u16> = HashSet::new();
-        let slice_keys: Vec<Vec<u16>> =
-            program.slices.iter().map(|m| m.hist_keys()).collect();
+        let slice_keys: Vec<Vec<u16>> = program.slices.iter().map(|m| m.hist_keys()).collect();
         let mut predictor = MissPredictor::new();
 
         let mut pc = program.entry;
@@ -221,7 +234,9 @@ impl AmnesicCore {
                         failed_keys.insert(*key);
                     }
                 }
-                Instruction::Rcmp { dst, offset, slice, .. } => {
+                Instruction::Rcmp {
+                    dst, offset, slice, ..
+                } => {
                     machine.charge_op(Category::Rcmp);
                     let addr = vals[0].wrapping_add(*offset as u64);
                     let level = machine.hierarchy.peek_data(addr * 8);
@@ -249,9 +264,7 @@ impl AmnesicCore {
                             Traversal::Done(value) => {
                                 retired += meta.len as u64;
                                 stats.record_decision(slice.index(), true, level);
-                                if self.config.check_values
-                                    && value != machine.peek_mem(addr)
-                                {
+                                if self.config.check_values && value != machine.peek_mem(addr) {
                                     return Err(AmnesicError::ValueMismatch {
                                         pc,
                                         slice: slice.0,
@@ -422,7 +435,9 @@ impl AmnesicCore {
             let mut hist_entry: Option<(u16, [u64; 3])> = None;
             let mut ok = true;
             for j in 0..3 {
-                let Some(source) = plan.sources[j] else { continue };
+                let Some(source) = plan.sources[j] else {
+                    continue;
+                };
                 vals[j] = match source {
                     OperandSource::SFile { producer } => {
                         let slot = renamer.resolve(producer as usize);
@@ -509,10 +524,22 @@ mod tests {
     fn small_config() -> CoreConfig {
         let mut c = CoreConfig::paper();
         c.hierarchy = HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
-            l1d: CacheConfig { size_bytes: 128, ways: 2, line_bytes: 8 },
-            l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 8 },
-                    next_line_prefetch: false,
+            l1i: CacheConfig {
+                size_bytes: 256,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                size_bytes: 128,
+                ways: 2,
+                line_bytes: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 8,
+            },
+            next_line_prefetch: false,
         };
         c
     }
@@ -577,7 +604,9 @@ mod tests {
         let (p, annotated) = compiled(50);
         let classic = ClassicCore::new(small_config()).run(&p).unwrap();
         for policy in Policy::ALL {
-            let result = AmnesicCore::new(amnesic_config(policy)).run(&annotated).unwrap();
+            let result = AmnesicCore::new(amnesic_config(policy))
+                .run(&annotated)
+                .unwrap();
             assert_eq!(
                 result.run.final_memory, classic.final_memory,
                 "policy {policy} diverged"
@@ -670,9 +699,7 @@ mod tests {
         let uses_hist = annotated.slices.iter().any(|s| s.has_nonrecomputable);
         let mut config = amnesic_config(Policy::Compiler);
         config.hist_capacity = 0;
-        let result = AmnesicCore::new(AmnesicCore::new(config.clone()).config().clone())
-            .run(&annotated)
-            .unwrap();
+        let result = AmnesicCore::new(config).run(&annotated).unwrap();
         let classic = ClassicCore::new(small_config()).run(&p).unwrap();
         assert_eq!(result.run.final_memory, classic.final_memory);
         if uses_hist {
@@ -711,7 +738,9 @@ mod tests {
     fn classic_binary_runs_unchanged_on_amnesic_core() {
         let p = kernel(20);
         let classic = ClassicCore::new(small_config()).run(&p).unwrap();
-        let amnesic = AmnesicCore::new(amnesic_config(Policy::Compiler)).run(&p).unwrap();
+        let amnesic = AmnesicCore::new(amnesic_config(Policy::Compiler))
+            .run(&p)
+            .unwrap();
         assert_eq!(amnesic.run.final_memory, classic.final_memory);
         assert_eq!(amnesic.stats.rcmp_total(), 0);
         assert!((amnesic.run.account.total_nj() - classic.account.total_nj()).abs() < 1e-6);
@@ -761,7 +790,10 @@ mod tests {
         let result = AmnesicCore::new(amnesic_config(Policy::Compiler))
             .run(&annotated)
             .unwrap();
-        assert!(result.stats.ibuff_hits > 0, "loops retraverse the same slice");
+        assert!(
+            result.stats.ibuff_hits > 0,
+            "loops retraverse the same slice"
+        );
         assert!(result.stats.ibuff_misses >= 1, "first traversal misses");
     }
 }

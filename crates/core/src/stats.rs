@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use amnesiac_mem::{LevelStats, ServiceLevel};
 use amnesiac_sim::ExceptionKind;
+use amnesiac_telemetry::{Json, ToJson};
 
 /// Per-slice runtime counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -108,6 +109,48 @@ impl AmnesicStats {
     }
 }
 
+impl ToJson for SliceRuntimeStats {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("fired", self.fired)
+            .with("loaded", self.loaded)
+            .with("forced_loads", self.forced_loads)
+    }
+}
+
+impl ToJson for AmnesicStats {
+    /// Aggregate counters, the swapped/performed service-level mixes, the
+    /// §3.4 structure high-water marks, and the per-slice
+    /// fired/loaded/forced counters (indexed by slice id).
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("rcmp_total", self.rcmp_total())
+            .with("fired_total", self.fired_total())
+            .with("recompute_insts", self.recompute_insts)
+            .with("swapped_levels", self.swapped_levels.to_json())
+            .with("performed_levels", self.performed_levels.to_json())
+            .with("deferred_exceptions", self.deferred_exceptions.len())
+            .with(
+                "high_water",
+                Json::obj()
+                    .with("sfile", self.sfile_high_water)
+                    .with("hist", self.hist_high_water)
+                    .with("ibuff", self.ibuff_high_water),
+            )
+            .with("ibuff_hits", self.ibuff_hits)
+            .with("ibuff_misses", self.ibuff_misses)
+            .with("hist_reads", self.hist_reads)
+            .with("hist_failed_writes", self.hist_failed_writes)
+            .with("rename_requests", self.rename_requests)
+            .with("predictions", self.predictions)
+            .with("mispredictions", self.mispredictions)
+            .with(
+                "per_slice",
+                Json::Arr(self.per_slice.iter().map(|s| s.to_json()).collect()),
+            )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,10 +168,7 @@ mod tests {
         assert_eq!(stats.fired_total(), 2);
         assert_eq!(stats.swapped_levels.total(), 2);
         assert_eq!(stats.performed_levels.total(), 1);
-        assert_eq!(
-            stats.swapped_levels.by_level[ServiceLevel::Mem.index()],
-            1
-        );
+        assert_eq!(stats.swapped_levels.by_level[ServiceLevel::Mem.index()], 1);
     }
 
     #[test]

@@ -1,18 +1,23 @@
-//! Property tests for the amnesic storage structures against brute-force
-//! reference models.
+//! Randomized tests for the amnesic storage structures against brute-force
+//! reference models, driven by the deterministic in-repo RNG.
+
+use std::collections::HashMap;
 
 use amnesiac_core::{Hist, IBuff, SFile};
 use amnesiac_isa::SliceId;
-use proptest::prelude::*;
+use amnesiac_rng::Rng;
 
-proptest! {
-    /// `SFile` slots allocate densely, read back exactly, and recycle on
-    /// release; the high-water mark is the max prefix length.
-    #[test]
-    fn sfile_matches_a_vec(
-        traversals in prop::collection::vec(
-            prop::collection::vec(any::<u64>(), 0..20), 1..20)
-    ) {
+const CASES: usize = 256;
+
+/// `SFile` slots allocate densely, read back exactly, and recycle on
+/// release; the high-water mark is the max prefix length.
+#[test]
+fn sfile_matches_a_vec() {
+    let mut r = Rng::seed_from_u64(0x5F11);
+    for _ in 0..CASES {
+        let traversals: Vec<Vec<u64>> = (0..r.range_usize(1, 20))
+            .map(|_| (0..r.range_usize(0, 20)).map(|_| r.next_u64()).collect())
+            .collect();
         let mut sfile = SFile::new(16);
         let mut high = 0usize;
         for values in &traversals {
@@ -20,57 +25,64 @@ proptest! {
             for &v in values {
                 match sfile.alloc_write(v) {
                     Some(slot) => {
-                        prop_assert_eq!(slot, shadow.len());
+                        assert_eq!(slot, shadow.len());
                         shadow.push(v);
                     }
                     None => {
-                        prop_assert!(shadow.len() == 16, "refuses only when full");
+                        assert_eq!(shadow.len(), 16, "refuses only when full");
                         break;
                     }
                 }
             }
             for (slot, &v) in shadow.iter().enumerate() {
-                prop_assert_eq!(sfile.read(slot), v);
+                assert_eq!(sfile.read(slot), v);
             }
             high = high.max(shadow.len());
-            prop_assert_eq!(sfile.high_water(), high);
+            assert_eq!(sfile.high_water(), high);
             sfile.release_all();
         }
     }
+}
 
-    /// `Hist` behaves like a capacity-capped map: refreshes always land,
-    /// fresh keys are rejected exactly when the table is full.
-    #[test]
-    fn hist_matches_a_map(
-        ops in prop::collection::vec((0u16..12, any::<u64>()), 1..100)
-    ) {
-        use std::collections::HashMap;
+/// `Hist` behaves like a capacity-capped map: refreshes always land,
+/// fresh keys are rejected exactly when the table is full.
+#[test]
+fn hist_matches_a_map() {
+    let mut r = Rng::seed_from_u64(0x4157);
+    for _ in 0..CASES {
+        let ops: Vec<(u16, u64)> = (0..r.range_usize(1, 100))
+            .map(|_| (r.below(12) as u16, r.next_u64()))
+            .collect();
         let mut hist = Hist::new(6);
         let mut shadow: HashMap<u16, [u64; 3]> = HashMap::new();
         for &(key, v) in &ops {
             let values = [v, v ^ 1, v ^ 2];
             let fits = shadow.contains_key(&key) || shadow.len() < 6;
-            prop_assert_eq!(hist.write(key, values), fits);
+            assert_eq!(hist.write(key, values), fits);
             if fits {
                 shadow.insert(key, values);
             }
-            prop_assert_eq!(hist.read(key), shadow.get(&key).copied());
+            assert_eq!(hist.read(key), shadow.get(&key).copied());
         }
-        prop_assert!(hist.high_water() <= 6);
+        assert!(hist.high_water() <= 6);
     }
+}
 
-    /// `IBuff` residency matches a brute-force LRU-of-slices model.
-    #[test]
-    fn ibuff_matches_reference_lru(
-        ops in prop::collection::vec((0u32..8, 1usize..6), 1..100)
-    ) {
+/// `IBuff` residency matches a brute-force LRU-of-slices model.
+#[test]
+fn ibuff_matches_reference_lru() {
+    let mut r = Rng::seed_from_u64(0x1BFF);
+    for _ in 0..CASES {
+        let ops: Vec<(u32, usize)> = (0..r.range_usize(1, 100))
+            .map(|_| (r.below(8) as u32, r.range_usize(1, 6)))
+            .collect();
         let mut ibuff = IBuff::new(10);
         // reference: (id, size) most-recently-used first
         let mut shadow: Vec<(u32, usize)> = Vec::new();
         for &(id, size) in &ops {
             let hit = ibuff.access(SliceId(id), size);
             let ref_hit = shadow.iter().any(|&(i, _)| i == id);
-            prop_assert_eq!(hit, ref_hit, "id {} size {}", id, size);
+            assert_eq!(hit, ref_hit, "id {id} size {size}");
             if ref_hit {
                 let pos = shadow.iter().position(|&(i, _)| i == id).unwrap();
                 let entry = shadow.remove(pos);

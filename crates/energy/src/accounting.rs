@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use amnesiac_isa::Category;
+use amnesiac_telemetry::{Json, ToJson};
 
 /// Microarchitectural energy events outside the per-instruction EPI table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -133,7 +134,10 @@ impl EnergyAccount {
 
     /// Dynamic instruction mix as `(category, count)` pairs.
     pub fn mix(&self) -> Vec<(Category, u64)> {
-        self.by_category.iter().map(|(&c, &(n, _))| (c, n)).collect()
+        self.by_category
+            .iter()
+            .map(|(&c, &(n, _))| (c, n))
+            .collect()
     }
 
     /// The Table 4 breakdown. Store energy includes write-back traffic;
@@ -179,6 +183,45 @@ impl EnergyAccount {
     }
 }
 
+impl ToJson for EnergyBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("load_pct", self.load_pct)
+            .with("store_pct", self.store_pct)
+            .with("non_mem_pct", self.non_mem_pct)
+            .with("hist_read_pct", self.hist_read_pct)
+    }
+}
+
+impl ToJson for EnergyAccount {
+    /// Full account: totals, the Table 4 breakdown, and per-category /
+    /// per-event `{count, nj}` maps (keys are the enum variant names).
+    fn to_json(&self) -> Json {
+        let mut by_category = Json::obj();
+        for (c, &(n, nj)) in &self.by_category {
+            by_category.set(
+                &format!("{c:?}"),
+                Json::obj().with("count", n).with("nj", nj),
+            );
+        }
+        let mut by_event = Json::obj();
+        for (ev, &(n, nj)) in &self.by_event {
+            by_event.set(
+                &format!("{ev:?}"),
+                Json::obj().with("count", n).with("nj", nj),
+            );
+        }
+        Json::obj()
+            .with("cycles", self.cycles)
+            .with("total_nj", self.total_nj())
+            .with("edp_nj_cycles", self.edp())
+            .with("total_instructions", self.total_instructions())
+            .with("breakdown", self.breakdown().to_json())
+            .with("by_category", by_category)
+            .with("by_event", by_event)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,9 +253,15 @@ mod tests {
         a.record_event(UarchEvent::WritebackL2, 2.0);
         let b = a.breakdown();
         let sum = b.load_pct + b.store_pct + b.non_mem_pct + b.hist_read_pct;
-        assert!((sum - 100.0).abs() < 1e-9, "breakdown sums to 100, got {sum}");
+        assert!(
+            (sum - 100.0).abs() < 1e-9,
+            "breakdown sums to 100, got {sum}"
+        );
         assert!((b.load_pct - 80.0).abs() < 1e-9);
-        assert!((b.store_pct - 12.0).abs() < 1e-9, "write-backs count as stores");
+        assert!(
+            (b.store_pct - 12.0).abs() < 1e-9,
+            "write-backs count as stores"
+        );
         assert!((b.hist_read_pct - 3.0).abs() < 1e-9);
     }
 

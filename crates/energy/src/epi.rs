@@ -168,10 +168,7 @@ impl EnergyModel {
 
     /// The probabilistic per-load energy `Σ PrLi × EPI_Li` of §3.1.1.
     pub fn probabilistic_load_energy(&self, pr: [f64; 3]) -> f64 {
-        pr.iter()
-            .zip(self.load_nj.iter())
-            .map(|(p, e)| p * e)
-            .sum()
+        pr.iter().zip(self.load_nj.iter()).map(|(p, e)| p * e).sum()
     }
 
     /// The probabilistic per-load latency `Σ PrLi × latency_Li` (cycles).
@@ -283,7 +280,9 @@ mod tests {
             (Category::Load, 100), // ignored
         ];
         let mean = m.mean_non_mem_epi(&mix);
-        assert!((mean - EPI_NON_MEM_DEFAULT).abs() < 0.08,
-                "mix-weighted mean {mean} should be near 0.45");
+        assert!(
+            (mean - EPI_NON_MEM_DEFAULT).abs() < 0.08,
+            "mix-weighted mean {mean} should be near 0.45"
+        );
     }
 }

@@ -83,12 +83,7 @@ impl TechnologyModel {
     }
 
     /// Evaluates one node at a voltage.
-    pub fn point(
-        &self,
-        node: &NodeParams,
-        corner: &'static str,
-        voltage: f64,
-    ) -> TechnologyPoint {
+    pub fn point(&self, node: &NodeParams, corner: &'static str, voltage: f64) -> TechnologyPoint {
         let fma = node.c_logic * voltage * voltage;
         let load = node.c_array * voltage * voltage + node.e_static;
         TechnologyPoint {
@@ -135,9 +130,21 @@ mod tests {
     #[test]
     fn table1_ratios_match_paper() {
         let points = TechnologyModel::paper().table1();
-        assert!((points[0].ratio - 1.55).abs() < 0.005, "40nm: {}", points[0].ratio);
-        assert!((points[1].ratio - 5.75).abs() < 0.005, "10nm HP: {}", points[1].ratio);
-        assert!((points[2].ratio - 5.77).abs() < 0.005, "10nm LP: {}", points[2].ratio);
+        assert!(
+            (points[0].ratio - 1.55).abs() < 0.005,
+            "40nm: {}",
+            points[0].ratio
+        );
+        assert!(
+            (points[1].ratio - 5.75).abs() < 0.005,
+            "10nm HP: {}",
+            points[1].ratio
+        );
+        assert!(
+            (points[2].ratio - 5.77).abs() < 0.005,
+            "10nm LP: {}",
+            points[2].ratio
+        );
     }
 
     #[test]
@@ -145,8 +152,10 @@ mod tests {
         let m = TechnologyModel::paper();
         let p40 = m.point(m.node_40(), "", 0.9);
         let p10 = m.point(m.node_10(), "HP", 0.75);
-        assert!(p10.ratio > 3.0 * p40.ratio,
-                "the load/FMA gap must widen substantially from 40nm to 10nm");
+        assert!(
+            p10.ratio > 3.0 * p40.ratio,
+            "the load/FMA gap must widen substantially from 40nm to 10nm"
+        );
         // absolute energies still drop with scaling
         assert!(p10.fma_energy < p40.fma_energy);
         assert!(p10.load_energy < p40.load_energy);
@@ -158,6 +167,9 @@ mod tests {
         let hp = m.point(m.node_10(), "HP", 0.75);
         let lp = m.point(m.node_10(), "LP", 0.65);
         assert!(lp.fma_energy < hp.fma_energy);
-        assert!(lp.ratio > hp.ratio, "LP corner is relatively worse for loads");
+        assert!(
+            lp.ratio > hp.ratio,
+            "LP corner is relatively worse for loads"
+        );
     }
 }

@@ -1,22 +1,35 @@
-//! Property tests for the energy account: merging is additive, the Table 4
-//! breakdown always partitions the total, and EDP composes.
+//! Randomized tests for the energy account: merging is additive, the
+//! Table 4 breakdown always partitions the total, and cycle arithmetic
+//! never underflows. Driven by the deterministic in-repo RNG (fixed seeds,
+//! reproducible corpus).
 
 use amnesiac_energy::{EnergyAccount, UarchEvent};
 use amnesiac_isa::Category;
-use proptest::prelude::*;
+use amnesiac_rng::Rng;
+
+const CASES: usize = 128;
 
 fn category(idx: u8) -> Category {
     Category::ALL[(idx as usize) % Category::ALL.len()]
 }
 
-proptest! {
-    #[test]
-    fn merge_is_additive_in_every_dimension(
-        a in prop::collection::vec((any::<u8>(), 0.0f64..100.0), 0..50),
-        b in prop::collection::vec((any::<u8>(), 0.0f64..100.0), 0..50),
-        cyc_a in 0u64..10_000,
-        cyc_b in 0u64..10_000,
-    ) {
+/// Random `(category index, nJ)` records.
+fn records(r: &mut Rng, max_len: usize, min_nj: f64) -> Vec<(u8, f64)> {
+    let len = r.range_usize(0, max_len);
+    (0..len)
+        .map(|_| (r.below(256) as u8, r.range_f64(min_nj, 100.0)))
+        .collect()
+}
+
+#[test]
+fn merge_is_additive_in_every_dimension() {
+    let mut r = Rng::seed_from_u64(0xE1);
+    for _ in 0..CASES {
+        let a = records(&mut r, 50, 0.0);
+        let b = records(&mut r, 50, 0.0);
+        let cyc_a = r.below(10_000);
+        let cyc_b = r.below(10_000);
+
         let mut left = EnergyAccount::new();
         for &(c, nj) in &a {
             left.record(category(c), nj);
@@ -32,18 +45,22 @@ proptest! {
         let total_before = left.total_nj() + right.total_nj();
         let insts_before = left.total_instructions() + right.total_instructions();
         left.merge(&right);
-        prop_assert!((left.total_nj() - total_before).abs() < 1e-6);
-        prop_assert_eq!(left.total_instructions(), insts_before);
-        prop_assert_eq!(left.cycles(), cyc_a + cyc_b);
-        prop_assert_eq!(left.event_count(UarchEvent::HistRead), 1);
+        assert!((left.total_nj() - total_before).abs() < 1e-6);
+        assert_eq!(left.total_instructions(), insts_before);
+        assert_eq!(left.cycles(), cyc_a + cyc_b);
+        assert_eq!(left.event_count(UarchEvent::HistRead), 1);
     }
+}
 
-    #[test]
-    fn breakdown_always_partitions_the_total(
-        recs in prop::collection::vec((any::<u8>(), 0.01f64..100.0), 1..60),
-        hist_nj in 0.0f64..50.0,
-        wb_nj in 0.0f64..50.0,
-    ) {
+#[test]
+fn breakdown_always_partitions_the_total() {
+    let mut r = Rng::seed_from_u64(0xE2);
+    for _ in 0..CASES {
+        let mut recs = records(&mut r, 60, 0.01);
+        recs.push((r.below(256) as u8, r.range_f64(0.01, 100.0))); // 1..=60 records
+        let hist_nj = r.range_f64(0.0, 50.0);
+        let wb_nj = r.range_f64(0.0, 50.0);
+
         let mut account = EnergyAccount::new();
         for &(c, nj) in &recs {
             account.record(category(c), nj);
@@ -52,15 +69,17 @@ proptest! {
         account.record_event(UarchEvent::WritebackL2, wb_nj);
         let b = account.breakdown();
         let sum = b.load_pct + b.store_pct + b.non_mem_pct + b.hist_read_pct;
-        prop_assert!((sum - 100.0).abs() < 1e-6, "sum {}", sum);
-        prop_assert!(b.load_pct >= 0.0 && b.store_pct >= 0.0 && b.hist_read_pct >= 0.0);
+        assert!((sum - 100.0).abs() < 1e-6, "sum {sum}");
+        assert!(b.load_pct >= 0.0 && b.store_pct >= 0.0 && b.hist_read_pct >= 0.0);
     }
+}
 
-    #[test]
-    fn cycles_saved_never_underflows(
-        add in prop::collection::vec(0u64..1000, 0..20),
-        sub in prop::collection::vec(0u64..2000, 0..20),
-    ) {
+#[test]
+fn cycles_saved_never_underflows() {
+    let mut r = Rng::seed_from_u64(0xE3);
+    for _ in 0..CASES {
+        let add: Vec<u64> = (0..r.range_usize(0, 20)).map(|_| r.below(1000)).collect();
+        let sub: Vec<u64> = (0..r.range_usize(0, 20)).map(|_| r.below(2000)).collect();
         let mut account = EnergyAccount::new();
         for &c in &add {
             account.add_cycles(c);
@@ -73,7 +92,9 @@ proptest! {
         if net >= 0 {
             // interleaving here is add-all-then-sub-all, so saturation can
             // only trigger when the net is negative
-            prop_assert_eq!(account.cycles() as i128, net);
+            assert_eq!(account.cycles() as i128, net);
+        } else {
+            assert_eq!(account.cycles(), 0, "saturates at zero");
         }
     }
 }

@@ -92,11 +92,7 @@ pub fn hist_sizing(suite: &EvalSuite) -> String {
 pub fn probe_cost(suite: &EvalSuite) -> String {
     let factors = [0.0f64, 1.0, 2.0, 4.0];
     let mut t = Table::new(&[
-        "bench",
-        "FLC x0", "LLC x0",
-        "FLC x1", "LLC x1",
-        "FLC x2", "LLC x2",
-        "FLC x4", "LLC x4",
+        "bench", "FLC x0", "LLC x0", "FLC x1", "LLC x1", "FLC x2", "LLC x2", "FLC x4", "LLC x4",
     ]);
     for bench in &suite.benches {
         let mut cells = vec![bench.name.to_string()];
@@ -128,13 +124,7 @@ pub fn probe_cost(suite: &EvalSuite) -> String {
 /// against the paper's probing policies. The predictor pays no probe
 /// energy; its cost is mispredictions.
 pub fn predictor_policy(suite: &EvalSuite) -> String {
-    let mut t = Table::new(&[
-        "bench",
-        "FLC EDP%",
-        "LLC EDP%",
-        "Pred EDP%",
-        "mispredict %",
-    ]);
+    let mut t = Table::new(&["bench", "FLC EDP%", "LLC EDP%", "Pred EDP%", "mispredict %"]);
     for bench in &suite.benches {
         let run_policy = |policy| {
             let config = AmnesicConfig {
@@ -153,9 +143,8 @@ pub fn predictor_policy(suite: &EvalSuite) -> String {
             "{}: Predictor diverged",
             bench.name
         );
-        let gain = |r: &amnesiac_core::AmnesicRunResult| {
-            100.0 * (1.0 - r.edp() / bench.classic.edp())
-        };
+        let gain =
+            |r: &amnesiac_core::AmnesicRunResult| 100.0 * (1.0 - r.edp() / bench.classic.edp());
         let mispredict = if pred.stats.predictions == 0 {
             0.0
         } else {
@@ -210,7 +199,12 @@ pub fn store_elision_applied(suite: &EvalSuite) -> String {
         };
         let annotated_run = run(&bench.prob_binary);
         let elided_run = run(&elided);
-        let forced: u64 = elided_run.stats.per_slice.iter().map(|s| s.forced_loads).sum();
+        let forced: u64 = elided_run
+            .stats
+            .per_slice
+            .iter()
+            .map(|s| s.forced_loads)
+            .sum();
         assert_eq!(forced, 0, "{}: envelope violated", bench.name);
         assert_eq!(
             elided_run.run.final_memory, bench.classic.final_memory,
@@ -221,10 +215,19 @@ pub fn store_elision_applied(suite: &EvalSuite) -> String {
             bench.name.to_string(),
             format!(
                 "{}",
-                annotated_run.run.stores.saturating_sub(elided_run.run.stores)
+                annotated_run
+                    .run
+                    .stores
+                    .saturating_sub(elided_run.run.stores)
             ),
-            format!("{:+.1}", 100.0 * (1.0 - annotated_run.edp() / bench.classic.edp())),
-            format!("{:+.1}", 100.0 * (1.0 - elided_run.edp() / bench.classic.edp())),
+            format!(
+                "{:+.1}",
+                100.0 * (1.0 - annotated_run.edp() / bench.classic.edp())
+            ),
+            format!(
+                "{:+.1}",
+                100.0 * (1.0 - elided_run.edp() / bench.classic.edp())
+            ),
         ]);
     }
     format!(
@@ -238,7 +241,12 @@ pub fn store_elision_applied(suite: &EvalSuite) -> String {
 /// §2's store-elision opportunity: stores whose every profiled consumer
 /// was swapped for recomputation.
 pub fn store_elision(suite: &EvalSuite) -> String {
-    let mut t = Table::new(&["bench", "stores (static)", "elidable (static)", "dyn stores elidable %"]);
+    let mut t = Table::new(&[
+        "bench",
+        "stores (static)",
+        "elidable (static)",
+        "dyn stores elidable %",
+    ]);
     for bench in &suite.benches {
         let selected = bench.prob_report.selected_load_pcs();
         let elidable = redundant_stores(&bench.profile, &selected);

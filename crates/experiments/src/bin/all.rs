@@ -1,15 +1,19 @@
-//! Regenerates every table and figure of the paper in one run.
+//! Regenerates every table and figure of the paper in one run. Pass
+//! `--json <dir>` to also write the machine-readable twins.
 use amnesiac_experiments::{
-    ablations, fig3, fig6, fig7, fig8, table1, table2, table3, table4, table5, table6, EvalSuite,
+    ablations, export, fig3, fig6, fig7, fig8, table1, table2, table3, table4, table5, table6,
+    EvalSuite,
 };
 use amnesiac_workloads::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--test-scale") {
         Scale::Test
     } else {
         Scale::Paper
     };
+    let json_dir = export::json_dir_from_args(&args);
     println!("{}", table1::render());
     println!("{}", table2::render());
     println!("{}", table3::render());
@@ -23,8 +27,27 @@ fn main() {
     println!("{}", fig7::render(&suite));
     println!("{}", fig8::render(&suite));
     println!("{}", ablations::store_elision(&suite));
-    println!("{}", table6::render(scale));
+    let table6_rows = table6::compute(scale);
+    println!("{}", table6::render_rows(&table6_rows));
     let controls = EvalSuite::compute_controls(scale);
     println!("Controls (the paper's non-responders):");
     println!("{}", fig3::render(&controls));
+    if let Some(dir) = json_dir {
+        export::write_suite_artifacts(&dir, &suite).expect("results dir is writable");
+        export::write_json(&dir.join("table1.json"), &export::table1_json())
+            .expect("results dir is writable");
+        export::write_json(&dir.join("table2.json"), &export::table2_json())
+            .expect("results dir is writable");
+        export::write_json(
+            &dir.join("table6.json"),
+            &export::table6_rows_json(&table6_rows),
+        )
+        .expect("results dir is writable");
+        export::write_json(
+            &dir.join("controls.json"),
+            &export::controls_json(&controls),
+        )
+        .expect("results dir is writable");
+        println!("machine-readable results written to {}", dir.display());
+    }
 }

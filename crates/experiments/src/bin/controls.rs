@@ -1,10 +1,12 @@
 //! Evaluates "the rest": the paper's 22 non-responding benchmarks
-//! (5 compute-bound controls + the 17 Table 2 remainder kernels).
-use amnesiac_experiments::{fig3, EvalSuite};
+//! (5 compute-bound controls + the 17 Table 2 remainder kernels). Pass
+//! `--json <dir>` for the machine-readable twin.
+use amnesiac_experiments::{export, fig3, EvalSuite};
 use amnesiac_workloads::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--test-scale") {
         Scale::Test
     } else {
         Scale::Paper
@@ -17,4 +19,9 @@ fn main() {
         suite.responders(5.0),
         suite.benches.len()
     );
+    if let Some(dir) = export::json_dir_from_args(&args) {
+        export::write_json(&dir.join("controls.json"), &export::controls_json(&suite))
+            .expect("results dir is writable");
+        println!("machine-readable results written to {}", dir.display());
+    }
 }

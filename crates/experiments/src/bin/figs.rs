@@ -1,10 +1,12 @@
 //! Regenerates Figs. 3-5 and Tables 4-5 and Figs. 6-8 from one suite
-//! computation. Pass `--test-scale` for a quick run.
-use amnesiac_experiments::{ablations, fig3, fig6, fig7, fig8, table4, table5, EvalSuite};
+//! computation. Pass `--test-scale` for a quick run and `--json <dir>` for
+//! the machine-readable twins.
+use amnesiac_experiments::{ablations, export, fig3, fig6, fig7, fig8, table4, table5, EvalSuite};
 use amnesiac_workloads::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--test-scale") {
         Scale::Test
     } else {
         Scale::Paper
@@ -19,4 +21,8 @@ fn main() {
     println!("{}", fig7::render(&suite));
     println!("{}", fig8::render(&suite));
     println!("{}", ablations::store_elision(&suite));
+    if let Some(dir) = export::json_dir_from_args(&args) {
+        export::write_suite_artifacts(&dir, &suite).expect("results dir is writable");
+        println!("machine-readable results written to {}", dir.display());
+    }
 }

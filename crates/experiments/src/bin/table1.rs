@@ -1,4 +1,13 @@
-//! Regenerates the paper's Table 1.
+//! Regenerates the paper's Table 1. Pass `--json <dir>` for the
+//! machine-readable twin.
+use amnesiac_experiments::export;
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     println!("{}", amnesiac_experiments::table1::render());
+    if let Some(dir) = export::json_dir_from_args(&args) {
+        export::write_json(&dir.join("table1.json"), &export::table1_json())
+            .expect("results dir is writable");
+        println!("machine-readable results written to {}", dir.display());
+    }
 }

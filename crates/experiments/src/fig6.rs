@@ -36,7 +36,10 @@ pub fn render(suite: &EvalSuite) -> String {
         let bin = (max / 8.0).ceil().max(1.0);
         let bins = bucketize(&values, bin, bin * 8.0);
         out.push_str(&histogram(
-            &format!("Fig. 6 ({}): instructions per recomputed RSlice", bench.name),
+            &format!(
+                "Fig. 6 ({}): instructions per recomputed RSlice",
+                bench.name
+            ),
             &bins,
         ));
         out.push('\n');

@@ -58,9 +58,7 @@ pub fn memoization_comparison(suite: &EvalSuite) -> String {
             if !selected.contains(&site.pc) {
                 continue;
             }
-            let e = suite
-                .energy
-                .probabilistic_load_energy(site.probabilities());
+            let e = suite.energy.probabilistic_load_energy(site.probabilities());
             locality += site.value_locality() * site.count as f64;
             classic_nj += e * site.count as f64;
             weight += site.count;
@@ -78,7 +76,11 @@ pub fn memoization_comparison(suite: &EvalSuite) -> String {
             .map(|m| m.est_recompute_nj)
             .sum::<f64>()
             / bench.prob_binary.slices.len().max(1) as f64;
-        let winner = if recompute_nj < memo_nj { "recompute" } else { "memoize" };
+        let winner = if recompute_nj < memo_nj {
+            "recompute"
+        } else {
+            "memoize"
+        };
         t.row(vec![
             bench.name.to_string(),
             format!("{:.1}", 100.0 * locality),

@@ -29,11 +29,13 @@
 //! | [`ablations`] | structure-sizing, probe-cost and store-elision studies |
 
 pub mod ablations;
+pub mod export;
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod pipeline;
+pub mod regress;
 pub mod report;
 pub mod table1;
 pub mod table2;

@@ -7,6 +7,7 @@ use amnesiac_energy::EnergyModel;
 use amnesiac_isa::Program;
 use amnesiac_profile::{profile_program, ProgramProfile};
 use amnesiac_sim::{CoreConfig, RunResult};
+use amnesiac_telemetry::{Json, StageTimings, Stopwatch, ToJson};
 use amnesiac_workloads::{
     build_control, build_extended, build_focal, Scale, Workload, CONTROL_NAMES, EXTENDED_NAMES,
     FOCAL_NAMES,
@@ -70,6 +71,8 @@ pub struct BenchEval {
     pub oracle_report: CompileReport,
     /// Amnesic runs, indexed per [`PolicyOutcome::ALL`].
     pub runs: Vec<(PolicyOutcome, AmnesicRunResult)>,
+    /// Wall-clock timings of each pipeline stage.
+    pub stages: StageTimings,
 }
 
 impl BenchEval {
@@ -80,22 +83,31 @@ impl BenchEval {
     /// Panics if any stage fails — the suite is deterministic, so a failure
     /// is a bug, not an input condition.
     pub fn compute(workload: Workload, energy: &EnergyModel) -> Self {
+        let mut stages = StageTimings::default();
         let config = CoreConfig::with_energy(energy.clone());
+
+        let sw = Stopwatch::start();
         let (profile, classic) =
             profile_program(&workload.program, &config).expect("profiling run succeeds");
+        stages.profile_ms = sw.elapsed_ms();
 
         let prob_options = CompileOptions {
             energy: energy.clone(),
             ..CompileOptions::default()
         };
+        let sw = Stopwatch::start();
         let (prob_binary, prob_report) =
             compile(&workload.program, &profile, &prob_options).expect("compile succeeds");
+        stages.compile_prob_ms = sw.elapsed_ms();
+
         let oracle_options = CompileOptions {
             energy: energy.clone(),
             ..CompileOptions::oracle()
         };
+        let sw = Stopwatch::start();
         let (oracle_binary, oracle_report) =
             compile(&workload.program, &profile, &oracle_options).expect("compile succeeds");
+        stages.compile_oracle_ms = sw.elapsed_ms();
 
         let runs = PolicyOutcome::ALL
             .iter()
@@ -111,11 +123,16 @@ impl BenchEval {
                     core: config.clone(),
                     ..AmnesicConfig::paper(policy)
                 };
+                let sw = Stopwatch::start();
                 let result = AmnesicCore::new(amnesic_config)
                     .run(binary)
                     .expect("amnesic run succeeds");
+                stages
+                    .policy_run_ms
+                    .push((outcome.label().to_string(), sw.elapsed_ms()));
                 assert_eq!(
-                    result.run.final_memory, classic.final_memory,
+                    result.run.final_memory,
+                    classic.final_memory,
                     "{} diverged under {}",
                     workload.program.name,
                     outcome.label()
@@ -134,6 +151,7 @@ impl BenchEval {
             oracle_binary,
             oracle_report,
             runs,
+            stages,
         }
     }
 
@@ -149,20 +167,60 @@ impl BenchEval {
 
     /// % EDP gain of a policy over classic (positive = better).
     pub fn edp_gain(&self, outcome: PolicyOutcome) -> f64 {
-        100.0 * (1.0 - self.run(outcome).edp() / self.classic.edp())
+        pct_gain(self.run(outcome).edp(), self.classic.edp())
     }
 
     /// % energy gain of a policy over classic.
     pub fn energy_gain(&self, outcome: PolicyOutcome) -> f64 {
-        100.0 * (1.0 - self.run(outcome).run.account.total_nj() / self.classic.account.total_nj())
+        pct_gain(
+            self.run(outcome).run.account.total_nj(),
+            self.classic.account.total_nj(),
+        )
     }
 
     /// % execution-time gain of a policy over classic.
     pub fn time_gain(&self, outcome: PolicyOutcome) -> f64 {
-        100.0
-            * (1.0
-                - self.run(outcome).run.account.cycles() as f64
-                    / self.classic.account.cycles() as f64)
+        pct_gain(
+            self.run(outcome).run.account.cycles() as f64,
+            self.classic.account.cycles() as f64,
+        )
+    }
+}
+
+/// `100 × (1 − amnesic/classic)`, guarded against a degenerate classic
+/// baseline: a zero (or non-finite) denominator yields 0% instead of a
+/// NaN/∞ that would poison aggregates like [`EvalSuite::responders`].
+fn pct_gain(amnesic: f64, classic: f64) -> f64 {
+    if classic == 0.0 || !classic.is_finite() || !amnesic.is_finite() {
+        0.0
+    } else {
+        100.0 * (1.0 - amnesic / classic)
+    }
+}
+
+impl ToJson for BenchEval {
+    /// One benchmark's machine-readable record: classic baseline, both
+    /// compile reports, per-policy gains + full run stats, and the
+    /// pipeline stage timings.
+    fn to_json(&self) -> Json {
+        let mut policies = Json::obj();
+        for &(outcome, ref result) in &self.runs {
+            policies.set(
+                outcome.label(),
+                Json::obj()
+                    .with("edp_gain_pct", self.edp_gain(outcome))
+                    .with("energy_gain_pct", self.energy_gain(outcome))
+                    .with("time_gain_pct", self.time_gain(outcome))
+                    .with("result", result.to_json()),
+            );
+        }
+        Json::obj()
+            .with("name", self.name)
+            .with("classic", self.classic.to_json())
+            .with("compile_prob", self.prob_report.to_json())
+            .with("compile_oracle", self.oracle_report.to_json())
+            .with("policies", policies)
+            .with("stages", self.stages.to_json())
     }
 }
 
@@ -190,9 +248,7 @@ impl EvalSuite {
                 .iter()
                 .map(|name| {
                     let energy = energy.clone();
-                    scope.spawn(move || {
-                        BenchEval::compute(build_focal(name, scale), &energy)
-                    })
+                    scope.spawn(move || BenchEval::compute(build_focal(name, scale), &energy))
                 })
                 .collect();
             handles
@@ -206,13 +262,23 @@ impl EvalSuite {
         }
     }
 
-    /// Computes the control (compute-bound) benchmarks.
+    /// Computes the control (compute-bound) benchmarks (in parallel, one
+    /// thread per benchmark, like [`EvalSuite::compute`]).
     pub fn compute_controls(scale: Scale) -> Self {
         let energy = EnergyModel::paper();
-        let benches = CONTROL_NAMES
-            .iter()
-            .map(|name| BenchEval::compute(build_control(name, scale), &energy))
-            .collect();
+        let benches = std::thread::scope(|scope| {
+            let handles: Vec<_> = CONTROL_NAMES
+                .iter()
+                .map(|name| {
+                    let energy = energy.clone();
+                    scope.spawn(move || BenchEval::compute(build_control(name, scale), &energy))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("benchmark thread succeeds"))
+                .collect()
+        });
         EvalSuite { benches, energy }
     }
 
@@ -254,6 +320,16 @@ impl EvalSuite {
     }
 }
 
+impl ToJson for EvalSuite {
+    /// `{"benches": [per-benchmark records, in suite order]}`.
+    fn to_json(&self) -> Json {
+        Json::obj().with(
+            "benches",
+            Json::Arr(self.benches.iter().map(|b| b.to_json()).collect()),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +360,55 @@ mod tests {
     fn policy_labels_are_stable() {
         let labels: Vec<_> = PolicyOutcome::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels, ["Oracle", "C-Oracle", "Compiler", "FLC", "LLC"]);
+    }
+
+    #[test]
+    fn zero_classic_baseline_yields_zero_gain_not_nan() {
+        // A degenerate baseline (0 nJ, 0 cycles ⇒ 0 EDP) must not poison
+        // gains with NaN/∞ — responders() compares them against thresholds.
+        let mut eval = BenchEval::compute(build_focal("is", Scale::Test), &EnergyModel::paper());
+        eval.classic.account = amnesiac_energy::EnergyAccount::new();
+        for outcome in PolicyOutcome::ALL {
+            assert_eq!(eval.edp_gain(outcome), 0.0);
+            assert_eq!(eval.energy_gain(outcome), 0.0);
+            assert_eq!(eval.time_gain(outcome), 0.0);
+        }
+        let suite = EvalSuite {
+            benches: vec![eval],
+            energy: EnergyModel::paper(),
+        };
+        assert_eq!(suite.responders(5.0), 0);
+    }
+
+    #[test]
+    fn pct_gain_guards_degenerate_inputs() {
+        assert_eq!(pct_gain(10.0, 0.0), 0.0);
+        assert_eq!(pct_gain(10.0, f64::NAN), 0.0);
+        assert_eq!(pct_gain(f64::INFINITY, 10.0), 0.0);
+        assert!((pct_gain(50.0, 100.0) - 50.0).abs() < 1e-12);
+        assert!((pct_gain(150.0, 100.0) + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_timings_are_populated_and_sane() {
+        let eval = BenchEval::compute(build_focal("is", Scale::Test), &EnergyModel::paper());
+        assert!(eval.stages.is_sane());
+        // one timing per policy, in run order
+        let labels: Vec<_> = eval
+            .stages
+            .policy_run_ms
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect();
+        assert_eq!(labels, ["Oracle", "C-Oracle", "Compiler", "FLC", "LLC"]);
+        assert!(eval.stages.total_ms() >= 0.0);
+        // the JSON record carries the timings
+        let json = eval.to_json();
+        assert!(
+            json.get_path("stages.total_ms")
+                .and_then(Json::as_f64)
+                .is_some_and(|ms| ms >= 0.0),
+            "stage timings must survive into the JSON record"
+        );
     }
 }

@@ -1,0 +1,239 @@
+//! Perf-regression harness: snapshot a suite's headline numbers and diff
+//! a fresh run against a stored baseline.
+//!
+//! A snapshot records, per benchmark, the pipeline wall time and the
+//! per-policy EDP/energy/time gains. Gains are fully deterministic (the
+//! simulator has no timing dependence), so the comparator flags any gain
+//! that drops more than a tolerance below the baseline. Wall-clock stage
+//! times vary by machine and load; they are carried in the snapshot for
+//! trend inspection but never fail a comparison.
+
+use std::fmt::Write as _;
+
+use amnesiac_telemetry::Json;
+
+use crate::pipeline::{EvalSuite, PolicyOutcome};
+
+/// Bumped whenever the snapshot layout changes incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default slack, in percentage points of gain, before a drop counts as a
+/// regression. Gains are deterministic, so this only needs to absorb
+/// float-formatting noise — but a small margin keeps the harness robust to
+/// benign reorderings of floating-point accumulation.
+pub const DEFAULT_TOLERANCE_PP: f64 = 0.05;
+
+/// Builds the snapshot document for a computed suite.
+pub fn snapshot(suite: &EvalSuite) -> Json {
+    let mut benches = Json::obj();
+    for bench in &suite.benches {
+        let mut gains = Json::obj();
+        for &p in &PolicyOutcome::ALL {
+            gains.set(
+                p.label(),
+                Json::obj()
+                    .with("edp_gain_pct", bench.edp_gain(p))
+                    .with("energy_gain_pct", bench.energy_gain(p))
+                    .with("time_gain_pct", bench.time_gain(p)),
+            );
+        }
+        benches.set(
+            bench.name,
+            Json::obj()
+                .with("pipeline_ms", bench.stages.total_ms())
+                .with("stages", amnesiac_telemetry::ToJson::to_json(&bench.stages))
+                .with("gains", gains),
+        );
+    }
+    Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("benches", benches)
+}
+
+/// One metric that fell below its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub bench: String,
+    /// Dotted metric path, e.g. `Compiler.edp_gain_pct`.
+    pub metric: String,
+    /// The baseline value (percentage points of gain).
+    pub baseline: f64,
+    /// The freshly measured value.
+    pub current: f64,
+}
+
+impl Regression {
+    /// How far below baseline the fresh value landed (always positive).
+    pub fn drop_pp(&self) -> f64 {
+        self.baseline - self.current
+    }
+}
+
+/// Diffs a fresh snapshot against a baseline snapshot.
+///
+/// Every `(bench, policy, metric)` present in the baseline must exist in
+/// the current snapshot and sit within `tolerance_pp` percentage points
+/// below its baseline value (improvements always pass). Timing fields are
+/// ignored — they are machine-dependent.
+///
+/// # Errors
+///
+/// Returns a message when either document is structurally not a snapshot
+/// (wrong schema version, missing benchmark or metric).
+pub fn compare(
+    baseline: &Json,
+    current: &Json,
+    tolerance_pp: f64,
+) -> Result<Vec<Regression>, String> {
+    for (label, doc) in [("baseline", baseline), ("current", current)] {
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{label}: not a bench snapshot (no schema_version)"))?;
+        if version != SCHEMA_VERSION as f64 {
+            return Err(format!(
+                "{label}: snapshot schema {version} != supported {SCHEMA_VERSION}"
+            ));
+        }
+    }
+    let base_benches = baseline
+        .get("benches")
+        .and_then(Json::as_obj)
+        .ok_or("baseline: missing `benches`")?;
+    let mut regressions = Vec::new();
+    for (bench, base_entry) in base_benches {
+        let base_gains = base_entry
+            .get("gains")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| format!("baseline: `{bench}` has no gains"))?;
+        for (policy, base_metrics) in base_gains {
+            let base_metrics = base_metrics
+                .as_obj()
+                .ok_or_else(|| format!("baseline: `{bench}.{policy}` is not an object"))?;
+            for (metric, base_value) in base_metrics {
+                let base_value = base_value
+                    .as_f64()
+                    .ok_or_else(|| format!("baseline: `{bench}.{policy}.{metric}` not a number"))?;
+                let path = format!("benches.{bench}.gains.{policy}.{metric}");
+                let cur_value = current
+                    .get_path(&path)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("current: missing `{path}`"))?;
+                if cur_value < base_value - tolerance_pp {
+                    regressions.push(Regression {
+                        bench: bench.clone(),
+                        metric: format!("{policy}.{metric}"),
+                        baseline: base_value,
+                        current: cur_value,
+                    });
+                }
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+/// Renders a comparison outcome for the terminal.
+pub fn render_report(regressions: &[Regression], tolerance_pp: f64) -> String {
+    let mut out = String::new();
+    if regressions.is_empty() {
+        let _ = writeln!(
+            out,
+            "bench-compare: OK — no gain fell more than {tolerance_pp} pp below baseline"
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "bench-compare: {} regression(s) beyond {tolerance_pp} pp:",
+        regressions.len()
+    );
+    for r in regressions {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:<28} baseline {:+8.3}  current {:+8.3}  (drop {:.3} pp)",
+            r.bench,
+            r.metric,
+            r.baseline,
+            r.current,
+            r.drop_pp()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::BenchEval;
+    use amnesiac_energy::EnergyModel;
+    use amnesiac_telemetry::parse;
+    use amnesiac_workloads::{build_focal, Scale};
+
+    fn tiny_suite() -> EvalSuite {
+        EvalSuite {
+            benches: vec![BenchEval::compute(
+                build_focal("is", Scale::Test),
+                &EnergyModel::paper(),
+            )],
+            energy: EnergyModel::paper(),
+        }
+    }
+
+    #[test]
+    fn snapshot_compares_clean_against_itself() {
+        let snap = snapshot(&tiny_suite());
+        // and survives serialization, as the CLI stores it on disk
+        let reloaded = parse(&snap.pretty()).unwrap();
+        let regressions = compare(&snap, &reloaded, DEFAULT_TOLERANCE_PP).unwrap();
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn injected_regression_is_caught() {
+        let snap = snapshot(&tiny_suite());
+        let mut doctored = snap.clone();
+        // inflate one baseline gain by 10 pp so the "fresh" run looks worse
+        let path = "benches.is.gains.Compiler.edp_gain_pct";
+        let old = doctored.get_path(path).and_then(Json::as_f64).unwrap();
+        if let Json::Obj(benches) = doctored.get_mut("benches").unwrap() {
+            let entry = &mut benches.iter_mut().find(|(k, _)| k == "is").unwrap().1;
+            if let Json::Obj(gains) = entry.get_mut("gains").unwrap() {
+                let policy = &mut gains.iter_mut().find(|(k, _)| k == "Compiler").unwrap().1;
+                policy.set("edp_gain_pct", old + 10.0);
+            }
+        }
+        let regressions = compare(&doctored, &snap, DEFAULT_TOLERANCE_PP).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "Compiler.edp_gain_pct");
+        assert!((regressions[0].drop_pp() - 10.0).abs() < 1e-9);
+        assert!(render_report(&regressions, DEFAULT_TOLERANCE_PP).contains("regression"));
+    }
+
+    #[test]
+    fn improvements_and_slack_pass() {
+        let snap = snapshot(&tiny_suite());
+        let mut better = snap.clone();
+        if let Json::Obj(benches) = better.get_mut("benches").unwrap() {
+            let entry = &mut benches[0].1;
+            if let Json::Obj(gains) = entry.get_mut("gains").unwrap() {
+                for (_, policy) in gains.iter_mut() {
+                    let v = policy.get("edp_gain_pct").and_then(Json::as_f64).unwrap();
+                    policy.set("edp_gain_pct", v + 5.0);
+                }
+            }
+        }
+        // current better than baseline: fine
+        assert!(compare(&snap, &better, DEFAULT_TOLERANCE_PP)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn malformed_documents_are_errors() {
+        let snap = snapshot(&tiny_suite());
+        assert!(compare(&Json::obj(), &snap, 0.1).is_err());
+        assert!(compare(&snap, &Json::obj().with("schema_version", 99u64), 0.1).is_err());
+    }
+}

@@ -66,13 +66,20 @@ pub fn bar_chart(title: &str, groups: &[(String, Vec<(String, f64)>)], max_abs: 
     const WIDTH: usize = 50;
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let scale = if max_abs <= 0.0 { 1.0 } else { WIDTH as f64 / max_abs };
+    let scale = if max_abs <= 0.0 {
+        1.0
+    } else {
+        WIDTH as f64 / max_abs
+    };
     for (group, series) in groups {
         let _ = writeln!(out, "{group}");
         for (label, value) in series {
             let n = ((value.abs() * scale).round() as usize).min(WIDTH);
-            let bar: String = std::iter::repeat_n(if *value >= 0.0 { '█' } else { '▒' }, n.max(if value.abs() > 0.05 { 1 } else { 0 }))
-                .collect();
+            let bar: String = std::iter::repeat_n(
+                if *value >= 0.0 { '█' } else { '▒' },
+                n.max(if value.abs() > 0.05 { 1 } else { 0 }),
+            )
+            .collect();
             let _ = writeln!(out, "  {label:>9} {value:>7.2}% |{bar}");
         }
     }

@@ -8,12 +8,7 @@ use crate::report::Table;
 pub fn render() -> String {
     let model = TechnologyModel::paper();
     let points = model.table1();
-    let mut t = Table::new(&[
-        "Technology Node",
-        "40nm",
-        "10nm (HP)",
-        "10nm (LP)",
-    ]);
+    let mut t = Table::new(&["Technology Node", "40nm", "10nm (HP)", "10nm (LP)"]);
     t.row(vec![
         "Operating Voltage".into(),
         format!("{:.2}V", points[0].voltage),

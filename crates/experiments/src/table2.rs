@@ -36,7 +36,10 @@ mod tests {
     #[test]
     fn lists_all_33() {
         let text = super::render();
-        assert_eq!(text.lines().filter(|l| !l.trim().is_empty()).count() - 3, 33);
+        assert_eq!(
+            text.lines().filter(|l| !l.trim().is_empty()).count() - 3,
+            33
+        );
         assert!(text.contains("mcf"));
         assert!(text.contains("particlefilter"));
     }

@@ -21,8 +21,8 @@ pub fn render(suite: &EvalSuite) -> String {
     ]);
     for bench in &suite.benches {
         let amnesic = bench.run(PolicyOutcome::Compiler);
-        let inst_increase = 100.0
-            * (amnesic.run.instructions as f64 / bench.classic.instructions as f64 - 1.0);
+        let inst_increase =
+            100.0 * (amnesic.run.instructions as f64 / bench.classic.instructions as f64 - 1.0);
         let load_decrease =
             100.0 * (1.0 - amnesic.run.loads as f64 / bench.classic.loads.max(1) as f64);
         let cl = bench.classic.account.breakdown();

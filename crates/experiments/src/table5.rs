@@ -16,10 +16,8 @@ const POLICIES: [PolicyOutcome; 3] = [
 /// (the `RCMP` instances that fired) would have been serviced.
 pub fn render(suite: &EvalSuite) -> String {
     let mut t = Table::new(&[
-        "bench",
-        "Cmp L1%", "Cmp L2%", "Cmp Mem%",
-        "FLC L1%", "FLC L2%", "FLC Mem%",
-        "LLC L1%", "LLC L2%", "LLC Mem%",
+        "bench", "Cmp L1%", "Cmp L2%", "Cmp Mem%", "FLC L1%", "FLC L2%", "FLC Mem%", "LLC L1%",
+        "LLC L2%", "LLC Mem%",
     ]);
     for bench in &suite.benches {
         let mut cells = vec![bench.name.to_string()];

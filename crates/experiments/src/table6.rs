@@ -18,17 +18,16 @@ pub const MAX_FACTOR: f64 = 256.0;
 /// across probes (cache behaviour does not depend on EPIs); the compile
 /// and both runs are redone under the scaled model, since dearer compute
 /// changes both the selection and the baseline.
-fn gain_at(
-    program: &amnesiac_isa::Program,
-    profile: &ProgramProfile,
-    factor: f64,
-) -> f64 {
+fn gain_at(program: &amnesiac_isa::Program, profile: &ProgramProfile, factor: f64) -> f64 {
     let energy = EnergyModel::paper().with_r_factor(factor);
     let config = CoreConfig::with_energy(energy.clone());
     let classic = ClassicCore::new(config.clone())
         .run(program)
         .expect("classic run succeeds");
-    let options = CompileOptions { energy, ..CompileOptions::default() };
+    let options = CompileOptions {
+        energy,
+        ..CompileOptions::default()
+    };
     let (binary, _) = compile(program, profile, &options).expect("compile succeeds");
     let amnesic_config = AmnesicConfig {
         core: config,
@@ -62,9 +61,11 @@ pub fn break_even(program: &amnesiac_isa::Program, profile: &ProgramProfile) -> 
     Some((lo * hi).sqrt())
 }
 
-/// Computes and renders the paper's Table 6 for all focal benchmarks.
-pub fn render(scale: Scale) -> String {
-    let rows: Vec<(String, Option<f64>)> = std::thread::scope(|scope| {
+/// Computes the break-even factors for all focal benchmarks (in parallel):
+/// `(name, Some(factor))`, or `(name, None)` when the benchmark still gains
+/// at [`MAX_FACTOR`].
+pub fn compute(scale: Scale) -> Vec<(String, Option<f64>)> {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = FOCAL_NAMES
             .iter()
             .map(|name| {
@@ -76,12 +77,25 @@ pub fn render(scale: Scale) -> String {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
-    });
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
+    })
+}
+
+/// Computes and renders the paper's Table 6 for all focal benchmarks.
+pub fn render(scale: Scale) -> String {
+    render_rows(&compute(scale))
+}
+
+/// Renders precomputed [`compute`] rows (lets callers reuse one sweep for
+/// both the text table and the JSON twin).
+pub fn render_rows(rows: &[(String, Option<f64>)]) -> String {
     let mut t = Table::new(&["bench", "R_breakeven (normalized to R_default)"]);
     for (name, factor) in rows {
         t.row(vec![
-            name,
+            name.clone(),
             match factor {
                 Some(f) => format!("{f:.2}"),
                 None => format!("> {MAX_FACTOR:.0}"),

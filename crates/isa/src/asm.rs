@@ -292,7 +292,11 @@ fn parse_instruction(text: &str, line: usize) -> Result<Instruction, AsmError> {
     if mnemonic == "i2f" || mnemonic == "f2i" {
         want(2)?;
         return Ok(Instruction::Cvt {
-            kind: if mnemonic == "i2f" { CvtKind::I2F } else { CvtKind::F2I },
+            kind: if mnemonic == "i2f" {
+                CvtKind::I2F
+            } else {
+                CvtKind::F2I
+            },
             dst: parse_reg(operands[0], line)?,
             src: parse_reg(operands[1], line)?,
         });
@@ -474,12 +478,17 @@ mod tests {
         assert_eq!(p.instructions.len(), 3);
         assert_eq!(
             p.instructions[1],
-            Instruction::Alui { op: AluOp::Add, dst: Reg(2), src: Reg(1), imm: 3 }
+            Instruction::Alui {
+                op: AluOp::Add,
+                dst: Reg(2),
+                src: Reg(1),
+                imm: 3
+            }
         );
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()  {
+    fn comments_and_blank_lines_are_ignored() {
         let text = "; header\n.name t\n\nli r1, 5 ; trailing\nhalt\n";
         let p = parse_asm(text).unwrap();
         assert_eq!(p.instructions.len(), 2);
@@ -492,7 +501,11 @@ mod tests {
         let p = parse_asm(text).unwrap();
         assert_eq!(
             p.instructions[1],
-            Instruction::Load { dst: Reg(2), base: Reg(1), offset: -3 }
+            Instruction::Load {
+                dst: Reg(2),
+                base: Reg(1),
+                offset: -3
+            }
         );
     }
 

@@ -16,9 +16,7 @@
 //! ```
 
 use crate::inst::{AluOp, BranchCond, CvtKind, FpOp, FpUnOp, Instruction};
-use crate::program::{
-    LeafInfo, MemRange, OperandPlan, OperandSource, Program, SliceId, SliceMeta,
-};
+use crate::program::{LeafInfo, MemRange, OperandPlan, OperandSource, Program, SliceId, SliceMeta};
 use crate::Reg;
 
 /// Image magic bytes.
@@ -114,16 +112,24 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn i64(&mut self) -> Result<i64, DecodeError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn reg(&mut self) -> Result<Reg, DecodeError> {
         Ok(Reg(self.u8()?))
@@ -192,7 +198,12 @@ fn encode_instruction(w: &mut Writer, inst: &Instruction) {
             w.reg(*base);
             w.i64(*offset);
         }
-        Instruction::Branch { cond, lhs, rhs, target } => {
+        Instruction::Branch {
+            cond,
+            lhs,
+            rhs,
+            target,
+        } => {
             w.u8(0x0A);
             w.u8(cond_code(*cond));
             w.reg(*lhs);
@@ -204,7 +215,12 @@ fn encode_instruction(w: &mut Writer, inst: &Instruction) {
             w.u32(*target as u32);
         }
         Instruction::Halt => w.u8(0x0C),
-        Instruction::Rcmp { dst, base, offset, slice } => {
+        Instruction::Rcmp {
+            dst,
+            base,
+            offset,
+            slice,
+        } => {
             w.u8(0x0D);
             w.reg(*dst);
             w.reg(*base);
@@ -231,7 +247,10 @@ fn decode_instruction(r: &mut Reader<'_>) -> Result<Instruction, DecodeError> {
     let at = r.pos;
     let opcode = r.u8()?;
     Ok(match opcode {
-        0x01 => Instruction::Li { dst: r.reg()?, imm: r.u64()? },
+        0x01 => Instruction::Li {
+            dst: r.reg()?,
+            imm: r.u64()?,
+        },
         0x02 => Instruction::Alu {
             op: alu_from(r.u8()?, at)?,
             dst: r.reg()?,
@@ -255,7 +274,12 @@ fn decode_instruction(r: &mut Reader<'_>) -> Result<Instruction, DecodeError> {
             dst: r.reg()?,
             src: r.reg()?,
         },
-        0x06 => Instruction::Fma { dst: r.reg()?, a: r.reg()?, b: r.reg()?, c: r.reg()? },
+        0x06 => Instruction::Fma {
+            dst: r.reg()?,
+            a: r.reg()?,
+            b: r.reg()?,
+            c: r.reg()?,
+        },
         0x07 => Instruction::Cvt {
             kind: match r.u8()? {
                 0 => CvtKind::I2F,
@@ -265,15 +289,25 @@ fn decode_instruction(r: &mut Reader<'_>) -> Result<Instruction, DecodeError> {
             dst: r.reg()?,
             src: r.reg()?,
         },
-        0x08 => Instruction::Load { dst: r.reg()?, base: r.reg()?, offset: r.i64()? },
-        0x09 => Instruction::Store { src: r.reg()?, base: r.reg()?, offset: r.i64()? },
+        0x08 => Instruction::Load {
+            dst: r.reg()?,
+            base: r.reg()?,
+            offset: r.i64()?,
+        },
+        0x09 => Instruction::Store {
+            src: r.reg()?,
+            base: r.reg()?,
+            offset: r.i64()?,
+        },
         0x0A => Instruction::Branch {
             cond: cond_from(r.u8()?, at)?,
             lhs: r.reg()?,
             rhs: r.reg()?,
             target: r.u32()? as usize,
         },
-        0x0B => Instruction::Jump { target: r.u32()? as usize },
+        0x0B => Instruction::Jump {
+            target: r.u32()? as usize,
+        },
         0x0C => Instruction::Halt,
         0x0D => Instruction::Rcmp {
             dst: r.reg()?,
@@ -281,7 +315,9 @@ fn decode_instruction(r: &mut Reader<'_>) -> Result<Instruction, DecodeError> {
             offset: r.i64()?,
             slice: SliceId(r.u32()?),
         },
-        0x0E => Instruction::Rtn { slice: SliceId(r.u32()?) },
+        0x0E => Instruction::Rtn {
+            slice: SliceId(r.u32()?),
+        },
         0x0F => {
             let key = r.u16()?;
             let n = r.u8()? as usize;
@@ -314,24 +350,67 @@ macro_rules! code_pairs {
     };
 }
 
-code_pairs!(alu_code, alu_from, AluOp, [
-    (AluOp::Add, 0), (AluOp::Sub, 1), (AluOp::Mul, 2), (AluOp::Div, 3),
-    (AluOp::Rem, 4), (AluOp::And, 5), (AluOp::Or, 6), (AluOp::Xor, 7),
-    (AluOp::Shl, 8), (AluOp::Shr, 9), (AluOp::Slt, 10), (AluOp::Sltu, 11),
-    (AluOp::Seq, 12), (AluOp::Min, 13), (AluOp::Max, 14),
-]);
-code_pairs!(fp_code, fp_from, FpOp, [
-    (FpOp::Add, 0), (FpOp::Sub, 1), (FpOp::Mul, 2), (FpOp::Div, 3),
-    (FpOp::Min, 4), (FpOp::Max, 5), (FpOp::Flt, 6),
-]);
-code_pairs!(fp_un_code, fp_un_from, FpUnOp, [
-    (FpUnOp::Sqrt, 0), (FpUnOp::Neg, 1), (FpUnOp::Abs, 2),
-    (FpUnOp::Exp, 3), (FpUnOp::Ln, 4),
-]);
-code_pairs!(cond_code, cond_from, BranchCond, [
-    (BranchCond::Eq, 0), (BranchCond::Ne, 1), (BranchCond::Lt, 2),
-    (BranchCond::Ge, 3), (BranchCond::Ltu, 4), (BranchCond::Geu, 5),
-]);
+code_pairs!(
+    alu_code,
+    alu_from,
+    AluOp,
+    [
+        (AluOp::Add, 0),
+        (AluOp::Sub, 1),
+        (AluOp::Mul, 2),
+        (AluOp::Div, 3),
+        (AluOp::Rem, 4),
+        (AluOp::And, 5),
+        (AluOp::Or, 6),
+        (AluOp::Xor, 7),
+        (AluOp::Shl, 8),
+        (AluOp::Shr, 9),
+        (AluOp::Slt, 10),
+        (AluOp::Sltu, 11),
+        (AluOp::Seq, 12),
+        (AluOp::Min, 13),
+        (AluOp::Max, 14),
+    ]
+);
+code_pairs!(
+    fp_code,
+    fp_from,
+    FpOp,
+    [
+        (FpOp::Add, 0),
+        (FpOp::Sub, 1),
+        (FpOp::Mul, 2),
+        (FpOp::Div, 3),
+        (FpOp::Min, 4),
+        (FpOp::Max, 5),
+        (FpOp::Flt, 6),
+    ]
+);
+code_pairs!(
+    fp_un_code,
+    fp_un_from,
+    FpUnOp,
+    [
+        (FpUnOp::Sqrt, 0),
+        (FpUnOp::Neg, 1),
+        (FpUnOp::Abs, 2),
+        (FpUnOp::Exp, 3),
+        (FpUnOp::Ln, 4),
+    ]
+);
+code_pairs!(
+    cond_code,
+    cond_from,
+    BranchCond,
+    [
+        (BranchCond::Eq, 0),
+        (BranchCond::Ne, 1),
+        (BranchCond::Lt, 2),
+        (BranchCond::Ge, 3),
+        (BranchCond::Ltu, 4),
+        (BranchCond::Geu, 5),
+    ]
+);
 
 fn encode_source(w: &mut Writer, source: &Option<OperandSource>) {
     match source {
@@ -487,7 +566,11 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
                 0 => None,
                 _ => Some(r.u32()? as usize),
             };
-            leaves.push(LeafInfo { index, needs_hist, origin_pc });
+            leaves.push(LeafInfo {
+                index,
+                needs_hist,
+                origin_pc,
+            });
         }
         program.slices.push(SliceMeta {
             id,
@@ -558,7 +641,10 @@ mod tests {
         for cut in 1..bytes.len() {
             let err = decode_program(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, DecodeError::Truncated { .. } | DecodeError::BadOpcode { .. }),
+                matches!(
+                    err,
+                    DecodeError::Truncated { .. } | DecodeError::BadOpcode { .. }
+                ),
                 "cut at {cut}: {err:?}"
             );
         }

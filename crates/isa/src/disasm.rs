@@ -81,20 +81,38 @@ impl fmt::Display for Instruction {
             Instruction::Fpu { op, dst, lhs, rhs } => write!(f, "{op} {dst}, {lhs}, {rhs}"),
             Instruction::FpuUn { op, dst, src } => write!(f, "{op} {dst}, {src}"),
             Instruction::Fma { dst, a, b, c } => write!(f, "fma {dst}, {a}, {b}, {c}"),
-            Instruction::Cvt { kind: CvtKind::I2F, dst, src } => write!(f, "i2f {dst}, {src}"),
-            Instruction::Cvt { kind: CvtKind::F2I, dst, src } => write!(f, "f2i {dst}, {src}"),
+            Instruction::Cvt {
+                kind: CvtKind::I2F,
+                dst,
+                src,
+            } => write!(f, "i2f {dst}, {src}"),
+            Instruction::Cvt {
+                kind: CvtKind::F2I,
+                dst,
+                src,
+            } => write!(f, "f2i {dst}, {src}"),
             Instruction::Load { dst, base, offset } => {
                 write!(f, "ld {dst}, [{base}{offset:+}]")
             }
             Instruction::Store { src, base, offset } => {
                 write!(f, "st {src}, [{base}{offset:+}]")
             }
-            Instruction::Branch { cond, lhs, rhs, target } => {
+            Instruction::Branch {
+                cond,
+                lhs,
+                rhs,
+                target,
+            } => {
                 write!(f, "{cond} {lhs}, {rhs}, @{target}")
             }
             Instruction::Jump { target } => write!(f, "j @{target}"),
             Instruction::Halt => write!(f, "halt"),
-            Instruction::Rcmp { dst, base, offset, slice } => {
+            Instruction::Rcmp {
+                dst,
+                base,
+                offset,
+                slice,
+            } => {
                 write!(f, "rcmp {dst}, [{base}{offset:+}], {slice}")
             }
             Instruction::Rtn { slice } => write!(f, "rtn {slice}"),
@@ -141,17 +159,36 @@ mod tests {
     #[test]
     fn instruction_rendering() {
         let cases: Vec<(Instruction, &str)> = vec![
-            (Instruction::Li { dst: Reg(1), imm: 16 }, "li r1, 0x10"),
             (
-                Instruction::Alu { op: AluOp::Add, dst: Reg(1), lhs: Reg(2), rhs: Reg(3) },
+                Instruction::Li {
+                    dst: Reg(1),
+                    imm: 16,
+                },
+                "li r1, 0x10",
+            ),
+            (
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    dst: Reg(1),
+                    lhs: Reg(2),
+                    rhs: Reg(3),
+                },
                 "add r1, r2, r3",
             ),
             (
-                Instruction::Load { dst: Reg(4), base: Reg(5), offset: -2 },
+                Instruction::Load {
+                    dst: Reg(4),
+                    base: Reg(5),
+                    offset: -2,
+                },
                 "ld r4, [r5-2]",
             ),
             (
-                Instruction::Store { src: Reg(4), base: Reg(5), offset: 3 },
+                Instruction::Store {
+                    src: Reg(4),
+                    base: Reg(5),
+                    offset: 3,
+                },
                 "st r4, [r5+3]",
             ),
             (
@@ -165,12 +202,20 @@ mod tests {
             ),
             (Instruction::Halt, "halt"),
             (
-                Instruction::Rcmp { dst: Reg(2), base: Reg(1), offset: 0, slice: SliceId(3) },
+                Instruction::Rcmp {
+                    dst: Reg(2),
+                    base: Reg(1),
+                    offset: 0,
+                    slice: SliceId(3),
+                },
                 "rcmp r2, [r1+0], slice3",
             ),
             (Instruction::Rtn { slice: SliceId(3) }, "rtn slice3"),
             (
-                Instruction::Rec { key: 2, srcs: [Some(Reg(7)), None, None] },
+                Instruction::Rec {
+                    key: 2,
+                    srcs: [Some(Reg(7)), None, None],
+                },
                 "rec @2, r7",
             ),
         ];
@@ -183,7 +228,10 @@ mod tests {
     fn program_listing_contains_every_pc() {
         let mut p = Program::new("demo");
         p.instructions = vec![
-            Instruction::Li { dst: Reg(1), imm: 1 },
+            Instruction::Li {
+                dst: Reg(1),
+                imm: 1,
+            },
             Instruction::Halt,
         ];
         p.code_len = 2;

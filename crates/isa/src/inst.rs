@@ -153,8 +153,20 @@ impl FpOp {
             FpOp::Sub => (a - b).to_bits(),
             FpOp::Mul => (a * b).to_bits(),
             FpOp::Div => (a / b).to_bits(),
-            FpOp::Min => if a.is_nan() || a <= b { lhs } else { rhs },
-            FpOp::Max => if a.is_nan() || a >= b { lhs } else { rhs },
+            FpOp::Min => {
+                if a.is_nan() || a <= b {
+                    lhs
+                } else {
+                    rhs
+                }
+            }
+            FpOp::Max => {
+                if a.is_nan() || a >= b {
+                    lhs
+                } else {
+                    rhs
+                }
+            }
             FpOp::Flt => (a < b) as u64,
         }
     }
@@ -365,11 +377,26 @@ pub enum Instruction {
     /// Load a 64-bit immediate into `dst`.
     Li { dst: Reg, imm: u64 },
     /// Register-register integer ALU operation.
-    Alu { op: AluOp, dst: Reg, lhs: Reg, rhs: Reg },
+    Alu {
+        op: AluOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
     /// Register-immediate integer ALU operation.
-    Alui { op: AluOp, dst: Reg, src: Reg, imm: u64 },
+    Alui {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        imm: u64,
+    },
     /// Register-register binary FP operation.
-    Fpu { op: FpOp, dst: Reg, lhs: Reg, rhs: Reg },
+    Fpu {
+        op: FpOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
     /// Unary FP operation.
     FpuUn { op: FpUnOp, dst: Reg, src: Reg },
     /// Fused multiply-add: `dst = a * b + c` in `f64`.
@@ -381,20 +408,33 @@ pub enum Instruction {
     /// Store `mem[reg(base) + offset] ← src` (word addressed).
     Store { src: Reg, base: Reg, offset: i64 },
     /// Conditional branch to `target`.
-    Branch { cond: BranchCond, lhs: Reg, rhs: Reg, target: usize },
+    Branch {
+        cond: BranchCond,
+        lhs: Reg,
+        rhs: Reg,
+        target: usize,
+    },
     /// Unconditional jump to `target`.
     Jump { target: usize },
     /// Stop execution.
     Halt,
     /// Amnesic: fused branch+load. Either loads `dst ← mem[base + offset]`
     /// or branches to the entry of slice `slice`, per the runtime policy.
-    Rcmp { dst: Reg, base: Reg, offset: i64, slice: SliceId },
+    Rcmp {
+        dst: Reg,
+        base: Reg,
+        offset: i64,
+        slice: SliceId,
+    },
     /// Amnesic: end of a slice body; control returns after the `RCMP`.
     Rtn { slice: SliceId },
     /// Amnesic: checkpoint the current values of `srcs` into the `Hist`
     /// entry for leaf address `key` (§3.1.2; shared by every slice whose
     /// replica leaf has this origin).
-    Rec { key: u16, srcs: [Option<Reg>; MAX_SRC_OPERANDS] },
+    Rec {
+        key: u16,
+        srcs: [Option<Reg>; MAX_SRC_OPERANDS],
+    },
 }
 
 impl Instruction {
@@ -613,21 +653,73 @@ mod tests {
         // The §3.4 analysis depends on max#src = 3, max#dest = 1. Spot-check
         // representative instructions of every variant.
         let insts = vec![
-            Instruction::Li { dst: Reg(0), imm: 1 },
-            Instruction::Alu { op: AluOp::Add, dst: Reg(0), lhs: Reg(1), rhs: Reg(2) },
-            Instruction::Alui { op: AluOp::Add, dst: Reg(0), src: Reg(1), imm: 2 },
-            Instruction::Fpu { op: FpOp::Add, dst: Reg(0), lhs: Reg(1), rhs: Reg(2) },
-            Instruction::FpuUn { op: FpUnOp::Sqrt, dst: Reg(0), src: Reg(1) },
-            Instruction::Fma { dst: Reg(0), a: Reg(1), b: Reg(2), c: Reg(3) },
-            Instruction::Cvt { kind: CvtKind::I2F, dst: Reg(0), src: Reg(1) },
-            Instruction::Load { dst: Reg(0), base: Reg(1), offset: 0 },
-            Instruction::Store { src: Reg(0), base: Reg(1), offset: 0 },
-            Instruction::Branch { cond: BranchCond::Eq, lhs: Reg(0), rhs: Reg(1), target: 0 },
+            Instruction::Li {
+                dst: Reg(0),
+                imm: 1,
+            },
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                lhs: Reg(1),
+                rhs: Reg(2),
+            },
+            Instruction::Alui {
+                op: AluOp::Add,
+                dst: Reg(0),
+                src: Reg(1),
+                imm: 2,
+            },
+            Instruction::Fpu {
+                op: FpOp::Add,
+                dst: Reg(0),
+                lhs: Reg(1),
+                rhs: Reg(2),
+            },
+            Instruction::FpuUn {
+                op: FpUnOp::Sqrt,
+                dst: Reg(0),
+                src: Reg(1),
+            },
+            Instruction::Fma {
+                dst: Reg(0),
+                a: Reg(1),
+                b: Reg(2),
+                c: Reg(3),
+            },
+            Instruction::Cvt {
+                kind: CvtKind::I2F,
+                dst: Reg(0),
+                src: Reg(1),
+            },
+            Instruction::Load {
+                dst: Reg(0),
+                base: Reg(1),
+                offset: 0,
+            },
+            Instruction::Store {
+                src: Reg(0),
+                base: Reg(1),
+                offset: 0,
+            },
+            Instruction::Branch {
+                cond: BranchCond::Eq,
+                lhs: Reg(0),
+                rhs: Reg(1),
+                target: 0,
+            },
             Instruction::Jump { target: 0 },
             Instruction::Halt,
-            Instruction::Rcmp { dst: Reg(0), base: Reg(1), offset: 0, slice: SliceId(0) },
+            Instruction::Rcmp {
+                dst: Reg(0),
+                base: Reg(1),
+                offset: 0,
+                slice: SliceId(0),
+            },
             Instruction::Rtn { slice: SliceId(0) },
-            Instruction::Rec { key: 0, srcs: [Some(Reg(1)), None, None] },
+            Instruction::Rec {
+                key: 0,
+                srcs: [Some(Reg(1)), None, None],
+            },
         ];
         for i in &insts {
             let n_src = i.srcs().iter().filter(|s| s.is_some()).count();

@@ -164,7 +164,10 @@ mod tests {
     fn error_display_is_nonempty() {
         let errors: Vec<IsaError> = vec![
             IsaError::InvalidRegister { pc: 3, reg: 99 },
-            IsaError::InvalidTarget { pc: 0, target: 1000 },
+            IsaError::InvalidTarget {
+                pc: 0,
+                target: 1000,
+            },
             IsaError::UnboundLabel { label: 2 },
             IsaError::RebindLabel { label: 2 },
             IsaError::MissingHalt,

@@ -154,11 +154,7 @@ impl SliceMeta {
 
     /// Distinct `Hist` leaf-address keys this slice reads.
     pub fn hist_keys(&self) -> Vec<u16> {
-        let mut keys: Vec<u16> = self
-            .plans
-            .iter()
-            .flat_map(|p| p.hist_keys())
-            .collect();
+        let mut keys: Vec<u16> = self.plans.iter().flat_map(|p| p.hist_keys()).collect();
         keys.sort_unstable();
         keys.dedup();
         keys
@@ -357,13 +353,21 @@ mod tests {
     #[test]
     fn operand_plan_leaf_detection() {
         let leaf = OperandPlan {
-            sources: [Some(OperandSource::LiveReg), Some(OperandSource::Hist { key: 0 }), None],
+            sources: [
+                Some(OperandSource::LiveReg),
+                Some(OperandSource::Hist { key: 0 }),
+                None,
+            ],
         };
         assert!(leaf.is_leaf());
         assert!(leaf.reads_hist());
 
         let interior = OperandPlan {
-            sources: [Some(OperandSource::SFile { producer: 0 }), Some(OperandSource::LiveReg), None],
+            sources: [
+                Some(OperandSource::SFile { producer: 0 }),
+                Some(OperandSource::LiveReg),
+                None,
+            ],
         };
         assert!(!interior.is_leaf());
         assert!(!interior.reads_hist());
@@ -375,8 +379,16 @@ mod tests {
     fn program_static_mix() {
         let mut p = Program::new("t");
         p.instructions = vec![
-            Instruction::Li { dst: Reg(1), imm: 0 },
-            Instruction::Alu { op: AluOp::Mul, dst: Reg(2), lhs: Reg(1), rhs: Reg(1) },
+            Instruction::Li {
+                dst: Reg(1),
+                imm: 0,
+            },
+            Instruction::Alu {
+                op: AluOp::Mul,
+                dst: Reg(2),
+                lhs: Reg(1),
+                rhs: Reg(1),
+            },
             Instruction::Halt,
         ];
         p.code_len = 3;

@@ -56,9 +56,13 @@ fn validate_control_flow(program: &Program) -> Result<(), IsaError> {
     for (pc, inst) in program.instructions[..code_len].iter().enumerate() {
         match inst {
             Instruction::Branch { target, .. } | Instruction::Jump { target }
-                if *target >= code_len => {
-                    return Err(IsaError::InvalidTarget { pc, target: *target });
-                }
+                if *target >= code_len =>
+            {
+                return Err(IsaError::InvalidTarget {
+                    pc,
+                    target: *target,
+                });
+            }
             Instruction::Halt => has_halt = true,
             _ => {}
         }
@@ -96,13 +100,12 @@ fn validate_region_placement(program: &Program) -> Result<(), IsaError> {
                     });
                 }
             }
-            Instruction::Rec { key, .. }
-                if !in_main => {
-                    return Err(IsaError::MalformedSlice {
-                        slice: u32::from(*key),
-                        reason: format!("REC inside slice region at pc {pc}"),
-                    });
-                }
+            Instruction::Rec { key, .. } if !in_main => {
+                return Err(IsaError::MalformedSlice {
+                    slice: u32::from(*key),
+                    reason: format!("REC inside slice region at pc {pc}"),
+                });
+            }
             _ => {}
         }
     }
@@ -122,7 +125,9 @@ fn validate_slice(program: &Program, meta: &crate::program::SliceMeta) -> Result
         return Err(err("slice body extends past program end".into()));
     }
     if meta.len < 2 {
-        return Err(err("slice must have at least one compute inst and RTN".into()));
+        return Err(err(
+            "slice must have at least one compute inst and RTN".into()
+        ));
     }
     // body: compute instructions then a matching RTN
     let body = &program.instructions[meta.entry..end];
@@ -135,9 +140,14 @@ fn validate_slice(program: &Program, meta: &crate::program::SliceMeta) -> Result
         if !inst.is_slice_compute() {
             let pc = meta.entry + i;
             if matches!(inst, Instruction::Load { .. } | Instruction::Store { .. }) {
-                return Err(IsaError::MemoryInstInSlice { slice: meta.id.0, pc });
+                return Err(IsaError::MemoryInstInSlice {
+                    slice: meta.id.0,
+                    pc,
+                });
             }
-            return Err(err(format!("non-compute instruction in slice body at pc {pc}")));
+            return Err(err(format!(
+                "non-compute instruction in slice body at pc {pc}"
+            )));
         }
     }
     if meta.plans.len() != compute.len() {
@@ -180,9 +190,9 @@ fn validate_slice(program: &Program, meta: &crate::program::SliceMeta) -> Result
     // every Hist key the slice reads must be checkpointed by a REC in the
     // main code region
     for key in meta.hist_keys() {
-        let found = program.instructions[..program.code_len].iter().any(
-            |i| matches!(i, Instruction::Rec { key: k, .. } if *k == key),
-        );
+        let found = program.instructions[..program.code_len]
+            .iter()
+            .any(|i| matches!(i, Instruction::Rec { key: k, .. } if *k == key));
         if !found {
             return Err(err(format!("hist key {key} has no REC checkpoint")));
         }
@@ -220,8 +230,15 @@ mod tests {
     fn classic_program() -> Program {
         let mut p = Program::new("t");
         p.instructions = vec![
-            Instruction::Li { dst: Reg(1), imm: 0x1000 },
-            Instruction::Load { dst: Reg(2), base: Reg(1), offset: 0 },
+            Instruction::Li {
+                dst: Reg(1),
+                imm: 0x1000,
+            },
+            Instruction::Load {
+                dst: Reg(2),
+                base: Reg(1),
+                offset: 0,
+            },
             Instruction::Halt,
         ];
         p.code_len = 3;
@@ -234,12 +251,28 @@ mod tests {
     fn annotated_program() -> Program {
         let mut p = Program::new("t");
         p.instructions = vec![
-            Instruction::Li { dst: Reg(1), imm: 0x1000 },
-            Instruction::Li { dst: Reg(3), imm: 5 },
-            Instruction::Rcmp { dst: Reg(2), base: Reg(1), offset: 0, slice: SliceId(0) },
+            Instruction::Li {
+                dst: Reg(1),
+                imm: 0x1000,
+            },
+            Instruction::Li {
+                dst: Reg(3),
+                imm: 5,
+            },
+            Instruction::Rcmp {
+                dst: Reg(2),
+                base: Reg(1),
+                offset: 0,
+                slice: SliceId(0),
+            },
             Instruction::Halt,
             // slice body
-            Instruction::Alui { op: AluOp::Add, dst: Reg(2), src: Reg(3), imm: 1 },
+            Instruction::Alui {
+                op: AluOp::Add,
+                dst: Reg(2),
+                src: Reg(3),
+                imm: 1,
+            },
             Instruction::Rtn { slice: SliceId(0) },
         ];
         p.code_len = 4;
@@ -252,7 +285,11 @@ mod tests {
             plans: vec![OperandPlan {
                 sources: [Some(OperandSource::LiveReg), None, None],
             }],
-            leaves: vec![LeafInfo { index: 0, needs_hist: false, origin_pc: Some(1) }],
+            leaves: vec![LeafInfo {
+                index: 0,
+                needs_hist: false,
+                origin_pc: Some(1),
+            }],
             has_nonrecomputable: false,
             est_recompute_nj: 0.3,
             est_load_nj: 10.0,
@@ -274,7 +311,10 @@ mod tests {
     #[test]
     fn rejects_invalid_register() {
         let mut p = classic_program();
-        p.instructions[0] = Instruction::Li { dst: Reg(64), imm: 0 };
+        p.instructions[0] = Instruction::Li {
+            dst: Reg(64),
+            imm: 0,
+        };
         assert!(matches!(
             validate(&p),
             Err(IsaError::InvalidRegister { pc: 0, reg: 64 })
@@ -308,7 +348,11 @@ mod tests {
     #[test]
     fn rejects_memory_instruction_in_slice() {
         let mut p = annotated_program();
-        p.instructions[4] = Instruction::Load { dst: Reg(2), base: Reg(1), offset: 0 };
+        p.instructions[4] = Instruction::Load {
+            dst: Reg(2),
+            base: Reg(1),
+            offset: 0,
+        };
         assert!(matches!(
             validate(&p),
             Err(IsaError::MemoryInstInSlice { slice: 0, pc: 4 })

@@ -1,75 +1,115 @@
-//! Property tests pinning the ISA's functional semantics to independent
+//! Randomized tests pinning the ISA's functional semantics to independent
 //! Rust reference expressions (so a regression in `apply` cannot hide).
+//!
+//! Formerly `proptest`-based; now driven by the in-repo deterministic
+//! [`amnesiac_rng::Rng`] over a fixed seed plus explicit edge cases, so the
+//! corpus is reproducible and the workspace stays dependency-free.
 
 use amnesiac_isa::{AluOp, BranchCond, CvtKind, FpOp, FpUnOp};
-use proptest::prelude::*;
+use amnesiac_rng::{f64_edge_cases, Rng, U64_EDGE_CASES};
 
-proptest! {
-    #[test]
-    fn alu_ops_match_reference(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(AluOp::Add.apply(a, b), a.wrapping_add(b));
-        prop_assert_eq!(AluOp::Sub.apply(a, b), a.wrapping_sub(b));
-        prop_assert_eq!(AluOp::Mul.apply(a, b), a.wrapping_mul(b));
-        prop_assert_eq!(
-            AluOp::Div.apply(a, b),
-            a.checked_div(b).unwrap_or(u64::MAX)
-        );
-        prop_assert_eq!(AluOp::Rem.apply(a, b), if b == 0 { a } else { a % b });
-        prop_assert_eq!(AluOp::And.apply(a, b), a & b);
-        prop_assert_eq!(AluOp::Or.apply(a, b), a | b);
-        prop_assert_eq!(AluOp::Xor.apply(a, b), a ^ b);
-        prop_assert_eq!(AluOp::Shl.apply(a, b), a << (b % 64));
-        prop_assert_eq!(AluOp::Shr.apply(a, b), a >> (b % 64));
-        prop_assert_eq!(AluOp::Slt.apply(a, b), ((a as i64) < (b as i64)) as u64);
-        prop_assert_eq!(AluOp::Sltu.apply(a, b), (a < b) as u64);
-        prop_assert_eq!(AluOp::Seq.apply(a, b), (a == b) as u64);
-        prop_assert_eq!(AluOp::Min.apply(a, b), a.min(b));
-        prop_assert_eq!(AluOp::Max.apply(a, b), a.max(b));
+const CASES: usize = 512;
+
+/// Every (a, b) pair fed to the integer checks: uniform draws plus the
+/// cross-product of the edge values.
+fn u64_pairs() -> Vec<(u64, u64)> {
+    let mut r = Rng::seed_from_u64(0xA141);
+    let mut pairs: Vec<(u64, u64)> = (0..CASES).map(|_| (r.next_u64(), r.next_u64())).collect();
+    for &a in &U64_EDGE_CASES {
+        for &b in &U64_EDGE_CASES {
+            pairs.push((a, b));
+        }
     }
+    pairs
+}
 
-    #[test]
-    fn branch_conditions_match_reference(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(BranchCond::Eq.eval(a, b), a == b);
-        prop_assert_eq!(BranchCond::Ne.eval(a, b), a != b);
-        prop_assert_eq!(BranchCond::Lt.eval(a, b), (a as i64) < (b as i64));
-        prop_assert_eq!(BranchCond::Ge.eval(a, b), (a as i64) >= (b as i64));
-        prop_assert_eq!(BranchCond::Ltu.eval(a, b), a < b);
-        prop_assert_eq!(BranchCond::Geu.eval(a, b), a >= b);
+fn f64_pairs() -> Vec<(f64, f64)> {
+    let mut r = Rng::seed_from_u64(0xF141);
+    let mut pairs: Vec<(f64, f64)> = (0..CASES).map(|_| (r.any_f64(), r.any_f64())).collect();
+    for &a in &f64_edge_cases() {
+        for &b in &f64_edge_cases() {
+            pairs.push((a, b));
+        }
     }
+    pairs
+}
 
-    #[test]
-    fn fp_ops_match_reference(a in any::<f64>(), b in any::<f64>()) {
+#[test]
+fn alu_ops_match_reference() {
+    for (a, b) in u64_pairs() {
+        assert_eq!(AluOp::Add.apply(a, b), a.wrapping_add(b));
+        assert_eq!(AluOp::Sub.apply(a, b), a.wrapping_sub(b));
+        assert_eq!(AluOp::Mul.apply(a, b), a.wrapping_mul(b));
+        assert_eq!(AluOp::Div.apply(a, b), a.checked_div(b).unwrap_or(u64::MAX));
+        assert_eq!(AluOp::Rem.apply(a, b), if b == 0 { a } else { a % b });
+        assert_eq!(AluOp::And.apply(a, b), a & b);
+        assert_eq!(AluOp::Or.apply(a, b), a | b);
+        assert_eq!(AluOp::Xor.apply(a, b), a ^ b);
+        assert_eq!(AluOp::Shl.apply(a, b), a << (b % 64));
+        assert_eq!(AluOp::Shr.apply(a, b), a >> (b % 64));
+        assert_eq!(AluOp::Slt.apply(a, b), ((a as i64) < (b as i64)) as u64);
+        assert_eq!(AluOp::Sltu.apply(a, b), (a < b) as u64);
+        assert_eq!(AluOp::Seq.apply(a, b), (a == b) as u64);
+        assert_eq!(AluOp::Min.apply(a, b), a.min(b));
+        assert_eq!(AluOp::Max.apply(a, b), a.max(b));
+    }
+}
+
+#[test]
+fn branch_conditions_match_reference() {
+    for (a, b) in u64_pairs() {
+        assert_eq!(BranchCond::Eq.eval(a, b), a == b);
+        assert_eq!(BranchCond::Ne.eval(a, b), a != b);
+        assert_eq!(BranchCond::Lt.eval(a, b), (a as i64) < (b as i64));
+        assert_eq!(BranchCond::Ge.eval(a, b), (a as i64) >= (b as i64));
+        assert_eq!(BranchCond::Ltu.eval(a, b), a < b);
+        assert_eq!(BranchCond::Geu.eval(a, b), a >= b);
+    }
+}
+
+#[test]
+fn fp_ops_match_reference() {
+    for (a, b) in f64_pairs() {
         let (ab, bb) = (a.to_bits(), b.to_bits());
-        prop_assert_eq!(FpOp::Add.apply(ab, bb), (a + b).to_bits());
-        prop_assert_eq!(FpOp::Sub.apply(ab, bb), (a - b).to_bits());
-        prop_assert_eq!(FpOp::Mul.apply(ab, bb), (a * b).to_bits());
-        prop_assert_eq!(FpOp::Div.apply(ab, bb), (a / b).to_bits());
-        prop_assert_eq!(FpOp::Flt.apply(ab, bb), (a < b) as u64);
+        assert_eq!(FpOp::Add.apply(ab, bb), (a + b).to_bits());
+        assert_eq!(FpOp::Sub.apply(ab, bb), (a - b).to_bits());
+        assert_eq!(FpOp::Mul.apply(ab, bb), (a * b).to_bits());
+        assert_eq!(FpOp::Div.apply(ab, bb), (a / b).to_bits());
+        assert_eq!(FpOp::Flt.apply(ab, bb), (a < b) as u64);
         // min/max keep the first operand on NaN — check agreement on
         // non-NaN inputs against the std reference
         if !a.is_nan() && !b.is_nan() {
-            prop_assert_eq!(f64::from_bits(FpOp::Min.apply(ab, bb)), a.min(b));
-            prop_assert_eq!(f64::from_bits(FpOp::Max.apply(ab, bb)), a.max(b));
+            assert_eq!(f64::from_bits(FpOp::Min.apply(ab, bb)), a.min(b));
+            assert_eq!(f64::from_bits(FpOp::Max.apply(ab, bb)), a.max(b));
         }
     }
+}
 
-    #[test]
-    fn fp_unary_and_cvt_match_reference(a in any::<f64>(), n in any::<i64>()) {
+#[test]
+fn fp_unary_and_cvt_match_reference() {
+    let mut r = Rng::seed_from_u64(0xC041);
+    let values: Vec<(f64, i64)> = (0..CASES)
+        .map(|_| (r.any_f64(), r.next_u64() as i64))
+        .chain(f64_edge_cases().iter().map(|&a| (a, -3)))
+        .collect();
+    for (a, n) in values {
         let ab = a.to_bits();
-        prop_assert_eq!(FpUnOp::Neg.apply(ab), (-a).to_bits());
-        prop_assert_eq!(FpUnOp::Abs.apply(ab), a.abs().to_bits());
-        prop_assert_eq!(FpUnOp::Sqrt.apply(ab), a.sqrt().to_bits());
-        prop_assert_eq!(CvtKind::I2F.apply(n as u64), (n as f64).to_bits());
+        assert_eq!(FpUnOp::Neg.apply(ab), (-a).to_bits());
+        assert_eq!(FpUnOp::Abs.apply(ab), a.abs().to_bits());
+        assert_eq!(FpUnOp::Sqrt.apply(ab), a.sqrt().to_bits());
+        assert_eq!(CvtKind::I2F.apply(n as u64), (n as f64).to_bits());
         if !a.is_nan() {
-            prop_assert_eq!(CvtKind::F2I.apply(ab), (a as i64) as u64);
+            assert_eq!(CvtKind::F2I.apply(ab), (a as i64) as u64);
         } else {
-            prop_assert_eq!(CvtKind::F2I.apply(ab), 0);
+            assert_eq!(CvtKind::F2I.apply(ab), 0);
         }
     }
+}
 
-    /// Shifts never panic for any operand (the % 64 convention).
-    #[test]
-    fn shifts_are_total(a in any::<u64>(), b in any::<u64>()) {
+/// Shifts never panic for any operand (the % 64 convention).
+#[test]
+fn shifts_are_total() {
+    for (a, b) in u64_pairs() {
         let _ = AluOp::Shl.apply(a, b);
         let _ = AluOp::Shr.apply(a, b);
     }

@@ -29,8 +29,10 @@ impl CacheConfig {
     /// `ways * line_bytes`, or `line_bytes` not a power of two).
     pub fn n_sets(&self) -> usize {
         assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
-        assert!(self.ways > 0 && self.size_bytes.is_multiple_of(self.ways * self.line_bytes),
-                "inconsistent cache geometry: {self:?}");
+        assert!(
+            self.ways > 0 && self.size_bytes.is_multiple_of(self.ways * self.line_bytes),
+            "inconsistent cache geometry: {self:?}"
+        );
         let sets = self.size_bytes / (self.ways * self.line_bytes);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -38,17 +40,29 @@ impl CacheConfig {
 
     /// L1 instruction cache of the paper's Table 3: 32 KB, 4-way, 64 B lines.
     pub fn paper_l1i() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
     }
 
     /// L1 data cache of the paper's Table 3: 32 KB, 8-way, 64 B lines.
     pub fn paper_l1d() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
     }
 
     /// Unified L2 of the paper's Table 3: 512 KB, 8-way, 64 B lines.
     pub fn paper_l2() -> Self {
-        CacheConfig { size_bytes: 512 * 1024, ways: 8, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
     }
 }
 
@@ -127,7 +141,10 @@ impl Cache {
             if kind == AccessKind::Write {
                 line.dirty = true;
             }
-            return CacheAccess { hit: true, writeback: None };
+            return CacheAccess {
+                hit: true,
+                writeback: None,
+            };
         }
 
         // miss: pick victim = invalid line, else true-LRU
@@ -147,7 +164,10 @@ impl Cache {
             dirty: kind == AccessKind::Write,
             last_use: clock,
         };
-        CacheAccess { hit: false, writeback }
+        CacheAccess {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Tag-only residency check; never changes cache state.
@@ -185,7 +205,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 64B lines = 256B
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -280,6 +304,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "inconsistent cache geometry")]
     fn bad_geometry_panics() {
-        Cache::new(CacheConfig { size_bytes: 100, ways: 3, line_bytes: 64 });
+        Cache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            line_bytes: 64,
+        });
     }
 }

@@ -143,7 +143,11 @@ impl MemoryHierarchy {
             access = Access::at(ServiceLevel::L1);
         } else {
             let l2 = self.l2.access(byte_addr, AccessKind::Read);
-            access = Access::at(if l2.hit { ServiceLevel::L2 } else { ServiceLevel::Mem });
+            access = Access::at(if l2.hit {
+                ServiceLevel::L2
+            } else {
+                ServiceLevel::Mem
+            });
             if l2.writeback.is_some() {
                 access.l2_writebacks += 1;
             }
@@ -173,7 +177,11 @@ impl MemoryHierarchy {
         }
         let mut access;
         let l2 = self.l2.access(byte_addr, AccessKind::Read);
-        access = Access::at(if l2.hit { ServiceLevel::L2 } else { ServiceLevel::Mem });
+        access = Access::at(if l2.hit {
+            ServiceLevel::L2
+        } else {
+            ServiceLevel::Mem
+        });
         if l2.writeback.is_some() {
             access.l2_writebacks += 1;
         }
@@ -196,9 +204,21 @@ mod tests {
     fn small() -> MemoryHierarchy {
         // tiny hierarchy: L1 128B (2 sets × 1 way), L2 512B (4 sets × 2 ways)
         MemoryHierarchy::new(HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64 },
-            l1d: CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64 },
-            l2: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 },
+            l1i: CacheConfig {
+                size_bytes: 128,
+                ways: 1,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                size_bytes: 128,
+                ways: 1,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
             next_line_prefetch: false,
         })
     }
@@ -236,10 +256,13 @@ mod tests {
         m.write_data(64); // displace 0 from L1 (dirty) → L2 write
         m.write_data(256);
         m.write_data(320); // displace 256 → L2 write
-        // now L2 set 0 holds dirty 0 and 256; touch 512 → dirty eviction
+                           // now L2 set 0 holds dirty 0 and 256; touch 512 → dirty eviction
         let a = m.read_data(512);
         assert_eq!(a.level, ServiceLevel::Mem);
-        assert!(a.l2_writebacks >= 1, "dirty L2 victim must be written to memory");
+        assert!(
+            a.l2_writebacks >= 1,
+            "dirty L2 victim must be written to memory"
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Hierarchy access statistics: per-class service-level counters used to
 //! derive the paper's PrLi estimates (§3.1.1) and Table 5 profiles.
 
+use amnesiac_telemetry::{Json, ToJson};
+
 use crate::hierarchy::Access;
 use crate::ServiceLevel;
 
@@ -47,6 +49,18 @@ impl LevelStats {
     }
 }
 
+impl ToJson for LevelStats {
+    /// `{"l1": n, "l2": n, "mem": n, "total": n}` — the service-level mix
+    /// of one access class.
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("l1", self.by_level[ServiceLevel::L1.index()])
+            .with("l2", self.by_level[ServiceLevel::L2.index()])
+            .with("mem", self.by_level[ServiceLevel::Mem.index()])
+            .with("total", self.total())
+    }
+}
+
 /// Aggregate statistics for a [`crate::MemoryHierarchy`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
@@ -83,6 +97,18 @@ impl HierarchyStats {
     fn record_writebacks(&mut self, access: Access) {
         self.l1_writebacks += access.l1_writebacks as u64;
         self.l2_writebacks += access.l2_writebacks as u64;
+    }
+}
+
+impl ToJson for HierarchyStats {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("loads", self.loads.to_json())
+            .with("stores", self.stores.to_json())
+            .with("fetches", self.fetches.to_json())
+            .with("l1_writebacks", self.l1_writebacks)
+            .with("l2_writebacks", self.l2_writebacks)
+            .with("prefetches", self.prefetches)
     }
 }
 

@@ -1,9 +1,12 @@
-//! Property tests: the set-associative cache must agree with a brute-force
-//! reference model under arbitrary access streams.
+//! Randomized tests: the set-associative cache must agree with a
+//! brute-force reference model under arbitrary access streams. Driven by
+//! the deterministic in-repo RNG (fixed seeds, reproducible corpus).
 
 use amnesiac_mem::{AccessKind, Cache, CacheConfig, ServiceLevel};
 use amnesiac_mem::{HierarchyConfig, MemoryHierarchy};
-use proptest::prelude::*;
+use amnesiac_rng::Rng;
+
+const CASES: usize = 192;
 
 /// Brute-force LRU write-back cache: a list of (line_addr, dirty) per set,
 /// most-recently-used first.
@@ -71,35 +74,51 @@ fn access_kind(write: bool) -> AccessKind {
     }
 }
 
-proptest! {
-    /// Hit/miss, write-back addresses and residency all match the reference
-    /// model for every prefix of a random access stream.
-    #[test]
-    fn cache_matches_reference(
-        ops in prop::collection::vec((0u64..4096, any::<bool>()), 1..400)
-    ) {
-        let config = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 };
+fn stream(r: &mut Rng, addr_bound: u64, min_len: usize, max_len: usize) -> Vec<(u64, bool)> {
+    (0..r.range_usize(min_len, max_len))
+        .map(|_| (r.below(addr_bound), r.bool()))
+        .collect()
+}
+
+/// Hit/miss, write-back addresses and residency all match the reference
+/// model for every prefix of a random access stream.
+#[test]
+fn cache_matches_reference() {
+    let mut r = Rng::seed_from_u64(0xCA);
+    for _ in 0..CASES {
+        let ops = stream(&mut r, 4096, 1, 400);
+        let config = CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        };
         let mut dut = Cache::new(config);
         let mut reference = RefCache::new(config);
         for (i, &(addr, write)) in ops.iter().enumerate() {
             let got = dut.access(addr, access_kind(write));
             let (want_hit, want_wb) = reference.access(addr, write);
-            prop_assert_eq!(got.hit, want_hit, "op {} addr {:#x}", i, addr);
-            prop_assert_eq!(got.writeback, want_wb, "op {} addr {:#x}", i, addr);
+            assert_eq!(got.hit, want_hit, "op {i} addr {addr:#x}");
+            assert_eq!(got.writeback, want_wb, "op {i} addr {addr:#x}");
         }
         // final residency agrees everywhere touched
         for &(addr, _) in &ops {
-            prop_assert_eq!(dut.peek(addr), reference.peek(addr));
+            assert_eq!(dut.peek(addr), reference.peek(addr));
         }
     }
+}
 
-    /// Occupancy never exceeds capacity, and peek never disturbs state
-    /// (interleaving peeks must not change hit/miss behaviour).
-    #[test]
-    fn peek_transparency(
-        ops in prop::collection::vec((0u64..2048, any::<bool>()), 1..200)
-    ) {
-        let config = CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 };
+/// Occupancy never exceeds capacity, and peek never disturbs state
+/// (interleaving peeks must not change hit/miss behaviour).
+#[test]
+fn peek_transparency() {
+    let mut r = Rng::seed_from_u64(0xCB);
+    for _ in 0..CASES {
+        let ops = stream(&mut r, 2048, 1, 200);
+        let config = CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        };
         let mut plain = Cache::new(config);
         let mut peeked = Cache::new(config);
         for &(addr, write) in &ops {
@@ -109,67 +128,94 @@ proptest! {
             }
             let a = plain.access(addr, access_kind(write));
             let b = peeked.access(addr, access_kind(write));
-            prop_assert_eq!(a, b);
-            prop_assert!(plain.valid_lines() <= 4);
+            assert_eq!(a, b);
+            assert!(plain.valid_lines() <= 4);
         }
     }
+}
 
-    /// The full hierarchy never reports a nearer level than where the line
-    /// actually is, and peek agrees with a subsequent read's service level.
-    #[test]
-    fn hierarchy_peek_predicts_read_level(
-        ops in prop::collection::vec((0u64..8192, any::<bool>()), 1..300)
-    ) {
+/// The full hierarchy never reports a nearer level than where the line
+/// actually is, and peek agrees with a subsequent read's service level.
+#[test]
+fn hierarchy_peek_predicts_read_level() {
+    let mut r = Rng::seed_from_u64(0xCC);
+    for _ in 0..CASES {
+        let ops = stream(&mut r, 8192, 1, 300);
         let mut m = MemoryHierarchy::new(HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64 },
-            l1d: CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64 },
-            l2: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 },
-                    next_line_prefetch: false,
+            l1i: CacheConfig {
+                size_bytes: 128,
+                ways: 1,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                size_bytes: 128,
+                ways: 1,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            next_line_prefetch: false,
         });
         for &(addr, write) in &ops {
             let predicted = m.peek_data(addr);
-            let got = if write { m.write_data(addr) } else { m.read_data(addr) };
-            prop_assert_eq!(got.level, predicted,
-                "peek said {:?} but access was serviced at {:?}", predicted, got.level);
+            let got = if write {
+                m.write_data(addr)
+            } else {
+                m.read_data(addr)
+            };
+            assert_eq!(
+                got.level, predicted,
+                "peek said {predicted:?} but access was serviced at {:?}",
+                got.level
+            );
         }
         // loads + stores recorded = ops issued
         let s = m.stats();
-        prop_assert_eq!(s.loads.total() + s.stores.total(), ops.len() as u64);
+        assert_eq!(s.loads.total() + s.stores.total(), ops.len() as u64);
     }
+}
 
-    /// After any access the line is L1-resident.
-    #[test]
-    fn accessed_line_becomes_l1_resident(
-        ops in prop::collection::vec(0u64..8192, 1..200)
-    ) {
+/// After any access the line is L1-resident.
+#[test]
+fn accessed_line_becomes_l1_resident() {
+    let mut r = Rng::seed_from_u64(0xCD);
+    for _ in 0..CASES {
         let mut m = MemoryHierarchy::new(HierarchyConfig::paper());
-        for &addr in &ops {
+        for _ in 0..r.range_usize(1, 200) {
+            let addr = r.below(8192);
             m.read_data(addr);
-            prop_assert_eq!(m.peek_data(addr), ServiceLevel::L1);
+            assert_eq!(m.peek_data(addr), ServiceLevel::L1);
         }
     }
+}
 
-    /// With the next-line prefetcher, every L1 load miss leaves BOTH the
-    /// accessed line and its successor L1-resident, and the prefetch
-    /// source level is reported whenever one was issued.
-    #[test]
-    fn prefetcher_invariants(
-        ops in prop::collection::vec(0u64..8192, 1..200)
-    ) {
+/// With the next-line prefetcher, every L1 load miss leaves BOTH the
+/// accessed line and its successor L1-resident, and the prefetch
+/// source level is reported whenever one was issued.
+#[test]
+fn prefetcher_invariants() {
+    let mut r = Rng::seed_from_u64(0xCE);
+    for _ in 0..CASES {
         let mut m = MemoryHierarchy::new(HierarchyConfig::paper_with_prefetch());
         let mut issued = 0u64;
-        for &addr in &ops {
+        for _ in 0..r.range_usize(1, 200) {
+            let addr = r.below(8192);
             let access = m.read_data(addr);
-            prop_assert_eq!(m.peek_data(addr), ServiceLevel::L1);
+            assert_eq!(m.peek_data(addr), ServiceLevel::L1);
             if access.level != ServiceLevel::L1 {
-                prop_assert_eq!(m.peek_data(addr + 64), ServiceLevel::L1);
+                assert_eq!(m.peek_data(addr + 64), ServiceLevel::L1);
             }
             if access.prefetch_from.is_some() {
                 issued += 1;
-                prop_assert!(access.level != ServiceLevel::L1,
-                    "prefetches only trigger on misses");
+                assert!(
+                    access.level != ServiceLevel::L1,
+                    "prefetches only trigger on misses"
+                );
             }
         }
-        prop_assert_eq!(m.stats().prefetches, issued);
+        assert_eq!(m.stats().prefetches, issued);
     }
 }

@@ -86,7 +86,7 @@ fn invariant_operand_is_fresh_varying_operand_is_live_by_register_reuse() {
     b.jump(top);
     b.bind(done).unwrap();
     b.li(Reg(10), 0); // clobber the parameter register
-    // consume with the index in the SAME register the producer used
+                      // consume with the index in the SAME register the producer used
     b.li(Reg(2), 0);
     b.li(Reg(7), 0);
     let top2 = b.label();

@@ -237,8 +237,13 @@ impl<'p> Tracker<'p> {
 
         // register provenance of the destination
         let dst = event.inst.dst().expect("loads have a destination");
-        self.reg_prov[dst.index()] =
-            Some(ValueNode::load(pc, event.inst.clone(), value, addr, cell_node));
+        self.reg_prov[dst.index()] = Some(ValueNode::load(
+            pc,
+            event.inst.clone(),
+            value,
+            addr,
+            cell_node,
+        ));
         self.regs[dst.index()] = value;
     }
 
@@ -343,7 +348,9 @@ mod tests {
     use amnesiac_mem::ServiceLevel;
 
     fn profile(p: &Program) -> ProgramProfile {
-        profile_program(p, &CoreConfig::paper()).expect("run succeeds").0
+        profile_program(p, &CoreConfig::paper())
+            .expect("run succeeds")
+            .0
     }
 
     /// store computed value, load it back: the load site must get a tree
@@ -462,7 +469,7 @@ mod tests {
         b.bind(top).unwrap();
         b.branch(BranchCond::Geu, Reg(5), Reg(6), done);
         b.branch(BranchCond::Ne, Reg(5), Reg(5), else_); // never taken…
-        // iteration body: pick producer by parity
+                                                         // iteration body: pick producer by parity
         let odd = b.label();
         let after = b.label();
         b.alui(AluOp::And, Reg(7), Reg(5), 1);

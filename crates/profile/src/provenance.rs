@@ -167,7 +167,10 @@ mod tests {
     fn li(pc: usize, value: u64) -> Rc<ValueNode> {
         ValueNode::compute(
             pc,
-            Instruction::Li { dst: Reg(1), imm: value },
+            Instruction::Li {
+                dst: Reg(1),
+                imm: value,
+            },
             value,
             [None, None, None],
             [0; 3],
@@ -177,7 +180,12 @@ mod tests {
     fn add(pc: usize, a: &Rc<ValueNode>, b: &Rc<ValueNode>) -> Rc<ValueNode> {
         ValueNode::compute(
             pc,
-            Instruction::Alu { op: AluOp::Add, dst: Reg(3), lhs: Reg(1), rhs: Reg(2) },
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(3),
+                lhs: Reg(1),
+                rhs: Reg(2),
+            },
             a.value.wrapping_add(b.value),
             [Some(Rc::clone(a)), Some(Rc::clone(b)), None],
             [a.value, b.value, 0],
@@ -216,14 +224,22 @@ mod tests {
         let producer = li(0, 42);
         let ld1 = ValueNode::load(
             1,
-            Instruction::Load { dst: Reg(2), base: Reg(1), offset: 0 },
+            Instruction::Load {
+                dst: Reg(2),
+                base: Reg(1),
+                offset: 0,
+            },
             42,
             100,
             Some(Rc::clone(&producer)),
         );
         let ld2 = ValueNode::load(
             2,
-            Instruction::Load { dst: Reg(3), base: Reg(1), offset: 0 },
+            Instruction::Load {
+                dst: Reg(3),
+                base: Reg(1),
+                offset: 0,
+            },
             42,
             101,
             Some(Rc::clone(&ld1)),
@@ -237,7 +253,11 @@ mod tests {
     fn untracked_load_resolves_to_none() {
         let ld = ValueNode::load(
             1,
-            Instruction::Load { dst: Reg(2), base: Reg(1), offset: 0 },
+            Instruction::Load {
+                dst: Reg(2),
+                base: Reg(1),
+                offset: 0,
+            },
             0,
             100,
             None,
@@ -250,7 +270,11 @@ mod tests {
         let producer = li(0, 7);
         let ld = ValueNode::load(
             1,
-            Instruction::Load { dst: Reg(2), base: Reg(1), offset: 0 },
+            Instruction::Load {
+                dst: Reg(2),
+                base: Reg(1),
+                offset: 0,
+            },
             7,
             100,
             Some(Rc::clone(&producer)),

@@ -201,9 +201,20 @@ mod tests {
     fn leaf(pc: usize, reg: u8, live: bool) -> ProvNode {
         ProvNode {
             pc,
-            inst: Instruction::Alui { op: AluOp::Add, dst: Reg(9), src: Reg(reg), imm: 1 },
+            inst: Instruction::Alui {
+                op: AluOp::Add,
+                dst: Reg(9),
+                src: Reg(reg),
+                imm: 1,
+            },
             operands: [
-                Some(ProvOperand { reg: Reg(reg), always_live: live, child: None, unknown: false, checkpoint_fresh: true }),
+                Some(ProvOperand {
+                    reg: Reg(reg),
+                    always_live: live,
+                    child: None,
+                    unknown: false,
+                    checkpoint_fresh: true,
+                }),
                 None,
                 None,
             ],
@@ -213,10 +224,27 @@ mod tests {
     fn parent(pc: usize, a: ProvNode, b: ProvNode) -> ProvNode {
         ProvNode {
             pc,
-            inst: Instruction::Alu { op: AluOp::Add, dst: Reg(9), lhs: Reg(1), rhs: Reg(2) },
+            inst: Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(9),
+                lhs: Reg(1),
+                rhs: Reg(2),
+            },
             operands: [
-                Some(ProvOperand { reg: Reg(1), always_live: true, child: Some(Box::new(a)), unknown: false, checkpoint_fresh: true }),
-                Some(ProvOperand { reg: Reg(2), always_live: true, child: Some(Box::new(b)), unknown: false, checkpoint_fresh: true }),
+                Some(ProvOperand {
+                    reg: Reg(1),
+                    always_live: true,
+                    child: Some(Box::new(a)),
+                    unknown: false,
+                    checkpoint_fresh: true,
+                }),
+                Some(ProvOperand {
+                    reg: Reg(2),
+                    always_live: true,
+                    child: Some(Box::new(b)),
+                    unknown: false,
+                    checkpoint_fresh: true,
+                }),
                 None,
             ],
         }
@@ -250,8 +278,14 @@ mod tests {
         let mut a = parent(10, leaf(1, 3, true), leaf(2, 4, true));
         let b = parent(10, leaf(7, 3, true), leaf(2, 4, true)); // left child differs
         assert!(a.merge(&b));
-        assert!(a.operands[0].as_ref().unwrap().child.is_none(), "left pruned");
-        assert!(a.operands[1].as_ref().unwrap().child.is_some(), "right kept");
+        assert!(
+            a.operands[0].as_ref().unwrap().child.is_none(),
+            "left pruned"
+        );
+        assert!(
+            a.operands[1].as_ref().unwrap().child.is_some(),
+            "right kept"
+        );
         assert_eq!(a.size(), 2);
     }
 

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use amnesiac_energy::EnergyAccount;
 use amnesiac_isa::{Category, Instruction, Program};
 use amnesiac_mem::{HierarchyStats, ServiceLevel};
+use amnesiac_telemetry::{Json, ToJson};
 
 use crate::eval::eval_compute;
 use crate::machine::{CoreConfig, Machine, RunError};
@@ -120,6 +121,21 @@ impl RunResult {
     /// Energy-delay product of the run, the paper's efficiency metric.
     pub fn edp(&self) -> f64 {
         self.account.edp()
+    }
+}
+
+impl ToJson for RunResult {
+    /// Dynamic counts plus the full energy account and hierarchy stats.
+    /// `final_memory` is summarized as its size only (output values are
+    /// checked by the equivalence asserts, not reported as telemetry).
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("instructions", self.instructions)
+            .with("loads", self.loads)
+            .with("stores", self.stores)
+            .with("output_words", self.final_memory.len())
+            .with("account", self.account.to_json())
+            .with("hierarchy", self.hierarchy.to_json())
     }
 }
 
@@ -339,7 +355,10 @@ mod tests {
         use amnesiac_isa::Instruction;
         let mut p = Program::new("t");
         p.instructions = vec![
-            Instruction::Rec { key: 0, srcs: [None, None, None] },
+            Instruction::Rec {
+                key: 0,
+                srcs: [None, None, None],
+            },
             Instruction::Halt,
         ];
         p.code_len = 2;

@@ -45,12 +45,15 @@ pub fn eval_compute(inst: &Instruction, srcs: [u64; 3]) -> u64 {
 /// Checks whether executing `inst` on `srcs` raises an exception.
 pub fn compute_exception(inst: &Instruction, srcs: [u64; 3]) -> Option<ExceptionKind> {
     match inst {
-        Instruction::Alu { op: AluOp::Div | AluOp::Rem, .. } if srcs[1] == 0 => {
-            Some(ExceptionKind::DivideByZero)
-        }
-        Instruction::Alui { op: AluOp::Div | AluOp::Rem, imm: 0, .. } => {
-            Some(ExceptionKind::DivideByZero)
-        }
+        Instruction::Alu {
+            op: AluOp::Div | AluOp::Rem,
+            ..
+        } if srcs[1] == 0 => Some(ExceptionKind::DivideByZero),
+        Instruction::Alui {
+            op: AluOp::Div | AluOp::Rem,
+            imm: 0,
+            ..
+        } => Some(ExceptionKind::DivideByZero),
         Instruction::Fpu { .. } | Instruction::FpuUn { .. } | Instruction::Fma { .. } => {
             let out = f64::from_bits(eval_compute(inst, srcs));
             let in_nan = inst
@@ -80,14 +83,24 @@ mod tests {
         assert_eq!(eval_compute(&Instruction::Li { dst: r, imm: 7 }, [0; 3]), 7);
         assert_eq!(
             eval_compute(
-                &Instruction::Alu { op: AluOp::Add, dst: r, lhs: r, rhs: r },
+                &Instruction::Alu {
+                    op: AluOp::Add,
+                    dst: r,
+                    lhs: r,
+                    rhs: r
+                },
                 [2, 3, 0]
             ),
             5
         );
         assert_eq!(
             eval_compute(
-                &Instruction::Alui { op: AluOp::Mul, dst: r, src: r, imm: 10 },
+                &Instruction::Alui {
+                    op: AluOp::Mul,
+                    dst: r,
+                    src: r,
+                    imm: 10
+                },
                 [4, 0, 0]
             ),
             40
@@ -95,28 +108,46 @@ mod tests {
         let x = 1.5f64.to_bits();
         assert_eq!(
             f64::from_bits(eval_compute(
-                &Instruction::Fpu { op: FpOp::Add, dst: r, lhs: r, rhs: r },
+                &Instruction::Fpu {
+                    op: FpOp::Add,
+                    dst: r,
+                    lhs: r,
+                    rhs: r
+                },
                 [x, x, 0]
             )),
             3.0
         );
         assert_eq!(
             f64::from_bits(eval_compute(
-                &Instruction::FpuUn { op: FpUnOp::Sqrt, dst: r, src: r },
+                &Instruction::FpuUn {
+                    op: FpUnOp::Sqrt,
+                    dst: r,
+                    src: r
+                },
                 [4.0f64.to_bits(), 0, 0]
             )),
             2.0
         );
         assert_eq!(
             f64::from_bits(eval_compute(
-                &Instruction::Fma { dst: r, a: r, b: r, c: r },
+                &Instruction::Fma {
+                    dst: r,
+                    a: r,
+                    b: r,
+                    c: r
+                },
                 [2.0f64.to_bits(), 3.0f64.to_bits(), 1.0f64.to_bits()]
             )),
             7.0
         );
         assert_eq!(
             eval_compute(
-                &Instruction::Cvt { kind: CvtKind::F2I, dst: r, src: r },
+                &Instruction::Cvt {
+                    kind: CvtKind::F2I,
+                    dst: r,
+                    src: r
+                },
                 [9.75f64.to_bits(), 0, 0]
             ),
             9
@@ -134,7 +165,12 @@ mod tests {
         assert_ne!(fused, unfused, "pick inputs where fusion matters");
         let r = Reg(0);
         let got = f64::from_bits(eval_compute(
-            &Instruction::Fma { dst: r, a: r, b: r, c: r },
+            &Instruction::Fma {
+                dst: r,
+                a: r,
+                b: r,
+                c: r,
+            },
             [a.to_bits(), b.to_bits(), (-1.0f64).to_bits()],
         ));
         assert_eq!(got, fused);
@@ -143,31 +179,62 @@ mod tests {
     #[test]
     fn divide_by_zero_raises() {
         let r = Reg(0);
-        let div = Instruction::Alu { op: AluOp::Div, dst: r, lhs: r, rhs: r };
-        assert_eq!(compute_exception(&div, [5, 0, 0]), Some(ExceptionKind::DivideByZero));
+        let div = Instruction::Alu {
+            op: AluOp::Div,
+            dst: r,
+            lhs: r,
+            rhs: r,
+        };
+        assert_eq!(
+            compute_exception(&div, [5, 0, 0]),
+            Some(ExceptionKind::DivideByZero)
+        );
         assert_eq!(compute_exception(&div, [5, 2, 0]), None);
-        let remi = Instruction::Alui { op: AluOp::Rem, dst: r, src: r, imm: 0 };
-        assert_eq!(compute_exception(&remi, [5, 0, 0]), Some(ExceptionKind::DivideByZero));
+        let remi = Instruction::Alui {
+            op: AluOp::Rem,
+            dst: r,
+            src: r,
+            imm: 0,
+        };
+        assert_eq!(
+            compute_exception(&remi, [5, 0, 0]),
+            Some(ExceptionKind::DivideByZero)
+        );
     }
 
     #[test]
     fn fp_invalid_raises_only_on_fresh_nan() {
         let r = Reg(0);
-        let sub = Instruction::Fpu { op: FpOp::Sub, dst: r, lhs: r, rhs: r };
+        let sub = Instruction::Fpu {
+            op: FpOp::Sub,
+            dst: r,
+            lhs: r,
+            rhs: r,
+        };
         let inf = f64::INFINITY.to_bits();
-        assert_eq!(compute_exception(&sub, [inf, inf, 0]), Some(ExceptionKind::FpInvalid));
+        assert_eq!(
+            compute_exception(&sub, [inf, inf, 0]),
+            Some(ExceptionKind::FpInvalid)
+        );
         // NaN in, NaN out: not a fresh exception
         let nan = f64::NAN.to_bits();
         assert_eq!(compute_exception(&sub, [nan, inf, 0]), None);
         // ordinary arithmetic: no exception
-        assert_eq!(compute_exception(&sub, [1.0f64.to_bits(), 2.0f64.to_bits(), 0]), None);
+        assert_eq!(
+            compute_exception(&sub, [1.0f64.to_bits(), 2.0f64.to_bits(), 0]),
+            None
+        );
     }
 
     #[test]
     #[should_panic(expected = "non-compute")]
     fn eval_rejects_memory_instructions() {
         eval_compute(
-            &Instruction::Load { dst: Reg(0), base: Reg(1), offset: 0 },
+            &Instruction::Load {
+                dst: Reg(0),
+                base: Reg(1),
+                offset: 0,
+            },
             [0; 3],
         );
     }

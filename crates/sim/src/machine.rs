@@ -161,7 +161,8 @@ impl Machine {
             _ => unreachable!("charge_mem is for loads/stores"),
         };
         self.account.record(category, nj);
-        self.account.add_cycles(self.energy.mem_latency(access.level));
+        self.account
+            .add_cycles(self.energy.mem_latency(access.level));
         if let Some(level) = access.prefetch_from {
             // prefetch fills cost their source access energy; their
             // latency overlaps with execution

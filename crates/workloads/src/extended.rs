@@ -32,8 +32,16 @@ pub fn perlbench(scale: Scale) -> Program {
     let table = b.alloc_zeroed(TABLE);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_text, r_tab, r_i, r_lim, r_addr, r_h, r_acc, t) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(40));
+    let (r_text, r_tab, r_i, r_lim, r_addr, r_h, r_acc, t) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(40),
+    );
     b.li(r_text, text);
     b.li(r_tab, table);
     b.li(r_h, 5381);
@@ -70,8 +78,17 @@ pub fn gobmk(scale: Scale) -> Program {
     b.mark_read_only(board, CELLS);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_board, r_g, r_glim, r_i, r_lim, r_addr, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(40), Reg(41));
+    let (r_board, r_g, r_glim, r_i, r_lim, r_addr, r_acc, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_board, board);
     b.li(r_acc, 0);
     let (gtop, gdone) = loop_header(&mut b, r_g, r_glim, games);
@@ -103,8 +120,18 @@ pub fn calculix(scale: Scale) -> Program {
     let x = b.alloc_data(&vec![1.0f64.to_bits(); N as usize]);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_x, r_s, r_slim, r_i, r_lim, r_addr, r_w, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(10), Reg(7), Reg(40), Reg(41));
+    let (r_x, r_s, r_slim, r_i, r_lim, r_addr, r_w, r_acc, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(10),
+        Reg(7),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_x, x);
     b.lfi(r_w, 0.49);
     let (stop, sdone) = loop_header(&mut b, r_s, r_slim, sweeps);
@@ -141,8 +168,16 @@ pub fn gemsfdtd(scale: Scale) -> Program {
     b.mark_read_only(params, 1);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_field, r_params, r_i, r_lim, r_addr, r_c, r_cur, r_acc) =
-        (Reg(1), Reg(3), Reg(4), Reg(5), Reg(6), Reg(10), Reg(11), Reg(7));
+    let (r_field, r_params, r_i, r_lim, r_addr, r_c, r_cur, r_acc) = (
+        Reg(1),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(10),
+        Reg(11),
+        Reg(7),
+    );
     let (t1, t2) = (Reg(40), Reg(41));
     b.li(r_field, field);
     b.li(r_params, params);
@@ -158,7 +193,7 @@ pub fn gemsfdtd(scale: Scale) -> Program {
     b.store(t2, r_addr, 0);
     loop_footer(&mut b, r_i, top, done);
     b.lfi(r_c, 0.0); // the coefficient register carries the next timestep
-    // far-field gathers: two strided reload passes of the updated field
+                     // far-field gathers: two strided reload passes of the updated field
     for _ in 0..2 {
         b.li(r_i, 0);
         b.li(r_lim, n);
@@ -187,8 +222,17 @@ pub fn libquantum(scale: Scale) -> Program {
     let amps = b.alloc_data(&vec![1.0f64.to_bits(); n as usize]);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_amp, r_g, r_glim, r_i, r_lim, r_addr, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(40), Reg(41));
+    let (r_amp, r_g, r_glim, r_i, r_lim, r_addr, r_acc, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_amp, amps);
     let (gtop, gdone) = loop_header(&mut b, r_g, r_glim, gates);
     {
@@ -223,8 +267,17 @@ pub fn soplex(scale: Scale) -> Program {
     b.mark_read_only(params, 1);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_p, r_params, r_i, r_lim, r_addr, r_pi, r_best, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(10), Reg(6), Reg(40), Reg(41));
+    let (r_p, r_params, r_i, r_lim, r_addr, r_pi, r_best, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(10),
+        Reg(6),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_p, prices);
     b.li(r_params, params);
     // pricing pass: reduced cost per column from the dual value π
@@ -238,7 +291,7 @@ pub fn soplex(scale: Scale) -> Program {
     b.store(t2, r_addr, 0);
     loop_footer(&mut b, r_i, top, done);
     b.lfi(r_pi, 0.0); // the dual is updated for the next round: Hist input
-    // ratio-test passes: two strided scans for the entering column
+                      // ratio-test passes: two strided scans for the entering column
     b.lfi(r_best, 1.0e300);
     for _ in 0..2 {
         b.li(r_i, 0);
@@ -269,8 +322,17 @@ pub fn lbm(scale: Scale) -> Program {
     b.mark_read_only(omega, 1);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_cells, r_omega, r_i, r_lim, r_addr, r_w, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(10), Reg(6), Reg(40), Reg(41));
+    let (r_cells, r_omega, r_i, r_lim, r_addr, r_w, r_acc, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(10),
+        Reg(6),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_cells, cells);
     b.li(r_omega, omega);
     b.load(r_w, r_omega, 0);
@@ -341,15 +403,27 @@ pub fn mg(scale: Scale) -> Program {
     let n = size(scale, 2_048, 2_048);
     let mut b = ProgramBuilder::new("mg");
     let grid = b.alloc_zeroed(n);
-    let residual = b.alloc_data(&random_indices(104, size(scale, 256, 16_384) as usize, 1 << 16));
+    let residual = b.alloc_data(&random_indices(
+        104,
+        size(scale, 256, 16_384) as usize,
+        1 << 16,
+    ));
     let res_len = size(scale, 256, 16_384);
     b.mark_read_only(residual, res_len);
     let params = b.alloc_f64(&[0.3]);
     b.mark_read_only(params, 1);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_grid, r_res, r_params, r_t, r_lim, r_addr, r_c, r_acc) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(10), Reg(7));
+    let (r_grid, r_res, r_params, r_t, r_lim, r_addr, r_c, r_acc) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(10),
+        Reg(7),
+    );
     let (t1, t2) = (Reg(40), Reg(41));
     b.li(r_grid, grid);
     b.li(r_res, residual);
@@ -378,8 +452,8 @@ pub fn mg(scale: Scale) -> Program {
     b.alui(AluOp::And, t1, t1, res_len - 1);
     b.alu(AluOp::Add, t1, t1, r_res);
     b.load(r_c, t1, 0); // clobbers the coefficient register
-    // every 4th cell, reload the (L1-resident) coefficient: the Compiler
-    // policy keeps firing for it and loses slightly — the paper's −1.37%
+                        // every 4th cell, reload the (L1-resident) coefficient: the Compiler
+                        // policy keeps firing for it and loses slightly — the paper's −1.37%
     {
         let skip = b.label();
         b.alui(AluOp::And, t1, r_t, 3);
@@ -404,8 +478,17 @@ pub fn ft(scale: Scale) -> Program {
     let re = b.alloc_data(&vec![1.0f64.to_bits(); n as usize]);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_re, r_p, r_plim, r_i, r_lim, r_addr, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(40), Reg(41));
+    let (r_re, r_p, r_plim, r_i, r_lim, r_addr, r_acc, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_re, re);
     let (ptop, pdone) = loop_header(&mut b, r_p, r_plim, passes);
     {
@@ -441,8 +524,17 @@ pub fn x264(scale: Scale) -> Program {
     b.mark_read_only(frame, frame_len);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_frame, r_blk, r_blim, r_i, r_lim, r_addr, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(40), Reg(41));
+    let (r_frame, r_blk, r_blim, r_i, r_lim, r_addr, r_acc, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_frame, frame);
     b.li(r_acc, 0);
     let (btop, bdone) = loop_header(&mut b, r_blk, r_blim, blocks);
@@ -476,8 +568,16 @@ pub fn dedup(scale: Scale) -> Program {
     let table = b.alloc_zeroed(TABLE);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_stream, r_tab, r_i, r_lim, r_addr, r_h, r_acc, t) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(40));
+    let (r_stream, r_tab, r_i, r_lim, r_addr, r_h, r_acc, t) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(40),
+    );
     b.li(r_stream, stream);
     b.li(r_tab, table);
     b.li(r_h, 0);
@@ -508,8 +608,18 @@ pub fn fluidanimate(scale: Scale) -> Program {
     let pos = b.alloc_data(&vec![0.5f64.to_bits(); n as usize]);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_pos, r_s, r_slim, r_i, r_lim, r_addr, r_dt, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(10), Reg(7), Reg(40), Reg(41));
+    let (r_pos, r_s, r_slim, r_i, r_lim, r_addr, r_dt, r_acc, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(10),
+        Reg(7),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_pos, pos);
     b.lfi(r_dt, 0.01);
     let (stop, sdone) = loop_header(&mut b, r_s, r_slim, steps);
@@ -546,8 +656,18 @@ pub fn streamcluster(scale: Scale) -> Program {
     b.mark_read_only(med, K);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_med, r_i, r_lim, r_k, r_klim, r_addr, r_if, r_best, r_acc, t1) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9), Reg(40));
+    let (r_med, r_i, r_lim, r_k, r_klim, r_addr, r_if, r_best, r_acc, t1) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(8),
+        Reg(9),
+        Reg(40),
+    );
     b.li(r_med, med);
     b.lfi(r_acc, 0.0);
     let (top, done) = loop_header(&mut b, r_i, r_lim, n);
@@ -576,8 +696,7 @@ pub fn bodytrack(scale: Scale) -> Program {
     let mut b = ProgramBuilder::new("bodytrack");
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_i, r_lim, r_addr, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(40), Reg(41));
+    let (r_i, r_lim, r_addr, r_acc, t1, t2) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(40), Reg(41));
     b.lfi(r_acc, 0.0);
     let (top, done) = loop_header(&mut b, r_i, r_lim, n);
     b.cvt(CvtKind::I2F, t1, r_i);
@@ -603,8 +722,17 @@ pub fn nw(scale: Scale) -> Program {
     let scores = b.alloc_zeroed(n);
     let out = b.alloc_zeroed(1);
     b.mark_output(out, 1);
-    let (r_gap, r_scores, r_i, r_lim, r_addr, r_g, r_acc, t1, t2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(10), Reg(6), Reg(40), Reg(41));
+    let (r_gap, r_scores, r_i, r_lim, r_addr, r_g, r_acc, t1, t2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(10),
+        Reg(6),
+        Reg(40),
+        Reg(41),
+    );
     b.li(r_gap, gap);
     b.li(r_scores, scores);
     b.load(r_g, r_gap, 0);
@@ -618,7 +746,7 @@ pub fn nw(scale: Scale) -> Program {
     b.store(t2, r_addr, 0);
     loop_footer(&mut b, r_i, top, done);
     b.lfi(r_g, 9.0); // gap register reused for the north term: Hist input
-    // traceback: two strided reload passes of the DP row
+                     // traceback: two strided reload passes of the DP row
     for _ in 0..2 {
         b.li(r_i, 0);
         b.li(r_lim, n);

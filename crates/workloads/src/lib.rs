@@ -186,15 +186,28 @@ pub const FOCAL_NAMES: [&str; 11] = [
 ];
 
 /// The compute-bound controls.
-pub const CONTROL_NAMES: [&str; 5] =
-    ["blackscholes", "swaptions", "freqmine", "kmeans", "hotspot"];
+pub const CONTROL_NAMES: [&str; 5] = ["blackscholes", "swaptions", "freqmine", "kmeans", "hotspot"];
 
 /// The remaining benchmarks of the paper's Table 2 (11 focal + 5 controls
 /// + these 17 = the full 33-benchmark deployment).
 pub const EXTENDED_NAMES: [&str; 17] = [
-    "perlbench", "gobmk", "calculix", "GemsFDTD", "libquantum", "soplex",
-    "lbm", "omnetpp", "mg", "ft", "x264", "dedup", "fluidanimate",
-    "streamcluster", "bodytrack", "nw", "particlefilter",
+    "perlbench",
+    "gobmk",
+    "calculix",
+    "GemsFDTD",
+    "libquantum",
+    "soplex",
+    "lbm",
+    "omnetpp",
+    "mg",
+    "ft",
+    "x264",
+    "dedup",
+    "fluidanimate",
+    "streamcluster",
+    "bodytrack",
+    "nw",
+    "particlefilter",
 ];
 
 /// Builds one of the extended (Table 2 remainder) benchmarks by name.
@@ -227,7 +240,12 @@ pub fn build_extended(name: &str, scale: Scale) -> Workload {
         .iter()
         .find(|&&n| n == name)
         .expect("checked above");
-    Workload { name, models: "Table 2 remainder", suite, program }
+    Workload {
+        name,
+        models: "Table 2 remainder",
+        suite,
+        program,
+    }
 }
 
 /// Builds the extended benchmarks.

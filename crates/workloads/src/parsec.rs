@@ -274,7 +274,9 @@ pub fn raytrace(scale: Scale) -> Program {
     let scene = b.alloc_zeroed(spheres);
     let camera = b.alloc_f64(&[-1.25, 2.5]);
     b.mark_read_only(camera, 2);
-    let texture: Vec<f64> = (0..texture_words).map(|i| 0.001 * (i % 251) as f64).collect();
+    let texture: Vec<f64> = (0..texture_words)
+        .map(|i| 0.001 * (i % 251) as f64)
+        .collect();
     let tex_base = b.alloc_f64(&texture);
     b.mark_read_only(tex_base, texture_words);
     let frame = b.alloc_zeroed(rays);
@@ -374,9 +376,7 @@ mod tests {
             (i.wrapping_mul(40503) ^ (i.wrapping_mul(2166136261) >> 2)).wrapping_add(1299721)
         };
         let sched = random_indices(31, 96, 128);
-        let expected = sched
-            .iter()
-            .fold(0u64, |a, &i| a.wrapping_add(cost(i)));
+        let expected = sched.iter().fold(0u64, |a, &i| a.wrapping_add(cost(i)));
         assert_eq!(out_value(&canneal(Scale::Test)), expected);
     }
 
@@ -394,9 +394,7 @@ mod tests {
             r = t3.mul_add(c[6], r);
             r + c[7]
         };
-        let expected = (0..256u64)
-            .step_by(4)
-            .fold(0.0f64, |a, i| a + stress(i));
+        let expected = (0..256u64).step_by(4).fold(0.0f64, |a, i| a + stress(i));
         assert_eq!(f64::from_bits(out_value(&facesim(Scale::Test))), expected);
     }
 

@@ -276,7 +276,9 @@ pub fn srad(scale: Scale) -> Program {
     debug_assert!(image_words.is_power_of_two());
     let mut b = ProgramBuilder::new("sr");
     let grid = b.alloc_zeroed(n);
-    let image: Vec<f64> = (0..image_words).map(|i| 1.0 + (i % 97) as f64 * 0.01).collect();
+    let image: Vec<f64> = (0..image_words)
+        .map(|i| 1.0 + (i % 97) as f64 * 0.01)
+        .collect();
     let image_base = b.alloc_f64(&image);
     b.mark_read_only(image_base, image_words);
     let params = b.alloc_f64(&[0.25]);
@@ -331,7 +333,7 @@ pub fn srad(scale: Scale) -> Program {
     b.alui(AluOp::And, t_s, t_s, image_words - 1);
     b.alu(AluOp::Add, t_s, t_s, r_img);
     b.load(r_k2, t_s, 0); // read-only image word — clobbers the λ register
-    // divergence update: re-read the coefficient (swappable site A)
+                          // divergence update: re-read the coefficient (swappable site A)
     b.load(t_w, r_addr, 0);
     b.fpu(FpOp::Add, r_acc, r_acc, t_w);
     b.fpu(FpOp::Add, r_acc, r_acc, r_k2);

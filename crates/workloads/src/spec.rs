@@ -201,9 +201,7 @@ mod tests {
         // the permutation visits each arc once, so the checksum equals the
         // plain sum of all costs
         let expected: u64 = (0..200u64)
-            .map(|i| {
-                (i.wrapping_mul(2654435761).wrapping_add(97)) ^ ((i >> 3).wrapping_mul(31))
-            })
+            .map(|i| (i.wrapping_mul(2654435761).wrapping_add(97)) ^ ((i >> 3).wrapping_mul(31)))
             .fold(0u64, |a, x| a.wrapping_add(x));
         let out_addr = *r.final_memory.keys().next().unwrap();
         assert_eq!(r.final_memory[&out_addr], expected);
@@ -223,10 +221,7 @@ mod tests {
                 (t * t).mul_add(pr, acc)
             })
         };
-        let expected = (0..64)
-            .step_by(3)
-            .map(score)
-            .fold(f64::MIN, f64::max);
+        let expected = (0..64).step_by(3).map(score).fold(f64::MIN, f64::max);
         let out_addr = *r.final_memory.keys().next().unwrap();
         assert_eq!(f64::from_bits(r.final_memory[&out_addr]), expected);
     }
@@ -238,10 +233,22 @@ mod tests {
         use amnesiac_mem::{CacheConfig, HierarchyConfig, ServiceLevel};
         let mut config = CoreConfig::paper();
         config.hierarchy = HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 },
-            l1d: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 },
-            l2: CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64 },
-                    next_line_prefetch: false,
+            l1i: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 2048,
+                ways: 2,
+                line_bytes: 64,
+            },
+            next_line_prefetch: false,
         };
         let p = mcf(Scale::Test);
         let r = ClassicCore::new(config).run(&p).unwrap();

@@ -2,29 +2,24 @@
 //! and common loop-emission idioms.
 
 use amnesiac_isa::{AluOp, BranchCond, Label, ProgramBuilder, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use amnesiac_rng::Rng;
 
 /// Deterministic RNG for workload data (fixed seed per kernel).
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// Generates `n` random u64 values below `bound`.
 pub fn random_indices(seed: u64, n: usize, bound: u64) -> Vec<u64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(0..bound)).collect()
+    (0..n).map(|_| r.below(bound)).collect()
 }
 
 /// Generates a random permutation of `0..n` (for pointer-chasing rings).
 pub fn random_permutation(seed: u64, n: usize) -> Vec<u64> {
     let mut r = rng(seed);
     let mut v: Vec<u64> = (0..n as u64).collect();
-    // Fisher-Yates
-    for i in (1..n).rev() {
-        let j = r.gen_range(0..=i);
-        v.swap(i, j);
-    }
+    r.shuffle(&mut v);
     v
 }
 
@@ -32,7 +27,7 @@ pub fn random_permutation(seed: u64, n: usize) -> Vec<u64> {
 #[allow(dead_code)] // kept for example kernels and future workloads
 pub fn random_f64_bits(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<u64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(lo..hi).to_bits()).collect()
+    (0..n).map(|_| r.range_f64(lo, hi).to_bits()).collect()
 }
 
 /// A counted loop skeleton: emits
@@ -63,12 +58,7 @@ pub fn counted_loop(
 /// Emits the loop header for a hand-managed loop; returns `(top, done)`
 /// labels with `top` already bound. The caller must emit the back-jump and
 /// bind `done`.
-pub fn loop_header(
-    b: &mut ProgramBuilder,
-    counter: Reg,
-    limit: Reg,
-    n: u64,
-) -> (Label, Label) {
+pub fn loop_header(b: &mut ProgramBuilder, counter: Reg, limit: Reg, n: u64) -> (Label, Label) {
     b.li(counter, 0);
     b.li(limit, n);
     let top = b.label();

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 100.0 * site.value_locality()
             ),
             (None, Some(why)) => {
-                println!("  pc {:>4}: {:>8} instances, unswappable: {why:?}", site.pc, site.count)
+                println!(
+                    "  pc {:>4}: {:>8} instances, unswappable: {why:?}",
+                    site.pc, site.count
+                )
             }
             (None, None) => unreachable!("sites are either swappable or not"),
         }

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let energy = EnergyModel::paper().with_r_factor(factor);
         let config = CoreConfig::with_energy(energy.clone());
         let classic = ClassicCore::new(config.clone()).run(&workload.program)?;
-        let options = CompileOptions { energy, ..CompileOptions::default() };
+        let options = CompileOptions {
+            energy,
+            ..CompileOptions::default()
+        };
         let (binary, report) = compile(&workload.program, &profile, &options)?;
         let amnesic = AmnesicCore::new(AmnesicConfig {
             core: config,

@@ -8,9 +8,9 @@
 
 use amnesiac::compiler::{compile, CompileOptions};
 use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac::mem::{CacheConfig, HierarchyConfig};
 use amnesiac::profile::profile_program;
 use amnesiac::sim::{ClassicCore, CoreConfig};
-use amnesiac::mem::{CacheConfig, HierarchyConfig};
 use amnesiac::workloads::{build_focal_with_input, Scale};
 
 /// Tiny caches (8-byte lines) so the test-scale kernels' reloads miss and
@@ -18,9 +18,21 @@ use amnesiac::workloads::{build_focal_with_input, Scale};
 fn small_config() -> CoreConfig {
     let mut c = CoreConfig::paper();
     c.hierarchy = HierarchyConfig {
-        l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
-        l1d: CacheConfig { size_bytes: 128, ways: 2, line_bytes: 8 },
-        l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 8 },
+        l1i: CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        },
+        l1d: CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 8,
+        },
+        l2: CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 8,
+        },
         next_line_prefetch: false,
     };
     c
@@ -52,14 +64,16 @@ fn slices_compiled_on_one_input_stay_exact_on_another() {
         let mut binary_test = binary_train.clone();
         binary_test.data = test.data.clone();
 
-        let classic_test = ClassicCore::new(config.clone()).run(&test).expect("classic");
+        let classic_test = ClassicCore::new(config.clone())
+            .run(&test)
+            .expect("classic");
         for policy in Policy::ALL_EXTENDED {
             let result = AmnesicCore::new(AmnesicConfig {
                 core: config.clone(),
                 ..AmnesicConfig::paper(policy)
             })
             .run(&binary_test)
-                .unwrap_or_else(|e| panic!("{name}: {policy} on unseen input failed: {e}"));
+            .unwrap_or_else(|e| panic!("{name}: {policy} on unseen input failed: {e}"));
             assert_eq!(
                 result.run.final_memory, classic_test.final_memory,
                 "{name}: {policy} diverged on an unseen input"

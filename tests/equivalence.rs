@@ -7,9 +7,7 @@ use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
 use amnesiac::energy::EnergyModel;
 use amnesiac::profile::profile_program;
 use amnesiac::sim::{ClassicCore, CoreConfig};
-use amnesiac::workloads::{
-    build_control, build_focal, Scale, CONTROL_NAMES, FOCAL_NAMES,
-};
+use amnesiac::workloads::{build_control, build_focal, Scale, CONTROL_NAMES, FOCAL_NAMES};
 
 fn check_program(program: &amnesiac::isa::Program) {
     let config = CoreConfig::paper();
@@ -78,10 +76,14 @@ fn compiled_binaries_respect_the_energy_budget_rule() {
         let program = build_focal(name, Scale::Test).program;
         let config = CoreConfig::paper();
         let (profile, _) = profile_program(&program, &config).unwrap();
-        let (binary, report) =
-            compile(&program, &profile, &CompileOptions::default()).unwrap();
+        let (binary, report) = compile(&program, &profile, &CompileOptions::default()).unwrap();
         for d in &report.decisions {
-            if let SiteOutcome::Selected { est_recompute_nj, est_load_nj, .. } = d.outcome {
+            if let SiteOutcome::Selected {
+                est_recompute_nj,
+                est_load_nj,
+                ..
+            } = d.outcome
+            {
                 // the probabilistic budget is the whole-program E_ld
                 let _ = est_load_nj;
                 assert!(est_recompute_nj.is_finite());
@@ -107,7 +109,10 @@ fn scaled_energy_models_preserve_equivalence() {
     let (profile, _) = profile_program(&program, &config).unwrap();
     for factor in [0.25, 1.0, 8.0, 64.0] {
         let energy = EnergyModel::paper().with_r_factor(factor);
-        let options = CompileOptions { energy: energy.clone(), ..CompileOptions::default() };
+        let options = CompileOptions {
+            energy: energy.clone(),
+            ..CompileOptions::default()
+        };
         let (binary, _) = compile(&program, &profile, &options).unwrap();
         let result = AmnesicCore::new(AmnesicConfig {
             core: CoreConfig::with_energy(energy),

@@ -5,8 +5,8 @@
 use amnesiac::compiler::{compile, CompileOptions, StorageBounds};
 use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
 use amnesiac::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
-use amnesiac::profile::profile_program;
 use amnesiac::mem::{CacheConfig, HierarchyConfig};
+use amnesiac::profile::profile_program;
 use amnesiac::sim::{ClassicCore, CoreConfig, ExceptionKind};
 use amnesiac::workloads::{build_focal, Scale, FOCAL_NAMES};
 
@@ -15,9 +15,21 @@ use amnesiac::workloads::{build_focal, Scale, FOCAL_NAMES};
 fn small_config() -> CoreConfig {
     let mut c = CoreConfig::paper();
     c.hierarchy = HierarchyConfig {
-        l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
-        l1d: CacheConfig { size_bytes: 128, ways: 2, line_bytes: 8 },
-        l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 8 },
+        l1i: CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        },
+        l1d: CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 8,
+        },
+        l2: CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 8,
+        },
         next_line_prefetch: false,
     };
     c

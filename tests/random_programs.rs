@@ -1,15 +1,16 @@
-//! Property-based end-to-end tests: randomly generated programs must stay
-//! bit-exact under amnesic execution, for every policy, slice set, and
-//! (tiny) structure sizing. This exercises the profiler's tree merging,
-//! the planner's freshness constraints, the binary rewriter, and the
-//! runtime fallback paths far beyond the hand-written kernels.
+//! Randomized end-to-end tests: generated programs must stay bit-exact
+//! under amnesic execution, for every policy, slice set, and (tiny)
+//! structure sizing. This exercises the profiler's tree merging, the
+//! planner's freshness constraints, the binary rewriter, and the runtime
+//! fallback paths far beyond the hand-written kernels. Cases are drawn
+//! from the deterministic in-repo RNG so every run sees the same corpus.
 
 use amnesiac::compiler::{compile, CompileOptions, SliceSetPolicy};
 use amnesiac::core::{AmnesicConfig, AmnesicCore, Policy};
 use amnesiac::isa::{AluOp, BranchCond, FpOp, Instruction, Program, ProgramBuilder, Reg};
 use amnesiac::profile::profile_program;
 use amnesiac::sim::{ClassicCore, CoreConfig};
-use proptest::prelude::*;
+use amnesiac_rng::Rng;
 
 /// One producer operation in a generated fill kernel.
 #[derive(Debug, Clone, Copy)]
@@ -41,29 +42,27 @@ struct KernelSpec {
     sweeps: u64,
 }
 
-fn spec_strategy() -> impl Strategy<Value = KernelSpec> {
-    let op = prop_oneof![
-        (0u8..4).prop_map(ProducerOp::MulParam),
-        (0u8..4).prop_map(ProducerOp::AddParam),
-        Just(ProducerOp::XorIndex),
-        (1u8..6).prop_map(ProducerOp::ShrImm),
-        ((0u8..4), (0u8..4)).prop_map(|(a, b)| ProducerOp::FmaParams(a, b)),
-    ];
-    (
-        3u32..7,
-        prop::collection::vec(op, 1..6),
-        any::<bool>(),
-        any::<bool>(),
-        prop_oneof![
-            Just(Consume::Sequential),
-            (2u64..6).prop_map(Consume::Strided),
-            prop_oneof![Just(3u64), Just(5u64), Just(7u64)].prop_map(Consume::Permuted),
-        ],
-        1u64..3,
-    )
-        .prop_map(|(n_log2, ops, params_from_memory, clobber_params, consume, sweeps)| {
-            KernelSpec { n_log2, ops, params_from_memory, clobber_params, consume, sweeps }
-        })
+fn random_spec(r: &mut Rng) -> KernelSpec {
+    let random_op = |r: &mut Rng| match r.below(5) {
+        0 => ProducerOp::MulParam(r.below(4) as u8),
+        1 => ProducerOp::AddParam(r.below(4) as u8),
+        2 => ProducerOp::XorIndex,
+        3 => ProducerOp::ShrImm(r.range_u64(1, 6) as u8),
+        _ => ProducerOp::FmaParams(r.below(4) as u8, r.below(4) as u8),
+    };
+    let consume = match r.below(3) {
+        0 => Consume::Sequential,
+        1 => Consume::Strided(r.range_u64(2, 6)),
+        _ => Consume::Permuted(*r.choose(&[3u64, 5, 7])),
+    };
+    KernelSpec {
+        n_log2: r.range_u64(3, 7) as u32,
+        ops: (0..r.range_usize(1, 6)).map(|_| random_op(r)).collect(),
+        params_from_memory: r.bool(),
+        clobber_params: r.bool(),
+        consume,
+        sweeps: r.range_u64(1, 3),
+    }
 }
 
 /// Builds a fill-then-consume kernel from a spec. The producer computes an
@@ -192,10 +191,15 @@ fn build(spec: &KernelSpec) -> Program {
 
 fn assert_equivalent(program: &Program) {
     let config = CoreConfig::paper();
-    let classic = ClassicCore::new(config.clone()).run(program).expect("classic");
+    let classic = ClassicCore::new(config.clone())
+        .run(program)
+        .expect("classic");
     let (profile, _) = profile_program(program, &config).expect("profile");
     for slice_set in [SliceSetPolicy::Probabilistic, SliceSetPolicy::Oracle] {
-        let options = CompileOptions { slice_set, ..CompileOptions::default() };
+        let options = CompileOptions {
+            slice_set,
+            ..CompileOptions::default()
+        };
         let (binary, _) = compile(program, &profile, &options).expect("compile");
         for policy in Policy::ALL {
             let result = AmnesicCore::new(AmnesicConfig::paper(policy))
@@ -214,29 +218,36 @@ fn assert_equivalent(program: &Program) {
             ..AmnesicConfig::paper(Policy::Compiler)
         };
         let result = AmnesicCore::new(starved).run(&binary).expect("starved run");
-        assert_eq!(result.run.final_memory, classic.final_memory, "starved diverged");
+        assert_eq!(
+            result.run.final_memory, classic.final_memory,
+            "starved diverged"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The headline property: generated fill/consume kernels stay bit-exact
-    /// under every policy, slice set, and starved structures.
-    #[test]
-    fn generated_kernels_are_policy_equivalent(spec in spec_strategy()) {
+/// The headline property: generated fill/consume kernels stay bit-exact
+/// under every policy, slice set, and starved structures.
+#[test]
+fn generated_kernels_are_policy_equivalent() {
+    let mut r = Rng::seed_from_u64(0x9E01);
+    for _ in 0..24 {
+        let spec = random_spec(&mut r);
         let program = build(&spec);
         assert_equivalent(&program);
     }
+}
 
-    /// The binary image round-trips every generated program exactly —
-    /// including the ANNOTATED binary with its slices and operand plans.
-    #[test]
-    fn binary_image_roundtrip_is_identity(spec in spec_strategy()) {
+/// The binary image round-trips every generated program exactly —
+/// including the ANNOTATED binary with its slices and operand plans.
+#[test]
+fn binary_image_roundtrip_is_identity() {
+    let mut r = Rng::seed_from_u64(0x9E02);
+    for _ in 0..24 {
+        let spec = random_spec(&mut r);
         let program = build(&spec);
         let bytes = amnesiac::isa::encode_program(&program);
         let decoded = amnesiac::isa::decode_program(&bytes).expect("decodes");
-        prop_assert_eq!(&decoded, &program);
+        assert_eq!(&decoded, &program);
         // the annotated binary (slices, plans, leaves) round-trips too
         let config = CoreConfig::paper();
         let (profile, _) = profile_program(&program, &config).expect("profiles");
@@ -244,33 +255,41 @@ proptest! {
             compile(&program, &profile, &CompileOptions::default()).expect("compiles");
         let bytes = amnesiac::isa::encode_program(&annotated);
         let decoded = amnesiac::isa::decode_program(&bytes).expect("decodes annotated");
-        prop_assert_eq!(&decoded, &annotated);
+        assert_eq!(&decoded, &annotated);
         // and the decoded annotated binary runs identically
         let a = AmnesicCore::new(AmnesicConfig::paper(Policy::Compiler))
-            .run(&annotated).expect("runs");
+            .run(&annotated)
+            .expect("runs");
         let b = AmnesicCore::new(AmnesicConfig::paper(Policy::Compiler))
-            .run(&decoded).expect("runs");
-        prop_assert_eq!(a.run.final_memory, b.run.final_memory);
+            .run(&decoded)
+            .expect("runs");
+        assert_eq!(a.run.final_memory, b.run.final_memory);
     }
+}
 
-    /// The assembler round-trips every generated program exactly.
-    #[test]
-    fn asm_roundtrip_is_identity(spec in spec_strategy()) {
+/// The assembler round-trips every generated program exactly.
+#[test]
+fn asm_roundtrip_is_identity() {
+    let mut r = Rng::seed_from_u64(0x9E03);
+    for _ in 0..24 {
+        let spec = random_spec(&mut r);
         let program = build(&spec);
         let text = amnesiac::isa::to_asm(&program);
         let parsed = amnesiac::isa::parse_asm(&text).expect("parses");
-        prop_assert_eq!(&parsed.instructions, &program.instructions);
-        prop_assert_eq!(parsed.entry, program.entry);
-        prop_assert_eq!(&parsed.output, &program.output);
-        prop_assert_eq!(&parsed.read_only, &program.read_only);
+        assert_eq!(&parsed.instructions, &program.instructions);
+        assert_eq!(parsed.entry, program.entry);
+        assert_eq!(&parsed.output, &program.output);
+        assert_eq!(&parsed.read_only, &program.read_only);
         let a: Vec<_> = parsed.data.iter().collect();
         let b: Vec<_> = program.data.iter().collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         // and the parsed program runs identically
         let config = CoreConfig::paper();
-        let r1 = ClassicCore::new(config.clone()).run(&program).expect("runs");
+        let r1 = ClassicCore::new(config.clone())
+            .run(&program)
+            .expect("runs");
         let r2 = ClassicCore::new(config).run(&parsed).expect("runs");
-        prop_assert_eq!(r1.final_memory, r2.final_memory);
+        assert_eq!(r1.final_memory, r2.final_memory);
     }
 }
 
@@ -322,32 +341,38 @@ fn straight_line(seed: &[u8]) -> Program {
     b.finish().expect("straight-line program builds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_bytes(r: &mut Rng, min_len: usize, max_len: usize) -> Vec<u8> {
+    (0..r.range_usize(min_len, max_len))
+        .map(|_| r.below(256) as u8)
+        .collect()
+}
 
-    #[test]
-    fn straight_line_programs_are_policy_equivalent(
-        seed in prop::collection::vec(any::<u8>(), 10..120)
-    ) {
+#[test]
+fn straight_line_programs_are_policy_equivalent() {
+    let mut r = Rng::seed_from_u64(0x9E04);
+    for _ in 0..32 {
+        let seed = random_bytes(&mut r, 10, 120);
         let program = straight_line(&seed);
         // straight-line code may contain no loops but plenty of aliasing
         // stores/loads; the pipeline must never mis-recompute
         assert_equivalent(&program);
     }
+}
 
-    /// Validation invariant: every slice that survives compilation replays
-    /// exactly on the profiling input.
-    #[test]
-    fn surviving_slices_replay_exactly(seed in prop::collection::vec(any::<u8>(), 10..80)) {
+/// Validation invariant: every slice that survives compilation replays
+/// exactly on the profiling input.
+#[test]
+fn surviving_slices_replay_exactly() {
+    let mut r = Rng::seed_from_u64(0x9E05);
+    for _ in 0..32 {
+        let seed = random_bytes(&mut r, 10, 80);
         let program = straight_line(&seed);
         let config = CoreConfig::paper();
         let (profile, _) = profile_program(&program, &config).expect("profile");
-        let (binary, _) =
-            compile(&program, &profile, &CompileOptions::default()).expect("compile");
+        let (binary, _) = compile(&program, &profile, &CompileOptions::default()).expect("compile");
         if binary.is_annotated() {
-            let outcome = amnesiac::compiler::replay_validate(&binary, 10_000_000)
-                .expect("replay");
-            prop_assert!(outcome.failing_slices().is_empty());
+            let outcome = amnesiac::compiler::replay_validate(&binary, 10_000_000).expect("replay");
+            assert!(outcome.failing_slices().is_empty());
         }
         // and the annotated binary still validates structurally
         amnesiac::isa::validate::validate(&binary).expect("structurally valid");

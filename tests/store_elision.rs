@@ -18,15 +18,13 @@ fn elided_binaries_stay_output_equivalent_and_save_stores() {
         let config = CoreConfig::paper();
         let classic = ClassicCore::new(config.clone()).run(&program).unwrap();
         let (profile, _) = profile_program(&program, &config).unwrap();
-        let (annotated, report) =
-            compile(&program, &profile, &CompileOptions::default()).unwrap();
+        let (annotated, report) = compile(&program, &profile, &CompileOptions::default()).unwrap();
         let selected = report.selected_load_pcs();
         let redundant = redundant_stores(&profile, &selected);
         if redundant.is_empty() {
             continue;
         }
-        let remove: BTreeSet<usize> =
-            redundant.iter().map(|&pc| report.pc_map[pc]).collect();
+        let remove: BTreeSet<usize> = redundant.iter().map(|&pc| report.pc_map[pc]).collect();
         let elided = remove_stores(&annotated, &remove).unwrap();
 
         // the elision envelope: always fire, ample structures, and no
