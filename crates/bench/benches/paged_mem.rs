@@ -1,0 +1,113 @@
+//! Microbenchmarks of the simulator's word store: `amnesiac_mem::PagedMem`
+//! against the `HashMap<u64, u64>` it replaced, under the access patterns
+//! the machines actually produce — dense streaming over a data image,
+//! strided sweeps, and sparse random traffic. Set
+//! `AMNESIAC_BENCH_JSON=<path>` to also dump the measurements as JSON.
+
+use std::collections::HashMap;
+
+use amnesiac_bench::Bencher;
+use amnesiac_mem::PagedMem;
+use amnesiac_rng::Rng;
+
+/// Words in the dense working set (a few pages' worth).
+const DENSE_WORDS: u64 = 1 << 14;
+/// Operations per random workload.
+const RANDOM_OPS: u64 = 1 << 16;
+/// Words in the random workload's data image (16 pages). Machines populate
+/// the image densely at construction, so random traffic lands on existing
+/// pages — uniform traffic over a vast *untouched* span would instead
+/// zero-fill a page per touch and is not a pattern the simulators produce.
+const IMAGE_WORDS: u64 = 1 << 16;
+
+/// Pre-generated (addr, is_store) pairs so both stores measure identical
+/// traffic and the RNG cost stays out of the loop. Load-heavy, like the
+/// kernels (§2: loads dominate).
+fn random_trace(seed: u64) -> Vec<(u64, bool)> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..RANDOM_OPS)
+        .map(|_| (rng.below(IMAGE_WORDS), rng.below(4) == 0))
+        .collect()
+}
+
+fn main() {
+    let mut b = Bencher::new(20);
+
+    b.bench("paged_mem/dense_fill_then_sum", || {
+        let mut mem = PagedMem::default();
+        for addr in 0..DENSE_WORDS {
+            mem.set(addr, addr ^ 0x9e37);
+        }
+        let mut sum = 0u64;
+        for addr in 0..DENSE_WORDS {
+            sum = sum.wrapping_add(mem.get(addr));
+        }
+        sum
+    });
+    b.bench("hash_map/dense_fill_then_sum", || {
+        let mut mem: HashMap<u64, u64> = HashMap::new();
+        for addr in 0..DENSE_WORDS {
+            mem.insert(addr, addr ^ 0x9e37);
+        }
+        let mut sum = 0u64;
+        for addr in 0..DENSE_WORDS {
+            sum = sum.wrapping_add(mem.get(&addr).copied().unwrap_or(0));
+        }
+        sum
+    });
+
+    // page-local stride: the MRU page cache's best case, and the common
+    // case for the kernels' array sweeps
+    b.bench("paged_mem/strided_rw", || {
+        let mut mem = PagedMem::default();
+        let mut sum = 0u64;
+        for addr in (0..DENSE_WORDS).step_by(8) {
+            mem.set(addr, addr);
+            sum = sum.wrapping_add(mem.get(addr.wrapping_add(1)));
+        }
+        sum
+    });
+    b.bench("hash_map/strided_rw", || {
+        let mut mem: HashMap<u64, u64> = HashMap::new();
+        let mut sum = 0u64;
+        for addr in (0..DENSE_WORDS).step_by(8) {
+            mem.insert(addr, addr);
+            sum = sum.wrapping_add(mem.get(&addr.wrapping_add(1)).copied().unwrap_or(0));
+        }
+        sum
+    });
+
+    // pointer-chasing over a prefilled data image (cf. `Machine::new`,
+    // which collects the image before execution starts)
+    let trace = random_trace(0xA17);
+    let image: Vec<(u64, u64)> = (0..IMAGE_WORDS).map(|a| (a, a ^ 0x517c)).collect();
+    b.bench("paged_mem/random_in_image", || {
+        let mut mem: PagedMem = image.iter().copied().collect();
+        let mut sum = 0u64;
+        for &(addr, is_store) in &trace {
+            if is_store {
+                mem.set(addr, addr);
+            } else {
+                sum = sum.wrapping_add(mem.get(addr));
+            }
+        }
+        sum
+    });
+    b.bench("hash_map/random_in_image", || {
+        let mut mem: HashMap<u64, u64> = image.iter().copied().collect();
+        let mut sum = 0u64;
+        for &(addr, is_store) in &trace {
+            if is_store {
+                mem.insert(addr, addr);
+            } else {
+                sum = sum.wrapping_add(mem.get(&addr).copied().unwrap_or(0));
+            }
+        }
+        sum
+    });
+
+    if let Ok(path) = std::env::var("AMNESIAC_BENCH_JSON") {
+        b.write_json(&path).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+}

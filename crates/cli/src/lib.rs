@@ -291,7 +291,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 result.account.cycles(),
                 result.edp()
             );
-            for (addr, value) in collect_sorted(&result.final_memory) {
+            for (addr, value) in &result.final_memory {
                 let _ = writeln!(out, "  out[{addr:#x}] = {value:#x}");
             }
             Ok(out)
@@ -463,7 +463,7 @@ fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
         }
         Verb::BenchSnapshot => {
             let out_path = command.target.as_deref().expect("parse_args enforced this");
-            let suite = EvalSuite::compute(scale);
+            let suite = EvalSuite::compute_sequential(scale);
             let snap = regress::snapshot(&suite);
             export::write_json(std::path::Path::new(out_path), &snap)
                 .map_err(|e| CliError::Tool(format!("cannot write `{out_path}`: {e}")))?;
@@ -478,7 +478,7 @@ fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
                 .map_err(|e| CliError::Tool(format!("cannot read `{baseline_path}`: {e}")))?;
             let baseline = amnesiac_telemetry::parse(&text)
                 .map_err(|e| CliError::Tool(format!("{baseline_path}: {e}")))?;
-            let suite = EvalSuite::compute(scale);
+            let suite = EvalSuite::compute_sequential(scale);
             let current = regress::snapshot(&suite);
             let tolerance = command.tolerance.unwrap_or(regress::DEFAULT_TOLERANCE_PP);
             let regressions =
@@ -492,12 +492,6 @@ fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
         }
         _ => unreachable!("only suite verbs reach execute_suite_verb"),
     }
-}
-
-fn collect_sorted(map: &std::collections::HashMap<u64, u64>) -> Vec<(u64, u64)> {
-    let mut v: Vec<(u64, u64)> = map.iter().map(|(&a, &b)| (a, b)).collect();
-    v.sort_unstable();
-    v
 }
 
 #[cfg(test)]

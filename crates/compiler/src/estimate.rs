@@ -227,7 +227,7 @@ mod tests {
             stores: BTreeMap::new(),
             all_loads: LevelStats::default(),
             instructions: 0,
-            pc_counts: BTreeMap::new(),
+            pc_counts: Vec::new(),
         }
     }
 

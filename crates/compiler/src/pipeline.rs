@@ -122,6 +122,14 @@ pub struct CompileReport {
     pub storage: StorageBounds,
     /// Validation rounds executed (0 when validation is disabled).
     pub validation_rounds: u32,
+    /// Whole-program replay rounds the incremental validator skipped
+    /// because a round's dropped slices shared no `REC`/`Hist` origin with
+    /// any survivor (their outcomes could not have changed).
+    pub validation_rounds_saved: u32,
+    /// `true` when the validation-round cap was hit with slices still
+    /// failing — the binary ships with unvalidated slices and must not be
+    /// trusted for bit-exact amnesic execution.
+    pub validation_capped: bool,
     /// `REC` instructions inserted into the final binary.
     pub rec_count: usize,
     /// Mapping from each original main-code pc to the annotated binary's
@@ -172,6 +180,8 @@ impl ToJson for CompileReport {
             .with("max_selected_slice_len", max_slice_len)
             .with("rec_count", self.rec_count)
             .with("validation_rounds", self.validation_rounds)
+            .with("validation_rounds_saved", self.validation_rounds_saved)
+            .with("validation_capped", self.validation_capped)
             .with("storage", self.storage.to_json())
     }
 }
@@ -327,34 +337,14 @@ pub fn compile(
     }
 
     // annotate + validate, dropping any slice that ever mismatches
-    let mut validation_rounds = 0;
-    let (mut annotated, mut pc_map) = annotate_with_map(program, &specs)?;
-    if options.validate && !specs.is_empty() {
-        loop {
-            validation_rounds += 1;
-            let outcome = replay_validate(&annotated, options.replay_fuse)?;
-            let failing = outcome.failing_slices();
-            if failing.is_empty() || validation_rounds >= 8 {
-                break;
-            }
-            // slice ids are assigned in load-pc order by annotate()
-            let mut by_pc: Vec<usize> = specs.iter().map(|s| s.load_pc).collect();
-            by_pc.sort_unstable();
-            let dropped_pcs: BTreeSet<usize> =
-                failing.iter().map(|&id| by_pc[id as usize]).collect();
-            specs.retain(|s| !dropped_pcs.contains(&s.load_pc));
-            for d in &mut decisions {
-                if dropped_pcs.contains(&d.load_pc) {
-                    d.outcome = SiteOutcome::DroppedByValidation;
-                }
-            }
-            (annotated, pc_map) = annotate_with_map(program, &specs)?;
-            if specs.is_empty() {
-                break;
-            }
+    let validated = validate_specs(program, specs, options)?;
+    for d in &mut decisions {
+        if validated.dropped_pcs.contains(&d.load_pc) {
+            d.outcome = SiteOutcome::DroppedByValidation;
         }
     }
 
+    let annotated = validated.annotated;
     let rec_count = annotated.instructions[..annotated.code_len]
         .iter()
         .filter(|i| matches!(i, amnesiac_isa::Instruction::Rec { .. }))
@@ -363,11 +353,105 @@ pub fn compile(
     let report = CompileReport {
         storage: StorageBounds::of(&annotated),
         decisions,
-        validation_rounds,
+        validation_rounds: validated.rounds,
+        validation_rounds_saved: validated.rounds_saved,
+        validation_capped: validated.capped,
         rec_count,
-        pc_map,
+        pc_map: validated.pc_map,
     };
     Ok((annotated, report))
+}
+
+/// Outcome of the validate-and-drop loop.
+#[derive(Debug)]
+struct ValidationSummary {
+    /// The final annotated binary (re-annotated after any drops).
+    annotated: Program,
+    /// Original-pc → rewritten-position map of the final binary.
+    pc_map: Vec<usize>,
+    /// Whole-program replay rounds executed.
+    rounds: u32,
+    /// Confirmatory rounds skipped thanks to the independence argument.
+    rounds_saved: u32,
+    /// The round cap was hit with slices still failing.
+    capped: bool,
+    /// Load pcs whose slices were dropped.
+    dropped_pcs: BTreeSet<usize>,
+}
+
+/// Cap on whole-program validation replays per compile.
+const MAX_VALIDATION_ROUNDS: u32 = 8;
+
+/// Annotates `specs` into `program` and validates them by whole-program
+/// replay, dropping every slice that ever fails to reproduce its loaded
+/// value.
+///
+/// **Incremental invariant:** the replay retires the architecturally
+/// correct value at every `RCMP`, so one slice's match/mismatch record
+/// cannot depend on whether another slice is present — *except* through
+/// shared `REC`/`Hist` origins, where re-annotation after a drop rebuilds
+/// the checkpoint key assignment. After a round's drops, the loop
+/// therefore replays again only when a dropped slice shared a `REC` origin
+/// with a surviving slice; independent drops are final after their one
+/// discovery round, and the skipped confirmatory replay is counted in
+/// `rounds_saved`.
+fn validate_specs(
+    program: &Program,
+    mut specs: Vec<SliceSpec>,
+    options: &CompileOptions,
+) -> Result<ValidationSummary, CompileError> {
+    let (mut annotated, mut pc_map) = annotate_with_map(program, &specs)?;
+    let mut rounds = 0;
+    let mut rounds_saved = 0;
+    let mut capped = false;
+    let mut dropped_pcs: BTreeSet<usize> = BTreeSet::new();
+    if options.validate && !specs.is_empty() {
+        loop {
+            rounds += 1;
+            let outcome = replay_validate(&annotated, options.replay_fuse)?;
+            let failing = outcome.failing_slices();
+            if failing.is_empty() {
+                break;
+            }
+            if rounds >= MAX_VALIDATION_ROUNDS {
+                capped = true;
+                break;
+            }
+            // slice ids are assigned in load-pc order by annotate()
+            let mut by_pc: Vec<usize> = specs.iter().map(|s| s.load_pc).collect();
+            by_pc.sort_unstable();
+            let round_dropped: BTreeSet<usize> =
+                failing.iter().map(|&id| by_pc[id as usize]).collect();
+            let dropped_origins: BTreeSet<usize> = specs
+                .iter()
+                .filter(|s| round_dropped.contains(&s.load_pc))
+                .flat_map(|s| s.rec_origins().into_iter().map(|(pc, _)| pc))
+                .collect();
+            specs.retain(|s| !round_dropped.contains(&s.load_pc));
+            dropped_pcs.extend(round_dropped);
+            (annotated, pc_map) = annotate_with_map(program, &specs)?;
+            if specs.is_empty() {
+                break;
+            }
+            let shares_origin = specs.iter().any(|s| {
+                s.rec_origins()
+                    .iter()
+                    .any(|(pc, _)| dropped_origins.contains(pc))
+            });
+            if !shares_origin {
+                rounds_saved += 1;
+                break;
+            }
+        }
+    }
+    Ok(ValidationSummary {
+        annotated,
+        pc_map,
+        rounds,
+        rounds_saved,
+        capped,
+        dropped_pcs,
+    })
 }
 
 /// Stores whose every profiled consumer load was swapped for recomputation:
@@ -388,7 +472,8 @@ pub fn redundant_stores(profile: &ProgramProfile, selected: &BTreeSet<usize>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amnesiac_isa::{AluOp, BranchCond, Instruction, ProgramBuilder, Reg};
+    use crate::slice::SliceInstSpec;
+    use amnesiac_isa::{AluOp, BranchCond, Instruction, OperandSource, ProgramBuilder, Reg};
     use amnesiac_profile::profile_program;
     use amnesiac_sim::CoreConfig;
 
@@ -474,6 +559,7 @@ mod tests {
         );
         assert!(annotated.is_annotated());
         assert!(report.validation_rounds >= 1);
+        assert!(!report.validation_capped);
         // every surviving slice validated exactly
         let outcome = replay_validate(&annotated, 1_000_000).unwrap();
         assert!(outcome.failing_slices().is_empty());
@@ -548,6 +634,152 @@ mod tests {
             report.storage.sfile_entries,
             report.storage.max_insts_per_slice * 4
         );
+    }
+
+    /// Two cells computed from `r3 = 20` and reloaded: `cell_a = 20 + 3`,
+    /// `cell_b = 20 + 5`. Returns `(program, add_a, add_b, load_a, load_b)`.
+    /// The incremental-validation tests hand-build slice specs against it.
+    fn two_cell_program() -> (Program, usize, usize, usize, usize) {
+        let mut b = ProgramBuilder::new("t");
+        let cell_a = b.alloc_zeroed(1);
+        let cell_b = b.alloc_zeroed(1);
+        b.mark_output(cell_a, 1);
+        b.mark_output(cell_b, 1);
+        b.li(Reg(1), cell_a);
+        b.li(Reg(2), cell_b);
+        b.li(Reg(3), 20);
+        let add_a = b.alui(AluOp::Add, Reg(4), Reg(3), 3);
+        b.store(Reg(4), Reg(1), 0);
+        let add_b = b.alui(AluOp::Add, Reg(5), Reg(3), 5);
+        b.store(Reg(5), Reg(2), 0);
+        let load_a = b.load(Reg(6), Reg(1), 0);
+        let load_b = b.load(Reg(7), Reg(2), 0);
+        b.halt();
+        (b.finish().unwrap(), add_a, add_b, load_a, load_b)
+    }
+
+    fn spec_with(load_pc: usize, insts: Vec<SliceInstSpec>) -> SliceSpec {
+        SliceSpec {
+            load_pc,
+            insts,
+            height: 0,
+            est_recompute_nj: 1.0,
+            est_load_nj: 20.0,
+        }
+    }
+
+    /// A deliberately wrong replica of `add_a` (imm 4 instead of 3),
+    /// checkpointed at `add_a` — recomputes 24 against the loaded 23, so it
+    /// mismatches on every firing and must be dropped.
+    fn bad_spec(load_a: usize, add_a: usize) -> SliceSpec {
+        spec_with(
+            load_a,
+            vec![SliceInstSpec {
+                inst: Instruction::Alui {
+                    op: AluOp::Add,
+                    dst: Reg(4),
+                    src: Reg(3),
+                    imm: 4,
+                },
+                origin_pc: add_a,
+                sources: [Some(OperandSource::Hist { key: 0 }), None, None],
+            }],
+        )
+    }
+
+    #[test]
+    fn shared_rec_origin_forces_confirmatory_replay() {
+        let (p, add_a, add_b, load_a, load_b) = two_cell_program();
+        // the survivor recomputes cell_b's 25 from the *same* add_a
+        // checkpoint the dropped slice used: (20 + 3) + 2
+        let good = spec_with(
+            load_b,
+            vec![
+                SliceInstSpec {
+                    inst: Instruction::Alui {
+                        op: AluOp::Add,
+                        dst: Reg(4),
+                        src: Reg(3),
+                        imm: 3,
+                    },
+                    origin_pc: add_a,
+                    sources: [Some(OperandSource::Hist { key: 0 }), None, None],
+                },
+                SliceInstSpec {
+                    inst: Instruction::Alui {
+                        op: AluOp::Add,
+                        dst: Reg(5),
+                        src: Reg(4),
+                        imm: 2,
+                    },
+                    origin_pc: add_b,
+                    sources: [Some(OperandSource::SFile { producer: 0 }), None, None],
+                },
+            ],
+        );
+        let specs = vec![bad_spec(load_a, add_a), good];
+        let v = validate_specs(&p, specs, &CompileOptions::default()).unwrap();
+        assert_eq!(v.dropped_pcs, BTreeSet::from([load_a]));
+        assert_eq!(
+            v.rounds, 2,
+            "a drop sharing a REC origin with a survivor needs a confirmatory replay"
+        );
+        assert_eq!(v.rounds_saved, 0);
+        assert!(!v.capped);
+        assert_eq!(v.annotated.slices.len(), 1, "only the good slice remains");
+    }
+
+    #[test]
+    fn independent_drop_skips_confirmatory_replay() {
+        let (p, add_a, add_b, load_a, load_b) = two_cell_program();
+        // the survivor checkpoints its own origin, disjoint from the drop's
+        let good = spec_with(
+            load_b,
+            vec![SliceInstSpec {
+                inst: Instruction::Alui {
+                    op: AluOp::Add,
+                    dst: Reg(5),
+                    src: Reg(3),
+                    imm: 5,
+                },
+                origin_pc: add_b,
+                sources: [Some(OperandSource::Hist { key: 0 }), None, None],
+            }],
+        );
+        let specs = vec![bad_spec(load_a, add_a), good];
+        let v = validate_specs(&p, specs, &CompileOptions::default()).unwrap();
+        assert_eq!(v.dropped_pcs, BTreeSet::from([load_a]));
+        assert_eq!(v.rounds, 1, "independent drops are final after discovery");
+        assert_eq!(v.rounds_saved, 1);
+        assert!(!v.capped);
+        // the skipped confirmatory round would have found nothing: the
+        // surviving binary replays clean
+        let outcome = replay_validate(&v.annotated, 10_000).unwrap();
+        assert_eq!(v.annotated.slices.len(), 1);
+        assert!(outcome.failing_slices().is_empty());
+    }
+
+    #[test]
+    fn all_slices_passing_takes_one_round_with_nothing_saved() {
+        let (p, _add_a, add_b, _load_a, load_b) = two_cell_program();
+        let good = spec_with(
+            load_b,
+            vec![SliceInstSpec {
+                inst: Instruction::Alui {
+                    op: AluOp::Add,
+                    dst: Reg(5),
+                    src: Reg(3),
+                    imm: 5,
+                },
+                origin_pc: add_b,
+                sources: [Some(OperandSource::Hist { key: 0 }), None, None],
+            }],
+        );
+        let v = validate_specs(&p, vec![good], &CompileOptions::default()).unwrap();
+        assert!(v.dropped_pcs.is_empty());
+        assert_eq!(v.rounds, 1);
+        assert_eq!(v.rounds_saved, 0);
+        assert!(!v.capped);
     }
 
     #[test]

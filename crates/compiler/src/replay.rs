@@ -4,9 +4,10 @@
 //! safety net — only slices with a 100% match rate stay in the binary, so
 //! amnesic execution is bit-exact on the profiled input.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use amnesiac_isa::{Instruction, OperandSource, Program, NUM_REGS};
+use amnesiac_mem::PagedMem;
 use amnesiac_sim::{eval_compute, RunError};
 
 /// Per-slice replay statistics.
@@ -36,8 +37,9 @@ pub struct ReplayOutcome {
     /// Statistics per slice, indexed by slice id.
     pub per_slice: Vec<SliceReplayStats>,
     /// Values of the program's output ranges at halt (must equal the
-    /// classic run's — the replay always uses the loaded value).
-    pub output: HashMap<u64, u64>,
+    /// classic run's — the replay always uses the loaded value), in
+    /// address order.
+    pub output: BTreeMap<u64, u64>,
 }
 
 impl ReplayOutcome {
@@ -66,7 +68,7 @@ pub fn replay_validate(
     max_instructions: u64,
 ) -> Result<ReplayOutcome, RunError> {
     let mut regs = [0u64; NUM_REGS];
-    let mut mem: HashMap<u64, u64> = program.data.iter().collect();
+    let mut mem: PagedMem = program.data.iter().collect();
     let mut hist: HashMap<u16, [u64; 3]> = HashMap::new();
     let mut per_slice = vec![SliceReplayStats::default(); program.slices.len()];
 
@@ -95,11 +97,11 @@ pub fn replay_validate(
             Instruction::Halt => break,
             Instruction::Load { dst, offset, .. } => {
                 let addr = vals[0].wrapping_add(*offset as u64);
-                regs[dst.index()] = mem.get(&addr).copied().unwrap_or(0);
+                regs[dst.index()] = mem.get(addr);
             }
             Instruction::Store { offset, .. } => {
                 let addr = vals[1].wrapping_add(*offset as u64);
-                mem.insert(addr, vals[0]);
+                mem.set(addr, vals[0]);
             }
             Instruction::Branch { cond, target, .. } => {
                 if cond.eval(vals[0], vals[1]) {
@@ -114,7 +116,7 @@ pub fn replay_validate(
                 dst, offset, slice, ..
             } => {
                 let addr = vals[0].wrapping_add(*offset as u64);
-                let actual = mem.get(&addr).copied().unwrap_or(0);
+                let actual = mem.get(addr);
                 let stats = &mut per_slice[slice.index()];
                 stats.fired += 1;
                 match traverse(program, slice.0, &regs, &hist) {
@@ -139,10 +141,10 @@ pub fn replay_validate(
         pc = next;
     }
 
-    let mut output = HashMap::new();
+    let mut output = BTreeMap::new();
     for range in &program.output {
         for addr in range.iter() {
-            output.insert(addr, mem.get(&addr).copied().unwrap_or(0));
+            output.insert(addr, mem.get(addr));
         }
     }
     Ok(ReplayOutcome { per_slice, output })

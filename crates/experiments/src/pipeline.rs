@@ -262,6 +262,33 @@ impl EvalSuite {
         }
     }
 
+    /// Computes the focal suite one benchmark at a time, repeating each
+    /// pipeline and keeping the element-wise *minimum* stage timings
+    /// ([`StageTimings::min_merge`]). The perf-regression harness snapshots
+    /// this instead of [`EvalSuite::compute`]: with one thread per
+    /// benchmark, per-bench stage wall-times mostly measure how the
+    /// scheduler time-shared the cores, and microsecond-scale compile
+    /// stages are further distorted by one-off allocator warm-up and
+    /// periodic scheduler hiccups — noise that only ever adds time, which
+    /// min-of-N strips. Results and gains are identical across repeats
+    /// (deterministic); only the timings are merged.
+    pub fn compute_sequential(scale: Scale) -> Self {
+        const TIMING_RUNS: usize = 3;
+        let energy = EnergyModel::paper();
+        let benches = FOCAL_NAMES
+            .iter()
+            .map(|name| {
+                let mut eval = BenchEval::compute(build_focal(name, scale), &energy);
+                for _ in 1..TIMING_RUNS {
+                    let repeat = BenchEval::compute(build_focal(name, scale), &energy);
+                    eval.stages.min_merge(&repeat.stages);
+                }
+                eval
+            })
+            .collect();
+        EvalSuite { benches, energy }
+    }
+
     /// Computes the control (compute-bound) benchmarks (in parallel, one
     /// thread per benchmark, like [`EvalSuite::compute`]).
     pub fn compute_controls(scale: Scale) -> Self {

@@ -33,10 +33,12 @@
 
 mod cache;
 mod hierarchy;
+mod paged;
 mod stats;
 
 pub use cache::{AccessKind, Cache, CacheConfig};
 pub use hierarchy::{Access, HierarchyConfig, MemoryHierarchy};
+pub use paged::{PagedMem, PAGE_SHIFT, PAGE_WORDS};
 pub use stats::{HierarchyStats, LevelStats};
 
 /// The level of the memory hierarchy that serviced an access.

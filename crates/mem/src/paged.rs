@@ -1,0 +1,243 @@
+//! A two-level sparse paged word store — the simulator's flat data memory.
+//!
+//! Every interpreter hot loop (classic core, amnesic core, validation
+//! replay) reads or writes one data word per memory instruction. A
+//! `HashMap<u64, u64>` pays a SipHash per word; [`PagedMem`] instead splits
+//! the word address into a page number and a page offset, keeps pages in a
+//! directory, and caches the most recently touched page so loop-local
+//! accesses cost one comparison and one indexed read.
+//!
+//! Pages are zero-filled on first touch, matching the simulators'
+//! "uninitialised memory reads 0" semantics, so a [`PagedMem`] and a
+//! `HashMap` defaulting to 0 are observationally identical (see the
+//! equivalence property test in `tests/paged_mem_props.rs`).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+/// log2 of the page size in words.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Words per page (4096 words = 32 KiB per page).
+pub const PAGE_WORDS: usize = 1 << PAGE_SHIFT;
+
+const OFFSET_MASK: u64 = (PAGE_WORDS as u64) - 1;
+
+type Page = Box<[u64; PAGE_WORDS]>;
+
+fn zero_page() -> Page {
+    // Box::new([0; N]) may construct on the stack first; a zeroed Vec is
+    // guaranteed heap-allocated (and uses calloc-style zeroing).
+    vec![0u64; PAGE_WORDS]
+        .into_boxed_slice()
+        .try_into()
+        .expect("length matches PAGE_WORDS")
+}
+
+/// A sparse word-addressed memory with two-level paging and a one-entry
+/// page cache.
+///
+/// Untouched words read as 0. Writing 0 to an untouched address allocates
+/// its page but is otherwise indistinguishable from not writing at all.
+///
+/// ```
+/// use amnesiac_mem::PagedMem;
+///
+/// let mut mem = PagedMem::new();
+/// assert_eq!(mem.get(0x1000), 0);
+/// mem.set(0x1000, 7);
+/// assert_eq!(mem.get(0x1000), 7);
+/// ```
+#[derive(Clone, Default)]
+pub struct PagedMem {
+    /// Page number → index into `pages`.
+    directory: HashMap<u64, u32>,
+    /// Allocated pages, each tagged with its page number.
+    pages: Vec<(u64, Page)>,
+    /// Index into `pages` of the most recently accessed page (a `Cell` so
+    /// reads refresh the cache too; per-word reads dominate the hot loops).
+    last: Cell<u32>,
+}
+
+impl PagedMem {
+    /// Creates an empty memory (every word reads 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at `addr` (0 if never written).
+    #[inline]
+    pub fn get(&self, addr: u64) -> u64 {
+        let page_no = addr >> PAGE_SHIFT;
+        let offset = (addr & OFFSET_MASK) as usize;
+        if let Some((no, page)) = self.pages.get(self.last.get() as usize) {
+            if *no == page_no {
+                return page[offset];
+            }
+        }
+        match self.directory.get(&page_no) {
+            Some(&idx) => {
+                self.last.set(idx);
+                self.pages[idx as usize].1[offset]
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes the word at `addr`, allocating its page on first touch.
+    #[inline]
+    pub fn set(&mut self, addr: u64, value: u64) {
+        let page_no = addr >> PAGE_SHIFT;
+        let offset = (addr & OFFSET_MASK) as usize;
+        if let Some((no, page)) = self.pages.get_mut(self.last.get() as usize) {
+            if *no == page_no {
+                page[offset] = value;
+                return;
+            }
+        }
+        let idx = match self.directory.get(&page_no) {
+            Some(&idx) => idx,
+            None => {
+                let idx = u32::try_from(self.pages.len()).expect("page count fits u32");
+                self.pages.push((page_no, zero_page()));
+                self.directory.insert(page_no, idx);
+                idx
+            }
+        };
+        self.last.set(idx);
+        self.pages[idx as usize].1[offset] = value;
+    }
+
+    /// Number of allocated (touched) pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterates over all non-zero words as `(address, value)` pairs, in
+    /// ascending address order — the output-extraction and debugging view.
+    /// Words that were written and later zeroed are skipped, exactly as an
+    /// address never touched: both read as 0.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut order: Vec<&(u64, Page)> = self.pages.iter().collect();
+        order.sort_unstable_by_key(|(no, _)| *no);
+        order.into_iter().flat_map(|(no, page)| {
+            let base = no << PAGE_SHIFT;
+            page.iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0)
+                .map(move |(i, &v)| (base + i as u64, v))
+        })
+    }
+}
+
+impl FromIterator<(u64, u64)> for PagedMem {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        let mut mem = PagedMem::new();
+        for (addr, value) in iter {
+            mem.set(addr, value);
+        }
+        mem
+    }
+}
+
+impl std::fmt::Debug for PagedMem {
+    /// Summarises as page count and non-zero word count; dumping 32 KiB
+    /// pages verbatim would drown every containing struct's Debug output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedMem")
+            .field("pages", &self.pages.len())
+            .field("nonzero_words", &self.iter_nonzero().count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_words_read_zero() {
+        let mem = PagedMem::new();
+        assert_eq!(mem.get(0), 0);
+        assert_eq!(mem.get(u64::MAX), 0);
+        assert_eq!(mem.page_count(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_within_and_across_pages() {
+        let mut mem = PagedMem::new();
+        mem.set(0x1000, 11);
+        mem.set(0x1001, 22);
+        mem.set(0x1000 + PAGE_WORDS as u64, 33); // next page
+        assert_eq!(mem.get(0x1000), 11);
+        assert_eq!(mem.get(0x1001), 22);
+        assert_eq!(mem.get(0x1000 + PAGE_WORDS as u64), 33);
+        assert_eq!(mem.page_count(), 2);
+    }
+
+    #[test]
+    fn page_cache_survives_alternating_pages() {
+        let mut mem = PagedMem::new();
+        let a = 0;
+        let b = 10 * PAGE_WORDS as u64;
+        for i in 0..100 {
+            mem.set(a + (i % 8), i);
+            mem.set(b + (i % 8), i + 1);
+        }
+        assert_eq!(mem.get(a + 3), 99); // i=99 wrote a+3 (99 % 8 == 3)
+        assert_eq!(mem.get(b + 3), 100);
+        assert_eq!(mem.page_count(), 2);
+    }
+
+    #[test]
+    fn extreme_addresses_stay_sparse() {
+        // a wrapping negative offset can produce an address near u64::MAX;
+        // paging must not try to allocate the whole range
+        let mut mem = PagedMem::new();
+        mem.set(u64::MAX, 1);
+        mem.set(0, 2);
+        assert_eq!(mem.get(u64::MAX), 1);
+        assert_eq!(mem.get(0), 2);
+        assert_eq!(mem.page_count(), 2);
+    }
+
+    #[test]
+    fn iter_nonzero_is_address_ordered_and_skips_zeros() {
+        let mut mem = PagedMem::new();
+        let far = 5 * PAGE_WORDS as u64;
+        mem.set(far, 3); // later page first
+        mem.set(7, 1);
+        mem.set(8, 0); // explicit zero: invisible
+        mem.set(9, 2);
+        let words: Vec<(u64, u64)> = mem.iter_nonzero().collect();
+        assert_eq!(words, vec![(7, 1), (9, 2), (far, 3)]);
+    }
+
+    #[test]
+    fn from_iterator_matches_set() {
+        let mem: PagedMem = vec![(1, 10), (2, 20)].into_iter().collect();
+        assert_eq!(mem.get(1), 10);
+        assert_eq!(mem.get(2), 20);
+        assert_eq!(mem.get(3), 0);
+    }
+
+    #[test]
+    fn debug_is_summary_not_dump() {
+        let mut mem = PagedMem::new();
+        mem.set(1, 5);
+        let s = format!("{mem:?}");
+        assert!(s.contains("pages: 1"));
+        assert!(s.contains("nonzero_words: 1"));
+        assert!(s.len() < 100, "no page dumps: {s}");
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = PagedMem::new();
+        a.set(1, 5);
+        let mut b = a.clone();
+        b.set(1, 6);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(b.get(1), 6);
+    }
+}

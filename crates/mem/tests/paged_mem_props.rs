@@ -1,0 +1,85 @@
+//! Randomized equivalence: [`PagedMem`] must be observationally identical
+//! to the `HashMap<u64, u64>` (defaulting to 0) it replaced in the
+//! simulator hot loops.
+
+use std::collections::HashMap;
+
+use amnesiac_mem::{PagedMem, PAGE_WORDS};
+use amnesiac_rng::Rng;
+
+/// Address generator mixing the regimes the simulators produce: dense
+/// loop-local words, page-crossing strides, and the occasional wrapped
+/// "negative" address near `u64::MAX`.
+fn random_addr(rng: &mut Rng) -> u64 {
+    match rng.below(10) {
+        0..=5 => 0x1000 + rng.below(4 * PAGE_WORDS as u64),
+        6..=7 => rng.below(1 << 40),
+        8 => u64::MAX - rng.below(64),
+        _ => rng.next_u64(),
+    }
+}
+
+#[test]
+fn paged_mem_matches_hashmap_model() {
+    for seed in 0..8 {
+        let mut rng = Rng::seed_from_u64(0xA3ED_0000 + seed);
+        let mut paged = PagedMem::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut touched: Vec<u64> = Vec::new();
+
+        for _ in 0..20_000 {
+            // 60% writes, 40% reads; half the reads revisit touched addrs
+            match rng.below(10) {
+                0..=5 => {
+                    let addr = random_addr(&mut rng);
+                    let value = rng.below(1 << 32);
+                    paged.set(addr, value);
+                    model.insert(addr, value);
+                    touched.push(addr);
+                }
+                6..=7 if !touched.is_empty() => {
+                    let addr = touched[rng.range_usize(0, touched.len())];
+                    assert_eq!(
+                        paged.get(addr),
+                        model.get(&addr).copied().unwrap_or(0),
+                        "seed {seed}, touched addr {addr:#x}"
+                    );
+                }
+                _ => {
+                    let addr = random_addr(&mut rng);
+                    assert_eq!(
+                        paged.get(addr),
+                        model.get(&addr).copied().unwrap_or(0),
+                        "seed {seed}, addr {addr:#x}"
+                    );
+                }
+            }
+        }
+
+        // final sweep: every model entry, plus the nonzero iteration view
+        for (&addr, &value) in &model {
+            assert_eq!(paged.get(addr), value, "seed {seed}, final {addr:#x}");
+        }
+        let mut expected: Vec<(u64, u64)> = model
+            .iter()
+            .filter(|(_, &v)| v != 0)
+            .map(|(&a, &v)| (a, v))
+            .collect();
+        expected.sort_unstable();
+        let got: Vec<(u64, u64)> = paged.iter_nonzero().collect();
+        assert_eq!(got, expected, "seed {seed}: iter_nonzero view diverged");
+    }
+}
+
+#[test]
+fn from_iterator_equivalence() {
+    let mut rng = Rng::seed_from_u64(99);
+    let pairs: Vec<(u64, u64)> = (0..500)
+        .map(|_| (random_addr(&mut rng), rng.next_u64()))
+        .collect();
+    let paged: PagedMem = pairs.iter().copied().collect();
+    let model: HashMap<u64, u64> = pairs.iter().copied().collect();
+    for &(addr, _) in &pairs {
+        assert_eq!(paged.get(addr), model[&addr]);
+    }
+}

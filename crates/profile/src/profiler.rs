@@ -114,14 +114,15 @@ pub struct ProgramProfile {
     /// Dynamic instruction count of the profiling run.
     pub instructions: u64,
     /// Dynamic execution count per static pc (for amortising `REC`
-    /// overheads in the compiler's energy estimates).
-    pub pc_counts: BTreeMap<usize, u64>,
+    /// overheads in the compiler's energy estimates). Dense: indexed by pc,
+    /// one slot per main-code instruction.
+    pub pc_counts: Vec<u64>,
 }
 
 impl ProgramProfile {
-    /// Dynamic execution count of the instruction at `pc`.
+    /// Dynamic execution count of the instruction at `pc` (O(1)).
     pub fn pc_count(&self, pc: usize) -> u64 {
-        self.pc_counts.get(&pc).copied().unwrap_or(0)
+        self.pc_counts.get(pc).copied().unwrap_or(0)
     }
 }
 
@@ -147,10 +148,11 @@ struct Tracker<'p> {
     loads: BTreeMap<usize, LoadSiteProfile>,
     stores: BTreeMap<usize, StoreSiteProfile>,
     all_loads: LevelStats,
-    pc_counts: BTreeMap<usize, u64>,
+    /// dense per-pc execution counters (pcs are `< code_len`)
+    pc_counts: Vec<u64>,
     /// operand values of each compute pc's most recent execution, for the
-    /// checkpoint-freshness analysis
-    last_exec: HashMap<usize, [u64; 3]>,
+    /// checkpoint-freshness analysis; dense, indexed by pc
+    last_exec: Vec<Option<[u64; 3]>>,
 }
 
 impl<'p> Tracker<'p> {
@@ -163,8 +165,8 @@ impl<'p> Tracker<'p> {
             loads: BTreeMap::new(),
             stores: BTreeMap::new(),
             all_loads: LevelStats::default(),
-            pc_counts: BTreeMap::new(),
-            last_exec: HashMap::new(),
+            pc_counts: vec![0; program.code_len],
+            last_exec: vec![None; program.code_len],
         }
     }
 
@@ -279,7 +281,7 @@ impl<'p> Tracker<'p> {
         let node = ValueNode::compute(event.pc, event.inst.clone(), value, srcs, event.src_values);
         self.reg_prov[dst.index()] = Some(node);
         self.regs[dst.index()] = value;
-        self.last_exec.insert(event.pc, event.src_values);
+        self.last_exec[event.pc] = Some(event.src_values);
     }
 
     #[allow(clippy::type_complexity)]
@@ -289,7 +291,7 @@ impl<'p> Tracker<'p> {
         BTreeMap<usize, LoadSiteProfile>,
         BTreeMap<usize, StoreSiteProfile>,
         LevelStats,
-        BTreeMap<usize, u64>,
+        Vec<u64>,
     ) {
         // words never read before halt count as unread for their last store
         for cell in self.mem_prov.values() {
@@ -303,7 +305,7 @@ impl<'p> Tracker<'p> {
 
 impl Observer for Tracker<'_> {
     fn on_retire(&mut self, event: &RetireEvent<'_>) {
-        *self.pc_counts.entry(event.pc).or_insert(0) += 1;
+        self.pc_counts[event.pc] += 1;
         match event.inst {
             Instruction::Load { .. } => self.on_load(event),
             Instruction::Store { .. } => self.on_store(event),

@@ -7,7 +7,6 @@
 //! (`always_live` holds only if the operand's register still held the
 //! operand value at *every* dynamic instance of the load).
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use amnesiac_isa::{Instruction, Reg};
@@ -62,13 +61,15 @@ impl ProvNode {
     ///
     /// `regs` is the architectural register file at the load (the
     /// anticipated recomputation point), used for liveness flags.
+    /// `last_exec` is the dense per-pc table of each compute instruction's
+    /// most recent operand values (`None` where the pc never executed).
     ///
     /// Returns `None` if `root` has no compute producer (e.g. a pure copy
     /// of a read-only input).
     pub fn extract(
         root: &Rc<ValueNode>,
         regs: &[u64],
-        last_exec: &HashMap<usize, [u64; 3]>,
+        last_exec: &[Option<[u64; 3]>],
     ) -> Option<ProvNode> {
         let compute = root.resolve_compute()?;
         Some(Self::extract_compute(&compute, regs, last_exec, 0))
@@ -77,7 +78,7 @@ impl ProvNode {
     fn extract_compute(
         node: &Rc<ValueNode>,
         regs: &[u64],
-        last_exec: &HashMap<usize, [u64; 3]>,
+        last_exec: &[Option<[u64; 3]>],
         depth: u32,
     ) -> ProvNode {
         debug_assert_eq!(node.kind, NodeKind::Compute);
@@ -95,7 +96,9 @@ impl ProvNode {
                 (child, false)
             };
             let fresh = last_exec
-                .get(&node.pc)
+                .get(node.pc)
+                .copied()
+                .flatten()
                 .is_some_and(|vals| vals[j] == node.src_values[j]);
             operands[j] = Some(ProvOperand {
                 reg,

@@ -1,6 +1,6 @@
 //! The classic (baseline) in-order execution engine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use amnesiac_energy::EnergyAccount;
 use amnesiac_isa::{Category, Instruction, Program};
@@ -107,8 +107,9 @@ pub struct RunResult {
     pub account: EnergyAccount,
     /// Hierarchy statistics.
     pub hierarchy: HierarchyStats,
-    /// Values of the program's declared output ranges at halt.
-    pub final_memory: HashMap<u64, u64>,
+    /// Values of the program's declared output ranges at halt, in address
+    /// order.
+    pub final_memory: BTreeMap<u64, u64>,
     /// Dynamic instruction count.
     pub instructions: u64,
     /// Dynamic load count.

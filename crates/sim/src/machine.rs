@@ -1,11 +1,11 @@
 //! Shared architectural machine state: register file, flat data memory,
 //! memory hierarchy, and the energy/time account.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use amnesiac_energy::{EnergyAccount, EnergyModel, UarchEvent};
 use amnesiac_isa::{Category, Program, Reg, NUM_REGS};
-use amnesiac_mem::{Access, HierarchyConfig, MemoryHierarchy, ServiceLevel};
+use amnesiac_mem::{Access, HierarchyConfig, MemoryHierarchy, PagedMem, ServiceLevel};
 
 /// Bytes per data word and per instruction slot (for cache addressing).
 pub(crate) const WORD_BYTES: u64 = 8;
@@ -92,8 +92,8 @@ impl std::error::Error for RunError {}
 pub struct Machine {
     /// Register file.
     pub regs: [u64; NUM_REGS],
-    /// Flat data memory (word-addressed).
-    pub mem: HashMap<u64, u64>,
+    /// Flat data memory (word-addressed, paged; untouched words read 0).
+    pub mem: PagedMem,
     /// Cache hierarchy.
     pub hierarchy: MemoryHierarchy,
     /// Energy and time account.
@@ -107,10 +107,7 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine initialised with a program's data image.
     pub fn new(config: &CoreConfig, program: &Program) -> Self {
-        let mut mem = HashMap::new();
-        for (addr, value) in program.data.iter() {
-            mem.insert(addr, value);
-        }
+        let mem: PagedMem = program.data.iter().collect();
         Machine {
             regs: [0; NUM_REGS],
             mem,
@@ -133,7 +130,7 @@ impl Machine {
 
     /// Functional read of a data word (no cache/energy effects).
     pub fn peek_mem(&self, addr: u64) -> u64 {
-        self.mem.get(&addr).copied().unwrap_or(0)
+        self.mem.get(addr)
     }
 
     /// Performs an architectural load: returns the value and the hierarchy
@@ -147,7 +144,7 @@ impl Machine {
 
     /// Performs an architectural store, charging energy and stall cycles.
     pub fn store_word(&mut self, addr: u64, value: u64) -> ServiceLevel {
-        self.mem.insert(addr, value);
+        self.mem.set(addr, value);
         let access = self.hierarchy.write_data(addr * WORD_BYTES);
         self.charge_mem(Category::Store, access);
         access.level
@@ -213,9 +210,10 @@ impl Machine {
     }
 
     /// Extracts the values of the program's declared output ranges from the
-    /// flat memory (for classic/amnesic equivalence checks).
-    pub fn extract_output(&self, program: &Program) -> HashMap<u64, u64> {
-        let mut out = HashMap::new();
+    /// flat memory (for classic/amnesic equivalence checks), in address
+    /// order.
+    pub fn extract_output(&self, program: &Program) -> BTreeMap<u64, u64> {
+        let mut out = BTreeMap::new();
         for range in &program.output {
             for addr in range.iter() {
                 out.insert(addr, self.peek_mem(addr));
