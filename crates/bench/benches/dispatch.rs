@@ -1,0 +1,110 @@
+//! Dispatch microbenchmark: retiring a real benchmark's static instruction
+//! stream through the legacy enum-match path (rebuild `srcs`, re-derive the
+//! category, nested `eval_compute` match) versus the predecoded table the
+//! interpreters now use. Set `AMNESIAC_BENCH_JSON=<path>` to also dump the
+//! measurements as JSON.
+
+use amnesiac_bench::Bencher;
+use amnesiac_isa::{predecode, Category, DecodedInst, DecodedOp, Instruction};
+use amnesiac_sim::eval_compute;
+use amnesiac_workloads::{build_focal, Scale};
+
+/// Full sweeps over the static stream per sample — enough retirements to
+/// swamp the loop overhead.
+const SWEEPS: usize = 500;
+
+/// A stand-in for `Machine::charge_op`: fold the category into the
+/// accumulator so the per-retirement category derivation is not dead code.
+#[inline]
+fn charge(category: Category) -> u64 {
+    category as u64 + 1
+}
+
+fn enum_sweep(insts: &[Instruction]) -> u64 {
+    let mut acc = 0u64;
+    for inst in insts {
+        let srcs = inst.srcs();
+        let mut vals = [0u64; 3];
+        for (j, s) in srcs.iter().enumerate() {
+            if let Some(r) = s {
+                vals[j] = acc ^ r.index() as u64;
+            }
+        }
+        match inst {
+            Instruction::Load { .. }
+            | Instruction::Store { .. }
+            | Instruction::Branch { .. }
+            | Instruction::Jump { .. }
+            | Instruction::Halt
+            | Instruction::Rcmp { .. }
+            | Instruction::Rtn { .. }
+            | Instruction::Rec { .. } => {
+                acc = acc.wrapping_add(charge(inst.category()));
+            }
+            compute => {
+                acc = acc.wrapping_add(eval_compute(compute, vals));
+                acc = acc.wrapping_add(charge(compute.category()));
+            }
+        }
+    }
+    acc
+}
+
+fn decoded_sweep(decoded: &[DecodedInst]) -> u64 {
+    let mut acc = 0u64;
+    for d in decoded {
+        let mut vals = [0u64; 3];
+        for (j, s) in d.srcs.iter().enumerate() {
+            if let Some(r) = s {
+                vals[j] = acc ^ r.index() as u64;
+            }
+        }
+        match d.op {
+            DecodedOp::Load { .. }
+            | DecodedOp::Store { .. }
+            | DecodedOp::Branch { .. }
+            | DecodedOp::Jump { .. }
+            | DecodedOp::Halt
+            | DecodedOp::Rcmp { .. }
+            | DecodedOp::Rtn
+            | DecodedOp::Rec { .. } => {
+                acc = acc.wrapping_add(charge(d.category));
+            }
+            _ => {
+                acc = acc.wrapping_add(d.eval_compute(vals));
+                acc = acc.wrapping_add(charge(d.category));
+            }
+        }
+    }
+    acc
+}
+
+fn main() {
+    let mut b = Bencher::new(20);
+    let program = build_focal("cg", Scale::Test).program;
+    let insts = program.instructions.clone();
+    let decoded = predecode(&program);
+
+    // the two paths must retire identical streams to identical effect
+    assert_eq!(enum_sweep(&insts), decoded_sweep(&decoded));
+
+    b.bench("dispatch/enum_match", || {
+        let mut acc = 0u64;
+        for _ in 0..SWEEPS {
+            acc = acc.wrapping_add(enum_sweep(&insts));
+        }
+        acc
+    });
+    b.bench("dispatch/predecoded", || {
+        let mut acc = 0u64;
+        for _ in 0..SWEEPS {
+            acc = acc.wrapping_add(decoded_sweep(&decoded));
+        }
+        acc
+    });
+
+    if let Ok(path) = std::env::var("AMNESIAC_BENCH_JSON") {
+        b.write_json(&path).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+}

@@ -52,10 +52,15 @@ pub struct Command {
     pub output: Option<String>,
     /// Use paper-scale inputs for built-in benchmarks.
     pub paper_scale: bool,
+    /// Explicit workload scale (`--scale <test|paper>`); wins over
+    /// `--paper-scale` when both are given.
+    pub scale: Option<Scale>,
     /// Results directory for machine-readable output (`--json <dir>`).
     pub json_dir: Option<String>,
     /// Regression tolerance in percentage points (`--tolerance <pp>`).
     pub tolerance: Option<f64>,
+    /// Timing repetitions for the bench verbs (`--reps <n>`).
+    pub reps: Option<usize>,
 }
 
 /// CLI subcommands.
@@ -99,8 +104,8 @@ pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
 <prog.asm | prog.bin | bench:NAME> [--paper-scale]
        amnesiac encode <prog | bench:NAME> <out.bin>
        amnesiac experiments --json <dir> [--paper-scale]
-       amnesiac bench-snapshot <out.json> [--paper-scale]
-       amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--paper-scale]
+       amnesiac bench-snapshot <out.json> [--scale <test|paper>] [--reps <n>]
+       amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--scale <test|paper>] [--reps <n>]
   built-in benchmarks: 11 focal (mcf sx cg is ca fs fe rt bp bfs sr),
   5 controls, 17 extended (see `amnesiac-workloads`)";
 
@@ -115,8 +120,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut target = None;
     let mut output = None;
     let mut paper_scale = false;
+    let mut scale = None;
     let mut json_dir = None;
     let mut tolerance = None;
+    let mut reps = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -139,6 +146,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 });
             }
             "--paper-scale" => paper_scale = true,
+            "--scale" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--scale needs <test|paper>".into()))?;
+                scale = Some(match raw.as_str() {
+                    "test" => Scale::Test,
+                    "paper" => Scale::Paper,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--scale: `{other}` is neither `test` nor `paper`"
+                        )))
+                    }
+                });
+            }
             "--json" => {
                 i += 1;
                 json_dir = Some(
@@ -155,6 +177,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 tolerance = Some(raw.parse::<f64>().map_err(|_| {
                     CliError::Usage(format!("--tolerance: `{raw}` is not a number"))
                 })?);
+            }
+            "--reps" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--reps needs a count".into()))?;
+                let parsed = raw
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("--reps: `{raw}` is not a count")))?;
+                if parsed == 0 {
+                    return Err(CliError::Usage("--reps must be at least 1".into()));
+                }
+                reps = Some(parsed);
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")));
@@ -196,9 +231,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         target,
         output,
         paper_scale,
+        scale,
         json_dir,
         tolerance,
+        reps,
     })
+}
+
+impl Command {
+    /// Timing repetitions for the bench verbs: an explicit `--reps` wins,
+    /// otherwise the harness default.
+    pub fn effective_reps(&self) -> usize {
+        self.reps
+            .unwrap_or(amnesiac_experiments::pipeline::DEFAULT_TIMING_REPS)
+    }
+
+    /// The workload scale to run at: an explicit `--scale` wins, then the
+    /// `--paper-scale` shorthand, then the test-scale default.
+    pub fn effective_scale(&self) -> Scale {
+        self.scale.unwrap_or(if self.paper_scale {
+            Scale::Paper
+        } else {
+            Scale::Test
+        })
+    }
 }
 
 /// Loads the target program (an `.asm` file or a built-in benchmark).
@@ -250,7 +306,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         return execute_suite_verb(command);
     }
     let target = command.target.as_deref().expect("parse_args enforced this");
-    let program = load_program(target, command.paper_scale)?;
+    let program = load_program(target, command.effective_scale() == Scale::Paper)?;
     let config = CoreConfig::paper();
     let tool = |e: &dyn std::fmt::Display| CliError::Tool(e.to_string());
     match command.verb {
@@ -422,11 +478,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
 fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
     use amnesiac_experiments::{export, regress, EvalSuite};
 
-    let scale = if command.paper_scale {
-        amnesiac_workloads::Scale::Paper
-    } else {
-        amnesiac_workloads::Scale::Test
-    };
+    let scale = command.effective_scale();
     match command.verb {
         Verb::Experiments => {
             let dir = std::path::PathBuf::from(
@@ -463,8 +515,8 @@ fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
         }
         Verb::BenchSnapshot => {
             let out_path = command.target.as_deref().expect("parse_args enforced this");
-            let suite = EvalSuite::compute_sequential(scale);
-            let snap = regress::snapshot(&suite);
+            let suite = EvalSuite::compute_sequential(scale, command.effective_reps());
+            let snap = regress::snapshot(&suite, scale);
             export::write_json(std::path::Path::new(out_path), &snap)
                 .map_err(|e| CliError::Tool(format!("cannot write `{out_path}`: {e}")))?;
             Ok(format!(
@@ -478,12 +530,20 @@ fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
                 .map_err(|e| CliError::Tool(format!("cannot read `{baseline_path}`: {e}")))?;
             let baseline = amnesiac_telemetry::parse(&text)
                 .map_err(|e| CliError::Tool(format!("{baseline_path}: {e}")))?;
-            let suite = EvalSuite::compute_sequential(scale);
-            let current = regress::snapshot(&suite);
+            let suite = EvalSuite::compute_sequential(scale, command.effective_reps());
+            let current = regress::snapshot(&suite, scale);
             let tolerance = command.tolerance.unwrap_or(regress::DEFAULT_TOLERANCE_PP);
             let regressions =
                 regress::compare(&baseline, &current, tolerance).map_err(CliError::Tool)?;
-            let report = regress::render_report(&regressions, tolerance);
+            let mut report = String::new();
+            for cell in regress::zero_baseline_cells(&baseline) {
+                let _ = writeln!(
+                    report,
+                    "warning: baseline gain `{cell}` is exactly zero — the gate cannot see \
+                     a drop there; consider re-snapshotting with a larger --scale"
+                );
+            }
+            report.push_str(&regress::render_report(&regressions, tolerance));
             if regressions.is_empty() {
                 Ok(report)
             } else {
@@ -554,6 +614,56 @@ mod tests {
             parse_args(&args(&["bench-compare", "x", "--tolerance", "abc"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_and_resolves_the_scale_flag() {
+        let c = parse_args(&args(&["bench-snapshot", "out.json", "--scale", "paper"])).unwrap();
+        assert_eq!(c.scale, Some(Scale::Paper));
+        assert_eq!(c.effective_scale(), Scale::Paper);
+        let c = parse_args(&args(&["bench-snapshot", "out.json", "--scale", "test"])).unwrap();
+        assert_eq!(c.effective_scale(), Scale::Test);
+        // an explicit --scale wins over the --paper-scale shorthand
+        let c = parse_args(&args(&[
+            "bench-compare",
+            "b.json",
+            "--paper-scale",
+            "--scale",
+            "test",
+        ]))
+        .unwrap();
+        assert_eq!(c.effective_scale(), Scale::Test);
+        // and --paper-scale alone still works
+        let c = parse_args(&args(&["bench-snapshot", "out.json", "--paper-scale"])).unwrap();
+        assert_eq!(c.effective_scale(), Scale::Paper);
+        assert!(matches!(
+            parse_args(&args(&["bench-snapshot", "out.json", "--scale", "huge"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["bench-snapshot", "out.json", "--scale"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_and_resolves_the_reps_flag() {
+        let c = parse_args(&args(&["bench-snapshot", "out.json", "--reps", "9"])).unwrap();
+        assert_eq!(c.reps, Some(9));
+        assert_eq!(c.effective_reps(), 9);
+        // default when the flag is absent
+        let c = parse_args(&args(&["bench-snapshot", "out.json"])).unwrap();
+        assert_eq!(
+            c.effective_reps(),
+            amnesiac_experiments::pipeline::DEFAULT_TIMING_REPS
+        );
+        for bad in [
+            &["bench-snapshot", "out.json", "--reps", "zero"][..],
+            &["bench-snapshot", "out.json", "--reps", "0"],
+            &["bench-snapshot", "out.json", "--reps"],
+        ] {
+            assert!(matches!(parse_args(&args(bad)), Err(CliError::Usage(_))));
+        }
     }
 
     #[test]

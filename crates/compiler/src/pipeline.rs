@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 use amnesiac_energy::EnergyModel;
 use amnesiac_isa::{IsaError, Program};
 use amnesiac_mem::ServiceLevel;
+use amnesiac_pool::Pool;
 use amnesiac_profile::{ProgramProfile, Unswappable};
 use amnesiac_sim::RunError;
 use amnesiac_telemetry::{Json, ToJson};
@@ -240,11 +241,21 @@ pub fn compile(
 
     // plan every swappable site first: the Oracle criterion amortises REC
     // overheads across slices that share checkpointed origins (Hist is
-    // keyed by leaf address, §3.2)
+    // keyed by leaf address, §3.2). Site planning is independent per load
+    // pc, so it fans out on the pool; `parallel_map` preserves pc order, so
+    // decisions and origin accounting are identical to a sequential pass.
+    let plans = Pool::global().parallel_map(profile.loads.values().collect(), |site| {
+        let plan = if site.unswappable.is_some() {
+            None
+        } else {
+            estimator.plan_site(site, options.max_height, options.max_slice_insts)
+        };
+        (site, plan)
+    });
     let mut planned = Vec::new();
     let mut origin_usage: std::collections::BTreeMap<usize, usize> =
         std::collections::BTreeMap::new();
-    for site in profile.loads.values() {
+    for (site, plan) in plans {
         if let Some(why) = site.unswappable {
             decisions.push(SiteDecision {
                 load_pc: site.pc,
@@ -253,9 +264,7 @@ pub fn compile(
             });
             continue;
         }
-        let Some((cost, insts)) =
-            estimator.plan_site(site, options.max_height, options.max_slice_insts)
-        else {
+        let Some((cost, insts)) = plan else {
             decisions.push(SiteDecision {
                 load_pc: site.pc,
                 dyn_count: site.count,
@@ -382,6 +391,64 @@ struct ValidationSummary {
 /// Cap on whole-program validation replays per compile.
 const MAX_VALIDATION_ROUNDS: u32 = 8;
 
+/// Shard count for one validation round: split across the pool only when
+/// there is real parallelism to win. Sharding replays the base instruction
+/// stream once *per shard*, so on a single worker it would only multiply
+/// work.
+fn validation_shards(n_specs: usize) -> usize {
+    let workers = Pool::global().workers();
+    if workers > 1 && n_specs >= 2 {
+        workers.min(n_specs)
+    } else {
+        1
+    }
+}
+
+/// Load pcs whose slices fail the validation replay, computed over `shards`
+/// contiguous chunks of `specs` replayed independently (in parallel on the
+/// pool when `shards > 1`).
+///
+/// Sharding is sound because of the incremental invariant: the replay
+/// retires the architecturally correct value at every `RCMP`, so a slice's
+/// match record depends only on its own traversals — and each shard's
+/// annotation carries the `REC`s for its own slices' origins, checkpointing
+/// the same architectural values the full annotation would. The union of
+/// the shards' failing sets therefore equals the full program's failing
+/// set. With `shards == 1` the pre-annotated full binary is replayed
+/// directly, avoiding a redundant annotation.
+fn failing_load_pcs(
+    program: &Program,
+    annotated: &Program,
+    specs: &[SliceSpec],
+    fuse: u64,
+    shards: usize,
+) -> Result<BTreeSet<usize>, CompileError> {
+    // slice ids are assigned in load-pc order by annotate()
+    fn ids_to_pcs(failing: &[u32], specs: &[SliceSpec]) -> BTreeSet<usize> {
+        let mut by_pc: Vec<usize> = specs.iter().map(|s| s.load_pc).collect();
+        by_pc.sort_unstable();
+        failing.iter().map(|&id| by_pc[id as usize]).collect()
+    }
+    if shards <= 1 {
+        let outcome = replay_validate(annotated, fuse)?;
+        return Ok(ids_to_pcs(&outcome.failing_slices(), specs));
+    }
+    let per_shard = specs.len().div_ceil(shards);
+    let results = Pool::global().parallel_map(
+        specs.chunks(per_shard).collect(),
+        |chunk| -> Result<BTreeSet<usize>, CompileError> {
+            let (shard_annotated, _) = annotate_with_map(program, chunk)?;
+            let outcome = replay_validate(&shard_annotated, fuse)?;
+            Ok(ids_to_pcs(&outcome.failing_slices(), chunk))
+        },
+    );
+    let mut failing = BTreeSet::new();
+    for shard in results {
+        failing.extend(shard?);
+    }
+    Ok(failing)
+}
+
 /// Annotates `specs` into `program` and validates them by whole-program
 /// replay, dropping every slice that ever fails to reproduce its loaded
 /// value.
@@ -408,20 +475,20 @@ fn validate_specs(
     if options.validate && !specs.is_empty() {
         loop {
             rounds += 1;
-            let outcome = replay_validate(&annotated, options.replay_fuse)?;
-            let failing = outcome.failing_slices();
-            if failing.is_empty() {
+            let round_dropped = failing_load_pcs(
+                program,
+                &annotated,
+                &specs,
+                options.replay_fuse,
+                validation_shards(specs.len()),
+            )?;
+            if round_dropped.is_empty() {
                 break;
             }
             if rounds >= MAX_VALIDATION_ROUNDS {
                 capped = true;
                 break;
             }
-            // slice ids are assigned in load-pc order by annotate()
-            let mut by_pc: Vec<usize> = specs.iter().map(|s| s.load_pc).collect();
-            by_pc.sort_unstable();
-            let round_dropped: BTreeSet<usize> =
-                failing.iter().map(|&id| by_pc[id as usize]).collect();
             let dropped_origins: BTreeSet<usize> = specs
                 .iter()
                 .filter(|s| round_dropped.contains(&s.load_pc))
@@ -569,6 +636,19 @@ mod tests {
             .filter(|i| matches!(i, Instruction::Rcmp { .. }))
             .count();
         assert_eq!(rcmps, report.n_selected());
+    }
+
+    #[test]
+    fn pooled_compile_is_deterministic() {
+        // planning fans out on the pool; order-preserving parallel_map must
+        // make the result independent of scheduling
+        let p = kernel(50);
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (a1, r1) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        let (a2, r2) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        assert_eq!(a1.instructions, a2.instructions);
+        assert_eq!(a1.slices, a2.slices);
+        assert_eq!(r1.decisions, r2.decisions);
     }
 
     #[test]
@@ -757,6 +837,33 @@ mod tests {
         let outcome = replay_validate(&v.annotated, 10_000).unwrap();
         assert_eq!(v.annotated.slices.len(), 1);
         assert!(outcome.failing_slices().is_empty());
+    }
+
+    #[test]
+    fn sharded_replay_matches_sequential_failing_set() {
+        let (p, add_a, add_b, load_a, load_b) = two_cell_program();
+        let good = spec_with(
+            load_b,
+            vec![SliceInstSpec {
+                inst: Instruction::Alui {
+                    op: AluOp::Add,
+                    dst: Reg(5),
+                    src: Reg(3),
+                    imm: 5,
+                },
+                origin_pc: add_b,
+                sources: [Some(OperandSource::Hist { key: 0 }), None, None],
+            }],
+        );
+        let specs = vec![bad_spec(load_a, add_a), good];
+        let (annotated, _) = annotate_with_map(&p, &specs).unwrap();
+        let sequential = failing_load_pcs(&p, &annotated, &specs, 10_000, 1).unwrap();
+        let sharded = failing_load_pcs(&p, &annotated, &specs, 10_000, 2).unwrap();
+        assert_eq!(sequential, BTreeSet::from([load_a]));
+        assert_eq!(
+            sharded, sequential,
+            "per-shard replay must find the same failing set"
+        );
     }
 
     #[test]

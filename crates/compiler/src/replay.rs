@@ -6,9 +6,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use amnesiac_isa::{Instruction, OperandSource, Program, NUM_REGS};
+use amnesiac_isa::{predecode, DecodedInst, DecodedOp, OperandSource, Program, NUM_REGS};
 use amnesiac_mem::PagedMem;
-use amnesiac_sim::{eval_compute, RunError};
+use amnesiac_sim::RunError;
 
 /// Per-slice replay statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,6 +71,9 @@ pub fn replay_validate(
     let mut mem: PagedMem = program.data.iter().collect();
     let mut hist: HashMap<u16, [u64; 3]> = HashMap::new();
     let mut per_slice = vec![SliceReplayStats::default(); program.slices.len()];
+    // Hoist the per-retirement enum re-matching out of the loop; the table
+    // covers slice bodies too, so `traverse` shares it.
+    let decoded = predecode(program);
 
     let mut pc = program.entry;
     let mut retired = 0u64;
@@ -84,58 +87,55 @@ pub fn replay_validate(
             return Err(RunError::PcOutOfRange { pc });
         }
         retired += 1;
-        let inst = &program.instructions[pc];
-        let srcs = inst.srcs();
+        let d = &decoded[pc];
         let mut vals = [0u64; 3];
-        for (j, s) in srcs.iter().enumerate() {
+        for (j, s) in d.srcs.iter().enumerate() {
             if let Some(r) = s {
                 vals[j] = regs[r.index()];
             }
         }
         let mut next = pc + 1;
-        match inst {
-            Instruction::Halt => break,
-            Instruction::Load { dst, offset, .. } => {
-                let addr = vals[0].wrapping_add(*offset as u64);
-                regs[dst.index()] = mem.get(addr);
+        match d.op {
+            DecodedOp::Halt => break,
+            DecodedOp::Load { offset } => {
+                let addr = vals[0].wrapping_add(offset as u64);
+                regs[d.dst.expect("loads have a dst").index()] = mem.get(addr);
             }
-            Instruction::Store { offset, .. } => {
-                let addr = vals[1].wrapping_add(*offset as u64);
+            DecodedOp::Store { offset } => {
+                let addr = vals[1].wrapping_add(offset as u64);
                 mem.set(addr, vals[0]);
             }
-            Instruction::Branch { cond, target, .. } => {
+            DecodedOp::Branch { cond, target } => {
                 if cond.eval(vals[0], vals[1]) {
-                    next = *target;
+                    next = target;
                 }
             }
-            Instruction::Jump { target } => next = *target,
-            Instruction::Rec { key, .. } => {
-                hist.insert(*key, vals);
+            DecodedOp::Jump { target } => next = target,
+            DecodedOp::Rec { key } => {
+                hist.insert(key, vals);
             }
-            Instruction::Rcmp {
-                dst, offset, slice, ..
-            } => {
-                let addr = vals[0].wrapping_add(*offset as u64);
+            DecodedOp::Rcmp { offset, slice } => {
+                let addr = vals[0].wrapping_add(offset as u64);
                 let actual = mem.get(addr);
                 let stats = &mut per_slice[slice.index()];
                 stats.fired += 1;
-                match traverse(program, slice.0, &regs, &hist) {
+                match traverse(program, &decoded, slice.0, &regs, &hist) {
                     Some(recomputed) if recomputed == actual => stats.matches += 1,
                     Some(_) => stats.mismatches += 1,
                     None => stats.missing_hist += 1,
                 }
                 // validation always keeps the architecturally correct value
-                regs[dst.index()] = actual;
+                regs[d.dst.expect("RCMP has a dst").index()] = actual;
             }
-            Instruction::Rtn { .. } => {
+            DecodedOp::Rtn => {
                 return Err(RunError::UnexpectedInstruction {
                     pc,
-                    what: inst.to_string(),
+                    what: program.instructions[pc].to_string(),
                 })
             }
-            compute => {
-                let dst = compute.dst().expect("compute has dst");
-                regs[dst.index()] = eval_compute(compute, vals);
+            _ => {
+                let dst = d.dst.expect("compute has dst");
+                regs[dst.index()] = d.eval_compute(vals);
             }
         }
         pc = next;
@@ -154,16 +154,16 @@ pub fn replay_validate(
 /// if a required `Hist` entry is missing.
 fn traverse(
     program: &Program,
+    decoded: &[DecodedInst],
     slice_id: u32,
     regs: &[u64; NUM_REGS],
     hist: &HashMap<u16, [u64; 3]>,
 ) -> Option<u64> {
     let meta = &program.slices[slice_id as usize];
-    let body = &program.instructions[meta.entry..meta.entry + meta.compute_len()];
+    let body = &decoded[meta.entry..meta.entry + meta.compute_len()];
     let mut values: Vec<u64> = Vec::with_capacity(body.len());
-    for (k, inst) in body.iter().enumerate() {
+    for (k, d) in body.iter().enumerate() {
         let plan = &meta.plans[k];
-        let srcs = inst.srcs();
         let mut vals = [0u64; 3];
         for j in 0..3 {
             let Some(source) = plan.sources[j] else {
@@ -171,14 +171,14 @@ fn traverse(
             };
             vals[j] = match source {
                 OperandSource::SFile { producer } => values[producer as usize],
-                OperandSource::LiveReg => regs[srcs[j].expect("planned operand exists").index()],
+                OperandSource::LiveReg => regs[d.srcs[j].expect("planned operand exists").index()],
                 OperandSource::Hist { key } => {
                     let entry = hist.get(&key)?;
                     entry[j]
                 }
             };
         }
-        values.push(eval_compute(inst, vals));
+        values.push(d.eval_compute(vals));
     }
     values.last().copied()
 }
@@ -188,7 +188,7 @@ mod tests {
     use super::*;
     use crate::annotate::annotate;
     use crate::slice::{SliceInstSpec, SliceSpec};
-    use amnesiac_isa::{AluOp, ProgramBuilder, Reg};
+    use amnesiac_isa::{AluOp, Instruction, ProgramBuilder, Reg};
 
     /// Program computing v = r2 + 3, storing, loading back; slice recomputes
     /// it from a Hist-checkpointed operand.

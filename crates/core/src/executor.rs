@@ -4,9 +4,9 @@
 use std::collections::HashSet;
 
 use amnesiac_energy::UarchEvent;
-use amnesiac_isa::{Category, Instruction, OperandSource, Program, SliceId};
+use amnesiac_isa::{predecode, Category, DecodedInst, DecodedOp, OperandSource, Program, SliceId};
 use amnesiac_mem::ServiceLevel;
-use amnesiac_sim::{compute_exception, eval_compute, CoreConfig, Machine, RunError, RunResult};
+use amnesiac_sim::{decoded_exception, CoreConfig, Machine, RunError, RunResult};
 use amnesiac_telemetry::{Json, ToJson};
 
 use crate::policy::Policy;
@@ -171,6 +171,9 @@ impl AmnesicCore {
         let mut failed_keys: HashSet<u16> = HashSet::new();
         let slice_keys: Vec<Vec<u16>> = program.slices.iter().map(|m| m.hist_keys()).collect();
         let mut predictor = MissPredictor::new();
+        // Hoist the per-retirement enum re-matching out of the loop; covers
+        // slice bodies too, so `traverse` shares the same table.
+        let decoded = predecode(program);
 
         let mut pc = program.entry;
         let mut retired: u64 = 0;
@@ -188,59 +191,57 @@ impl AmnesicCore {
                 return Err(RunError::PcOutOfRange { pc }.into());
             }
             machine.fetch(pc);
-            let inst = &program.instructions[pc];
+            let d = &decoded[pc];
             retired += 1;
 
-            let srcs = inst.srcs();
             let mut vals = [0u64; 3];
-            for (j, s) in srcs.iter().enumerate() {
+            for (j, s) in d.srcs.iter().enumerate() {
                 if let Some(r) = s {
                     vals[j] = machine.reg(*r);
                 }
             }
             let mut next_pc = pc + 1;
 
-            match inst {
-                Instruction::Halt => {
+            match d.op {
+                DecodedOp::Halt => {
                     machine.charge_op(Category::Jump);
                     break;
                 }
-                Instruction::Load { dst, offset, .. } => {
-                    let addr = vals[0].wrapping_add(*offset as u64);
+                DecodedOp::Load { offset } => {
+                    let addr = vals[0].wrapping_add(offset as u64);
                     let (value, _) = machine.load_word(addr);
-                    machine.set_reg(*dst, value);
+                    machine.set_reg(d.dst.expect("loads have a dst"), value);
                     loads += 1;
                 }
-                Instruction::Store { offset, .. } => {
-                    let addr = vals[1].wrapping_add(*offset as u64);
+                DecodedOp::Store { offset } => {
+                    let addr = vals[1].wrapping_add(offset as u64);
                     machine.store_word(addr, vals[0]);
                     stores += 1;
                 }
-                Instruction::Branch { cond, target, .. } => {
+                DecodedOp::Branch { cond, target } => {
                     machine.charge_op(Category::Branch);
                     if cond.eval(vals[0], vals[1]) {
-                        next_pc = *target;
+                        next_pc = target;
                     }
                 }
-                Instruction::Jump { target } => {
+                DecodedOp::Jump { target } => {
                     machine.charge_op(Category::Jump);
-                    next_pc = *target;
+                    next_pc = target;
                 }
-                Instruction::Rec { key, .. } => {
+                DecodedOp::Rec { key } => {
                     // checkpoint the origin's source operand values (§3.1.2)
                     machine.charge_op(Category::Rec);
                     machine.account.record_event(UarchEvent::HistWrite, 0.0);
-                    if !hist.write(*key, vals) {
-                        failed_keys.insert(*key);
+                    if !hist.write(key, vals) {
+                        failed_keys.insert(key);
                     }
                 }
-                Instruction::Rcmp {
-                    dst, offset, slice, ..
-                } => {
+                DecodedOp::Rcmp { offset, slice } => {
                     machine.charge_op(Category::Rcmp);
-                    let addr = vals[0].wrapping_add(*offset as u64);
+                    let dst = d.dst.expect("RCMP has a dst");
+                    let addr = vals[0].wrapping_add(offset as u64);
                     let level = machine.hierarchy.peek_data(addr * 8);
-                    let meta = program.slice(*slice);
+                    let meta = program.slice(slice);
                     retired += 1; // the RCMP decision itself retires work
 
                     let forced = meta.compute_len() > sfile.capacity()
@@ -248,12 +249,13 @@ impl AmnesicCore {
                             .iter()
                             .any(|k| failed_keys.contains(k));
                     let fire = !forced
-                        && self.decide(program, pc, *slice, level, &mut machine, &mut predictor);
+                        && self.decide(program, pc, slice, level, &mut machine, &mut predictor);
 
                     if fire {
                         match self.traverse(
                             program,
-                            *slice,
+                            &decoded,
+                            slice,
                             &mut machine,
                             &mut sfile,
                             &mut renamer,
@@ -272,13 +274,13 @@ impl AmnesicCore {
                                         got: value,
                                     });
                                 }
-                                machine.set_reg(*dst, value);
+                                machine.set_reg(dst, value);
                             }
                             Traversal::MissingHist | Traversal::SFileOverflow => {
                                 stats.per_slice[slice.index()].forced_loads += 1;
                                 stats.performed_levels.record(level);
                                 let (value, _) = machine.load_word(addr);
-                                machine.set_reg(*dst, value);
+                                machine.set_reg(dst, value);
                                 loads += 1;
                             }
                         }
@@ -290,22 +292,21 @@ impl AmnesicCore {
                             stats.record_decision(slice.index(), false, level);
                         }
                         let (value, _) = machine.load_word(addr);
-                        machine.set_reg(*dst, value);
+                        machine.set_reg(dst, value);
                         loads += 1;
                     }
                 }
-                Instruction::Rtn { .. } => {
+                DecodedOp::Rtn => {
                     return Err(RunError::UnexpectedInstruction {
                         pc,
-                        what: inst.to_string(),
+                        what: program.instructions[pc].to_string(),
                     }
                     .into());
                 }
-                compute => {
-                    let value = eval_compute(compute, vals);
-                    let dst = compute.dst().expect("compute has dst");
-                    machine.set_reg(dst, value);
-                    machine.charge_op(compute.category());
+                _ => {
+                    let value = d.eval_compute(vals);
+                    machine.set_reg(d.dst.expect("compute has dst"), value);
+                    machine.charge_op(d.category);
                 }
             }
             pc = next_pc;
@@ -395,6 +396,7 @@ impl AmnesicCore {
     fn traverse(
         &self,
         program: &Program,
+        decoded: &[DecodedInst],
         slice: SliceId,
         machine: &mut Machine,
         sfile: &mut SFile,
@@ -428,9 +430,9 @@ impl AmnesicCore {
         let mut outcome = None;
         let mut last_value = 0u64;
         for k in 0..body_len {
-            let inst = &program.instructions[meta.entry + k];
+            let d = &decoded[meta.entry + k];
             let plan = &meta.plans[k];
-            let regs_of = inst.srcs();
+            let regs_of = &d.srcs;
             let mut vals = [0u64; 3];
             let mut hist_entry: Option<(u16, [u64; 3])> = None;
             let mut ok = true;
@@ -477,15 +479,15 @@ impl AmnesicCore {
                 outcome = Some(Traversal::MissingHist);
                 break;
             }
-            if let Some(kind) = compute_exception(inst, vals) {
+            if let Some(kind) = decoded_exception(d, vals) {
                 stats.deferred_exceptions.push(DeferredException {
                     slice: slice.0,
                     slice_inst: k as u16,
                     kind,
                 });
             }
-            let value = eval_compute(inst, vals);
-            machine.charge_op(inst.category());
+            let value = d.eval_compute(vals);
+            machine.charge_op(d.category);
             stats.recompute_insts += 1;
             let Some(slot) = sfile.alloc_write(value) else {
                 outcome = Some(Traversal::SFileOverflow);

@@ -5,6 +5,7 @@ use amnesiac_compiler::{compile, CompileOptions, CompileReport};
 use amnesiac_core::{AmnesicConfig, AmnesicCore, AmnesicRunResult, Policy};
 use amnesiac_energy::EnergyModel;
 use amnesiac_isa::Program;
+use amnesiac_pool::Pool;
 use amnesiac_profile::{profile_program, ProgramProfile};
 use amnesiac_sim::{CoreConfig, RunResult};
 use amnesiac_telemetry::{Json, StageTimings, Stopwatch, ToJson};
@@ -234,30 +235,32 @@ pub struct EvalSuite {
     pub energy: EnergyModel,
 }
 
+/// Runs the full pipeline for every workload on the global pool. Suite
+/// composition is the caller's workload list; this helper only fans out.
+/// `parallel_map` preserves input order, so suite records are identical to
+/// a sequential pass regardless of worker count.
+fn compute_workloads(workloads: Vec<Workload>, energy: &EnergyModel) -> Vec<BenchEval> {
+    Pool::global().parallel_map(workloads, |w| BenchEval::compute(w, energy))
+}
+
+/// Default timing repetitions for [`EvalSuite::compute_sequential`].
+pub const DEFAULT_TIMING_REPS: usize = 3;
+
 impl EvalSuite {
-    /// Computes the suite for the 11 focal benchmarks (in parallel, one
-    /// thread per benchmark).
+    /// Computes the suite for the 11 focal benchmarks (in parallel on the
+    /// global pool, one task per benchmark).
     pub fn compute(scale: Scale) -> Self {
         Self::compute_with(scale, &EnergyModel::paper())
     }
 
     /// Computes the suite under a custom energy model.
     pub fn compute_with(scale: Scale, energy: &EnergyModel) -> Self {
-        let benches = std::thread::scope(|scope| {
-            let handles: Vec<_> = FOCAL_NAMES
-                .iter()
-                .map(|name| {
-                    let energy = energy.clone();
-                    scope.spawn(move || BenchEval::compute(build_focal(name, scale), &energy))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("benchmark thread succeeds"))
-                .collect()
-        });
+        let workloads = FOCAL_NAMES
+            .iter()
+            .map(|name| build_focal(name, scale))
+            .collect();
         EvalSuite {
-            benches,
+            benches: compute_workloads(workloads, energy),
             energy: energy.clone(),
         }
     }
@@ -272,14 +275,19 @@ impl EvalSuite {
     /// periodic scheduler hiccups — noise that only ever adds time, which
     /// min-of-N strips. Results and gains are identical across repeats
     /// (deterministic); only the timings are merged.
-    pub fn compute_sequential(scale: Scale) -> Self {
-        const TIMING_RUNS: usize = 3;
+    ///
+    /// `reps` is the number of timing repetitions per benchmark (clamped to
+    /// at least 1); [`DEFAULT_TIMING_REPS`] suits quiet machines, while a
+    /// loaded or frequency-scaling host wants more reps to reach the same
+    /// noise floor.
+    pub fn compute_sequential(scale: Scale, reps: usize) -> Self {
+        let reps = reps.max(1);
         let energy = EnergyModel::paper();
         let benches = FOCAL_NAMES
             .iter()
             .map(|name| {
                 let mut eval = BenchEval::compute(build_focal(name, scale), &energy);
-                for _ in 1..TIMING_RUNS {
+                for _ in 1..reps {
                     let repeat = BenchEval::compute(build_focal(name, scale), &energy);
                     eval.stages.min_merge(&repeat.stages);
                 }
@@ -289,47 +297,37 @@ impl EvalSuite {
         EvalSuite { benches, energy }
     }
 
-    /// Computes the control (compute-bound) benchmarks (in parallel, one
-    /// thread per benchmark, like [`EvalSuite::compute`]).
+    /// Computes the control (compute-bound) benchmarks (on the pool, like
+    /// [`EvalSuite::compute`]).
     pub fn compute_controls(scale: Scale) -> Self {
         let energy = EnergyModel::paper();
-        let benches = std::thread::scope(|scope| {
-            let handles: Vec<_> = CONTROL_NAMES
-                .iter()
-                .map(|name| {
-                    let energy = energy.clone();
-                    scope.spawn(move || BenchEval::compute(build_control(name, scale), &energy))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("benchmark thread succeeds"))
-                .collect()
-        });
-        EvalSuite { benches, energy }
+        let workloads = CONTROL_NAMES
+            .iter()
+            .map(|name| build_control(name, scale))
+            .collect();
+        EvalSuite {
+            benches: compute_workloads(workloads, &energy),
+            energy,
+        }
     }
 
     /// Computes "the rest": the 22 non-focal benchmarks of Table 2
-    /// (5 controls + 17 extended), in parallel.
+    /// (5 controls + 17 extended), in parallel on the pool.
     pub fn compute_rest(scale: Scale) -> Self {
         let energy = EnergyModel::paper();
-        let benches = std::thread::scope(|scope| {
-            let control = CONTROL_NAMES.iter().map(|name| {
-                let energy = energy.clone();
-                scope.spawn(move || BenchEval::compute(build_control(name, scale), &energy))
-            });
-            let extended = EXTENDED_NAMES.iter().map(|name| {
-                let energy = energy.clone();
-                scope.spawn(move || BenchEval::compute(build_extended(name, scale), &energy))
-            });
-            control
-                .chain(extended)
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().expect("benchmark thread succeeds"))
-                .collect()
-        });
-        EvalSuite { benches, energy }
+        let workloads = CONTROL_NAMES
+            .iter()
+            .map(|name| build_control(name, scale))
+            .chain(
+                EXTENDED_NAMES
+                    .iter()
+                    .map(|name| build_extended(name, scale)),
+            )
+            .collect();
+        EvalSuite {
+            benches: compute_workloads(workloads, &energy),
+            energy,
+        }
     }
 
     /// Counts how many benchmarks clear `threshold`% EDP gain under their
@@ -414,6 +412,38 @@ mod tests {
         assert_eq!(pct_gain(f64::INFINITY, 10.0), 0.0);
         assert!((pct_gain(50.0, 100.0) - 50.0).abs() < 1e-12);
         assert!((pct_gain(150.0, 100.0) + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_fanout_matches_sequential_byte_for_byte() {
+        // the suite must be bitwise independent of how it was scheduled:
+        // same binaries, same run records, same gains — only wall-clock
+        // stage timings may differ between the two arms
+        let energy = EnergyModel::paper();
+        let names: Vec<_> = FOCAL_NAMES.iter().take(2).collect();
+        let pooled = compute_workloads(
+            names.iter().map(|n| build_focal(n, Scale::Test)).collect(),
+            &energy,
+        );
+        let sequential: Vec<BenchEval> = names
+            .iter()
+            .map(|n| BenchEval::compute(build_focal(n, Scale::Test), &energy))
+            .collect();
+        assert_eq!(pooled.len(), sequential.len());
+        for (p, s) in pooled.iter().zip(&sequential) {
+            assert_eq!(p.name, s.name, "parallel_map must preserve input order");
+            assert_eq!(p.prob_binary.instructions, s.prob_binary.instructions);
+            assert_eq!(p.oracle_binary.instructions, s.oracle_binary.instructions);
+            assert_eq!(p.classic.to_json().compact(), s.classic.to_json().compact());
+            for (outcome, result) in &p.runs {
+                assert_eq!(
+                    result.to_json().compact(),
+                    s.run(*outcome).to_json().compact(),
+                    "{} diverged between pooled and sequential runs",
+                    outcome.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,11 +11,20 @@
 use std::fmt::Write as _;
 
 use amnesiac_telemetry::Json;
+use amnesiac_workloads::Scale;
 
 use crate::pipeline::{EvalSuite, PolicyOutcome};
 
 /// Bumped whenever the snapshot layout changes incompatibly.
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// Snapshot label for a workload scale.
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    }
+}
 
 /// Default slack, in percentage points of gain, before a drop counts as a
 /// regression. Gains are deterministic, so this only needs to absorb
@@ -23,8 +32,10 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// benign reorderings of floating-point accumulation.
 pub const DEFAULT_TOLERANCE_PP: f64 = 0.05;
 
-/// Builds the snapshot document for a computed suite.
-pub fn snapshot(suite: &EvalSuite) -> Json {
+/// Builds the snapshot document for a computed suite. `scale` records the
+/// workload scale the suite ran at, so a later comparison can tell which
+/// inputs produced the baseline.
+pub fn snapshot(suite: &EvalSuite, scale: Scale) -> Json {
     let mut benches = Json::obj();
     for bench in &suite.benches {
         let mut gains = Json::obj();
@@ -47,7 +58,38 @@ pub fn snapshot(suite: &EvalSuite) -> Json {
     }
     Json::obj()
         .with("schema_version", SCHEMA_VERSION)
+        .with("scale", scale_label(scale))
         .with("benches", benches)
+}
+
+/// Gain cells in a baseline snapshot whose value is exactly zero.
+///
+/// A zero baseline cell is a blind spot: the comparator only flags values
+/// that fall *below* baseline, so a gain that collapses from positive to
+/// zero at a larger scale — while staying zero at the snapshot's scale —
+/// can never trip the gate there. Callers should surface these as warnings
+/// and consider re-snapshotting with a larger `--scale`.
+pub fn zero_baseline_cells(baseline: &Json) -> Vec<String> {
+    let mut cells = Vec::new();
+    let Some(benches) = baseline.get("benches").and_then(Json::as_obj) else {
+        return cells;
+    };
+    for (bench, entry) in benches {
+        let Some(gains) = entry.get("gains").and_then(Json::as_obj) else {
+            continue;
+        };
+        for (policy, metrics) in gains {
+            let Some(metrics) = metrics.as_obj() else {
+                continue;
+            };
+            for (metric, value) in metrics {
+                if value.as_f64() == Some(0.0) {
+                    cells.push(format!("{bench}.{policy}.{metric}"));
+                }
+            }
+        }
+    }
+    cells
 }
 
 /// One metric that fell below its baseline.
@@ -183,7 +225,7 @@ mod tests {
 
     #[test]
     fn snapshot_compares_clean_against_itself() {
-        let snap = snapshot(&tiny_suite());
+        let snap = snapshot(&tiny_suite(), Scale::Test);
         // and survives serialization, as the CLI stores it on disk
         let reloaded = parse(&snap.pretty()).unwrap();
         let regressions = compare(&snap, &reloaded, DEFAULT_TOLERANCE_PP).unwrap();
@@ -192,7 +234,7 @@ mod tests {
 
     #[test]
     fn injected_regression_is_caught() {
-        let snap = snapshot(&tiny_suite());
+        let snap = snapshot(&tiny_suite(), Scale::Test);
         let mut doctored = snap.clone();
         // inflate one baseline gain by 10 pp so the "fresh" run looks worse
         let path = "benches.is.gains.Compiler.edp_gain_pct";
@@ -213,7 +255,7 @@ mod tests {
 
     #[test]
     fn improvements_and_slack_pass() {
-        let snap = snapshot(&tiny_suite());
+        let snap = snapshot(&tiny_suite(), Scale::Test);
         let mut better = snap.clone();
         if let Json::Obj(benches) = better.get_mut("benches").unwrap() {
             let entry = &mut benches[0].1;
@@ -231,8 +273,38 @@ mod tests {
     }
 
     #[test]
+    fn zero_baseline_cells_are_flagged() {
+        let snap = snapshot(&tiny_suite(), Scale::Test);
+        // zero out one gain cell: the audit must name exactly that path
+        let mut doctored = snap.clone();
+        if let Json::Obj(benches) = doctored.get_mut("benches").unwrap() {
+            let entry = &mut benches.iter_mut().find(|(k, _)| k == "is").unwrap().1;
+            if let Json::Obj(gains) = entry.get_mut("gains").unwrap() {
+                let policy = &mut gains.iter_mut().find(|(k, _)| k == "Compiler").unwrap().1;
+                policy.set("edp_gain_pct", 0.0);
+            }
+        }
+        let cells = zero_baseline_cells(&doctored);
+        assert!(
+            cells.contains(&"is.Compiler.edp_gain_pct".to_string()),
+            "{cells:?}"
+        );
+        // a nonzero cell must not be flagged
+        assert!(
+            !cells.contains(&"is.Oracle.edp_gain_pct".to_string()) || {
+                // unless it genuinely is zero in this tiny suite
+                snap.get_path("benches.is.gains.Oracle.edp_gain_pct")
+                    .and_then(Json::as_f64)
+                    == Some(0.0)
+            }
+        );
+        // the snapshot records the scale it ran at
+        assert_eq!(snap.get("scale").and_then(Json::as_str), Some("test"));
+    }
+
+    #[test]
     fn malformed_documents_are_errors() {
-        let snap = snapshot(&tiny_suite());
+        let snap = snapshot(&tiny_suite(), Scale::Test);
         assert!(compare(&Json::obj(), &snap, 0.1).is_err());
         assert!(compare(&snap, &Json::obj().with("schema_version", 99u64), 0.1).is_err());
     }

@@ -45,6 +45,7 @@
 pub mod asm;
 pub mod binary;
 mod builder;
+mod decoded;
 mod disasm;
 mod inst;
 mod program;
@@ -53,6 +54,7 @@ pub mod validate;
 pub use asm::{parse_asm, to_asm, AsmError};
 pub use binary::{decode_program, encode_program, DecodeError};
 pub use builder::{Label, ProgramBuilder, DATA_BASE};
+pub use decoded::{predecode, DecodedInst, DecodedOp};
 pub use disasm::disassemble;
 pub use inst::{
     AluOp, BranchCond, Category, CvtKind, FpOp, FpUnOp, Instruction, MAX_DEST_OPERANDS,

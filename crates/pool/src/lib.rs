@@ -1,0 +1,548 @@
+//! Std-only work-stealing thread pool with a scoped, order-preserving
+//! `parallel_map`.
+//!
+//! The evaluation pipeline fans out over benchmarks, load sites, and
+//! validation shards; spawning one OS thread per item (the previous
+//! `std::thread::scope` pattern) does not compose — nested fan-outs multiply
+//! thread counts — and gives the scheduler no queue to balance. This crate
+//! provides the shared substrate: a fixed set of worker threads with
+//! per-worker deques and work stealing, plus [`Pool::parallel_map`], the only
+//! entry point the pipeline needs.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** `parallel_map(items, f)` returns results in input
+//!    order, byte-identical to `items.into_iter().map(f).collect()`. Work
+//!    distribution affects wall time only, never results.
+//! 2. **Nesting without deadlock.** The calling thread participates in its
+//!    own call: it claims and executes items like any worker, so a worker
+//!    that calls `parallel_map` from inside a task drains the inner call
+//!    itself even when every other worker is busy. No call ever blocks
+//!    waiting for a pool slot.
+//! 3. **Panic propagation.** A panic in `f` is caught, the remaining items
+//!    still run (keeping the completion protocol simple and deterministic),
+//!    and the first payload is re-thrown on the calling thread.
+//! 4. **Std-only.** Like `amnesiac-rng` and `amnesiac-telemetry`, no
+//!    external dependencies — the build works fully offline.
+//!
+//! # Scoped execution protocol
+//!
+//! `parallel_map` borrows its closure and items from the caller's stack, so
+//! helper jobs submitted to the pool must never outlive the call. The
+//! protocol:
+//!
+//! * Items are claimed via a shared atomic cursor; each helper job (and the
+//!   caller) runs [`drive`] until the cursor passes the end. Claims, not
+//!   queue position, decide who runs what — stolen or stale jobs are
+//!   harmless.
+//! * The caller waits until every item is *done* (not merely claimed), then
+//!   removes its still-queued helper jobs from all deques, then waits until
+//!   no worker is still inside one of its jobs. Workers mark a job as
+//!   executing under the same deque lock that pops it, so a job is always
+//!   either queued, counted as executing, or finished — never invisible.
+//! * Only after that does `parallel_map` return, making the borrowed state's
+//!   lifetime sound. Because cancelled jobs are removed rather than awaited,
+//!   a call never blocks on unrelated work queued ahead of its helpers.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Environment variable overriding the global pool's worker count.
+///
+/// `0` forces inline (fully sequential) execution; useful for debugging and
+/// for determinism A/B tests.
+pub const POOL_THREADS_ENV: &str = "AMNESIAC_POOL_THREADS";
+
+/// A job queued on a worker deque: the call it belongs to (for
+/// cancellation), the call's execution ticket, and the erased closure.
+struct QueuedJob {
+    call: u64,
+    ticket: Arc<Ticket>,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Per-call count of helper jobs currently executing on worker threads.
+///
+/// Incremented under the deque lock that pops the job, so the owning call
+/// can prove quiescence: once its jobs are removed from every deque and the
+/// ticket reads zero, no worker can still touch the call's borrowed state.
+#[derive(Default)]
+struct Ticket {
+    executing: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Ticket {
+    fn begin(&self) {
+        *self.executing.lock().unwrap() += 1;
+    }
+
+    fn finish(&self) {
+        let mut active = self.executing.lock().unwrap();
+        *active -= 1;
+        if *active == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut active = self.executing.lock().unwrap();
+        while *active > 0 {
+            active = self.idle.wait(active).unwrap();
+        }
+    }
+}
+
+/// Sleep/wake state shared by all workers: bumping `epoch` under the lock
+/// and notifying is the lost-wakeup-free "new work may exist" signal.
+struct SleepState {
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    /// One deque per worker; submissions round-robin, idle workers steal.
+    queues: Vec<Mutex<VecDeque<QueuedJob>>>,
+    sleep: Mutex<SleepState>,
+    wake: Condvar,
+    next_queue: AtomicUsize,
+}
+
+impl PoolShared {
+    fn submit(&self, job: QueuedJob) {
+        let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[slot].lock().unwrap().push_back(job);
+        let mut sleep = self.sleep.lock().unwrap();
+        sleep.epoch = sleep.epoch.wrapping_add(1);
+        self.wake.notify_all();
+    }
+
+    /// Pops the worker's own deque from the back (LIFO keeps its cache warm)
+    /// or steals from another deque's front (FIFO takes the oldest work).
+    ///
+    /// On success the job's ticket is marked executing *before* the deque
+    /// lock is released — see the module-level protocol.
+    fn try_pop(&self, worker: usize) -> Option<QueuedJob> {
+        let k = self.queues.len();
+        for offset in 0..k {
+            let mut queue = self.queues[(worker + offset) % k].lock().unwrap();
+            let job = if offset == 0 {
+                queue.pop_back()
+            } else {
+                queue.pop_front()
+            };
+            if let Some(job) = job {
+                job.ticket.begin();
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Removes every still-queued job of `call` from all deques.
+    fn cancel(&self, call: u64) {
+        for queue in &self.queues {
+            queue.lock().unwrap().retain(|job| job.call != call);
+        }
+    }
+}
+
+fn run_job(job: QueuedJob) {
+    (job.run)();
+    job.ticket.finish();
+}
+
+fn worker_loop(shared: Arc<PoolShared>, worker: usize) {
+    loop {
+        if let Some(job) = shared.try_pop(worker) {
+            run_job(job);
+            continue;
+        }
+        let epoch = {
+            let sleep = shared.sleep.lock().unwrap();
+            if sleep.shutdown {
+                break;
+            }
+            sleep.epoch
+        };
+        // Re-check after reading the epoch: a submit between the failed pop
+        // above and the epoch read bumps the epoch, so the wait below cannot
+        // miss it.
+        if let Some(job) = shared.try_pop(worker) {
+            run_job(job);
+            continue;
+        }
+        let mut sleep = shared.sleep.lock().unwrap();
+        while sleep.epoch == epoch && !sleep.shutdown {
+            sleep = shared.wake.wait(sleep).unwrap();
+        }
+        if sleep.shutdown {
+            break;
+        }
+    }
+    // Drain on shutdown so no queued job is silently dropped while a call
+    // still waits on it.
+    while let Some(job) = shared.try_pop(worker) {
+        run_job(job);
+    }
+}
+
+/// Shared state of one `parallel_map` call, borrowed from the caller's
+/// stack; helper jobs reference it only while the protocol keeps it alive.
+struct MapState<'a, T, R, F> {
+    func: &'a F,
+    items: Vec<Mutex<Option<T>>>,
+    results: Vec<Mutex<Option<R>>>,
+    /// Claim cursor; `fetch_add` hands out each index exactly once.
+    next: AtomicUsize,
+    done: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    gate: Mutex<()>,
+    all_done: Condvar,
+}
+
+impl<'a, T, R, F> MapState<'a, T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    fn new(items: Vec<T>, func: &'a F) -> Self {
+        let n = items.len();
+        MapState {
+            func,
+            items: items
+                .into_iter()
+                .map(|item| Mutex::new(Some(item)))
+                .collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            gate: Mutex::new(()),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs items until the cursor passes the end. Runs on the
+    /// caller and on any helper job; every participant executes the same
+    /// loop, which is what makes nesting and stealing safe.
+    fn drive(&self) {
+        let n = self.items.len();
+        loop {
+            let index = self.next.fetch_add(1, Ordering::Relaxed);
+            if index >= n {
+                return;
+            }
+            let item = self.items[index]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("each index is claimed exactly once");
+            match catch_unwind(AssertUnwindSafe(|| (self.func)(item))) {
+                Ok(result) => *self.results[index].lock().unwrap() = Some(result),
+                Err(payload) => {
+                    let mut first = self.panic.lock().unwrap();
+                    if first.is_none() {
+                        *first = Some(payload);
+                    }
+                }
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == n {
+                // Lock-then-notify pairs with the check in `wait_all_done`.
+                let _gate = self.gate.lock().unwrap();
+                self.all_done.notify_all();
+            }
+        }
+    }
+
+    fn wait_all_done(&self) {
+        let n = self.items.len();
+        let mut gate = self.gate.lock().unwrap();
+        while self.done.load(Ordering::Acquire) < n {
+            gate = self.all_done.wait(gate).unwrap();
+        }
+    }
+
+    /// Consumes the state: re-throws the first caught panic, otherwise
+    /// returns results in input order.
+    fn into_results(self) -> Vec<R> {
+        if let Some(payload) = self.panic.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        self.results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every item completed without panicking")
+            })
+            .collect()
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Construct with [`Pool::new`] (tests, determinism A/B runs) or use the
+/// process-wide [`Pool::global`]. A pool with zero workers runs everything
+/// inline on the calling thread; results are identical either way.
+pub struct Pool {
+    shared: Option<Arc<PoolShared>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool with `threads` workers. `threads == 0` builds an
+    /// inline pool that executes `parallel_map` sequentially on the caller.
+    pub fn new(threads: usize) -> Pool {
+        if threads == 0 {
+            return Pool {
+                shared: None,
+                handles: Vec::new(),
+            };
+        }
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(SleepState {
+                epoch: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            next_queue: AtomicUsize::new(0),
+        });
+        let handles = (0..threads)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("amnesiac-pool-{worker}"))
+                    .spawn(move || worker_loop(shared, worker))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared: Some(shared),
+            handles,
+        }
+    }
+
+    /// The process-wide pool used by the pipeline. Sized to
+    /// `available_parallelism - 1` helper workers (the caller is the final
+    /// executor), overridable via [`POOL_THREADS_ENV`].
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(default_threads()))
+    }
+
+    /// Number of worker threads (0 for an inline pool).
+    pub fn workers(&self) -> usize {
+        self.shared.as_ref().map_or(0, |shared| shared.queues.len())
+    }
+
+    /// Applies `func` to every item, in parallel, returning results in input
+    /// order — byte-identical to `items.into_iter().map(func).collect()`.
+    ///
+    /// The calling thread participates, so this may be called from inside a
+    /// pool task (nested fan-out) without risking deadlock. If `func` panics
+    /// on any item, the remaining items still run and the first panic
+    /// payload is re-thrown here.
+    ///
+    /// ```
+    /// let pool = amnesiac_pool::Pool::new(2);
+    /// let doubled = pool.parallel_map(vec![1, 2, 3], |x| x * 2);
+    /// assert_eq!(doubled, vec![2, 4, 6]);
+    /// ```
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, func: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let shared = match &self.shared {
+            Some(shared) if items.len() > 1 => shared,
+            // Inline pool, empty, or single item: no fan-out to orchestrate.
+            _ => return items.into_iter().map(func).collect(),
+        };
+
+        static NEXT_CALL: AtomicU64 = AtomicU64::new(0);
+        let call = NEXT_CALL.fetch_add(1, Ordering::Relaxed);
+        let ticket = Arc::new(Ticket::default());
+        let state = MapState::new(items, &func);
+        let helpers = self.workers().min(state.items.len() - 1);
+        for _ in 0..helpers {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(|| state.drive());
+            // SAFETY: the job borrows `state` (and `func`) from this stack
+            // frame. The execution protocol guarantees the borrow cannot be
+            // used after this function returns: we wait for all items to
+            // complete, remove every still-queued job of this call from the
+            // deques, and wait for in-flight jobs to finish (workers mark a
+            // job executing under the deque lock that pops it, so no job is
+            // ever in flight without being either queued or ticketed).
+            let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+            shared.submit(QueuedJob {
+                call,
+                ticket: Arc::clone(&ticket),
+                run: job,
+            });
+        }
+        state.drive();
+        shared.cancel(call);
+        state.wait_all_done();
+        ticket.wait_idle();
+        state.into_results()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            let mut sleep = shared.sleep.lock().unwrap();
+            sleep.shutdown = true;
+            shared.wake.notify_all();
+            drop(sleep);
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    if let Ok(value) = std::env::var(POOL_THREADS_ENV) {
+        if let Ok(threads) = value.trim().parse::<usize>() {
+            return threads;
+        }
+    }
+    // The calling thread participates in every `parallel_map`, so an N-core
+    // machine wants N-1 helper workers; sizing to N would oversubscribe by
+    // one. On a single core this makes the global pool fully inline, which
+    // is exactly right: there is no parallelism to win, only wake/steal
+    // overhead to pay.
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_for(iters: u32) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..iters {
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(u64::from(i));
+            std::hint::spin_loop();
+        }
+        acc
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let pool = Pool::new(2);
+        let empty: Vec<i32> = pool.parallel_map(Vec::new(), |x: i32| x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn inline_pool_matches_sequential() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.workers(), 0);
+        let items: Vec<u32> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3).collect();
+        assert_eq!(pool.parallel_map(items, |x| u64::from(x) * 3), expected);
+    }
+
+    #[test]
+    fn preserves_order_across_pool_sizes() {
+        let items: Vec<u64> = (0..200).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            assert_eq!(
+                pool.parallel_map(items.clone(), |x| x * x + 1),
+                expected,
+                "pool with {threads} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn many_concurrent_calls_share_one_pool() {
+        let pool = Pool::new(3);
+        thread::scope(|scope| {
+            for caller in 0u64..4 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let items: Vec<u64> = (0..50).map(|i| i + caller * 1000).collect();
+                    let expected: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+                    assert_eq!(pool.parallel_map(items, |x| x * 2), expected);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let pool = Pool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map((0..16).collect::<Vec<u32>>(), |x| {
+                if x == 9 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert_eq!(message, "boom at 9");
+        // The pool must stay usable after a propagated panic.
+        assert_eq!(pool.parallel_map(vec![1, 2], |x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn nested_parallel_map_completes() {
+        let pool = Pool::new(2);
+        let outer: Vec<u64> = (0..6).collect();
+        let expected: Vec<u64> = outer
+            .iter()
+            .map(|&i| (0..8).map(|j| i * 10 + j).sum())
+            .collect();
+        let got = pool.parallel_map(outer, |i| {
+            let inner: Vec<u64> = (0..8).map(|j| i * 10 + j).collect();
+            pool.parallel_map(inner, |x| x).into_iter().sum::<u64>()
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn spin_durations_do_not_reorder_results() {
+        // Randomized, uneven task durations exercise stealing and claim
+        // racing; the output must still be in input order.
+        let pool = Pool::new(4);
+        let items: Vec<(usize, u32)> = (0..64).map(|i| (i, ((i * 37) % 5000) as u32)).collect();
+        let expected: Vec<usize> = (0..64).collect();
+        let got = pool.parallel_map(items, |(index, spin)| {
+            std::hint::black_box(spin_for(spin));
+            index
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let pool = Pool::global();
+        let items: Vec<u32> = (0..32).collect();
+        let expected: Vec<u32> = items.iter().map(|&x| x ^ 0xffff).collect();
+        assert_eq!(pool.parallel_map(items, |x| x ^ 0xffff), expected);
+    }
+}

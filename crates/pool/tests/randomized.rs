@@ -1,0 +1,44 @@
+//! Ordered-result equivalence against a sequential map under randomized
+//! task durations — the stealing/claiming machinery must never reorder or
+//! drop results, no matter how unevenly the work is distributed.
+
+use amnesiac_pool::Pool;
+use amnesiac_rng::Rng;
+
+fn spin(iters: u64) -> u64 {
+    let mut acc = iters;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        std::hint::spin_loop();
+    }
+    acc
+}
+
+#[test]
+fn randomized_durations_match_sequential_map() {
+    let mut rng = Rng::seed_from_u64(0x9e3779b97f4a7c15);
+    for round in 0..4 {
+        let threads = 1 + (round % 4);
+        let pool = Pool::new(threads);
+        let items: Vec<(u64, u64)> = (0..96).map(|index| (index, rng.below(20_000))).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .map(|&(index, iters)| index.wrapping_add(spin(iters)))
+            .collect();
+        let got = pool.parallel_map(items, |(index, iters)| index.wrapping_add(spin(iters)));
+        assert_eq!(got, expected, "round {round}, {threads} workers");
+    }
+}
+
+#[test]
+fn randomized_item_counts_and_values() {
+    let mut rng = Rng::seed_from_u64(42);
+    let pool = Pool::new(4);
+    for _ in 0..20 {
+        let n = rng.below(40) as usize;
+        let items: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x.rotate_left(13) ^ 0xabcd).collect();
+        let got = pool.parallel_map(items, |x| x.rotate_left(13) ^ 0xabcd);
+        assert_eq!(got, expected);
+    }
+}

@@ -3,11 +3,10 @@
 use std::collections::BTreeMap;
 
 use amnesiac_energy::EnergyAccount;
-use amnesiac_isa::{Category, Instruction, Program};
+use amnesiac_isa::{predecode, Category, DecodedOp, Instruction, Program};
 use amnesiac_mem::{HierarchyStats, ServiceLevel};
 use amnesiac_telemetry::{Json, ToJson};
 
-use crate::eval::eval_compute;
 use crate::machine::{CoreConfig, Machine, RunError};
 
 /// Everything a dynamic-instruction observer can see at retirement.
@@ -183,6 +182,9 @@ impl ClassicCore {
         observer: &mut dyn Observer,
     ) -> Result<RunResult, RunError> {
         let mut machine = Machine::new(&self.config, program);
+        // Hoist the per-retirement enum re-matching out of the loop: operand
+        // registers, category, and payloads are static per pc.
+        let decoded = predecode(program);
         let mut pc = program.entry;
         let mut retired: u64 = 0;
         let mut loads: u64 = 0;
@@ -198,12 +200,11 @@ impl ClassicCore {
                 return Err(RunError::PcOutOfRange { pc });
             }
             machine.fetch(pc);
-            let inst = &program.instructions[pc];
+            let d = &decoded[pc];
             retired += 1;
 
-            let srcs = inst.srcs();
             let mut src_values = [0u64; 3];
-            for (i, s) in srcs.iter().enumerate() {
+            for (i, s) in d.srcs.iter().enumerate() {
                 if let Some(r) = s {
                     src_values[i] = machine.reg(*r);
                 }
@@ -211,7 +212,7 @@ impl ClassicCore {
 
             let mut event = RetireEvent {
                 pc,
-                inst,
+                inst: &program.instructions[pc],
                 src_values,
                 result: None,
                 addr: None,
@@ -219,49 +220,48 @@ impl ClassicCore {
             };
             let mut next_pc = pc + 1;
 
-            match inst {
-                Instruction::Halt => {
+            match d.op {
+                DecodedOp::Halt => {
                     machine.charge_op(Category::Jump);
                     observer.on_retire(&event);
                     break;
                 }
-                Instruction::Load { dst, offset, .. } => {
-                    let addr = src_values[0].wrapping_add(*offset as u64);
+                DecodedOp::Load { offset } => {
+                    let addr = src_values[0].wrapping_add(offset as u64);
                     let (value, level) = machine.load_word(addr);
-                    machine.set_reg(*dst, value);
+                    machine.set_reg(d.dst.expect("loads have a dst"), value);
                     loads += 1;
                     event.result = Some(value);
                     event.addr = Some(addr);
                     event.level = Some(level);
                 }
-                Instruction::Store { offset, .. } => {
-                    let addr = src_values[1].wrapping_add(*offset as u64);
+                DecodedOp::Store { offset } => {
+                    let addr = src_values[1].wrapping_add(offset as u64);
                     let level = machine.store_word(addr, src_values[0]);
                     stores += 1;
                     event.addr = Some(addr);
                     event.level = Some(level);
                 }
-                Instruction::Branch { cond, target, .. } => {
+                DecodedOp::Branch { cond, target } => {
                     machine.charge_op(Category::Branch);
                     if cond.eval(src_values[0], src_values[1]) {
-                        next_pc = *target;
+                        next_pc = target;
                     }
                 }
-                Instruction::Jump { target } => {
+                DecodedOp::Jump { target } => {
                     machine.charge_op(Category::Jump);
-                    next_pc = *target;
+                    next_pc = target;
                 }
-                Instruction::Rcmp { .. } | Instruction::Rtn { .. } | Instruction::Rec { .. } => {
+                DecodedOp::Rcmp { .. } | DecodedOp::Rtn | DecodedOp::Rec { .. } => {
                     return Err(RunError::UnexpectedInstruction {
                         pc,
-                        what: inst.to_string(),
+                        what: program.instructions[pc].to_string(),
                     });
                 }
-                compute => {
-                    let value = eval_compute(compute, src_values);
-                    let dst = compute.dst().expect("compute instructions have a dst");
-                    machine.set_reg(dst, value);
-                    machine.charge_op(compute.category());
+                _ => {
+                    let value = d.eval_compute(src_values);
+                    machine.set_reg(d.dst.expect("compute instructions have a dst"), value);
+                    machine.charge_op(d.category);
                     event.result = Some(value);
                 }
             }

@@ -1,7 +1,7 @@
 //! Pure functional semantics of compute instructions, shared by the classic
 //! core, the profiler's replay validation, and the amnesic slice traversal.
 
-use amnesiac_isa::{AluOp, Instruction};
+use amnesiac_isa::{AluOp, DecodedInst, DecodedOp, Instruction};
 
 /// Architectural exceptions a compute instruction can raise.
 ///
@@ -58,6 +58,37 @@ pub fn compute_exception(inst: &Instruction, srcs: [u64; 3]) -> Option<Exception
             let out = f64::from_bits(eval_compute(inst, srcs));
             let in_nan = inst
                 .srcs()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .any(|(i, _)| f64::from_bits(srcs[i]).is_nan());
+            if out.is_nan() && !in_nan {
+                Some(ExceptionKind::FpInvalid)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Decoded twin of [`compute_exception`]: same semantics, but dispatches on
+/// the predecoded stream and reads the pre-resolved source array instead of
+/// re-deriving it with [`Instruction::srcs`] on every check.
+#[inline]
+pub fn decoded_exception(inst: &DecodedInst, srcs: [u64; 3]) -> Option<ExceptionKind> {
+    match inst.op {
+        DecodedOp::Alu {
+            op: AluOp::Div | AluOp::Rem,
+        } if srcs[1] == 0 => Some(ExceptionKind::DivideByZero),
+        DecodedOp::Alui {
+            op: AluOp::Div | AluOp::Rem,
+            imm: 0,
+        } => Some(ExceptionKind::DivideByZero),
+        DecodedOp::Fpu { .. } | DecodedOp::FpuUn { .. } | DecodedOp::Fma => {
+            let out = f64::from_bits(inst.eval_compute(srcs));
+            let in_nan = inst
+                .srcs
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| s.is_some())
@@ -224,6 +255,58 @@ mod tests {
             compute_exception(&sub, [1.0f64.to_bits(), 2.0f64.to_bits(), 0]),
             None
         );
+    }
+
+    #[test]
+    fn decoded_exception_agrees_with_enum_path() {
+        let r = Reg(0);
+        let cases = [
+            (
+                Instruction::Alu {
+                    op: AluOp::Div,
+                    dst: r,
+                    lhs: r,
+                    rhs: r,
+                },
+                [5, 0, 0],
+            ),
+            (
+                Instruction::Alui {
+                    op: AluOp::Rem,
+                    dst: r,
+                    src: r,
+                    imm: 0,
+                },
+                [5, 0, 0],
+            ),
+            (
+                Instruction::Fpu {
+                    op: FpOp::Sub,
+                    dst: r,
+                    lhs: r,
+                    rhs: r,
+                },
+                [f64::INFINITY.to_bits(), f64::INFINITY.to_bits(), 0],
+            ),
+            (
+                Instruction::Fpu {
+                    op: FpOp::Sub,
+                    dst: r,
+                    lhs: r,
+                    rhs: r,
+                },
+                [f64::NAN.to_bits(), f64::INFINITY.to_bits(), 0],
+            ),
+            (Instruction::Li { dst: r, imm: 3 }, [0, 0, 0]),
+        ];
+        for (inst, srcs) in cases {
+            let decoded = DecodedInst::from_inst(&inst);
+            assert_eq!(
+                decoded_exception(&decoded, srcs),
+                compute_exception(&inst, srcs),
+                "{inst:?}"
+            );
+        }
     }
 
     #[test]

@@ -40,5 +40,5 @@ mod eval;
 mod machine;
 
 pub use classic::{ClassicCore, NullObserver, Observer, RetireEvent, RunResult, TraceWriter};
-pub use eval::{compute_exception, eval_compute, ExceptionKind};
+pub use eval::{compute_exception, decoded_exception, eval_compute, ExceptionKind};
 pub use machine::{CoreConfig, Machine, RunError};
