@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! # amnesiac-cli
 //!
@@ -14,10 +15,17 @@
 //! amnesiac compare <prog | bench:NAME>                 # classic vs policies
 //! amnesiac encode <prog | bench:NAME> <out.bin>        # binary image
 //! amnesiac trace <prog | bench:NAME>                   # dynamic trace
+//! amnesiac verify [<prog | bench:NAME>] [--json <dir>] # static well-formedness
 //! amnesiac experiments --json <dir>                    # suite + JSON twins
 //! amnesiac bench-snapshot <out.json>                   # perf baseline
 //! amnesiac bench-compare <baseline.json> [--tolerance <pp>]
 //! ```
+//!
+//! `verify` compiles its target and runs the [`amnesiac_verify`] static
+//! analyser over the annotated binary, printing every diagnostic; with no
+//! target it sweeps all 33 built-in workloads in parallel and exits
+//! non-zero if any Error-severity diagnostic is found (`--json <dir>`
+//! additionally writes `verify.json`).
 //!
 //! The last three drive the full evaluation suite (test scale unless
 //! `--paper-scale`): `experiments` writes the machine-readable results
@@ -74,6 +82,7 @@ pub enum Verb {
     Compare,
     Encode,
     Trace,
+    Verify,
     Experiments,
     BenchSnapshot,
     BenchCompare,
@@ -103,9 +112,10 @@ impl std::error::Error for CliError {}
 pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
 <prog.asm | prog.bin | bench:NAME> [--paper-scale]
        amnesiac encode <prog | bench:NAME> <out.bin>
+       amnesiac verify [<prog | bench:NAME>] [--json <dir>] [--scale <test|paper>]
        amnesiac experiments --json <dir> [--paper-scale]
        amnesiac bench-snapshot <out.json> [--scale <test|paper>] [--reps <n>]
-       amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--scale <test|paper>] [--reps <n>]
+       amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--scale <test|paper>] [--reps <n>] [--json <dir>]
   built-in benchmarks: 11 focal (mcf sx cg is ca fs fe rt bp bfs sr),
   5 controls, 17 extended (see `amnesiac-workloads`)";
 
@@ -129,7 +139,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         let arg = args[i].as_str();
         match arg {
             "run" | "disasm" | "profile" | "compile" | "compare" | "encode" | "trace"
-            | "experiments" | "bench-snapshot" | "bench-compare"
+            | "verify" | "experiments" | "bench-snapshot" | "bench-compare"
                 if verb.is_none() =>
             {
                 verb = Some(match arg {
@@ -139,6 +149,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "compile" => Verb::Compile,
                     "compare" => Verb::Compare,
                     "trace" => Verb::Trace,
+                    "verify" => Verb::Verify,
                     "experiments" => Verb::Experiments,
                     "bench-snapshot" => Verb::BenchSnapshot,
                     "bench-compare" => Verb::BenchCompare,
@@ -220,7 +231,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 "bench-compare needs a baseline path".into(),
             ));
         }
-        Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => {}
+        Verb::Verify | Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => {}
         _ if target.is_none() => {
             return Err(CliError::Usage("missing program".into()));
         }
@@ -304,6 +315,9 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare
     ) {
         return execute_suite_verb(command);
+    }
+    if command.verb == Verb::Verify {
+        return execute_verify(command);
     }
     let target = command.target.as_deref().expect("parse_args enforced this");
     let program = load_program(target, command.effective_scale() == Scale::Paper)?;
@@ -468,8 +482,75 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => {
+        Verb::Verify | Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => {
             unreachable!("suite verbs are dispatched before program loading")
+        }
+    }
+}
+
+/// The `verify` verb: static well-formedness over one target (or, with no
+/// target, the whole built-in suite in parallel).
+///
+/// # Errors
+///
+/// Returns [`CliError::Tool`] when any Error-severity diagnostic is found,
+/// so the process exits non-zero.
+fn execute_verify(command: &Command) -> Result<String, CliError> {
+    use amnesiac_experiments::{export, VerifySweep};
+    use amnesiac_telemetry::ToJson as _;
+
+    let write_report =
+        |name: &str, json: &amnesiac_telemetry::Json| -> Result<Vec<String>, CliError> {
+            let Some(dir) = command.json_dir.as_deref() else {
+                return Ok(Vec::new());
+            };
+            let path = std::path::Path::new(dir).join(name);
+            export::write_json(&path, json)
+                .map_err(|e| CliError::Tool(format!("cannot write `{}`: {e}", path.display())))?;
+            Ok(vec![format!("wrote {}", path.display())])
+        };
+
+    match command.target.as_deref() {
+        Some(target) => {
+            let program = load_program(target, command.effective_scale() == Scale::Paper)?;
+            let config = CoreConfig::paper();
+            let tool = |e: &dyn std::fmt::Display| CliError::Tool(e.to_string());
+            let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
+            let (binary, _) =
+                compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
+            let report = amnesiac_verify::verify(&binary);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{target}: {} slices, {} blocks: {} error(s), {} warning(s)",
+                report.slices_checked,
+                report.blocks,
+                report.error_count(),
+                report.warn_count()
+            );
+            for d in &report.diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+            for line in write_report("verify.json", &report.to_json())? {
+                let _ = writeln!(out, "{line}");
+            }
+            if report.is_clean() {
+                Ok(out)
+            } else {
+                Err(CliError::Tool(out))
+            }
+        }
+        None => {
+            let sweep = VerifySweep::compute(command.effective_scale());
+            let mut out = sweep.render();
+            for line in write_report("verify.json", &sweep.to_json())? {
+                let _ = writeln!(out, "{line}");
+            }
+            if sweep.is_clean() {
+                Ok(out)
+            } else {
+                Err(CliError::Tool(out))
+            }
         }
     }
 }
@@ -535,15 +616,28 @@ fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
             let tolerance = command.tolerance.unwrap_or(regress::DEFAULT_TOLERANCE_PP);
             let regressions =
                 regress::compare(&baseline, &current, tolerance).map_err(CliError::Tool)?;
+            let warnings: Vec<String> = regress::zero_baseline_cells(&baseline)
+                .into_iter()
+                .map(|cell| {
+                    format!(
+                        "baseline gain `{cell}` is exactly zero — the gate cannot see \
+                         a drop there; consider re-snapshotting with a larger --scale"
+                    )
+                })
+                .collect();
             let mut report = String::new();
-            for cell in regress::zero_baseline_cells(&baseline) {
-                let _ = writeln!(
-                    report,
-                    "warning: baseline gain `{cell}` is exactly zero — the gate cannot see \
-                     a drop there; consider re-snapshotting with a larger --scale"
-                );
+            for w in &warnings {
+                let _ = writeln!(report, "warning: {w}");
             }
             report.push_str(&regress::render_report(&regressions, tolerance));
+            if let Some(dir) = command.json_dir.as_deref() {
+                let path = std::path::Path::new(dir).join("bench-compare.json");
+                let json = regress::comparison_json(&regressions, &warnings, tolerance);
+                export::write_json(&path, &json).map_err(|e| {
+                    CliError::Tool(format!("cannot write `{}`: {e}", path.display()))
+                })?;
+                let _ = writeln!(report, "wrote {}", path.display());
+            }
             if regressions.is_empty() {
                 Ok(report)
             } else {
@@ -715,6 +809,35 @@ mod tests {
             let text = std::fs::read_to_string(dir.join(name)).expect(name);
             amnesiac_telemetry::parse(&text).expect(name);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_verb_parses_with_and_without_a_target() {
+        let c = parse_args(&args(&["verify", "bench:is"])).unwrap();
+        assert_eq!(c.verb, Verb::Verify);
+        assert_eq!(c.target.as_deref(), Some("bench:is"));
+        // no target = suite sweep mode
+        let c = parse_args(&args(&["verify", "--json", "out", "--scale", "test"])).unwrap();
+        assert_eq!(c.verb, Verb::Verify);
+        assert_eq!(c.target, None);
+        assert_eq!(c.json_dir.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn verifies_a_builtin_benchmark_and_writes_json() {
+        let dir = std::env::temp_dir().join("amnesiac-cli-verify-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_string_lossy().into_owned();
+        let cmd = parse_args(&args(&["verify", "bench:is", "--json", &dir_str])).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("0 error(s)"), "output: {out}");
+        let text = std::fs::read_to_string(dir.join("verify.json")).unwrap();
+        let json = amnesiac_telemetry::parse(&text).unwrap();
+        assert_eq!(
+            json.get("clean"),
+            Some(&amnesiac_telemetry::Json::Bool(true))
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

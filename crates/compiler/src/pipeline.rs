@@ -9,6 +9,7 @@ use amnesiac_pool::Pool;
 use amnesiac_profile::{ProgramProfile, Unswappable};
 use amnesiac_sim::RunError;
 use amnesiac_telemetry::{Json, ToJson};
+use amnesiac_verify::VerifyReport;
 
 use crate::annotate::annotate_with_map;
 use crate::estimate::SliceEstimator;
@@ -136,6 +137,12 @@ pub struct CompileReport {
     /// Mapping from each original main-code pc to the annotated binary's
     /// position of the same (or replacing) instruction.
     pub pc_map: Vec<usize>,
+    /// Static verification report of the final annotated binary. The
+    /// pipeline hard-fails on Error-severity diagnostics, so a returned
+    /// report is always [`VerifyReport::is_clean`]; warnings (e.g. `REC`s
+    /// that cannot be proven to dominate their `RCMP` on all static paths)
+    /// are preserved here for the JSON export.
+    pub verify: VerifyReport,
 }
 
 impl CompileReport {
@@ -184,6 +191,7 @@ impl ToJson for CompileReport {
             .with("validation_rounds_saved", self.validation_rounds_saved)
             .with("validation_capped", self.validation_capped)
             .with("storage", self.storage.to_json())
+            .with("verify", self.verify.to_json())
     }
 }
 
@@ -194,6 +202,10 @@ pub enum CompileError {
     Isa(IsaError),
     /// The validation replay failed to run.
     Replay(RunError),
+    /// The static verifier found Error-severity invariant violations in the
+    /// annotated binary (a compiler bug: `annotate` must produce
+    /// well-formed slices). The full diagnostic list is carried along.
+    Verify(VerifyReport),
 }
 
 impl std::fmt::Display for CompileError {
@@ -201,6 +213,21 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Isa(e) => write!(f, "annotation produced an invalid binary: {e}"),
             CompileError::Replay(e) => write!(f, "validation replay failed: {e}"),
+            CompileError::Verify(report) => {
+                write!(
+                    f,
+                    "static verification found {} error(s) in the annotated binary",
+                    report.error_count()
+                )?;
+                for d in report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == amnesiac_verify::Severity::Error)
+                {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -367,6 +394,7 @@ pub fn compile(
         validation_capped: validated.capped,
         rec_count,
         pc_map: validated.pc_map,
+        verify: validated.verify,
     };
     Ok((annotated, report))
 }
@@ -386,6 +414,20 @@ struct ValidationSummary {
     capped: bool,
     /// Load pcs whose slices were dropped.
     dropped_pcs: BTreeSet<usize>,
+    /// Static verification report of the final annotated binary.
+    verify: VerifyReport,
+}
+
+/// Runs the static verifier on an annotated binary and hard-fails the
+/// compile on any Error-severity diagnostic. This is the pre-replay gate:
+/// the §3.2 slice invariants are proven for *all* inputs before the dynamic
+/// replay (which only exercises the profiled ones) is allowed to run.
+fn gate_verify(annotated: &Program) -> Result<VerifyReport, CompileError> {
+    let report = amnesiac_verify::verify(annotated);
+    if !report.is_clean() {
+        return Err(CompileError::Verify(report));
+    }
+    Ok(report)
 }
 
 /// Cap on whole-program validation replays per compile.
@@ -468,6 +510,7 @@ fn validate_specs(
     options: &CompileOptions,
 ) -> Result<ValidationSummary, CompileError> {
     let (mut annotated, mut pc_map) = annotate_with_map(program, &specs)?;
+    let mut verify_report = gate_verify(&annotated)?;
     let mut rounds = 0;
     let mut rounds_saved = 0;
     let mut capped = false;
@@ -497,6 +540,7 @@ fn validate_specs(
             specs.retain(|s| !round_dropped.contains(&s.load_pc));
             dropped_pcs.extend(round_dropped);
             (annotated, pc_map) = annotate_with_map(program, &specs)?;
+            verify_report = gate_verify(&annotated)?;
             if specs.is_empty() {
                 break;
             }
@@ -518,6 +562,7 @@ fn validate_specs(
         rounds_saved,
         capped,
         dropped_pcs,
+        verify: verify_report,
     })
 }
 
@@ -887,6 +932,50 @@ mod tests {
         assert_eq!(v.rounds, 1);
         assert_eq!(v.rounds_saved, 0);
         assert!(!v.capped);
+    }
+
+    #[test]
+    fn compile_report_carries_a_clean_verify_report() {
+        let p = kernel(50);
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (annotated, report) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        assert!(
+            report.verify.is_clean(),
+            "the gate hard-fails on errors, so a returned report is clean: {:?}",
+            report.verify.diagnostics
+        );
+        assert_eq!(report.verify.slices_checked, annotated.slices.len());
+        let j = report.to_json();
+        let clean = j.get("verify").and_then(|v| v.get("clean"));
+        assert_eq!(clean, Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn gate_rejects_a_corrupted_annotated_binary() {
+        let p = kernel(50);
+        let (profile, _) = profile_program(&p, &small_config()).unwrap();
+        let (mut annotated, _) = compile(&p, &profile, &CompileOptions::default()).unwrap();
+        assert!(annotated.is_annotated());
+        // inject a store into the first slice body — an invariant the
+        // dynamic replay can miss (it never alters retired state) but the
+        // static gate must catch
+        let entry = annotated.slices[0].entry;
+        annotated.instructions[entry] = Instruction::Store {
+            src: Reg(1),
+            base: Reg(1),
+            offset: 0,
+        };
+        match gate_verify(&annotated) {
+            Err(CompileError::Verify(report)) => {
+                assert!(report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.kind == amnesiac_verify::DiagnosticKind::SliceSideEffect));
+                let msg = CompileError::Verify(report).to_string();
+                assert!(msg.contains("static verification"), "display: {msg}");
+            }
+            other => panic!("expected a verify error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! # amnesiac-experiments
 //!
@@ -27,6 +28,7 @@
 //! | [`fig8`]   | Fig. 8 — value locality of swapped loads |
 //! | [`table6`] | Table 6 — break-even `R` per benchmark |
 //! | [`ablations`] | structure-sizing, probe-cost and store-elision studies |
+//! | [`verification`] | suite-wide static well-formedness sweep (`amnesiac verify`) |
 
 pub mod ablations;
 pub mod export;
@@ -43,8 +45,10 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod verification;
 
 pub use pipeline::{BenchEval, EvalSuite, PolicyOutcome};
+pub use verification::VerifySweep;
 
 /// Re-exported figure modules 4 and 5 share fig3's machinery.
 pub mod fig4 {

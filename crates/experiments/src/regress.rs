@@ -16,7 +16,15 @@ use amnesiac_workloads::Scale;
 use crate::pipeline::{EvalSuite, PolicyOutcome};
 
 /// Bumped whenever the snapshot layout changes incompatibly.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the per-bench `verify` block (static-verifier Error/Warn
+/// counts over both compiled binaries).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest baseline schema [`compare`] still accepts. v1 snapshots lack
+/// the `verify` block, but the gain layout — the only part the comparator
+/// reads — is unchanged, so committed v1 baselines keep gating CI.
+pub const MIN_BASELINE_SCHEMA: u64 = 1;
 
 /// Snapshot label for a workload scale.
 fn scale_label(scale: Scale) -> &'static str {
@@ -48,12 +56,22 @@ pub fn snapshot(suite: &EvalSuite, scale: Scale) -> Json {
                     .with("time_gain_pct", bench.time_gain(p)),
             );
         }
+        let verify = Json::obj()
+            .with(
+                "errors",
+                bench.prob_report.verify.error_count() + bench.oracle_report.verify.error_count(),
+            )
+            .with(
+                "warnings",
+                bench.prob_report.verify.warn_count() + bench.oracle_report.verify.warn_count(),
+            );
         benches.set(
             bench.name,
             Json::obj()
                 .with("pipeline_ms", bench.stages.total_ms())
                 .with("stages", amnesiac_telemetry::ToJson::to_json(&bench.stages))
-                .with("gains", gains),
+                .with("gains", gains)
+                .with("verify", verify),
         );
     }
     Json::obj()
@@ -128,14 +146,17 @@ pub fn compare(
     current: &Json,
     tolerance_pp: f64,
 ) -> Result<Vec<Regression>, String> {
-    for (label, doc) in [("baseline", baseline), ("current", current)] {
+    for (label, doc, oldest) in [
+        ("baseline", baseline, MIN_BASELINE_SCHEMA),
+        ("current", current, SCHEMA_VERSION),
+    ] {
         let version = doc
             .get("schema_version")
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("{label}: not a bench snapshot (no schema_version)"))?;
-        if version != SCHEMA_VERSION as f64 {
+        if version < oldest as f64 || version > SCHEMA_VERSION as f64 {
             return Err(format!(
-                "{label}: snapshot schema {version} != supported {SCHEMA_VERSION}"
+                "{label}: snapshot schema {version} outside supported {oldest}..={SCHEMA_VERSION}"
             ));
         }
     }
@@ -174,6 +195,32 @@ pub fn compare(
         }
     }
     Ok(regressions)
+}
+
+/// Machine-readable twin of a comparison outcome: `{schema_version,
+/// tolerance_pp, ok, warnings, regressions}`. The `warnings` array carries
+/// the zero-baseline blind-spot messages (see [`zero_baseline_cells`]) —
+/// advisory only, never part of the pass/fail verdict.
+pub fn comparison_json(regressions: &[Regression], warnings: &[String], tolerance_pp: f64) -> Json {
+    Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("tolerance_pp", tolerance_pp)
+        .with("ok", regressions.is_empty())
+        .with("warnings", warnings.to_vec())
+        .with(
+            "regressions",
+            regressions
+                .iter()
+                .map(|r| {
+                    Json::obj()
+                        .with("bench", r.bench.as_str())
+                        .with("metric", r.metric.as_str())
+                        .with("baseline", r.baseline)
+                        .with("current", r.current)
+                        .with("drop_pp", r.drop_pp())
+                })
+                .collect::<Vec<_>>(),
+        )
 }
 
 /// Renders a comparison outcome for the terminal.
@@ -307,5 +354,53 @@ mod tests {
         let snap = snapshot(&tiny_suite(), Scale::Test);
         assert!(compare(&Json::obj(), &snap, 0.1).is_err());
         assert!(compare(&snap, &Json::obj().with("schema_version", 99u64), 0.1).is_err());
+    }
+
+    #[test]
+    fn v1_baselines_still_gate_but_v1_currents_do_not() {
+        let snap = snapshot(&tiny_suite(), Scale::Test);
+        assert_eq!(
+            snap.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        // a committed v1 baseline (no `verify` block) still compares clean
+        let mut v1 = snap.clone();
+        v1.set("schema_version", MIN_BASELINE_SCHEMA);
+        assert!(compare(&v1, &snap, DEFAULT_TOLERANCE_PP)
+            .unwrap()
+            .is_empty());
+        // but a fresh run must always carry the current schema
+        assert!(compare(&snap, &v1, DEFAULT_TOLERANCE_PP).is_err());
+    }
+
+    #[test]
+    fn snapshot_carries_verify_counts_and_comparison_json_carries_warnings() {
+        let snap = snapshot(&tiny_suite(), Scale::Test);
+        assert_eq!(
+            snap.get_path("benches.is.verify.errors")
+                .and_then(Json::as_f64),
+            Some(0.0),
+            "pipeline-gated binaries must snapshot zero verify errors"
+        );
+        let warnings = vec!["baseline gain `x` is exactly zero".to_string()];
+        let json = comparison_json(&[], &warnings, DEFAULT_TOLERANCE_PP);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        let arr = json.get("warnings").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].as_str(), Some(warnings[0].as_str()));
+        let r = Regression {
+            bench: "is".into(),
+            metric: "Compiler.edp_gain_pct".into(),
+            baseline: 10.0,
+            current: 4.0,
+        };
+        let json = comparison_json(&[r], &[], DEFAULT_TOLERANCE_PP);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            json.get_path("regressions")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(1)
+        );
     }
 }

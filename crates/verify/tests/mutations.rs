@@ -1,0 +1,180 @@
+//! Adversarial mutation tests: corrupt a pipeline-produced annotated binary
+//! in four structurally distinct ways and check that the static verifier
+//! catches each with its own diagnostic kind. Mutation sites are chosen by
+//! the deterministic [`amnesiac_rng::Rng`], so a seed bump widens coverage
+//! without changing the harness.
+
+use amnesiac_compiler::{compile, CompileOptions};
+use amnesiac_isa::{Instruction, Program, Reg, SliceId};
+use amnesiac_profile::profile_program;
+use amnesiac_rng::Rng;
+use amnesiac_sim::CoreConfig;
+use amnesiac_verify::{verify, DiagnosticKind};
+use amnesiac_workloads::{
+    build_control, build_extended, build_focal, Scale, Workload, CONTROL_NAMES, EXTENDED_NAMES,
+    FOCAL_NAMES,
+};
+
+/// Compiles a workload into a verifier-clean annotated binary.
+fn annotated(workload: &Workload) -> Program {
+    let config = CoreConfig::paper();
+    let (profile, _) = profile_program(&workload.program, &config).expect("profiling succeeds");
+    let (binary, _) =
+        compile(&workload.program, &profile, &CompileOptions::default()).expect("compile succeeds");
+    binary
+}
+
+/// Binaries across all three suites that actually carry slices (many
+/// test-scale kernels swap nothing, which would make a mutation vacuous).
+fn sliced_binaries() -> Vec<Program> {
+    let workloads = FOCAL_NAMES
+        .iter()
+        .map(|n| build_focal(n, Scale::Test))
+        .chain(CONTROL_NAMES.iter().map(|n| build_control(n, Scale::Test)))
+        .chain(
+            EXTENDED_NAMES
+                .iter()
+                .map(|n| build_extended(n, Scale::Test)),
+        );
+    workloads
+        .map(|w| annotated(&w))
+        .filter(|b| !b.slices.is_empty())
+        .collect()
+}
+
+/// Main-code pcs of reachable `REC`s whose key some slice actually reads
+/// from the `Hist` (deleting one of these must starve that slice).
+fn needed_rec_pcs(binary: &Program) -> Vec<usize> {
+    let needed: std::collections::BTreeSet<u16> =
+        binary.slices.iter().flat_map(|m| m.hist_keys()).collect();
+    binary.instructions[..binary.code_len]
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, inst)| match inst {
+            Instruction::Rec { key, .. } if needed.contains(key) => Some(pc),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn deleting_a_rec_is_an_uncheckpointed_hist_error() {
+    let mut rng = Rng::seed_from_u64(0xDE1E7E);
+    let mut exercised = 0;
+    for mut binary in sliced_binaries() {
+        let recs = needed_rec_pcs(&binary);
+        let Some(&pc) = recs.get(rng.below(recs.len().max(1) as u64) as usize) else {
+            continue;
+        };
+        // A forward jump of one is a no-op in the CFG; only the checkpoint
+        // disappears.
+        binary.instructions[pc] = Instruction::Jump { target: pc + 1 };
+        let report = verify(&binary);
+        assert!(
+            report.has_kind(DiagnosticKind::UncheckpointedHist),
+            "{}: deleting the REC at pc {pc} went unnoticed: {report:?}",
+            binary.name
+        );
+        assert!(!report.is_clean());
+        exercised += 1;
+    }
+    assert!(exercised >= 2, "too few binaries had deletable RECs");
+}
+
+#[test]
+fn retargeting_an_rcmp_is_a_bad_target_error() {
+    let mut rng = Rng::seed_from_u64(0x47C0DE);
+    let mut exercised = 0;
+    for mut binary in sliced_binaries() {
+        let rcmps: Vec<usize> = binary.instructions[..binary.code_len]
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, i)| matches!(i, Instruction::Rcmp { .. }).then_some(pc))
+            .collect();
+        let pc = rcmps[rng.below(rcmps.len() as u64) as usize];
+        let bogus = SliceId(binary.slices.len() as u32 + 1 + rng.below(100) as u32);
+        if let Instruction::Rcmp { slice, .. } = &mut binary.instructions[pc] {
+            *slice = bogus;
+        }
+        let report = verify(&binary);
+        assert!(
+            report.has_kind(DiagnosticKind::RcmpBadTarget),
+            "{}: retargeting the RCMP at pc {pc} went unnoticed: {report:?}",
+            binary.name
+        );
+        assert!(!report.is_clean());
+        exercised += 1;
+    }
+    assert!(exercised >= 3);
+}
+
+#[test]
+fn injecting_a_store_into_a_slice_body_is_a_side_effect_error() {
+    let mut rng = Rng::seed_from_u64(0x57073);
+    let mut exercised = 0;
+    for mut binary in sliced_binaries() {
+        let meta = &binary.slices[rng.below(binary.slices.len() as u64) as usize];
+        // Any body position except the terminating RTN.
+        let pos = meta.entry + rng.below((meta.len - 1) as u64) as usize;
+        binary.instructions[pos] = Instruction::Store {
+            src: Reg(1),
+            base: Reg(2),
+            offset: 0,
+        };
+        let report = verify(&binary);
+        assert!(
+            report.has_kind(DiagnosticKind::SliceSideEffect),
+            "{}: a Store at body pc {pos} went unnoticed: {report:?}",
+            binary.name
+        );
+        assert!(!report.is_clean());
+        exercised += 1;
+    }
+    assert!(exercised >= 3);
+}
+
+#[test]
+fn dropping_a_rtn_is_a_missing_rtn_error() {
+    let mut rng = Rng::seed_from_u64(0x0447);
+    let mut exercised = 0;
+    for mut binary in sliced_binaries() {
+        let meta = &binary.slices[rng.below(binary.slices.len() as u64) as usize];
+        let rtn_pc = meta.entry + meta.len - 1;
+        // Replace the terminator with pure compute: the body stays clean,
+        // only the missing RTN can trip the verifier.
+        binary.instructions[rtn_pc] = Instruction::Alu {
+            op: amnesiac_isa::AluOp::Add,
+            dst: Reg(1),
+            lhs: Reg(1),
+            rhs: Reg(1),
+        };
+        let report = verify(&binary);
+        assert!(
+            report.has_kind(DiagnosticKind::SliceMissingRtn),
+            "{}: dropping the RTN at pc {rtn_pc} went unnoticed: {report:?}",
+            binary.name
+        );
+        assert!(
+            !report.has_kind(DiagnosticKind::SliceSideEffect),
+            "the compute replacement must not read as a side effect"
+        );
+        assert!(!report.is_clean());
+        exercised += 1;
+    }
+    assert!(exercised >= 3);
+}
+
+#[test]
+fn the_four_mutation_classes_map_to_four_distinct_kinds() {
+    let kinds = [
+        DiagnosticKind::UncheckpointedHist,
+        DiagnosticKind::RcmpBadTarget,
+        DiagnosticKind::SliceSideEffect,
+        DiagnosticKind::SliceMissingRtn,
+    ];
+    let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
+    assert_eq!(names.len(), kinds.len(), "kinds must be distinguishable");
+    for k in kinds {
+        assert_eq!(k.severity(), amnesiac_verify::Severity::Error);
+    }
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! # amnesiac
 //!
@@ -44,5 +45,7 @@ pub use amnesiac_mem as mem;
 pub use amnesiac_profile as profile;
 /// The in-order classic-execution simulator.
 pub use amnesiac_sim as sim;
+/// The static slice well-formedness checker.
+pub use amnesiac_verify as verify;
 /// The 33-benchmark workload suite.
 pub use amnesiac_workloads as workloads;
