@@ -19,7 +19,17 @@
 //! amnesiac experiments --json <dir>                    # suite + JSON twins
 //! amnesiac bench-snapshot <out.json>                   # perf baseline
 //! amnesiac bench-compare <baseline.json> [--tolerance <pp>]
+//! amnesiac serve [--port <p>] [--workers <n>]          # line-protocol service
+//! amnesiac serve-smoke                                 # service self-test
 //! ```
+//!
+//! Every verb flows through the typed core: [`parse_args`] produces a
+//! [`Command`], [`run`] executes it into a structured [`Response`], and
+//! the callers project that response — [`execute`] renders the terminal
+//! report (plus `--json <dir>` exports through
+//! [`amnesiac_telemetry::JsonSink`]), while `amnesiac serve` ships
+//! [`Response::payload_json`] over the wire, so a socket client and the
+//! CLI see the same document for the same verb.
 //!
 //! `verify` compiles its target and runs the [`amnesiac_verify`] static
 //! analyser over the annotated binary, printing every diagnostic; with no
@@ -27,26 +37,41 @@
 //! non-zero if any Error-severity diagnostic is found (`--json <dir>`
 //! additionally writes `verify.json`).
 //!
-//! The last three drive the full evaluation suite (test scale unless
+//! The suite verbs drive the full evaluation (test scale unless
 //! `--paper-scale`): `experiments` writes the machine-readable results
 //! directory, `bench-snapshot` records a perf/gain baseline, and
 //! `bench-compare` re-runs the suite and exits non-zero when any gain
 //! fell more than the tolerance below the baseline.
+//!
+//! `serve` starts the [`amnesiac_serve`] line-protocol service with this
+//! crate's [`serve_handler`] plugged in (verbs `compile`, `simulate`,
+//! `verify`, `bench`, `experiments`, plus the read-only `disasm` /
+//! `profile` / `trace`); `serve-smoke` boots a private server on an
+//! ephemeral port, fires a mixed concurrent batch at it, and exits
+//! non-zero on any dropped or mismatched response.
 //!
 //! Programs are referenced either as a path to an `.asm` file or as
 //! `bench:<name>` for any of the 33 built-in kernels (at test scale by
 //! default; append `--paper-scale` for the evaluation inputs).
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
-use amnesiac_compiler::{compile, CompileOptions, SiteOutcome};
+use amnesiac_compiler::{compile, CompileOptions};
 use amnesiac_core::{AmnesicConfig, AmnesicCore, Policy};
 use amnesiac_isa::{disassemble, parse_asm, Program};
 use amnesiac_profile::profile_program;
 use amnesiac_sim::{ClassicCore, CoreConfig};
+use amnesiac_telemetry::JsonSink;
 use amnesiac_workloads::{
     build_control, build_extended, build_focal, Scale, CONTROL_NAMES, EXTENDED_NAMES, FOCAL_NAMES,
 };
+
+mod response;
+mod service;
+
+pub use response::Response;
+pub use service::serve_handler;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,8 +85,8 @@ pub struct Command {
     pub output: Option<String>,
     /// Use paper-scale inputs for built-in benchmarks.
     pub paper_scale: bool,
-    /// Explicit workload scale (`--scale <test|paper>`); wins over
-    /// `--paper-scale` when both are given.
+    /// Explicit workload scale (`--scale <test|paper>`); conflicts with
+    /// the `--paper-scale` shorthand (parse rejects both together).
     pub scale: Option<Scale>,
     /// Results directory for machine-readable output (`--json <dir>`).
     pub json_dir: Option<String>,
@@ -69,6 +94,14 @@ pub struct Command {
     pub tolerance: Option<f64>,
     /// Timing repetitions for the bench verbs (`--reps <n>`).
     pub reps: Option<usize>,
+    /// TCP port for the serve verbs (`--port <p>`; 0 = ephemeral).
+    pub port: Option<u16>,
+    /// Worker-pool size for the serve verbs (`--workers <n>`).
+    pub workers: Option<usize>,
+    /// Admission-control bound for the serve verbs (`--backlog <n>`).
+    pub backlog: Option<usize>,
+    /// Per-request deadline for the serve verbs (`--timeout-ms <ms>`).
+    pub timeout_ms: Option<u64>,
 }
 
 /// CLI subcommands.
@@ -86,6 +119,8 @@ pub enum Verb {
     Experiments,
     BenchSnapshot,
     BenchCompare,
+    Serve,
+    ServeSmoke,
 }
 
 /// CLI errors (also carry the usage text).
@@ -95,6 +130,35 @@ pub enum CliError {
     Usage(String),
     /// Anything the toolchain reported.
     Tool(String),
+}
+
+impl CliError {
+    /// Stable machine-readable error code — the same namespace
+    /// `amnesiac serve` puts in error payloads
+    /// (see [`amnesiac_serve::protocol::code`]).
+    pub fn code(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => amnesiac_serve::code::USAGE,
+            CliError::Tool(_) => amnesiac_serve::code::TOOL,
+        }
+    }
+
+    /// The process exit code for this error: `2` for usage errors,
+    /// `1` for tool failures.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Tool(_) => 1,
+        }
+    }
+
+    /// The raw message, without the usage text `Display` appends for
+    /// [`CliError::Usage`] — what serve error payloads carry.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(msg) | CliError::Tool(msg) => msg,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -116,15 +180,43 @@ pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
        amnesiac experiments --json <dir> [--paper-scale]
        amnesiac bench-snapshot <out.json> [--scale <test|paper>] [--reps <n>]
        amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--scale <test|paper>] [--reps <n>] [--json <dir>]
+       amnesiac serve [--port <p>] [--workers <n>] [--backlog <n>] [--timeout-ms <ms>]
+       amnesiac serve-smoke [--workers <n>] [--backlog <n>] [--timeout-ms <ms>]
+  every verb accepts --json <dir> to export its payload as <verb>.json
   built-in benchmarks: 11 focal (mcf sx cg is ca fs fe rt bp bfs sr),
   5 controls, 17 extended (see `amnesiac-workloads`)";
+
+/// Stores `value` into `slot`, rejecting a repeated flag.
+fn set_once<T>(slot: &mut Option<T>, value: T, flag: &str) -> Result<(), CliError> {
+    if slot.is_some() {
+        return Err(CliError::Usage(format!("{flag} given twice")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Fetches the value following a flag, rejecting a missing one (end of
+/// line or another `--flag` in the value position).
+fn flag_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+    what: &str,
+) -> Result<&'a str, CliError> {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) if !v.starts_with("--") => Ok(v.as_str()),
+        _ => Err(CliError::Usage(format!("{flag} needs {what}"))),
+    }
+}
 
 /// Parses the argument list (without the binary name).
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] on unknown verbs, missing targets, or
-/// unknown flags.
+/// Returns [`CliError::Usage`] on unknown verbs, missing targets,
+/// unknown flags, duplicated flags, or conflicting flags (`--scale`
+/// with `--paper-scale`, serve-only flags on non-serve verbs).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut verb = None;
     let mut target = None;
@@ -134,12 +226,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut json_dir = None;
     let mut tolerance = None;
     let mut reps = None;
+    let mut port = None;
+    let mut workers = None;
+    let mut backlog = None;
+    let mut timeout_ms = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
         match arg {
             "run" | "disasm" | "profile" | "compile" | "compare" | "encode" | "trace"
-            | "verify" | "experiments" | "bench-snapshot" | "bench-compare"
+            | "verify" | "experiments" | "bench-snapshot" | "bench-compare" | "serve"
+            | "serve-smoke"
                 if verb.is_none() =>
             {
                 verb = Some(match arg {
@@ -153,16 +250,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "experiments" => Verb::Experiments,
                     "bench-snapshot" => Verb::BenchSnapshot,
                     "bench-compare" => Verb::BenchCompare,
+                    "serve" => Verb::Serve,
+                    "serve-smoke" => Verb::ServeSmoke,
                     _ => Verb::Encode,
                 });
             }
-            "--paper-scale" => paper_scale = true,
+            "--paper-scale" => {
+                if paper_scale {
+                    return Err(CliError::Usage("--paper-scale given twice".into()));
+                }
+                paper_scale = true;
+            }
             "--scale" => {
-                i += 1;
-                let raw = args
-                    .get(i)
-                    .ok_or_else(|| CliError::Usage("--scale needs <test|paper>".into()))?;
-                scale = Some(match raw.as_str() {
+                let raw = flag_value(args, &mut i, arg, "<test|paper>")?;
+                let parsed = match raw {
                     "test" => Scale::Test,
                     "paper" => Scale::Paper,
                     other => {
@@ -170,37 +271,66 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             "--scale: `{other}` is neither `test` nor `paper`"
                         )))
                     }
-                });
+                };
+                set_once(&mut scale, parsed, arg)?;
             }
             "--json" => {
-                i += 1;
-                json_dir = Some(
-                    args.get(i)
-                        .ok_or_else(|| CliError::Usage("--json needs a directory".into()))?
-                        .clone(),
-                );
+                let dir = flag_value(args, &mut i, arg, "a directory")?;
+                set_once(&mut json_dir, dir.to_string(), arg)?;
             }
             "--tolerance" => {
-                i += 1;
-                let raw = args
-                    .get(i)
-                    .ok_or_else(|| CliError::Usage("--tolerance needs a value".into()))?;
-                tolerance = Some(raw.parse::<f64>().map_err(|_| {
+                let raw = flag_value(args, &mut i, arg, "a value")?;
+                let parsed = raw.parse::<f64>().map_err(|_| {
                     CliError::Usage(format!("--tolerance: `{raw}` is not a number"))
-                })?);
+                })?;
+                set_once(&mut tolerance, parsed, arg)?;
             }
             "--reps" => {
-                i += 1;
-                let raw = args
-                    .get(i)
-                    .ok_or_else(|| CliError::Usage("--reps needs a count".into()))?;
+                let raw = flag_value(args, &mut i, arg, "a count")?;
                 let parsed = raw
                     .parse::<usize>()
                     .map_err(|_| CliError::Usage(format!("--reps: `{raw}` is not a count")))?;
                 if parsed == 0 {
                     return Err(CliError::Usage("--reps must be at least 1".into()));
                 }
-                reps = Some(parsed);
+                set_once(&mut reps, parsed, arg)?;
+            }
+            "--port" => {
+                let raw = flag_value(args, &mut i, arg, "a port number")?;
+                let parsed = raw.parse::<u16>().map_err(|_| {
+                    CliError::Usage(format!("--port: `{raw}` is not a port number"))
+                })?;
+                set_once(&mut port, parsed, arg)?;
+            }
+            "--workers" => {
+                let raw = flag_value(args, &mut i, arg, "a count")?;
+                let parsed = raw
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("--workers: `{raw}` is not a count")))?;
+                if parsed == 0 {
+                    return Err(CliError::Usage("--workers must be at least 1".into()));
+                }
+                set_once(&mut workers, parsed, arg)?;
+            }
+            "--backlog" => {
+                let raw = flag_value(args, &mut i, arg, "a count")?;
+                let parsed = raw
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("--backlog: `{raw}` is not a count")))?;
+                if parsed == 0 {
+                    return Err(CliError::Usage("--backlog must be at least 1".into()));
+                }
+                set_once(&mut backlog, parsed, arg)?;
+            }
+            "--timeout-ms" => {
+                let raw = flag_value(args, &mut i, arg, "milliseconds")?;
+                let parsed = raw.parse::<u64>().map_err(|_| {
+                    CliError::Usage(format!("--timeout-ms: `{raw}` is not a duration"))
+                })?;
+                if parsed == 0 {
+                    return Err(CliError::Usage("--timeout-ms must be at least 1".into()));
+                }
+                set_once(&mut timeout_ms, parsed, arg)?;
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")));
@@ -214,6 +344,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         i += 1;
     }
     let verb = verb.ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+    if paper_scale && scale.is_some() {
+        return Err(CliError::Usage(
+            "--scale conflicts with --paper-scale; pass one or the other".into(),
+        ));
+    }
+    let serve_verb = matches!(verb, Verb::Serve | Verb::ServeSmoke);
+    if !serve_verb {
+        for (flag, given) in [
+            ("--port", port.is_some()),
+            ("--workers", workers.is_some()),
+            ("--backlog", backlog.is_some()),
+            ("--timeout-ms", timeout_ms.is_some()),
+        ] {
+            if given {
+                return Err(CliError::Usage(format!(
+                    "{flag} only applies to the serve verbs"
+                )));
+            }
+        }
+    }
     match verb {
         Verb::Encode if output.is_none() => {
             return Err(CliError::Usage("encode needs an output path".into()));
@@ -231,7 +381,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 "bench-compare needs a baseline path".into(),
             ));
         }
-        Verb::Verify | Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => {}
+        Verb::Serve | Verb::ServeSmoke if target.is_some() => {
+            return Err(CliError::Usage(
+                "the serve verbs take flags only — no positional argument".into(),
+            ));
+        }
+        Verb::Verify
+        | Verb::Experiments
+        | Verb::BenchSnapshot
+        | Verb::BenchCompare
+        | Verb::Serve
+        | Verb::ServeSmoke => {}
         _ if target.is_none() => {
             return Err(CliError::Usage("missing program".into()));
         }
@@ -246,6 +406,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         json_dir,
         tolerance,
         reps,
+        port,
+        workers,
+        backlog,
+        timeout_ms,
     })
 }
 
@@ -257,8 +421,9 @@ impl Command {
             .unwrap_or(amnesiac_experiments::pipeline::DEFAULT_TIMING_REPS)
     }
 
-    /// The workload scale to run at: an explicit `--scale` wins, then the
-    /// `--paper-scale` shorthand, then the test-scale default.
+    /// The workload scale to run at: the explicit `--scale`, or the
+    /// `--paper-scale` shorthand, or the test-scale default (the parser
+    /// rejects the flag pair, so at most one is ever set).
     pub fn effective_scale(&self) -> Scale {
         self.scale.unwrap_or(if self.paper_scale {
             Scale::Paper
@@ -303,22 +468,34 @@ pub fn load_program(target: &str, paper_scale: bool) -> Result<Program, CliError
     parse_asm(&text).map_err(|e| CliError::Tool(format!("{target}: {e}")))
 }
 
-/// Executes a command, returning the report text.
+/// Executes a command into its structured [`Response`] — the typed core
+/// shared by the terminal front-end ([`execute`]) and the service layer
+/// ([`serve_handler`]).
+///
+/// Verb-inherent side effects happen here (`encode` writes its image,
+/// `bench-snapshot` its baseline, `serve`/`serve-smoke` run their
+/// servers), but the `--json <dir>` exports do not — those belong to
+/// [`execute`]. Failure-shaped outcomes (a dirty `verify`, a regressed
+/// `bench-compare`) come back as `Ok` responses with
+/// [`Response::is_failure`] set, so callers keep the structured data.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Tool`] when any pipeline stage fails — including a
-/// `bench-compare` that finds regressions, so the process exits non-zero.
-pub fn execute(command: &Command) -> Result<String, CliError> {
-    if matches!(
-        command.verb,
-        Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare
-    ) {
-        return execute_suite_verb(command);
+/// Returns [`CliError::Tool`] when a pipeline stage itself fails
+/// (unreadable input, simulator fault, divergence).
+pub fn run(command: &Command) -> Result<Response, CliError> {
+    match command.verb {
+        Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => run_suite_verb(command),
+        Verb::Verify => run_verify(command),
+        Verb::Serve => service::run_serve(command),
+        Verb::ServeSmoke => service::run_serve_smoke(command),
+        _ => run_program_verb(command),
     }
-    if command.verb == Verb::Verify {
-        return execute_verify(command);
-    }
+}
+
+/// The program verbs: `run`, `disasm`, `profile`, `compile`, `compare`,
+/// `encode`, `trace`.
+fn run_program_verb(command: &Command) -> Result<Response, CliError> {
     let target = command.target.as_deref().expect("parse_args enforced this");
     let program = load_program(target, command.effective_scale() == Scale::Paper)?;
     let config = CoreConfig::paper();
@@ -329,117 +506,51 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let bytes = amnesiac_isa::encode_program(&program);
             std::fs::write(out, &bytes)
                 .map_err(|e| CliError::Tool(format!("cannot write `{out}`: {e}")))?;
-            Ok(format!(
-                "wrote {} bytes ({} instructions) to {out}\n",
-                bytes.len(),
-                program.instructions.len()
-            ))
+            Ok(Response::Encode {
+                path: out.to_string(),
+                bytes: bytes.len(),
+                instructions: program.instructions.len(),
+            })
         }
-        Verb::Disasm => Ok(disassemble(&program)),
+        Verb::Disasm => Ok(Response::Disasm {
+            program: program.name.clone(),
+            listing: disassemble(&program),
+        }),
         Verb::Trace => {
             let mut tracer = amnesiac_sim::TraceWriter::new(200);
             ClassicCore::new(config)
                 .run_observed(&program, &mut tracer)
                 .map_err(|e| tool(&e))?;
-            Ok(tracer.render())
+            Ok(Response::Trace {
+                program: program.name.clone(),
+                rendered: tracer.render(),
+            })
         }
         Verb::Run => {
             let result = ClassicCore::new(config)
                 .run(&program)
                 .map_err(|e| tool(&e))?;
-            let mut out = String::new();
-            let _ = writeln!(out, "program `{}` halted", program.name);
-            let _ = writeln!(
-                out,
-                "  {} instructions, {} loads, {} stores",
-                result.instructions, result.loads, result.stores
-            );
-            let _ = writeln!(
-                out,
-                "  energy {:.1} nJ, time {} cycles, EDP {:.3e}",
-                result.account.total_nj(),
-                result.account.cycles(),
-                result.edp()
-            );
-            for (addr, value) in &result.final_memory {
-                let _ = writeln!(out, "  out[{addr:#x}] = {value:#x}");
-            }
-            Ok(out)
+            Ok(Response::Run {
+                program: program.name.clone(),
+                result,
+            })
         }
         Verb::Profile => {
             let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
-            let mut out = String::new();
-            let _ = writeln!(
-                out,
-                "{} load sites over {} dynamic instructions:",
-                profile.loads.len(),
-                profile.instructions
-            );
-            for site in profile.loads.values() {
-                let pr = site.probabilities();
-                let _ = write!(
-                    out,
-                    "  pc {:>5}: {:>9} instances, L1/L2/Mem {:>5.1}/{:>4.1}/{:>5.1}%, \
-                     locality {:>5.1}%",
-                    site.pc,
-                    site.count,
-                    100.0 * pr[0],
-                    100.0 * pr[1],
-                    100.0 * pr[2],
-                    100.0 * site.value_locality()
-                );
-                match (&site.tree, site.unswappable) {
-                    (Some(t), _) => {
-                        let _ = writeln!(out, ", producer tree {} nodes", t.size());
-                    }
-                    (None, Some(why)) => {
-                        let _ = writeln!(out, ", unswappable ({why:?})");
-                    }
-                    (None, None) => {
-                        let _ = writeln!(out);
-                    }
-                }
-            }
-            Ok(out)
+            Ok(Response::Profile {
+                program: program.name.clone(),
+                profile,
+            })
         }
         Verb::Compile => {
             let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
             let (binary, report) =
                 compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
-            let mut out = String::new();
-            let _ = writeln!(
-                out,
-                "{} of {} sites swapped; {} RECs; storage bounds: SFile {} / Hist {} / IBuff {}",
-                report.n_selected(),
-                report.decisions.len(),
-                report.rec_count,
-                report.storage.sfile_entries,
-                report.storage.hist_entries,
-                report.storage.ibuff_entries
-            );
-            for d in &report.decisions {
-                match &d.outcome {
-                    SiteOutcome::Selected {
-                        slice_len,
-                        height,
-                        est_recompute_nj,
-                        est_load_nj,
-                        ..
-                    } => {
-                        let _ = writeln!(
-                            out,
-                            "  pc {:>5}: SELECTED ({slice_len} insts, h={height}, \
-                             E_rc {est_recompute_nj:.2} < E_ld {est_load_nj:.2} nJ)",
-                            d.load_pc
-                        );
-                    }
-                    other => {
-                        let _ = writeln!(out, "  pc {:>5}: {other:?}", d.load_pc);
-                    }
-                }
-            }
-            let _ = writeln!(out, "\n{}", disassemble(&binary));
-            Ok(out)
+            Ok(Response::Compile {
+                program: program.name.clone(),
+                report,
+                listing: disassemble(&binary),
+            })
         }
         Verb::Compare => {
             let classic = ClassicCore::new(config.clone())
@@ -448,21 +559,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
             let (binary, _) =
                 compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
-            let mut out = String::new();
-            let _ = writeln!(
-                out,
-                "{:<10} {:>14} {:>12} {:>12} {:>9}",
-                "policy", "energy (nJ)", "cycles", "EDP", "gain"
-            );
-            let _ = writeln!(
-                out,
-                "{:<10} {:>14.1} {:>12} {:>12.3e} {:>9}",
-                "classic",
-                classic.account.total_nj(),
-                classic.account.cycles(),
-                classic.edp(),
-                "-"
-            );
+            let mut policies = Vec::new();
             for policy in Policy::ALL_EXTENDED {
                 let result = AmnesicCore::new(AmnesicConfig::paper(policy))
                     .run(&binary)
@@ -470,45 +567,22 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 if result.run.final_memory != classic.final_memory {
                     return Err(CliError::Tool(format!("{policy} diverged from classic")));
                 }
-                let _ = writeln!(
-                    out,
-                    "{:<10} {:>14.1} {:>12} {:>12.3e} {:>8.2}%",
-                    policy.to_string(),
-                    result.run.account.total_nj(),
-                    result.run.account.cycles(),
-                    result.edp(),
-                    100.0 * (1.0 - result.edp() / classic.edp())
-                );
+                policies.push((policy.to_string(), result));
             }
-            Ok(out)
+            Ok(Response::Compare {
+                program: program.name.clone(),
+                classic,
+                policies,
+            })
         }
-        Verb::Verify | Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => {
-            unreachable!("suite verbs are dispatched before program loading")
-        }
+        _ => unreachable!("non-program verbs are dispatched before program loading"),
     }
 }
 
 /// The `verify` verb: static well-formedness over one target (or, with no
 /// target, the whole built-in suite in parallel).
-///
-/// # Errors
-///
-/// Returns [`CliError::Tool`] when any Error-severity diagnostic is found,
-/// so the process exits non-zero.
-fn execute_verify(command: &Command) -> Result<String, CliError> {
-    use amnesiac_experiments::{export, VerifySweep};
-    use amnesiac_telemetry::ToJson as _;
-
-    let write_report =
-        |name: &str, json: &amnesiac_telemetry::Json| -> Result<Vec<String>, CliError> {
-            let Some(dir) = command.json_dir.as_deref() else {
-                return Ok(Vec::new());
-            };
-            let path = std::path::Path::new(dir).join(name);
-            export::write_json(&path, json)
-                .map_err(|e| CliError::Tool(format!("cannot write `{}`: {e}", path.display())))?;
-            Ok(vec![format!("wrote {}", path.display())])
-        };
+fn run_verify(command: &Command) -> Result<Response, CliError> {
+    use amnesiac_experiments::VerifySweep;
 
     match command.target.as_deref() {
         Some(target) => {
@@ -518,92 +592,49 @@ fn execute_verify(command: &Command) -> Result<String, CliError> {
             let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
             let (binary, _) =
                 compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
-            let report = amnesiac_verify::verify(&binary);
-            let mut out = String::new();
-            let _ = writeln!(
-                out,
-                "{target}: {} slices, {} blocks: {} error(s), {} warning(s)",
-                report.slices_checked,
-                report.blocks,
-                report.error_count(),
-                report.warn_count()
-            );
-            for d in &report.diagnostics {
-                let _ = writeln!(out, "  {d}");
-            }
-            for line in write_report("verify.json", &report.to_json())? {
-                let _ = writeln!(out, "{line}");
-            }
-            if report.is_clean() {
-                Ok(out)
-            } else {
-                Err(CliError::Tool(out))
-            }
+            Ok(Response::VerifyTarget {
+                target: target.to_string(),
+                report: amnesiac_verify::verify(&binary),
+            })
         }
-        None => {
-            let sweep = VerifySweep::compute(command.effective_scale());
-            let mut out = sweep.render();
-            for line in write_report("verify.json", &sweep.to_json())? {
-                let _ = writeln!(out, "{line}");
-            }
-            if sweep.is_clean() {
-                Ok(out)
-            } else {
-                Err(CliError::Tool(out))
-            }
-        }
+        None => Ok(Response::VerifySweep {
+            sweep: VerifySweep::compute(command.effective_scale()),
+        }),
     }
 }
 
 /// The suite verbs: `experiments`, `bench-snapshot`, `bench-compare`.
-fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
+fn run_suite_verb(command: &Command) -> Result<Response, CliError> {
     use amnesiac_experiments::{export, regress, EvalSuite};
 
     let scale = command.effective_scale();
     match command.verb {
         Verb::Experiments => {
-            let dir = std::path::PathBuf::from(
-                command
-                    .json_dir
-                    .as_deref()
-                    .expect("parse_args enforced this"),
-            );
             let suite = EvalSuite::compute(scale);
-            let mut written = export::write_suite_artifacts(&dir, &suite)
-                .map_err(|e| CliError::Tool(format!("cannot write `{}`: {e}", dir.display())))?;
-            for (name, json) in [
-                ("table1.json", export::table1_json()),
-                ("table2.json", export::table2_json()),
-            ] {
-                let path = dir.join(name);
-                export::write_json(&path, &json).map_err(|e| {
-                    CliError::Tool(format!("cannot write `{}`: {e}", path.display()))
-                })?;
-                written.push(path);
-            }
-            let mut out = String::new();
-            let _ = writeln!(
-                out,
-                "computed {} benchmarks; wrote {} artifacts to {}:",
-                suite.benches.len(),
-                written.len(),
-                dir.display()
-            );
-            for path in written {
-                let _ = writeln!(out, "  {}", path.display());
-            }
-            Ok(out)
+            let mut artifacts: Vec<(String, amnesiac_telemetry::Json)> =
+                export::suite_artifacts(&suite)
+                    .into_iter()
+                    .map(|(name, json)| (name.to_string(), json))
+                    .collect();
+            artifacts.push(("table1.json".to_string(), export::table1_json()));
+            artifacts.push(("table2.json".to_string(), export::table2_json()));
+            Ok(Response::Experiments {
+                dir: command.json_dir.as_deref().map(PathBuf::from),
+                n_benches: suite.benches.len(),
+                artifacts,
+            })
         }
         Verb::BenchSnapshot => {
             let out_path = command.target.as_deref().expect("parse_args enforced this");
             let suite = EvalSuite::compute_sequential(scale, command.effective_reps());
-            let snap = regress::snapshot(&suite, scale);
-            export::write_json(std::path::Path::new(out_path), &snap)
+            let snapshot = regress::snapshot(&suite, scale);
+            amnesiac_telemetry::write_json_file(std::path::Path::new(out_path), &snapshot)
                 .map_err(|e| CliError::Tool(format!("cannot write `{out_path}`: {e}")))?;
-            Ok(format!(
-                "wrote bench baseline for {} benchmarks to {out_path}\n",
-                suite.benches.len()
-            ))
+            Ok(Response::BenchSnapshot {
+                path: out_path.to_string(),
+                n_benches: suite.benches.len(),
+                snapshot,
+            })
         }
         Verb::BenchCompare => {
             let baseline_path = command.target.as_deref().expect("parse_args enforced this");
@@ -613,9 +644,9 @@ fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
                 .map_err(|e| CliError::Tool(format!("{baseline_path}: {e}")))?;
             let suite = EvalSuite::compute_sequential(scale, command.effective_reps());
             let current = regress::snapshot(&suite, scale);
-            let tolerance = command.tolerance.unwrap_or(regress::DEFAULT_TOLERANCE_PP);
+            let tolerance_pp = command.tolerance.unwrap_or(regress::DEFAULT_TOLERANCE_PP);
             let regressions =
-                regress::compare(&baseline, &current, tolerance).map_err(CliError::Tool)?;
+                regress::compare(&baseline, &current, tolerance_pp).map_err(CliError::Tool)?;
             let warnings: Vec<String> = regress::zero_baseline_cells(&baseline)
                 .into_iter()
                 .map(|cell| {
@@ -625,26 +656,55 @@ fn execute_suite_verb(command: &Command) -> Result<String, CliError> {
                     )
                 })
                 .collect();
-            let mut report = String::new();
-            for w in &warnings {
-                let _ = writeln!(report, "warning: {w}");
+            Ok(Response::BenchCompare {
+                tolerance_pp,
+                warnings,
+                regressions,
+            })
+        }
+        _ => unreachable!("only suite verbs reach run_suite_verb"),
+    }
+}
+
+/// Executes a command, returning the report text: [`run`] plus the
+/// terminal projection ([`Response::render_text`]) plus the `--json
+/// <dir>` exports (every verb writes `<verb>.json` with
+/// [`Response::payload_json`]; `experiments` writes its artifact set).
+///
+/// # Errors
+///
+/// Returns [`CliError::Tool`] when any pipeline stage fails — including a
+/// dirty `verify` or a `bench-compare` that finds regressions, so the
+/// process exits non-zero.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    let response = run(command)?;
+    let mut text = response.render_text();
+    if let Some(dir) = command.json_dir.as_deref() {
+        let sink = JsonSink::new(dir);
+        match &response {
+            Response::Experiments { artifacts, .. } => {
+                for (name, json) in artifacts {
+                    sink.write(name, json).map_err(|e| {
+                        CliError::Tool(format!("cannot write `{}`: {e}", sink.path(name).display()))
+                    })?;
+                }
             }
-            report.push_str(&regress::render_report(&regressions, tolerance));
-            if let Some(dir) = command.json_dir.as_deref() {
-                let path = std::path::Path::new(dir).join("bench-compare.json");
-                let json = regress::comparison_json(&regressions, &warnings, tolerance);
-                export::write_json(&path, &json).map_err(|e| {
-                    CliError::Tool(format!("cannot write `{}`: {e}", path.display()))
+            other => {
+                let name = format!("{}.json", other.verb_name());
+                let path = sink.write(&name, &other.payload_json()).map_err(|e| {
+                    CliError::Tool(format!(
+                        "cannot write `{}`: {e}",
+                        sink.path(&name).display()
+                    ))
                 })?;
-                let _ = writeln!(report, "wrote {}", path.display());
-            }
-            if regressions.is_empty() {
-                Ok(report)
-            } else {
-                Err(CliError::Tool(report))
+                let _ = writeln!(text, "wrote {}", path.display());
             }
         }
-        _ => unreachable!("only suite verbs reach execute_suite_verb"),
+    }
+    if response.is_failure() {
+        Err(CliError::Tool(text))
+    } else {
+        Ok(text)
     }
 }
 
@@ -679,6 +739,126 @@ mod tests {
             parse_args(&args(&["frobnicate", "x"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn rejects_duplicate_flags_with_specific_errors() {
+        let cases: &[(&[&str], &str)] = &[
+            (
+                &["verify", "--scale", "test", "--scale", "paper"],
+                "--scale given twice",
+            ),
+            (
+                &["verify", "--json", "a", "--json", "b"],
+                "--json given twice",
+            ),
+            (
+                &[
+                    "bench-compare",
+                    "b.json",
+                    "--tolerance",
+                    "1",
+                    "--tolerance",
+                    "2",
+                ],
+                "--tolerance given twice",
+            ),
+            (
+                &["bench-snapshot", "o.json", "--reps", "2", "--reps", "3"],
+                "--reps given twice",
+            ),
+            (
+                &["run", "bench:is", "--paper-scale", "--paper-scale"],
+                "--paper-scale given twice",
+            ),
+            (
+                &["serve", "--port", "1", "--port", "2"],
+                "--port given twice",
+            ),
+            (
+                &["serve", "--workers", "1", "--workers", "2"],
+                "--workers given twice",
+            ),
+            (
+                &["serve", "--backlog", "1", "--backlog", "2"],
+                "--backlog given twice",
+            ),
+            (
+                &["serve", "--timeout-ms", "1", "--timeout-ms", "2"],
+                "--timeout-ms given twice",
+            ),
+        ];
+        for (argv, want) in cases {
+            match parse_args(&args(argv)) {
+                Err(CliError::Usage(msg)) => assert_eq!(msg, *want),
+                other => panic!("{argv:?}: expected usage error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_conflicting_and_misplaced_flags() {
+        // --scale vs --paper-scale is a conflict, not a precedence rule
+        match parse_args(&args(&[
+            "bench-compare",
+            "b.json",
+            "--paper-scale",
+            "--scale",
+            "test",
+        ])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("conflicts"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // serve-only flags are rejected elsewhere
+        for flag in ["--port", "--workers", "--backlog", "--timeout-ms"] {
+            match parse_args(&args(&["run", "bench:is", flag, "4"])) {
+                Err(CliError::Usage(msg)) => {
+                    assert!(msg.contains("serve"), "{flag}: {msg}")
+                }
+                other => panic!("{flag}: expected usage error, got {other:?}"),
+            }
+        }
+        // a flag in a value position is a missing value, not a value
+        match parse_args(&args(&["verify", "--json", "--scale", "test"])) {
+            Err(CliError::Usage(msg)) => assert_eq!(msg, "--json needs a directory"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // serve verbs take no positional argument
+        assert!(matches!(
+            parse_args(&args(&["serve", "bench:is"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_the_serve_flags() {
+        let c = parse_args(&args(&[
+            "serve",
+            "--port",
+            "9191",
+            "--workers",
+            "3",
+            "--backlog",
+            "32",
+            "--timeout-ms",
+            "1500",
+        ]))
+        .unwrap();
+        assert_eq!(c.verb, Verb::Serve);
+        assert_eq!(c.port, Some(9191));
+        assert_eq!(c.workers, Some(3));
+        assert_eq!(c.backlog, Some(32));
+        assert_eq!(c.timeout_ms, Some(1500));
+        let c = parse_args(&args(&["serve-smoke"])).unwrap();
+        assert_eq!(c.verb, Verb::ServeSmoke);
+        for bad in [
+            &["serve", "--port", "70000"][..],
+            &["serve", "--workers", "0"],
+            &["serve", "--backlog", "0"],
+            &["serve", "--timeout-ms", "0"],
+        ] {
+            assert!(matches!(parse_args(&args(bad)), Err(CliError::Usage(_))));
+        }
     }
 
     #[test]
@@ -717,17 +897,7 @@ mod tests {
         assert_eq!(c.effective_scale(), Scale::Paper);
         let c = parse_args(&args(&["bench-snapshot", "out.json", "--scale", "test"])).unwrap();
         assert_eq!(c.effective_scale(), Scale::Test);
-        // an explicit --scale wins over the --paper-scale shorthand
-        let c = parse_args(&args(&[
-            "bench-compare",
-            "b.json",
-            "--paper-scale",
-            "--scale",
-            "test",
-        ]))
-        .unwrap();
-        assert_eq!(c.effective_scale(), Scale::Test);
-        // and --paper-scale alone still works
+        // --paper-scale alone still works
         let c = parse_args(&args(&["bench-snapshot", "out.json", "--paper-scale"])).unwrap();
         assert_eq!(c.effective_scale(), Scale::Paper);
         assert!(matches!(
@@ -758,6 +928,21 @@ mod tests {
         ] {
             assert!(matches!(parse_args(&args(bad)), Err(CliError::Usage(_))));
         }
+    }
+
+    #[test]
+    fn error_codes_and_exit_codes_are_stable() {
+        let usage = CliError::Usage("bad flag".into());
+        assert_eq!(usage.code(), "usage");
+        assert_eq!(usage.exit_code(), 2);
+        assert_eq!(usage.message(), "bad flag");
+        // Display appends the usage text; message() stays raw
+        assert!(usage.to_string().contains("usage: amnesiac"));
+        let tool = CliError::Tool("sim fault".into());
+        assert_eq!(tool.code(), "tool");
+        assert_eq!(tool.exit_code(), 1);
+        assert_eq!(tool.message(), "sim fault");
+        assert_eq!(tool.to_string(), "sim fault");
     }
 
     #[test]
@@ -847,6 +1032,42 @@ mod tests {
         let out = execute(&cmd).unwrap();
         assert!(out.contains("halted"));
         assert!(out.contains("EDP"));
+    }
+
+    #[test]
+    fn every_verbs_json_export_equals_its_payload() {
+        let dir = std::env::temp_dir().join("amnesiac-cli-payload-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_string_lossy().into_owned();
+        for (argv, file) in [
+            (&["run", "bench:is"][..], "run.json"),
+            (&["compile", "bench:is"], "compile.json"),
+            (&["compare", "bench:is"], "compare.json"),
+            (&["verify", "bench:is"], "verify.json"),
+        ] {
+            let mut with_json: Vec<&str> = argv.to_vec();
+            with_json.extend(["--json", &dir_str]);
+            let cmd = parse_args(&args(&with_json)).unwrap();
+            let text = execute(&cmd).unwrap();
+            assert!(text.contains("wrote"), "{argv:?}: {text}");
+            let on_disk =
+                amnesiac_telemetry::parse(&std::fs::read_to_string(dir.join(file)).unwrap())
+                    .unwrap();
+            let payload = super::run(&cmd).unwrap().payload_json();
+            assert_eq!(on_disk, payload, "{argv:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_text_matches_the_historical_run_format() {
+        let cmd = parse_args(&args(&["run", "bench:is"])).unwrap();
+        let response = super::run(&cmd).unwrap();
+        let text = response.render_text();
+        assert!(text.starts_with("program `"), "{text}");
+        assert_eq!(text, execute(&cmd).unwrap());
+        assert_eq!(response.verb_name(), "run");
+        assert!(!response.is_failure());
     }
 
     #[test]

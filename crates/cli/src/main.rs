@@ -6,14 +6,14 @@ fn main() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     };
     match amnesiac_cli::execute(&command) {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -1,0 +1,298 @@
+//! The service layer glue: plugs the typed [`crate::run`] core into
+//! `amnesiac-serve`.
+//!
+//! [`serve_handler`] maps wire verbs onto [`Command`]s and returns
+//! [`Response::payload_json`] — the same document `--json <dir>` writes
+//! — so a socket client and the CLI see identical payloads for the same
+//! verb. [`run_serve`] hosts the public service; [`run_serve_smoke`]
+//! boots a private server on an ephemeral port and fires a mixed
+//! concurrent batch at it, checking every response against the typed
+//! core it is supposed to mirror.
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amnesiac_serve::{code, Client, Handler, Request, Response as WireResponse, ServeError};
+use amnesiac_serve::{Server, ServerConfig};
+use amnesiac_telemetry::Json;
+use amnesiac_workloads::Scale;
+
+use crate::{CliError, Command, Response, Verb};
+
+/// How many concurrent clients the smoke test drives — the acceptance
+/// bar is a mixed batch with zero dropped or mismatched responses.
+const SMOKE_CLIENTS: usize = 8;
+
+/// The wire-facing brain: parses a [`Request`] into a [`Command`], runs
+/// the typed core, and answers with [`Response::payload_json`].
+///
+/// Exposed verbs: `compile`, `simulate` (alias `run`), `verify`
+/// (sweeps the suite when no target is given), `bench` (alias
+/// `compare`), `experiments`, plus the read-only `disasm` / `profile` /
+/// `trace`. Failure-shaped outcomes (a dirty `verify`) still answer
+/// `ok` with the full structured payload; only pipeline faults become
+/// error payloads, carrying [`CliError::code`].
+pub fn serve_handler() -> Handler {
+    Arc::new(|request: &Request| {
+        let command = request_command(request)?;
+        let response = crate::run(&command).map_err(|e| ServeError::new(e.code(), e.message()))?;
+        Ok(response.payload_json())
+    })
+}
+
+/// Maps a wire request onto the typed [`Command`] it stands for.
+fn request_command(request: &Request) -> Result<Command, ServeError> {
+    let verb = match request.verb.as_str() {
+        "compile" => Verb::Compile,
+        "simulate" | "run" => Verb::Run,
+        "verify" => Verb::Verify,
+        "bench" | "compare" => Verb::Compare,
+        "experiments" => Verb::Experiments,
+        "disasm" => Verb::Disasm,
+        "profile" => Verb::Profile,
+        "trace" => Verb::Trace,
+        other => {
+            return Err(ServeError::new(
+                code::USAGE,
+                format!(
+                    "unknown verb `{other}`; this server answers compile, simulate, \
+                     verify, bench, experiments, disasm, profile, and trace"
+                ),
+            ))
+        }
+    };
+    let scale = match request.scale.as_deref() {
+        None => None,
+        Some("test") => Some(Scale::Test),
+        Some("paper") => Some(Scale::Paper),
+        Some(other) => {
+            return Err(ServeError::bad_request(format!(
+                "scale `{other}` is neither `test` nor `paper`"
+            )))
+        }
+    };
+    let target = request.target.clone();
+    if target.is_none() && !matches!(verb, Verb::Verify | Verb::Experiments) {
+        return Err(ServeError::bad_request(format!(
+            "verb `{}` needs a target (a path or `bench:<name>`)",
+            request.verb
+        )));
+    }
+    Ok(Command {
+        verb,
+        target,
+        output: None,
+        paper_scale: false,
+        scale,
+        json_dir: None,
+        tolerance: None,
+        reps: None,
+        port: None,
+        workers: None,
+        backlog: None,
+        timeout_ms: None,
+    })
+}
+
+/// Builds the server configuration from the serve flags, keeping the
+/// crate defaults for anything not given.
+fn server_config(command: &Command) -> ServerConfig {
+    let mut config = ServerConfig::default();
+    if let Some(port) = command.port {
+        config.port = port;
+    }
+    if let Some(workers) = command.workers {
+        config.workers = workers;
+    }
+    if let Some(backlog) = command.backlog {
+        config.backlog = backlog;
+    }
+    if let Some(timeout_ms) = command.timeout_ms {
+        config.timeout_ms = timeout_ms;
+    }
+    config
+}
+
+/// The `serve` verb: host the line-protocol service until a `shutdown`
+/// request drains it.
+pub(crate) fn run_serve(command: &Command) -> Result<Response, CliError> {
+    let config = server_config(command);
+    let (workers, backlog, timeout_ms) = (config.workers, config.backlog, config.timeout_ms);
+    let mut server = Server::start(config, serve_handler())
+        .map_err(|e| CliError::Tool(format!("cannot start server: {e}")))?;
+    let addr = server.addr();
+    println!(
+        "amnesiac-serve listening on {addr} ({workers} workers, backlog {backlog}, \
+         timeout {timeout_ms} ms) — send {{\"verb\":\"shutdown\"}} to drain and stop"
+    );
+    std::io::stdout().flush().ok();
+    server.join();
+    let stats = server.stats_json();
+    Ok(Response::Serve {
+        addr: addr.to_string(),
+        stats,
+    })
+}
+
+/// One smoke case: the request to put on the wire and the payload the
+/// typed core produces for the equivalent command.
+struct SmokeCase {
+    request: Request,
+    expected: Json,
+}
+
+/// The mixed batch every smoke client fires: one request per exposed
+/// service verb family, all deterministic (no wall-clock fields), so
+/// wire payloads must equal the typed core's documents byte for byte.
+fn smoke_cases() -> Result<Vec<SmokeCase>, CliError> {
+    let specs: &[(&str, Option<&str>)] = &[
+        ("compile", Some("bench:is")),
+        ("simulate", Some("bench:sr")),
+        ("verify", Some("bench:is")),
+        ("bench", Some("bench:is")),
+        ("disasm", Some("bench:cg")),
+    ];
+    let mut cases = Vec::new();
+    for (verb, target) in specs {
+        let mut request = Request::new(*verb);
+        if let Some(target) = target {
+            request = request.with_target(*target);
+        }
+        let command = request_command(&request)
+            .map_err(|e| CliError::Tool(format!("smoke case `{verb}`: {e}")))?;
+        let expected = crate::run(&command)?.payload_json();
+        cases.push(SmokeCase { request, expected });
+    }
+    Ok(cases)
+}
+
+/// Drives one client through the full mixed batch, pipelined; returns a
+/// description of every check that failed.
+fn smoke_client(addr: SocketAddr, client_id: usize, cases: &[SmokeCase]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => return vec![format!("client {client_id}: connect failed: {e}")],
+    };
+    client.set_read_timeout(Some(Duration::from_secs(300))).ok();
+    let requests: Vec<Request> = cases
+        .iter()
+        .enumerate()
+        .map(|(i, case)| {
+            case.request
+                .clone()
+                .with_id(format!("c{client_id}-{i}-{}", case.request.verb))
+        })
+        .collect();
+    let responses: Vec<WireResponse> = match client.batch(&requests) {
+        Ok(responses) => responses,
+        Err(e) => return vec![format!("client {client_id}: batch failed: {e}")],
+    };
+    for ((request, response), case) in requests.iter().zip(&responses).zip(cases) {
+        let label = format!("client {client_id} verb `{}`", request.verb);
+        if response.id != request.id {
+            failures.push(format!(
+                "{label}: id `{}` echoed as `{}`",
+                request.id.compact(),
+                response.id.compact()
+            ));
+            continue;
+        }
+        match response.payload() {
+            Some(payload) if *payload == case.expected => {}
+            Some(_) => failures.push(format!("{label}: payload differs from the typed core")),
+            None => failures.push(format!(
+                "{label}: error response: {}",
+                response
+                    .error()
+                    .map(|e| format!("{} ({})", e.message, e.code))
+                    .unwrap_or_default()
+            )),
+        }
+    }
+    failures
+}
+
+/// The `serve-smoke` verb: an in-process end-to-end self-test — boots a
+/// server on an ephemeral port, drives [`SMOKE_CLIENTS`] concurrent
+/// clients through a mixed batch, and checks every wire payload against
+/// the typed core plus the server's own statistics.
+pub(crate) fn run_serve_smoke(command: &Command) -> Result<Response, CliError> {
+    let mut config = server_config(command);
+    if command.port.is_none() {
+        config.port = 0; // ephemeral: never collide with a real service
+    }
+    if command.timeout_ms.is_none() {
+        config.timeout_ms = 300_000; // generous — the deadline path has its own tests
+    }
+    let cases = smoke_cases()?;
+    let server = Server::start(config, serve_handler())
+        .map_err(|e| CliError::Tool(format!("cannot start smoke server: {e}")))?;
+    let addr = server.addr();
+
+    let mut checks = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SMOKE_CLIENTS)
+            .map(|client_id| {
+                let cases = &cases;
+                scope.spawn(move || smoke_client(addr, client_id, cases))
+            })
+            .collect();
+        for handle in handles {
+            checks += cases.len();
+            match handle.join() {
+                Ok(client_failures) => failures.extend(client_failures),
+                Err(_) => failures.push("smoke client thread panicked".to_string()),
+            }
+        }
+    });
+
+    // The per-verb counters must account for every request we sent.
+    checks += 1;
+    let mut admin = Client::connect(addr)
+        .map_err(|e| CliError::Tool(format!("cannot connect stats client: {e}")))?;
+    match admin.call(&Request::new("stats").with_id("stats")) {
+        Ok(response) => match response.payload() {
+            Some(payload) => {
+                let compiles = payload
+                    .get_path("verbs.compile.requests")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as usize;
+                if compiles < SMOKE_CLIENTS {
+                    failures.push(format!(
+                        "stats: saw {compiles} compile requests, expected at least {SMOKE_CLIENTS}"
+                    ));
+                }
+            }
+            None => failures.push("stats request answered with an error".to_string()),
+        },
+        Err(e) => failures.push(format!("stats request failed: {e}")),
+    }
+
+    // Unknown verbs must come back as structured usage errors, not
+    // dropped connections.
+    checks += 1;
+    match admin.call(&Request::new("frobnicate").with_id("bad")) {
+        Ok(response) => match response.error() {
+            Some(error) if error.code == code::USAGE => {}
+            Some(error) => failures.push(format!(
+                "unknown verb: expected code `{}`, got `{}`",
+                code::USAGE,
+                error.code
+            )),
+            None => failures.push("unknown verb unexpectedly succeeded".to_string()),
+        },
+        Err(e) => failures.push(format!("unknown-verb request failed: {e}")),
+    }
+
+    let stats = server.stats_json();
+    server.stop();
+    Ok(Response::ServeSmoke {
+        checks,
+        failures,
+        stats,
+    })
+}

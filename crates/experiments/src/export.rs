@@ -6,12 +6,11 @@
 //! follows the telemetry conventions: ordered objects, `*_pct`/`*_nj`/
 //! `*_ms` unit suffixes, non-finite floats as `null`.
 
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use amnesiac_mem::ServiceLevel;
-use amnesiac_telemetry::{Json, ToJson};
+use amnesiac_telemetry::{Json, JsonSink, ToJson};
 use amnesiac_workloads::{all_workloads, Scale, Suite};
 
 use crate::pipeline::{BenchEval, EvalSuite, PolicyOutcome};
@@ -310,20 +309,19 @@ pub fn json_dir_from_args(args: &[String]) -> Option<PathBuf> {
 }
 
 /// Writes one JSON document to `path` (pretty-printed, trailing newline),
-/// creating parent directories as needed.
+/// creating parent directories as needed. Thin wrapper over the canonical
+/// [`amnesiac_telemetry::write_json_file`] so every artifact writer in the
+/// workspace shares one on-disk format.
 pub fn write_json(path: &Path, json: &Json) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    fs::write(path, json.pretty())
+    amnesiac_telemetry::write_json_file(path, json)
 }
 
-/// Writes the machine-readable twins of every suite-derived artifact
-/// (Figs. 3–8, Tables 4–5) plus the full raw dump (`suite.json`, which
-/// includes per-policy run stats and pipeline stage timings) into `dir`.
-/// Returns the paths written.
-pub fn write_suite_artifacts(dir: &Path, suite: &EvalSuite) -> io::Result<Vec<PathBuf>> {
-    let artifacts: Vec<(&str, Json)> = vec![
+/// The suite-derived artifacts (Figs. 3–8, Tables 4–5) plus the full raw
+/// dump (`suite.json`, which includes per-policy run stats and pipeline
+/// stage timings), as `(file name, document)` pairs in the order
+/// [`write_suite_artifacts`] writes them.
+pub fn suite_artifacts(suite: &EvalSuite) -> Vec<(&'static str, Json)> {
+    vec![
         ("fig3.json", fig3_json(suite)),
         ("fig4.json", fig4_json(suite)),
         ("fig5.json", fig5_json(suite)),
@@ -333,12 +331,17 @@ pub fn write_suite_artifacts(dir: &Path, suite: &EvalSuite) -> io::Result<Vec<Pa
         ("fig7.json", fig7_json(suite)),
         ("fig8.json", fig8_json(suite)),
         ("suite.json", suite.to_json()),
-    ];
+    ]
+}
+
+/// Writes the machine-readable twins of every suite-derived artifact (see
+/// [`suite_artifacts`]) into `dir` through one [`JsonSink`]. Returns the
+/// paths written.
+pub fn write_suite_artifacts(dir: &Path, suite: &EvalSuite) -> io::Result<Vec<PathBuf>> {
+    let sink = JsonSink::new(dir);
     let mut written = Vec::new();
-    for (name, json) in artifacts {
-        let path = dir.join(name);
-        write_json(&path, &json)?;
-        written.push(path);
+    for (name, json) in suite_artifacts(suite) {
+        written.push(sink.write(name, &json)?);
     }
     Ok(written)
 }
@@ -346,6 +349,8 @@ pub fn write_suite_artifacts(dir: &Path, suite: &EvalSuite) -> io::Result<Vec<Pa
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+
     use amnesiac_energy::EnergyModel;
     use amnesiac_telemetry::parse;
     use amnesiac_workloads::build_focal;

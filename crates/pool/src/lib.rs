@@ -152,6 +152,10 @@ impl PoolShared {
     }
 }
 
+/// Distinguishes every `parallel_map` call and every `spawn` batch, so
+/// cancellation (`PoolShared::cancel`) only ever removes a call's own jobs.
+static NEXT_CALL: AtomicU64 = AtomicU64::new(0);
+
 fn run_job(job: QueuedJob) {
     (job.run)();
     job.ticket.finish();
@@ -368,7 +372,6 @@ impl Pool {
             _ => return items.into_iter().map(func).collect(),
         };
 
-        static NEXT_CALL: AtomicU64 = AtomicU64::new(0);
         let call = NEXT_CALL.fetch_add(1, Ordering::Relaxed);
         let ticket = Arc::new(Ticket::default());
         let state = MapState::new(items, &func);
@@ -394,6 +397,29 @@ impl Pool {
         state.wait_all_done();
         ticket.wait_idle();
         state.into_results()
+    }
+
+    /// Queues `job` for asynchronous execution on the pool's workers and
+    /// returns immediately. Unlike [`Pool::parallel_map`], the job owns its
+    /// state (`'static`): nothing is borrowed from the caller, there is no
+    /// completion handshake, and nothing is ever cancelled — callers that
+    /// need a result communicate through the state the closure captures.
+    ///
+    /// On an inline pool (zero workers) the job runs synchronously on the
+    /// calling thread before `spawn` returns. On a threaded pool, jobs
+    /// still queued when the pool is dropped are drained — executed, not
+    /// discarded — by the exiting workers, so a spawned job always runs
+    /// exactly once.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let Some(shared) = &self.shared else {
+            job();
+            return;
+        };
+        shared.submit(QueuedJob {
+            call: NEXT_CALL.fetch_add(1, Ordering::Relaxed),
+            ticket: Arc::new(Ticket::default()),
+            run: Box::new(job),
+        });
     }
 }
 
@@ -536,6 +562,69 @@ mod tests {
             index
         });
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn spawn_runs_every_job_exactly_once() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = std::sync::mpsc::channel();
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..32 {
+            rx.recv_timeout(std::time::Duration::from_secs(10))
+                .expect("every spawned job completes");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn spawn_on_inline_pool_runs_synchronously() {
+        let pool = Pool::new(0);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        pool.spawn(move || {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        // No handshake needed: the inline pool ran the job on this thread.
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn jobs_spawned_before_drop_are_drained_not_dropped() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = Pool::new(1);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.spawn(move || {
+                    std::hint::black_box(spin_for(500));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop immediately: queued jobs must still run.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn spawned_jobs_can_use_parallel_map() {
+        let pool = Pool::new(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.spawn(move || {
+            let inner = Pool::global().parallel_map((0..8u64).collect(), |x| x * 2);
+            tx.send(inner).unwrap();
+        });
+        let inner = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("spawned job completes");
+        assert_eq!(inner, (0..8u64).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

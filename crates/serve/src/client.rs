@@ -1,0 +1,95 @@
+//! A minimal line-protocol client, used by the end-to-end tests, the
+//! `amnesiac serve-smoke` self-test, and CI.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{Request, Response};
+
+/// A connected client. One request/response exchange at a time via
+/// [`Client::call`], or pipeline explicitly with [`Client::send`] and
+/// [`Client::recv`] (responses arrive in request order).
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Bounds how long [`Client::recv`] blocks waiting for a response
+    /// line (`None` = forever, the default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request line without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let mut line = request.to_json().compact();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line (responses arrive in request order).
+    ///
+    /// # Errors
+    ///
+    /// Read failures are propagated; a closed connection or a malformed
+    /// response line surfaces as [`io::ErrorKind::UnexpectedEof`] /
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse_line(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// One request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::send`] and [`Client::recv`]. A transported service
+    /// error is **not** an `Err` here — inspect [`Response::result`].
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Pipelines a whole batch: sends every request, then collects the
+    /// responses in order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::send`] and [`Client::recv`].
+    pub fn batch(&mut self, requests: &[Request]) -> io::Result<Vec<Response>> {
+        for request in requests {
+            self.send(request)?;
+        }
+        requests.iter().map(|_| self.recv()).collect()
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+//! # amnesiac-serve
+//!
+//! A std-only concurrent batch service speaking newline-delimited JSON
+//! over TCP — the service layer in front of the AMNESIAC toolchain. The
+//! crate is handler-generic: it owns the transport, admission control,
+//! deadlines, statistics, and lifecycle, while the meaning of each verb
+//! is supplied by the embedding crate (`amnesiac-cli` plugs in its typed
+//! `run()` API and serves `compile` / `simulate` / `verify` / `bench` /
+//! `experiments`).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use amnesiac_serve::{Client, Request, Server, ServerConfig};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let handler = Arc::new(|req: &Request| {
+//!     Ok(amnesiac_telemetry::Json::obj().with("echo", req.verb.as_str()))
+//! });
+//! let server = Server::start(ServerConfig::default(), handler)?;
+//! let mut client = Client::connect(server.addr())?;
+//! let response = client.call(&Request::new("ping").with_id(1u64))?;
+//! assert!(response.is_ok());
+//! server.stop();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See [`protocol`] for the wire schema and the stable error codes, and
+//! [`server`] for the backpressure / deadline / shutdown semantics.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{code, Request, Response, ServeError, PROTOCOL_VERSION};
+pub use server::{Handler, Server, ServerConfig};

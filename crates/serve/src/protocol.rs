@@ -1,0 +1,419 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, in request order per
+//! connection. Requests carry an opaque `id` that is echoed verbatim in
+//! the response, so clients that pipeline many requests can correlate
+//! them either by order or by id.
+//!
+//! Request schema (all fields except `verb` optional):
+//!
+//! ```json
+//! {"id": 7, "verb": "compile", "target": "bench:is",
+//!  "scale": "test", "timeout_ms": 5000}
+//! ```
+//!
+//! Response schema:
+//!
+//! ```json
+//! {"id": 7, "ok": true,  "verb": "compile", "elapsed_ms": 1.9, "payload": {...}}
+//! {"id": 8, "ok": false, "verb": "bench",   "elapsed_ms": 0.1,
+//!  "error": {"code": "overloaded", "message": "backlog full (64 requests in flight)"}}
+//! ```
+//!
+//! Error codes are stable strings (see [`code`]); clients dispatch on
+//! `error.code`, never on `error.message`.
+
+use amnesiac_telemetry::Json;
+
+/// Protocol version, reported by the `stats` verb. Bump on any
+/// incompatible schema change.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Stable machine-readable error codes carried in `error.code`.
+pub mod code {
+    /// The request line was not valid JSON or not a valid request object.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The request was well-formed JSON but asked for something the API
+    /// rejects (unknown verb for the handler, missing target, bad scale).
+    pub const USAGE: &str = "usage";
+    /// The toolchain failed while executing the request (compile error,
+    /// unknown benchmark, diverging policy, …).
+    pub const TOOL: &str = "tool";
+    /// The request did not complete before its deadline. The result, if
+    /// the job was already running, is discarded; a still-queued job is
+    /// cancelled outright.
+    pub const TIMEOUT: &str = "timeout";
+    /// The bounded backlog was full; the request was rejected without
+    /// being queued. Retry later (backpressure signal).
+    pub const OVERLOADED: &str = "overloaded";
+    /// The server is draining for shutdown and refuses new work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The handler panicked or the server hit an unexpected condition.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// A structured service error: stable code plus human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// One of the [`code`] constants (handlers may add their own).
+    pub code: String,
+    /// Human-readable detail. Not part of the stable contract.
+    pub message: String,
+}
+
+impl ServeError {
+    /// A service error with the given stable code.
+    pub fn new(code: &str, message: impl Into<String>) -> ServeError {
+        ServeError {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`code::BAD_REQUEST`] error.
+    pub fn bad_request(message: impl Into<String>) -> ServeError {
+        ServeError::new(code::BAD_REQUEST, message)
+    }
+
+    /// The `{"code": ..., "message": ...}` object of the wire format.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("code", self.code.as_str())
+            .with("message", self.message.as_str())
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Opaque correlation id, echoed verbatim in the response
+    /// ([`Json::Null`] when the client sent none).
+    pub id: Json,
+    /// The verb. `stats` and `shutdown` are handled by the server itself;
+    /// everything else goes to the handler.
+    pub verb: String,
+    /// Program reference (a path or `bench:<name>`), where the verb takes
+    /// one.
+    pub target: Option<String>,
+    /// Workload scale for built-in benchmarks: `"test"` (default) or
+    /// `"paper"`.
+    pub scale: Option<String>,
+    /// Per-request deadline override in milliseconds; the server default
+    /// applies when absent.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request with the given verb and no other fields.
+    pub fn new(verb: impl Into<String>) -> Request {
+        Request {
+            id: Json::Null,
+            verb: verb.into(),
+            target: None,
+            scale: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// Sets the correlation id.
+    pub fn with_id(mut self, id: impl Into<Json>) -> Request {
+        self.id = id.into();
+        self
+    }
+
+    /// Sets the target program reference.
+    pub fn with_target(mut self, target: impl Into<String>) -> Request {
+        self.target = Some(target.into());
+        self
+    }
+
+    /// Sets the workload scale (`"test"` / `"paper"`).
+    pub fn with_scale(mut self, scale: impl Into<String>) -> Request {
+        self.scale = Some(scale.into());
+        self
+    }
+
+    /// Sets the per-request deadline in milliseconds.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Request {
+        self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// The request's wire object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        if self.id != Json::Null {
+            obj.set("id", self.id.clone());
+        }
+        obj.set("verb", self.verb.as_str());
+        if let Some(target) = &self.target {
+            obj.set("target", target.as_str());
+        }
+        if let Some(scale) = &self.scale {
+            obj.set("scale", scale.as_str());
+        }
+        if let Some(timeout_ms) = self.timeout_ms {
+            obj.set("timeout_ms", timeout_ms);
+        }
+        obj
+    }
+
+    /// Parses a request from its wire object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`code::BAD_REQUEST`] error when the value is not an
+    /// object, `verb` is missing or not a string, any known field has the
+    /// wrong type, or an unknown field is present (strict by design: a
+    /// misspelled field should fail loudly, not be ignored).
+    pub fn from_json(value: &Json) -> Result<Request, ServeError> {
+        let Some(fields) = value.as_obj() else {
+            return Err(ServeError::bad_request("request must be a JSON object"));
+        };
+        let mut request = Request::new(String::new());
+        let mut saw_verb = false;
+        for (key, field) in fields {
+            match key.as_str() {
+                "id" => request.id = field.clone(),
+                "verb" => match field.as_str() {
+                    Some(verb) => {
+                        request.verb = verb.to_string();
+                        saw_verb = true;
+                    }
+                    None => return Err(ServeError::bad_request("`verb` must be a string")),
+                },
+                "target" => match field.as_str() {
+                    Some(target) => request.target = Some(target.to_string()),
+                    None => return Err(ServeError::bad_request("`target` must be a string")),
+                },
+                "scale" => match field.as_str() {
+                    Some(scale) => request.scale = Some(scale.to_string()),
+                    None => return Err(ServeError::bad_request("`scale` must be a string")),
+                },
+                "timeout_ms" => match field.as_f64() {
+                    Some(ms) if ms >= 1.0 && ms.fract() == 0.0 => {
+                        request.timeout_ms = Some(ms as u64);
+                    }
+                    _ => {
+                        return Err(ServeError::bad_request(
+                            "`timeout_ms` must be a positive integer",
+                        ))
+                    }
+                },
+                other => {
+                    return Err(ServeError::bad_request(format!(
+                        "unknown request field `{other}`"
+                    )))
+                }
+            }
+        }
+        if !saw_verb {
+            return Err(ServeError::bad_request("request is missing `verb`"));
+        }
+        Ok(request)
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`code::BAD_REQUEST`] error on malformed JSON or a
+    /// malformed request object.
+    pub fn parse_line(line: &str) -> Result<Request, ServeError> {
+        let value = amnesiac_telemetry::parse(line)
+            .map_err(|e| ServeError::bad_request(format!("malformed request line: {e}")))?;
+        Request::from_json(&value)
+    }
+}
+
+/// A response line: either a payload or a structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id, echoed verbatim.
+    pub id: Json,
+    /// The request's verb, echoed.
+    pub verb: String,
+    /// Wall-clock milliseconds from request receipt to response.
+    pub elapsed_ms: f64,
+    /// The payload (`ok: true`) or the error (`ok: false`).
+    pub result: Result<Json, ServeError>,
+}
+
+impl Response {
+    /// `true` iff the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The payload of a successful response.
+    pub fn payload(&self) -> Option<&Json> {
+        self.result.as_ref().ok()
+    }
+
+    /// The error of a failed response.
+    pub fn error(&self) -> Option<&ServeError> {
+        self.result.as_ref().err()
+    }
+
+    /// The response's wire object.
+    pub fn to_json(&self) -> Json {
+        let obj = Json::obj()
+            .with("id", self.id.clone())
+            .with("ok", self.is_ok())
+            .with("verb", self.verb.as_str())
+            .with("elapsed_ms", self.elapsed_ms);
+        match &self.result {
+            Ok(payload) => obj.with("payload", payload.clone()),
+            Err(error) => obj.with("error", error.to_json()),
+        }
+    }
+
+    /// Parses a response from its wire object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`code::BAD_REQUEST`] error when the object does not
+    /// match the response schema.
+    pub fn from_json(value: &Json) -> Result<Response, ServeError> {
+        let bad = |msg: &str| ServeError::bad_request(format!("malformed response: {msg}"));
+        let Some(ok) = value.get("ok").and_then(|v| match v {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }) else {
+            return Err(bad("missing boolean `ok`"));
+        };
+        let verb = value
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string `verb`"))?
+            .to_string();
+        let elapsed_ms = value
+            .get("elapsed_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("missing number `elapsed_ms`"))?;
+        let id = value.get("id").cloned().unwrap_or(Json::Null);
+        let result = if ok {
+            Ok(value
+                .get("payload")
+                .cloned()
+                .ok_or_else(|| bad("ok response without `payload`"))?)
+        } else {
+            let error = value
+                .get("error")
+                .ok_or_else(|| bad("error response without `error`"))?;
+            let code = error
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("error without string `code`"))?;
+            let message = error
+                .get("message")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("error without string `message`"))?;
+            Err(ServeError::new(code, message))
+        };
+        Ok(Response {
+            id,
+            verb,
+            elapsed_ms,
+            result,
+        })
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`code::BAD_REQUEST`] error on malformed JSON or a
+    /// malformed response object.
+    pub fn parse_line(line: &str) -> Result<Response, ServeError> {
+        let value = amnesiac_telemetry::parse(line)
+            .map_err(|e| ServeError::bad_request(format!("malformed response line: {e}")))?;
+        Response::from_json(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_the_wire_format() {
+        let request = Request::new("compile")
+            .with_id(7u64)
+            .with_target("bench:is")
+            .with_scale("test")
+            .with_timeout_ms(5000);
+        let line = request.to_json().compact();
+        assert_eq!(Request::parse_line(&line).unwrap(), request);
+        // minimal request: just a verb
+        let minimal = Request::new("stats");
+        assert_eq!(
+            Request::parse_line(&minimal.to_json().compact()).unwrap(),
+            minimal
+        );
+    }
+
+    #[test]
+    fn request_parser_rejects_malformed_lines() {
+        for (line, expect) in [
+            ("{", "malformed request line"),
+            ("[1,2]", "must be a JSON object"),
+            ("{\"target\":\"x\"}", "missing `verb`"),
+            ("{\"verb\":7}", "`verb` must be a string"),
+            ("{\"verb\":\"run\",\"scale\":1}", "`scale` must be a string"),
+            (
+                "{\"verb\":\"run\",\"timeout_ms\":0}",
+                "`timeout_ms` must be a positive integer",
+            ),
+            (
+                "{\"verb\":\"run\",\"timeout_ms\":1.5}",
+                "`timeout_ms` must be a positive integer",
+            ),
+            ("{\"verb\":\"run\",\"bogus\":1}", "unknown request field"),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert_eq!(err.code, code::BAD_REQUEST, "{line}");
+            assert!(err.message.contains(expect), "{line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn response_round_trips_both_arms() {
+        let ok = Response {
+            id: Json::Num(3.0),
+            verb: "verify".into(),
+            elapsed_ms: 1.25,
+            result: Ok(Json::obj().with("clean", true)),
+        };
+        let err = Response {
+            id: Json::Null,
+            verb: "bench".into(),
+            elapsed_ms: 0.5,
+            result: Err(ServeError::new(code::OVERLOADED, "backlog full")),
+        };
+        for response in [ok, err] {
+            let line = response.to_json().compact();
+            assert_eq!(Response::parse_line(&line).unwrap(), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_parser_rejects_malformed_objects() {
+        for line in [
+            "{}",
+            "{\"ok\":true,\"verb\":\"x\",\"elapsed_ms\":1}",
+            "{\"ok\":false,\"verb\":\"x\",\"elapsed_ms\":1}",
+            "{\"ok\":false,\"verb\":\"x\",\"elapsed_ms\":1,\"error\":{}}",
+        ] {
+            assert!(Response::parse_line(line).is_err(), "{line}");
+        }
+    }
+}

@@ -1,0 +1,581 @@
+//! The concurrent batch server.
+//!
+//! One acceptor thread takes TCP connections; each connection gets a
+//! reader thread (parses request lines, dispatches jobs) and a writer
+//! thread (waits for each job up to its deadline, writes response lines
+//! in request order). Request execution happens on an [`amnesiac_pool`]
+//! work-stealing pool owned by a dispatcher thread, so heavy verbs from
+//! many connections share one bounded set of workers.
+//!
+//! ## Backpressure
+//!
+//! Admission is bounded: at most `backlog` requests may be queued or
+//! running at once, across all connections. A request arriving at a full
+//! backlog is rejected immediately with a structured
+//! [`code::OVERLOADED`] error — it is never queued, so a fast client
+//! cannot wedge the service.
+//!
+//! ## Deadlines and cancellation
+//!
+//! Every request carries a deadline (`timeout_ms` in the request, else
+//! the server default). When the deadline passes before the job
+//! completes, the writer sends a structured [`code::TIMEOUT`] error and
+//! marks the job cancelled: a job still queued is skipped outright (true
+//! cancellation); a job already running completes and its result is
+//! discarded — safe Rust cannot preempt a compute in flight.
+//!
+//! ## Graceful shutdown
+//!
+//! [`Server::shutdown`] (or a `shutdown` request) stops the acceptor,
+//! makes readers refuse new requests with [`code::SHUTTING_DOWN`], and
+//! lets every already-admitted request drain: writers deliver all pending
+//! responses before their connections close. [`Server::join`] returns
+//! once every connection and the worker pool have wound down.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use amnesiac_pool::Pool;
+use amnesiac_telemetry::Json;
+
+use crate::protocol::{code, Request, Response, ServeError, PROTOCOL_VERSION};
+
+/// How the request handler is plugged into the server: a function from
+/// parsed request to payload-or-error. Called on pool workers; must be
+/// panic-safe in the sense that a panic is caught and reported as
+/// [`code::INTERNAL`], never crashes the server.
+pub type Handler = Arc<dyn Fn(&Request) -> Result<Json, ServeError> + Send + Sync>;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Interface to bind (`127.0.0.1` unless you mean to expose it).
+    pub host: String,
+    /// TCP port; `0` picks an ephemeral port (read it back from
+    /// [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads executing requests. At least 1.
+    pub workers: usize,
+    /// Maximum requests queued-or-running at once before new requests are
+    /// rejected with [`code::OVERLOADED`]. At least 1.
+    pub backlog: usize,
+    /// Default per-request deadline in milliseconds (overridable per
+    /// request via `timeout_ms`).
+    pub timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .clamp(1, 8),
+            backlog: 64,
+            timeout_ms: 30_000,
+        }
+    }
+}
+
+/// Per-verb counters exposed by the `stats` verb.
+#[derive(Debug, Clone, Default)]
+struct VerbStats {
+    requests: u64,
+    ok: u64,
+    errors: u64,
+    timeouts: u64,
+    total_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    verbs: BTreeMap<String, VerbStats>,
+}
+
+/// The poll interval readers use while blocked on a quiet socket; bounds
+/// how long shutdown waits for an idle connection to notice the flag.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+struct Shared {
+    handler: Handler,
+    addr: SocketAddr,
+    backlog: usize,
+    timeout_ms: u64,
+    workers: usize,
+    shutdown: AtomicBool,
+    /// Requests currently queued or running (admission counter).
+    inflight: AtomicUsize,
+    rejected_overload: AtomicU64,
+    stats: Mutex<Stats>,
+    started: Instant,
+}
+
+impl Shared {
+    /// Tries to admit one request under the backlog bound.
+    fn try_admit(&self) -> bool {
+        self.inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.backlog).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor out of its blocking `accept` so it can see
+            // the flag; the throwaway connection is dropped unserved.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn record(&self, verb: &str, outcome: &Result<Json, ServeError>, elapsed_ms: f64) {
+        let mut stats = self.stats.lock().unwrap();
+        let entry = stats.verbs.entry(verb.to_string()).or_default();
+        entry.requests += 1;
+        match outcome {
+            Ok(_) => entry.ok += 1,
+            Err(e) if e.code == code::TIMEOUT => entry.timeouts += 1,
+            Err(_) => entry.errors += 1,
+        }
+        entry.total_ms += elapsed_ms;
+        entry.max_ms = entry.max_ms.max(elapsed_ms);
+    }
+
+    /// The `stats` verb's payload.
+    fn stats_json(&self) -> Json {
+        let stats = self.stats.lock().unwrap();
+        let mut verbs = Json::obj();
+        for (verb, v) in &stats.verbs {
+            verbs.set(
+                verb,
+                Json::obj()
+                    .with("requests", v.requests)
+                    .with("ok", v.ok)
+                    .with("errors", v.errors)
+                    .with("timeouts", v.timeouts)
+                    .with("total_ms", v.total_ms)
+                    .with("max_ms", v.max_ms),
+            );
+        }
+        Json::obj()
+            .with("protocol_version", PROTOCOL_VERSION)
+            .with("uptime_ms", self.started.elapsed().as_secs_f64() * 1e3)
+            .with("workers", self.workers)
+            .with("backlog", self.backlog)
+            .with("timeout_ms", self.timeout_ms)
+            .with("inflight", self.inflight.load(Ordering::Acquire))
+            .with(
+                "rejected_overload",
+                self.rejected_overload.load(Ordering::Acquire),
+            )
+            .with("draining", self.shutdown.load(Ordering::SeqCst))
+            .with("verbs", verbs)
+    }
+}
+
+/// One request's completion slot, shared between the pool job computing
+/// it and the connection writer waiting on it.
+struct Job {
+    cancelled: AtomicBool,
+    slot: Mutex<Option<Result<Json, ServeError>>>,
+    done: Condvar,
+}
+
+impl Job {
+    fn new() -> Job {
+        Job {
+            cancelled: AtomicBool::new(false),
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<Json, ServeError>) {
+        *self.slot.lock().unwrap() = Some(result);
+        self.done.notify_all();
+    }
+
+    /// Waits for completion until `deadline`; `None` means the deadline
+    /// passed first (the caller reports a timeout and cancels).
+    fn wait_until(&self, deadline: Instant) -> Option<Result<Json, ServeError>> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return Some(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timeout) = self.done.wait_timeout(slot, deadline - now).unwrap();
+            slot = next;
+            if timeout.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// A response owed to the client, in request order.
+struct PendingResponse {
+    id: Json,
+    verb: String,
+    received: Instant,
+    kind: PendingKind,
+}
+
+enum PendingKind {
+    /// Decided at dispatch time (stats, rejections, protocol errors).
+    Ready(Result<Json, ServeError>),
+    /// Executing (or queued) on the pool; resolved by the writer.
+    Running(Arc<Job>, Instant),
+}
+
+/// A running batch service. Dropping the handle does **not** stop the
+/// server; call [`Server::shutdown`] then [`Server::join`] (or
+/// [`Server::stop`] for both).
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and acceptor, and returns
+    /// immediately. Requests are served until [`Server::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig, handler: Handler) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            handler,
+            addr,
+            backlog: config.backlog.max(1),
+            timeout_ms: config.timeout_ms.max(1),
+            workers,
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            rejected_overload: AtomicU64::new(0),
+            stats: Mutex::new(Stats::default()),
+            started: Instant::now(),
+        });
+        // The dispatcher thread owns the pool: jobs reach it over a
+        // channel whose senders are held by the acceptor and the
+        // connection readers, so the pool is dropped (draining its queue)
+        // exactly when the last connection is done — never from inside
+        // one of its own workers.
+        let (jobs_tx, jobs_rx) = channel::<Box<dyn FnOnce() + Send>>();
+        let dispatcher = thread::Builder::new()
+            .name("amnesiac-serve-dispatch".into())
+            .spawn(move || dispatcher_loop(workers, jobs_rx))
+            .expect("spawn dispatcher");
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("amnesiac-serve-accept".into())
+                .spawn(move || acceptor_loop(listener, shared, conns, jobs_tx))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+            conns,
+        })
+    }
+
+    /// The bound address (read this when `port` was 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Begins a graceful shutdown: stop accepting, refuse new requests,
+    /// drain in-flight ones. Returns immediately; pair with
+    /// [`Server::join`].
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// A snapshot of the server counters (same payload as the `stats`
+    /// verb).
+    pub fn stats_json(&self) -> Json {
+        self.shared.stats_json()
+    }
+
+    /// Waits until the acceptor, every connection, and the worker pool
+    /// have exited. Only returns promptly after [`Server::shutdown`] (or
+    /// a `shutdown` request) — otherwise it waits for the next one. The
+    /// server handle stays usable afterwards (e.g. for a final
+    /// [`Server::stats_json`] snapshot); a second call is a no-op.
+    pub fn join(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        loop {
+            let Some(conn) = self.conns.lock().unwrap().pop() else {
+                break;
+            };
+            let _ = conn.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+
+    /// [`Server::shutdown`] followed by [`Server::join`].
+    pub fn stop(mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn dispatcher_loop(workers: usize, jobs: Receiver<Box<dyn FnOnce() + Send>>) {
+    let pool = Pool::new(workers);
+    for job in jobs {
+        pool.spawn(job);
+    }
+    // Pool drop drains still-queued jobs before joining its workers.
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    jobs_tx: Sender<Box<dyn FnOnce() + Send>>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Includes the self-connection `begin_shutdown` used as a wakeup.
+            break;
+        }
+        let shared = Arc::clone(&shared);
+        let jobs_tx = jobs_tx.clone();
+        let handle = thread::Builder::new()
+            .name("amnesiac-serve-conn".into())
+            .spawn(move || serve_connection(shared, stream, jobs_tx))
+            .expect("spawn connection thread");
+        conns.lock().unwrap().push(handle);
+    }
+}
+
+fn serve_connection(
+    shared: Arc<Shared>,
+    stream: TcpStream,
+    jobs_tx: Sender<Box<dyn FnOnce() + Send>>,
+) {
+    // Short read timeouts turn the blocking reader into a poll loop that
+    // notices the shutdown flag; writes stay blocking.
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<PendingResponse>();
+    let writer = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("amnesiac-serve-write".into())
+            .spawn(move || writer_loop(shared, write_stream, rx))
+            .expect("spawn connection writer")
+    };
+    reader_loop(&shared, stream, &jobs_tx, &tx);
+    drop(tx); // close the writer's queue so it drains and exits
+    let _ = writer.join();
+}
+
+fn reader_loop(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    jobs_tx: &Sender<Box<dyn FnOnce() + Send>>,
+    tx: &Sender<PendingResponse>,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            // A timeout: keep any partial line accumulated so far and
+            // poll again, unless the server is draining.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) | Ok(0) => return, // connection error or clean EOF
+            Ok(_) => {
+                if buf.last() != Some(&b'\n') {
+                    // EOF mid-line: process what we got, then close.
+                    process_line(shared, jobs_tx, tx, &buf);
+                    return;
+                }
+                process_line(shared, jobs_tx, tx, &buf);
+                buf.clear();
+            }
+        }
+    }
+}
+
+fn process_line(
+    shared: &Arc<Shared>,
+    jobs_tx: &Sender<Box<dyn FnOnce() + Send>>,
+    tx: &Sender<PendingResponse>,
+    raw: &[u8],
+) {
+    let line = String::from_utf8_lossy(raw);
+    let line = line.trim();
+    if line.is_empty() {
+        return; // blank keep-alive lines are ignored
+    }
+    let received = Instant::now();
+    let request = match Request::parse_line(line) {
+        Ok(request) => request,
+        Err(error) => {
+            let _ = tx.send(PendingResponse {
+                id: Json::Null,
+                verb: "?".to_string(),
+                received,
+                kind: PendingKind::Ready(Err(error)),
+            });
+            return;
+        }
+    };
+    let kind = dispatch(shared, jobs_tx, &request);
+    let _ = tx.send(PendingResponse {
+        id: request.id,
+        verb: request.verb,
+        received,
+        kind,
+    });
+}
+
+/// Decides what happens to one parsed request: answered inline (server
+/// verbs, rejections) or admitted and queued on the pool.
+fn dispatch(
+    shared: &Arc<Shared>,
+    jobs_tx: &Sender<Box<dyn FnOnce() + Send>>,
+    request: &Request,
+) -> PendingKind {
+    match request.verb.as_str() {
+        "stats" => PendingKind::Ready(Ok(shared.stats_json())),
+        "shutdown" => {
+            let ready = PendingKind::Ready(Ok(Json::obj().with("draining", true)));
+            shared.begin_shutdown();
+            ready
+        }
+        _ if shared.shutdown.load(Ordering::SeqCst) => PendingKind::Ready(Err(ServeError::new(
+            code::SHUTTING_DOWN,
+            "server is draining and refuses new work",
+        ))),
+        _ => {
+            if !shared.try_admit() {
+                shared.rejected_overload.fetch_add(1, Ordering::AcqRel);
+                return PendingKind::Ready(Err(ServeError::new(
+                    code::OVERLOADED,
+                    format!("backlog full ({} requests in flight)", shared.backlog),
+                )));
+            }
+            let job = Arc::new(Job::new());
+            let deadline = Instant::now()
+                + Duration::from_millis(request.timeout_ms.unwrap_or(shared.timeout_ms));
+            let task = {
+                let job = Arc::clone(&job);
+                let shared = Arc::clone(shared);
+                let request = request.clone();
+                Box::new(move || {
+                    // A request whose deadline passed while it was still
+                    // queued is cancelled outright — never executed.
+                    if !job.cancelled.load(Ordering::Acquire) {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| (shared.handler)(&request)))
+                            .unwrap_or_else(|_| {
+                                Err(ServeError::new(
+                                    code::INTERNAL,
+                                    format!("handler panicked on verb `{}`", request.verb),
+                                ))
+                            });
+                        job.complete(outcome);
+                    }
+                    shared.release();
+                }) as Box<dyn FnOnce() + Send>
+            };
+            if jobs_tx.send(task).is_err() {
+                // Dispatcher gone: only possible mid-shutdown.
+                shared.release();
+                return PendingKind::Ready(Err(ServeError::new(
+                    code::SHUTTING_DOWN,
+                    "server is draining and refuses new work",
+                )));
+            }
+            PendingKind::Running(job, deadline)
+        }
+    }
+}
+
+fn writer_loop(shared: Arc<Shared>, mut stream: TcpStream, rx: Receiver<PendingResponse>) {
+    let mut broken = false;
+    for pending in rx {
+        let result = match pending.kind {
+            PendingKind::Ready(result) => result,
+            PendingKind::Running(job, deadline) => match job.wait_until(deadline) {
+                Some(result) => result,
+                None => {
+                    job.cancelled.store(true, Ordering::Release);
+                    Err(ServeError::new(
+                        code::TIMEOUT,
+                        format!(
+                            "request exceeded its {} ms deadline",
+                            (deadline - pending.received).as_millis()
+                        ),
+                    ))
+                }
+            },
+        };
+        let elapsed_ms = pending.received.elapsed().as_secs_f64() * 1e3;
+        shared.record(&pending.verb, &result, elapsed_ms);
+        if broken {
+            continue; // client is gone; keep draining so jobs are released
+        }
+        let response = Response {
+            id: pending.id,
+            verb: pending.verb,
+            elapsed_ms,
+            result,
+        };
+        let mut line = response.to_json().compact();
+        line.push('\n');
+        if stream.write_all(line.as_bytes()).is_err() || stream.flush().is_err() {
+            broken = true;
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! End-to-end socket tests of the service semantics — backpressure,
+//! deadlines, cancellation, ordering, stats, and graceful shutdown —
+//! using a controllable toy handler so timings are deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use amnesiac_serve::{code, Client, Handler, Request, Server, ServerConfig};
+use amnesiac_telemetry::Json;
+
+/// A handler with three verbs: `echo` (returns its target), `block`
+/// (parks until released through the gate channel), and `boom` (panics).
+struct Gate {
+    release: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
+    entered: Sender<()>,
+}
+
+fn gated_handler() -> (
+    Handler,
+    Sender<()>,
+    std::sync::mpsc::Receiver<()>,
+    Arc<AtomicUsize>,
+) {
+    let (release_tx, release_rx) = channel::<()>();
+    let (entered_tx, entered_rx) = channel::<()>();
+    let executed = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(Gate {
+        release: Mutex::new(Some(release_rx)),
+        entered: entered_tx,
+    });
+    let executed_in = Arc::clone(&executed);
+    let handler: Handler = Arc::new(move |req: &Request| {
+        executed_in.fetch_add(1, Ordering::SeqCst);
+        match req.verb.as_str() {
+            "echo" => Ok(Json::obj()
+                .with("target", req.target.clone().unwrap_or_default())
+                .with("scale", req.scale.clone().unwrap_or_else(|| "test".into()))),
+            "block" => {
+                let _ = gate.entered.send(());
+                // Each `block` request consumes one release token.
+                let guard = gate.release.lock().unwrap();
+                if let Some(rx) = guard.as_ref() {
+                    let _ = rx.recv_timeout(Duration::from_secs(30));
+                }
+                Ok(Json::obj().with("blocked", true))
+            }
+            "boom" => panic!("deliberate handler panic"),
+            other => Err(amnesiac_serve::ServeError::new(
+                code::USAGE,
+                format!("unknown verb `{other}`"),
+            )),
+        }
+    });
+    (handler, release_tx, entered_rx, executed)
+}
+
+fn echo_server(
+    workers: usize,
+    backlog: usize,
+    timeout_ms: u64,
+) -> (
+    Server,
+    Sender<()>,
+    std::sync::mpsc::Receiver<()>,
+    Arc<AtomicUsize>,
+) {
+    let (handler, release, entered, executed) = gated_handler();
+    let server = Server::start(
+        ServerConfig {
+            workers,
+            backlog,
+            timeout_ms,
+            ..ServerConfig::default()
+        },
+        handler,
+    )
+    .expect("server starts on an ephemeral port");
+    (server, release, entered, executed)
+}
+
+#[test]
+fn echo_round_trip_and_id_correlation() {
+    let (server, _release, _entered, _executed) = echo_server(2, 8, 5_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let response = client
+        .call(&Request::new("echo").with_id(41u64).with_target("bench:is"))
+        .unwrap();
+    assert!(response.is_ok(), "error: {:?}", response.error());
+    assert_eq!(response.id, Json::Num(41.0));
+    assert_eq!(response.verb, "echo");
+    assert!(response.elapsed_ms >= 0.0);
+    assert_eq!(
+        response
+            .payload()
+            .unwrap()
+            .get("target")
+            .and_then(Json::as_str),
+        Some("bench:is")
+    );
+    server.stop();
+}
+
+#[test]
+fn pipelined_batch_keeps_request_order() {
+    let (server, _release, _entered, _executed) = echo_server(4, 32, 5_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let requests: Vec<Request> = (0..20u64)
+        .map(|i| Request::new("echo").with_id(i).with_target(format!("t{i}")))
+        .collect();
+    let responses = client.batch(&requests).unwrap();
+    assert_eq!(responses.len(), 20);
+    for (i, response) in responses.iter().enumerate() {
+        assert_eq!(response.id, Json::Num(i as f64), "order preserved");
+        assert_eq!(
+            response
+                .payload()
+                .unwrap()
+                .get("target")
+                .and_then(Json::as_str),
+            Some(format!("t{i}").as_str())
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_each_get_their_own_answers() {
+    // Backlog must cover the whole pipelined burst (8 clients × 10
+    // requests) or the admission control rejects the overflow by design.
+    let (server, _release, _entered, _executed) = echo_server(4, 128, 5_000);
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for c in 0u64..8 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let requests: Vec<Request> = (0..10u64)
+                    .map(|i| {
+                        Request::new("echo")
+                            .with_id(c * 100 + i)
+                            .with_target(format!("c{c}-r{i}"))
+                    })
+                    .collect();
+                for (i, response) in client.batch(&requests).unwrap().iter().enumerate() {
+                    assert!(response.is_ok());
+                    assert_eq!(
+                        response
+                            .payload()
+                            .unwrap()
+                            .get("target")
+                            .and_then(Json::as_str),
+                        Some(format!("c{c}-r{}", i).as_str()),
+                        "no cross-client mixup"
+                    );
+                }
+            });
+        }
+    });
+    server.stop();
+}
+
+#[test]
+fn deadline_produces_structured_timeout_and_late_result_is_discarded() {
+    let (server, release, entered, _executed) = echo_server(1, 8, 60_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    // 80 ms deadline on a request that blocks until released.
+    let response = client
+        .call(&Request::new("block").with_id(1u64).with_timeout_ms(80))
+        .unwrap();
+    let error = response.error().expect("the deadline must fire");
+    assert_eq!(error.code, code::TIMEOUT);
+    assert!(error.message.contains("deadline"), "{}", error.message);
+    // Release the (still running) job; the next request must get its own
+    // fresh answer, not the stale blocked one.
+    entered.recv_timeout(Duration::from_secs(5)).unwrap();
+    release.send(()).unwrap();
+    let after = client
+        .call(&Request::new("echo").with_id(2u64).with_target("fresh"))
+        .unwrap();
+    assert!(after.is_ok());
+    assert_eq!(after.id, Json::Num(2.0));
+    assert_eq!(
+        after
+            .payload()
+            .unwrap()
+            .get("target")
+            .and_then(Json::as_str),
+        Some("fresh")
+    );
+    server.stop();
+}
+
+#[test]
+fn queued_request_past_deadline_is_cancelled_without_executing() {
+    // One worker, blocked; a second request with a short deadline times
+    // out while still queued and must never run the handler.
+    let (server, release, entered, executed) = echo_server(1, 8, 60_000);
+    let mut blocker = Client::connect(server.addr()).unwrap();
+    blocker.send(&Request::new("block").with_id(1u64)).unwrap();
+    entered.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(executed.load(Ordering::SeqCst), 1);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let response = client
+        .call(&Request::new("echo").with_id(2u64).with_timeout_ms(60))
+        .unwrap();
+    assert_eq!(response.error().unwrap().code, code::TIMEOUT);
+
+    // Unblock; the cancelled job must not have executed the handler.
+    release.send(()).unwrap();
+    let blocked = blocker.recv().unwrap();
+    assert!(blocked.is_ok());
+    // Give the pool a moment to drain the cancelled job, then check.
+    let sentinel = client
+        .call(&Request::new("echo").with_id(3u64).with_timeout_ms(5_000))
+        .unwrap();
+    assert!(sentinel.is_ok());
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        2,
+        "block + sentinel only; the timed-out queued request was cancelled"
+    );
+    server.stop();
+}
+
+#[test]
+fn backlog_overflow_is_rejected_with_overloaded() {
+    // workers=1, backlog=2: one running + one queued; the third must be
+    // rejected immediately with the structured backpressure error.
+    let (server, release, entered, _executed) = echo_server(1, 2, 60_000);
+    let mut blocker = Client::connect(server.addr()).unwrap();
+    blocker.send(&Request::new("block").with_id(1u64)).unwrap();
+    entered.recv_timeout(Duration::from_secs(5)).unwrap();
+    let mut filler = Client::connect(server.addr()).unwrap();
+    filler.send(&Request::new("block").with_id(2u64)).unwrap();
+    // The filler is queued (not entered: single worker is busy). Now the
+    // backlog (running + queued = 2) is full.
+    let mut rejected = Client::connect(server.addr()).unwrap();
+    let response = rejected.call(&Request::new("echo").with_id(3u64)).unwrap();
+    let error = response.error().expect("backlog is full");
+    assert_eq!(error.code, code::OVERLOADED);
+    assert!(error.message.contains("backlog full"), "{}", error.message);
+
+    // Drain: two releases for the two block requests.
+    release.send(()).unwrap();
+    release.send(()).unwrap();
+    assert!(blocker.recv().unwrap().is_ok());
+    entered.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert!(filler.recv().unwrap().is_ok());
+
+    // Capacity is back: the same client that was rejected now succeeds.
+    let retry = rejected.call(&Request::new("echo").with_id(4u64)).unwrap();
+    assert!(retry.is_ok(), "slot freed after drain: {:?}", retry.error());
+
+    // The stats must have counted the rejection.
+    let stats = rejected.call(&Request::new("stats")).unwrap();
+    let payload = stats.payload().unwrap();
+    assert_eq!(
+        payload.get("rejected_overload").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    server.stop();
+}
+
+#[test]
+fn handler_panic_is_an_internal_error_not_a_dead_server() {
+    let (server, _release, _entered, _executed) = echo_server(2, 8, 5_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let response = client.call(&Request::new("boom").with_id(1u64)).unwrap();
+    assert_eq!(response.error().unwrap().code, code::INTERNAL);
+    // The server survives and keeps answering.
+    let after = client.call(&Request::new("echo").with_id(2u64)).unwrap();
+    assert!(after.is_ok());
+    server.stop();
+}
+
+#[test]
+fn bad_lines_get_structured_bad_request_errors() {
+    use std::io::Write as _;
+    let (server, _release, _entered, _executed) = echo_server(1, 4, 5_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Raw garbage through the client's socket, then a valid request.
+    // (Reach under the protocol client with a second raw connection.)
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"this is not json\n{\"no_verb\":1}\n")
+        .unwrap();
+    raw.flush().unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    for _ in 0..2 {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        let response = amnesiac_serve::Response::parse_line(line.trim()).unwrap();
+        assert_eq!(response.error().unwrap().code, code::BAD_REQUEST);
+    }
+    // The protocol client still works against the same server.
+    assert!(client
+        .call(&Request::new("echo").with_id(1u64))
+        .unwrap()
+        .is_ok());
+    server.stop();
+}
+
+#[test]
+fn stats_tracks_per_verb_counters() {
+    let (server, release, entered, _executed) = echo_server(2, 8, 5_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..3u64 {
+        assert!(client
+            .call(&Request::new("echo").with_id(i))
+            .unwrap()
+            .is_ok());
+    }
+    let response = client
+        .call(&Request::new("block").with_timeout_ms(50))
+        .unwrap();
+    assert_eq!(response.error().unwrap().code, code::TIMEOUT);
+    // Unblock the (abandoned) handler so shutdown does not wait out its gate.
+    entered.recv_timeout(Duration::from_secs(5)).unwrap();
+    release.send(()).unwrap();
+    let stats = client.call(&Request::new("stats")).unwrap();
+    let payload = stats.payload().unwrap();
+    assert_eq!(
+        payload
+            .get_path("verbs.echo.requests")
+            .and_then(Json::as_f64),
+        Some(3.0)
+    );
+    assert_eq!(
+        payload.get_path("verbs.echo.ok").and_then(Json::as_f64),
+        Some(3.0)
+    );
+    assert_eq!(
+        payload
+            .get_path("verbs.block.timeouts")
+            .and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert!(payload
+        .get_path("verbs.echo.max_ms")
+        .and_then(Json::as_f64)
+        .is_some_and(|ms| ms >= 0.0));
+    assert_eq!(payload.get("workers").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(payload.get("backlog").and_then(Json::as_f64), Some(8.0));
+    server.stop();
+}
+
+#[test]
+fn shutdown_drains_in_flight_and_refuses_new_work() {
+    let (mut server, release, entered, _executed) = echo_server(1, 8, 60_000);
+    let addr = server.addr();
+    let mut worker_client = Client::connect(addr).unwrap();
+    worker_client
+        .send(&Request::new("block").with_id(1u64))
+        .unwrap();
+    entered.recv_timeout(Duration::from_secs(5)).unwrap();
+
+    // Ask for shutdown over the wire while a request is in flight.
+    let mut admin = Client::connect(addr).unwrap();
+    let response = admin.call(&Request::new("shutdown")).unwrap();
+    assert!(response.is_ok());
+    assert_eq!(
+        response.payload().unwrap().get("draining"),
+        Some(&Json::Bool(true))
+    );
+
+    // New work on an existing connection is refused while draining.
+    let refused = admin.call(&Request::new("echo").with_id(9u64)).unwrap();
+    assert_eq!(refused.error().unwrap().code, code::SHUTTING_DOWN);
+
+    // The in-flight request still completes and is delivered.
+    release.send(()).unwrap();
+    let drained = worker_client.recv().unwrap();
+    assert!(
+        drained.is_ok(),
+        "in-flight request drained: {:?}",
+        drained.error()
+    );
+    assert_eq!(drained.id, Json::Num(1.0));
+
+    // join() returns because every connection winds down after the flag.
+    drop(worker_client);
+    drop(admin);
+    server.join();
+}
+
+#[test]
+fn server_side_shutdown_api_unblocks_join() {
+    let (server, _release, _entered, _executed) = echo_server(1, 4, 1_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client
+        .call(&Request::new("echo").with_id(1u64))
+        .unwrap()
+        .is_ok());
+    server.stop(); // shutdown + join must return with a client still connected
+}

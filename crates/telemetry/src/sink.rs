@@ -1,0 +1,93 @@
+//! [`JsonSink`] — the one place machine-readable artifacts hit the disk.
+//!
+//! Every `--json <dir>` flag across the CLI and the experiment drivers
+//! funnels through this type, so the on-disk format (pretty-printed,
+//! 2-space indent, trailing newline) and the directory-creation behavior
+//! are defined exactly once. A sink is just a target directory; it does
+//! not touch the filesystem until the first [`JsonSink::write`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::{Json, ToJson};
+
+/// A directory that JSON artifacts are written into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonSink {
+    dir: PathBuf,
+}
+
+impl JsonSink {
+    /// A sink writing into `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> JsonSink {
+        JsonSink { dir: dir.into() }
+    }
+
+    /// The sink's target directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The path `name` would be written to.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Writes one artifact as `<dir>/<name>` in the canonical on-disk
+    /// format (pretty-printed, trailing newline), creating the directory
+    /// chain as needed. Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write failures.
+    pub fn write(&self, name: &str, value: &impl ToJson) -> io::Result<PathBuf> {
+        let path = self.path(name);
+        write_json_file(&path, &value.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Writes one JSON document to an explicit `path` (pretty-printed,
+/// trailing newline), creating parent directories as needed. [`JsonSink`]
+/// is the directory-oriented front end of this.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_json_file(path: &Path, json: &Json) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, json.pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn writes_pretty_json_and_creates_directories() {
+        let dir = std::env::temp_dir().join("amnesiac-sink-test/nested");
+        let _ = fs::remove_dir_all(&dir);
+        let sink = JsonSink::new(&dir);
+        let doc = Json::obj().with("a", 1u64).with("b", "x");
+        let path = sink.write("doc.json", &doc).expect("write succeeds");
+        assert_eq!(path, dir.join("doc.json"));
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        assert_eq!(parse(&text).unwrap(), doc);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn path_is_dir_join_name() {
+        let sink = JsonSink::new("results");
+        assert_eq!(
+            sink.path("fig3.json"),
+            Path::new("results").join("fig3.json")
+        );
+        assert_eq!(sink.dir(), Path::new("results"));
+    }
+}

@@ -28,6 +28,9 @@
 //! # }
 //! ```
 
+/// The typed command API behind the `amnesiac` binary (`parse_args` /
+/// `run` / `Response`) and the service handler.
+pub use amnesiac_cli as cli;
 /// The amnesic compiler pass (slice planning, annotation, validation,
 /// store elision).
 pub use amnesiac_compiler as compiler;
@@ -43,6 +46,8 @@ pub use amnesiac_isa as isa;
 pub use amnesiac_mem as mem;
 /// The dynamic dependency profiler.
 pub use amnesiac_profile as profile;
+/// The line-protocol batch service (newline-delimited JSON over TCP).
+pub use amnesiac_serve as serve;
 /// The in-order classic-execution simulator.
 pub use amnesiac_sim as sim;
 /// The static slice well-formedness checker.
