@@ -21,6 +21,8 @@
 //! amnesiac bench-compare <baseline.json> [--tolerance <pp>]
 //! amnesiac serve [--port <p>] [--workers <n>]          # line-protocol service
 //! amnesiac serve-smoke                                 # service self-test
+//! amnesiac loadgen [--rate <r>] [--duration-ms <ms>] [--seed <n>] [--mix <m>]
+//! amnesiac loadgen-smoke                               # load-generator soak test
 //! ```
 //!
 //! Every verb flows through the typed core: [`parse_args`] produces a
@@ -49,6 +51,15 @@
 //! `profile` / `trace`); `serve-smoke` boots a private server on an
 //! ephemeral port, fires a mixed concurrent batch at it, and exits
 //! non-zero on any dropped or mismatched response.
+//!
+//! `loadgen` boots the same service in-process and drives it with an
+//! open-loop Poisson schedule ([`amnesiac_loadgen`]): deterministic per
+//! `--seed`, weighted across verbs per `--mix`, latencies measured from
+//! the *scheduled* send instant into log-bucketed histograms. Its
+//! `--json` payload is the serve benchmark snapshot `BENCH_serve.json`
+//! pins; `bench-compare` detects a `kind: "serve"` baseline, replays its
+//! embedded config, and gates the error rate (latency is
+//! informational). `loadgen-smoke` is the fast in-process soak test.
 //!
 //! Programs are referenced either as a path to an `.asm` file or as
 //! `bench:<name>` for any of the 33 built-in kernels (at test scale by
@@ -102,6 +113,14 @@ pub struct Command {
     pub backlog: Option<usize>,
     /// Per-request deadline for the serve verbs (`--timeout-ms <ms>`).
     pub timeout_ms: Option<u64>,
+    /// Arrival rate for the loadgen verbs (`--rate <req/s>`).
+    pub rate: Option<f64>,
+    /// Load duration for the loadgen verbs (`--duration-ms <ms>`).
+    pub duration_ms: Option<u64>,
+    /// Schedule seed for the loadgen verbs (`--seed <n>`).
+    pub seed: Option<u64>,
+    /// Weighted verb mix for the loadgen verbs (`--mix <verb=w,...>`).
+    pub mix: Option<String>,
 }
 
 /// CLI subcommands.
@@ -121,6 +140,8 @@ pub enum Verb {
     BenchCompare,
     Serve,
     ServeSmoke,
+    Loadgen,
+    LoadgenSmoke,
 }
 
 /// CLI errors (also carry the usage text).
@@ -182,6 +203,9 @@ pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
        amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--scale <test|paper>] [--reps <n>] [--json <dir>]
        amnesiac serve [--port <p>] [--workers <n>] [--backlog <n>] [--timeout-ms <ms>]
        amnesiac serve-smoke [--workers <n>] [--backlog <n>] [--timeout-ms <ms>]
+       amnesiac loadgen [--rate <req/s>] [--duration-ms <ms>] [--seed <n>] [--mix <verb=w,...>]
+                        [--workers <n>] [--backlog <n>] [--timeout-ms <ms>] [--json <dir>]
+       amnesiac loadgen-smoke [loadgen flags]
   every verb accepts --json <dir> to export its payload as <verb>.json
   built-in benchmarks: 11 focal (mcf sx cg is ca fs fe rt bp bfs sr),
   5 controls, 17 extended (see `amnesiac-workloads`)";
@@ -230,13 +254,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut workers = None;
     let mut backlog = None;
     let mut timeout_ms = None;
+    let mut rate = None;
+    let mut duration_ms = None;
+    let mut seed = None;
+    let mut mix = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
         match arg {
             "run" | "disasm" | "profile" | "compile" | "compare" | "encode" | "trace"
             | "verify" | "experiments" | "bench-snapshot" | "bench-compare" | "serve"
-            | "serve-smoke"
+            | "serve-smoke" | "loadgen" | "loadgen-smoke"
                 if verb.is_none() =>
             {
                 verb = Some(match arg {
@@ -252,6 +280,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "bench-compare" => Verb::BenchCompare,
                     "serve" => Verb::Serve,
                     "serve-smoke" => Verb::ServeSmoke,
+                    "loadgen" => Verb::Loadgen,
+                    "loadgen-smoke" => Verb::LoadgenSmoke,
                     _ => Verb::Encode,
                 });
             }
@@ -332,6 +362,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 set_once(&mut timeout_ms, parsed, arg)?;
             }
+            "--rate" => {
+                let raw = flag_value(args, &mut i, arg, "requests per second")?;
+                let parsed = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("--rate: `{raw}` is not a positive rate"))
+                    })?;
+                set_once(&mut rate, parsed, arg)?;
+            }
+            "--duration-ms" => {
+                let raw = flag_value(args, &mut i, arg, "milliseconds")?;
+                let parsed = raw.parse::<u64>().ok().filter(|d| *d > 0).ok_or_else(|| {
+                    CliError::Usage(format!("--duration-ms: `{raw}` is not a duration"))
+                })?;
+                set_once(&mut duration_ms, parsed, arg)?;
+            }
+            "--seed" => {
+                let raw = flag_value(args, &mut i, arg, "a seed")?;
+                let parsed = raw
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("--seed: `{raw}` is not a seed")))?;
+                set_once(&mut seed, parsed, arg)?;
+            }
+            "--mix" => {
+                let spec = flag_value(args, &mut i, arg, "a verb=weight list")?;
+                set_once(&mut mix, spec.to_string(), arg)?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")));
             }
@@ -349,7 +408,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--scale conflicts with --paper-scale; pass one or the other".into(),
         ));
     }
-    let serve_verb = matches!(verb, Verb::Serve | Verb::ServeSmoke);
+    let loadgen_verb = matches!(verb, Verb::Loadgen | Verb::LoadgenSmoke);
+    let serve_verb = matches!(verb, Verb::Serve | Verb::ServeSmoke) || loadgen_verb;
     if !serve_verb {
         for (flag, given) in [
             ("--port", port.is_some()),
@@ -360,6 +420,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if given {
                 return Err(CliError::Usage(format!(
                     "{flag} only applies to the serve verbs"
+                )));
+            }
+        }
+    }
+    if !loadgen_verb {
+        for (flag, given) in [
+            ("--rate", rate.is_some()),
+            ("--duration-ms", duration_ms.is_some()),
+            ("--seed", seed.is_some()),
+            ("--mix", mix.is_some()),
+        ] {
+            if given {
+                return Err(CliError::Usage(format!(
+                    "{flag} only applies to the loadgen verbs"
                 )));
             }
         }
@@ -381,7 +455,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 "bench-compare needs a baseline path".into(),
             ));
         }
-        Verb::Serve | Verb::ServeSmoke if target.is_some() => {
+        Verb::Serve | Verb::ServeSmoke | Verb::Loadgen | Verb::LoadgenSmoke if target.is_some() => {
             return Err(CliError::Usage(
                 "the serve verbs take flags only — no positional argument".into(),
             ));
@@ -391,7 +465,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         | Verb::BenchSnapshot
         | Verb::BenchCompare
         | Verb::Serve
-        | Verb::ServeSmoke => {}
+        | Verb::ServeSmoke
+        | Verb::Loadgen
+        | Verb::LoadgenSmoke => {}
         _ if target.is_none() => {
             return Err(CliError::Usage("missing program".into()));
         }
@@ -410,6 +486,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         workers,
         backlog,
         timeout_ms,
+        rate,
+        duration_ms,
+        seed,
+        mix,
     })
 }
 
@@ -489,6 +569,8 @@ pub fn run(command: &Command) -> Result<Response, CliError> {
         Verb::Verify => run_verify(command),
         Verb::Serve => service::run_serve(command),
         Verb::ServeSmoke => service::run_serve_smoke(command),
+        Verb::Loadgen => service::run_loadgen(command),
+        Verb::LoadgenSmoke => service::run_loadgen_smoke(command),
         _ => run_program_verb(command),
     }
 }
@@ -642,6 +724,11 @@ fn run_suite_verb(command: &Command) -> Result<Response, CliError> {
                 .map_err(|e| CliError::Tool(format!("cannot read `{baseline_path}`: {e}")))?;
             let baseline = amnesiac_telemetry::parse(&text)
                 .map_err(|e| CliError::Tool(format!("{baseline_path}: {e}")))?;
+            // A `kind: "serve"` baseline routes to the loadgen replay
+            // path instead of the suite sweep.
+            if regress::snapshot_kind(&baseline) == "serve" {
+                return service::run_bench_compare_serve(command, &baseline);
+            }
             let suite = EvalSuite::compute_sequential(scale, command.effective_reps());
             let current = regress::snapshot(&suite, scale);
             let tolerance_pp = command.tolerance.unwrap_or(regress::DEFAULT_TOLERANCE_PP);
@@ -711,6 +798,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amnesiac_telemetry::Json;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -1145,5 +1233,195 @@ mod tests {
     fn missing_file_is_a_tool_error() {
         let cmd = parse_args(&args(&["run", "/no/such/file.asm"])).unwrap();
         assert!(matches!(execute(&cmd), Err(CliError::Tool(_))));
+    }
+
+    #[test]
+    fn parses_loadgen_flags() {
+        let c = parse_args(&args(&[
+            "loadgen",
+            "--rate",
+            "250.5",
+            "--duration-ms",
+            "800",
+            "--seed",
+            "9",
+            "--mix",
+            "compile=2,stats=1",
+            "--timeout-ms",
+            "5000",
+        ]))
+        .unwrap();
+        assert_eq!(c.verb, Verb::Loadgen);
+        assert_eq!(c.rate, Some(250.5));
+        assert_eq!(c.duration_ms, Some(800));
+        assert_eq!(c.seed, Some(9));
+        assert_eq!(c.mix.as_deref(), Some("compile=2,stats=1"));
+        assert_eq!(c.timeout_ms, Some(5000));
+
+        // bare verbs parse with every flag defaulted
+        let c = parse_args(&args(&["loadgen-smoke"])).unwrap();
+        assert_eq!(c.verb, Verb::LoadgenSmoke);
+        assert_eq!(c.rate, None);
+
+        // malformed values are usage errors
+        for bad in [
+            &["loadgen", "--rate", "0"][..],
+            &["loadgen", "--rate", "nan"],
+            &["loadgen", "--rate", "-3"],
+            &["loadgen", "--duration-ms", "0"],
+            &["loadgen", "--seed", "x"],
+            &["loadgen", "--rate", "100", "--rate", "200"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn loadgen_flags_are_rejected_elsewhere_and_positionals_on_loadgen() {
+        for bad in [
+            &["run", "bench:is", "--rate", "100"][..],
+            &["serve-smoke", "--duration-ms", "100"],
+            &["bench-compare", "base.json", "--seed", "1"],
+            &["verify", "--mix", "stats=1"],
+            &["loadgen", "bench:is"],
+            &["loadgen-smoke", "stray"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_schema_versions_stay_in_lockstep() {
+        // loadgen cannot depend on experiments, so the serve-snapshot
+        // schema version is pinned in both crates; this is the tripwire
+        // that keeps them moving together.
+        assert_eq!(
+            amnesiac_loadgen::SNAPSHOT_SCHEMA_VERSION,
+            amnesiac_experiments::regress::SCHEMA_VERSION
+        );
+    }
+
+    #[test]
+    fn loadgen_schedule_replays_deterministically() {
+        let cmd = parse_args(&args(&[
+            "loadgen",
+            "--rate",
+            "300",
+            "--duration-ms",
+            "300",
+            "--seed",
+            "7",
+            "--mix",
+            "stats=1",
+        ]))
+        .unwrap();
+        let snapshot = |response: Response| match response {
+            Response::Loadgen { snapshot } => snapshot,
+            other => panic!("expected a loadgen response, got {other:?}"),
+        };
+        let first = snapshot(super::run(&cmd).unwrap());
+        let second = snapshot(super::run(&cmd).unwrap());
+        // config and the seeded schedule replay exactly; wall-clock
+        // numbers (latency, throughput) legitimately differ
+        assert_eq!(first.get("config"), second.get("config"));
+        assert_eq!(
+            first.get_path("results.scheduled"),
+            second.get_path("results.scheduled")
+        );
+        assert_eq!(
+            first.get_path("results.verbs"),
+            second.get_path("results.verbs")
+        );
+        assert_eq!(
+            first
+                .get_path("results.protocol_errors")
+                .and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn loadgen_smoke_passes_with_quick_overrides() {
+        let cmd = parse_args(&args(&[
+            "loadgen-smoke",
+            "--rate",
+            "2500",
+            "--duration-ms",
+            "500",
+        ]))
+        .unwrap();
+        let response = super::run(&cmd).unwrap();
+        match &response {
+            Response::LoadgenSmoke {
+                checks, failures, ..
+            } => {
+                assert!(*checks >= 8, "only {checks} checks ran");
+                assert!(failures.is_empty(), "{failures:?}");
+            }
+            other => panic!("expected a loadgen-smoke response, got {other:?}"),
+        }
+        assert!(!response.is_failure());
+        assert!(execute(&cmd).unwrap().contains("0 failure(s)"));
+    }
+
+    #[test]
+    fn bench_compare_gates_a_serve_baseline() {
+        let dir = std::env::temp_dir().join("amnesiac-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("bench_serve_test.json");
+        let baseline_str = baseline.to_string_lossy().into_owned();
+
+        let loadgen_cmd = parse_args(&args(&[
+            "loadgen",
+            "--rate",
+            "300",
+            "--duration-ms",
+            "300",
+            "--seed",
+            "7",
+            "--mix",
+            "stats=1",
+        ]))
+        .unwrap();
+        let snapshot = match super::run(&loadgen_cmd).unwrap() {
+            Response::Loadgen { snapshot } => snapshot,
+            other => panic!("expected a loadgen response, got {other:?}"),
+        };
+        std::fs::write(&baseline, snapshot.pretty()).unwrap();
+
+        // a fresh replay of the embedded config stays within tolerance
+        let cmp_cmd = parse_args(&args(&["bench-compare", &baseline_str])).unwrap();
+        let response = super::run(&cmp_cmd).unwrap();
+        match &response {
+            Response::BenchCompareServe { comparison, .. } => {
+                assert!(comparison.ok(), "clean replay must gate clean");
+                assert!(!comparison.notes.is_empty(), "latency notes expected");
+            }
+            other => panic!("expected a serve comparison, got {other:?}"),
+        }
+        assert!(!response.is_failure());
+
+        // an impossibly good baseline error rate makes the gate trip
+        let mut doc = snapshot.clone();
+        doc.get_mut("results")
+            .unwrap()
+            .set("error_rate_pct", -1.0f64);
+        std::fs::write(&baseline, doc.pretty()).unwrap();
+        let response = super::run(&cmp_cmd).unwrap();
+        assert!(response.is_failure(), "error-rate rise must gate");
+
+        // a doctored scheduled count means the replay diverged: hard error
+        let mut doc = snapshot.clone();
+        doc.get_mut("results").unwrap().set("scheduled", 1u64);
+        std::fs::write(&baseline, doc.pretty()).unwrap();
+        assert!(matches!(super::run(&cmp_cmd), Err(CliError::Tool(_))));
+
+        std::fs::remove_file(&baseline).ok();
     }
 }

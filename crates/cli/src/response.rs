@@ -12,7 +12,7 @@ use std::path::PathBuf;
 
 use amnesiac_compiler::{CompileReport, SiteOutcome};
 use amnesiac_core::AmnesicRunResult;
-use amnesiac_experiments::regress::{self, Regression};
+use amnesiac_experiments::regress::{self, Regression, ServeComparison};
 use amnesiac_experiments::VerifySweep;
 use amnesiac_profile::ProgramProfile;
 use amnesiac_sim::RunResult;
@@ -139,6 +139,32 @@ pub enum Response {
         /// Server statistics at the end of the smoke batch.
         stats: Json,
     },
+    /// `loadgen`: one open-loop load run against an in-process server.
+    Loadgen {
+        /// The full snapshot document (`{schema_version, kind,
+        /// config, results}`) — the exact bytes `--json` writes, so a
+        /// run can be committed verbatim as `BENCH_serve.json`.
+        snapshot: Json,
+    },
+    /// `loadgen-smoke`: the in-process load-generator soak test.
+    LoadgenSmoke {
+        /// Number of checks performed.
+        checks: usize,
+        /// Human-readable description of every failed check.
+        failures: Vec<String>,
+        /// Snapshot of the soak run.
+        snapshot: Json,
+    },
+    /// `bench-compare` against a `kind: "serve"` baseline: a fresh
+    /// loadgen replay diffed against the committed service baseline.
+    BenchCompareServe {
+        /// Tolerance in percentage points (applied to the error rate).
+        tolerance_pp: f64,
+        /// Gated regressions plus informational latency notes.
+        comparison: ServeComparison,
+        /// The freshly measured snapshot.
+        current: Json,
+    },
 }
 
 impl Response {
@@ -159,6 +185,9 @@ impl Response {
             Response::BenchCompare { .. } => "bench-compare",
             Response::Serve { .. } => "serve",
             Response::ServeSmoke { .. } => "serve-smoke",
+            Response::Loadgen { .. } => "loadgen",
+            Response::LoadgenSmoke { .. } => "loadgen-smoke",
+            Response::BenchCompareServe { .. } => "bench-compare",
         }
     }
 
@@ -170,6 +199,8 @@ impl Response {
             Response::VerifySweep { sweep } => !sweep.is_clean(),
             Response::BenchCompare { regressions, .. } => !regressions.is_empty(),
             Response::ServeSmoke { failures, .. } => !failures.is_empty(),
+            Response::LoadgenSmoke { failures, .. } => !failures.is_empty(),
+            Response::BenchCompareServe { comparison, .. } => !comparison.ok(),
             _ => false,
         }
     }
@@ -399,6 +430,77 @@ impl Response {
                 }
                 out
             }
+            Response::Loadgen { snapshot } => {
+                let num = |path: &str| {
+                    snapshot
+                        .get_path(path)
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0)
+                };
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "loadgen: {} requests scheduled at {} req/s over {} ms (seed {})",
+                    num("results.scheduled"),
+                    num("config.rate"),
+                    num("config.duration_ms"),
+                    num("config.seed"),
+                );
+                let _ = writeln!(
+                    out,
+                    "  ok {} / completed {} / protocol errors {} — error rate {:.3}%",
+                    num("results.ok"),
+                    num("results.completed"),
+                    num("results.protocol_errors"),
+                    num("results.error_rate_pct"),
+                );
+                let _ = writeln!(
+                    out,
+                    "  throughput {:.1} req/s over {:.1} ms",
+                    num("results.throughput_rps"),
+                    num("results.elapsed_ms"),
+                );
+                let _ = writeln!(
+                    out,
+                    "  latency ms: p50 {:.3}, p90 {:.3}, p99 {:.3}, p999 {:.3}, max {:.3}",
+                    num("results.latency_ms.p50"),
+                    num("results.latency_ms.p90"),
+                    num("results.latency_ms.p99"),
+                    num("results.latency_ms.p999"),
+                    num("results.latency_ms.max"),
+                );
+                if let Some(errors) = snapshot
+                    .get_path("results.errors_by_code")
+                    .and_then(Json::as_obj)
+                {
+                    for (code, n) in errors {
+                        let _ = writeln!(out, "  error `{code}`: {}", n.as_f64().unwrap_or(0.0));
+                    }
+                }
+                if let Some(verbs) = snapshot.get_path("results.verbs").and_then(Json::as_obj) {
+                    for (verb, n) in verbs {
+                        let _ = writeln!(out, "  verb `{verb}`: {}", n.as_f64().unwrap_or(0.0));
+                    }
+                }
+                out
+            }
+            Response::LoadgenSmoke {
+                checks, failures, ..
+            } => {
+                let mut out = format!(
+                    "loadgen-smoke: {checks} checks, {} failure(s)\n",
+                    failures.len()
+                );
+                for f in failures {
+                    let _ = writeln!(out, "  FAIL: {f}");
+                }
+                out
+            }
+            Response::BenchCompareServe {
+                tolerance_pp,
+                comparison,
+                ..
+            } => regress::render_serve_report(comparison, *tolerance_pp),
         }
     }
 
@@ -516,6 +618,24 @@ impl Response {
                 .with("checks", *checks as u64)
                 .with("failures", failures.to_vec())
                 .with("stats", stats.clone()),
+            // The loadgen payload IS the snapshot — `--json` writes it
+            // verbatim, so a pinned run commits as `BENCH_serve.json`
+            // without post-processing.
+            Response::Loadgen { snapshot } => snapshot.clone(),
+            Response::LoadgenSmoke {
+                checks,
+                failures,
+                snapshot,
+            } => Json::obj()
+                .with("checks", *checks as u64)
+                .with("failures", failures.to_vec())
+                .with("snapshot", snapshot.clone()),
+            Response::BenchCompareServe {
+                tolerance_pp,
+                comparison,
+                current,
+            } => regress::serve_comparison_json(comparison, *tolerance_pp)
+                .with("current", current.clone()),
         }
     }
 }

@@ -8,12 +8,20 @@
 //! boots a private server on an ephemeral port and fires a mixed
 //! concurrent batch at it, checking every response against the typed
 //! core it is supposed to mirror.
+//!
+//! The loadgen verbs live here too: [`run_loadgen`] boots a private
+//! server and drives `amnesiac-loadgen`'s open-loop schedule at it,
+//! [`run_loadgen_smoke`] is the CI soak test over that harness, and
+//! [`run_bench_compare_serve`] replays a committed `BENCH_serve.json`
+//! baseline's exact load and gates the error rate.
 
 use std::io::Write as _;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
+use amnesiac_experiments::regress;
+use amnesiac_loadgen::{run_against, LoadgenConfig, Mix};
 use amnesiac_serve::{code, Client, Handler, Request, Response as WireResponse, ServeError};
 use amnesiac_serve::{Server, ServerConfig};
 use amnesiac_telemetry::Json;
@@ -93,6 +101,10 @@ fn request_command(request: &Request) -> Result<Command, ServeError> {
         workers: None,
         backlog: None,
         timeout_ms: None,
+        rate: None,
+        duration_ms: None,
+        seed: None,
+        mix: None,
     })
 }
 
@@ -294,5 +306,248 @@ pub(crate) fn run_serve_smoke(command: &Command) -> Result<Response, CliError> {
         checks,
         failures,
         stats,
+    })
+}
+
+/// Server tuning for the loadgen verbs' private in-process server.
+/// Worker count and backlog are pinned (not derived from the machine)
+/// so a committed `BENCH_serve.json` baseline replays against the same
+/// service shape everywhere; explicit serve flags still win.
+fn loadgen_server_config(command: &Command) -> ServerConfig {
+    let mut config = server_config(command);
+    if command.workers.is_none() {
+        config.workers = 2;
+    }
+    if command.backlog.is_none() {
+        config.backlog = 1024;
+    }
+    if command.port.is_none() {
+        config.port = 0; // ephemeral: never collide with a real service
+    }
+    config
+}
+
+/// Builds the load configuration from the loadgen flags, keeping the
+/// crate defaults for anything not given.
+fn loadgen_config(command: &Command) -> Result<LoadgenConfig, CliError> {
+    let mut config = LoadgenConfig::default();
+    if let Some(rate) = command.rate {
+        config.rate = rate;
+    }
+    if let Some(duration_ms) = command.duration_ms {
+        config.duration_ms = duration_ms;
+    }
+    if let Some(seed) = command.seed {
+        config.seed = seed;
+    }
+    if let Some(mix) = command.mix.as_deref() {
+        config.mix = Mix::parse(mix).map_err(|e| CliError::Usage(format!("--mix: {e}")))?;
+    }
+    if let Some(timeout_ms) = command.timeout_ms {
+        config.timeout_ms = timeout_ms;
+    }
+    config.validate().map_err(CliError::Usage)?;
+    Ok(config)
+}
+
+/// Boots a private server, drives `config`'s open-loop load at it, and
+/// returns the snapshot document.
+fn drive_loadgen(command: &Command, config: &LoadgenConfig) -> Result<Json, CliError> {
+    let server = Server::start(loadgen_server_config(command), serve_handler())
+        .map_err(|e| CliError::Tool(format!("cannot start loadgen server: {e}")))?;
+    let report = run_against(server.addr(), config)
+        .map_err(|e| CliError::Tool(format!("loadgen run failed: {e}")));
+    server.stop();
+    Ok(report?.snapshot(config))
+}
+
+/// The `loadgen` verb: one measured open-loop run against a private
+/// in-process server, reported as the snapshot document (which `--json`
+/// writes verbatim — commit it as `BENCH_serve.json` to pin a baseline).
+pub(crate) fn run_loadgen(command: &Command) -> Result<Response, CliError> {
+    let config = loadgen_config(command)?;
+    let snapshot = drive_loadgen(command, &config)?;
+    Ok(Response::Loadgen { snapshot })
+}
+
+/// The `loadgen-smoke` verb: a fast in-process soak test. Defaults to a
+/// few thousand requests of the cheap verbs at high rate, then a second
+/// short burst, asserting zero lost requests, monotone server counters,
+/// bounded connection-handle tracking, and a sane latency histogram.
+pub(crate) fn run_loadgen_smoke(command: &Command) -> Result<Response, CliError> {
+    let mut smoke = command.clone();
+    smoke.rate.get_or_insert(2_000.0);
+    smoke.duration_ms.get_or_insert(1_500);
+    smoke
+        .mix
+        .get_or_insert_with(|| "stats=4,disasm=2,trace=1".to_string());
+    smoke.backlog.get_or_insert(8_192);
+    smoke.timeout_ms.get_or_insert(60_000);
+    let config = loadgen_config(&smoke)?;
+
+    let server = Server::start(loadgen_server_config(&smoke), serve_handler())
+        .map_err(|e| CliError::Tool(format!("cannot start smoke server: {e}")))?;
+    let soak = run_against(server.addr(), &config)
+        .map_err(|e| CliError::Tool(format!("loadgen soak failed: {e}")))?;
+    let stats_after_soak = server.stats_json();
+    // a second, smaller burst: counters must only grow, and the first
+    // burst's connection handles must get reaped as this one arrives
+    let burst_config = LoadgenConfig {
+        rate: 500.0,
+        duration_ms: 300,
+        seed: config.seed.wrapping_add(1),
+        ..config.clone()
+    };
+    let burst = run_against(server.addr(), &burst_config)
+        .map_err(|e| CliError::Tool(format!("loadgen burst failed: {e}")))?;
+    let stats_after_burst = server.stats_json();
+    let tracked = server.tracked_connections();
+    server.stop();
+
+    let mut checks = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: String| {
+        checks += 1;
+        if !ok {
+            failures.push(what);
+        }
+    };
+
+    check(
+        soak.scheduled >= 1_000,
+        format!("soak too small: {} requests scheduled", soak.scheduled),
+    );
+    check(
+        soak.protocol_errors == 0 && burst.protocol_errors == 0,
+        format!(
+            "protocol errors: {} in soak, {} in burst",
+            soak.protocol_errors, burst.protocol_errors
+        ),
+    );
+    check(
+        soak.ok == soak.scheduled && burst.ok == burst.scheduled,
+        format!(
+            "lost or failed requests: soak {}/{} ok ({:?}), burst {}/{} ok ({:?})",
+            soak.ok,
+            soak.scheduled,
+            soak.errors_by_code,
+            burst.ok,
+            burst.scheduled,
+            burst.errors_by_code
+        ),
+    );
+
+    // monotone server counters: every verb's request count only grows,
+    // and the totals account for both runs exactly
+    let verb_requests = |stats: &Json| -> Vec<(String, f64)> {
+        stats
+            .get("verbs")
+            .and_then(Json::as_obj)
+            .map(|verbs| {
+                verbs
+                    .iter()
+                    .filter_map(|(verb, v)| {
+                        v.get("requests")
+                            .and_then(Json::as_f64)
+                            .map(|n| (verb.clone(), n))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let first = verb_requests(&stats_after_soak);
+    let second = verb_requests(&stats_after_burst);
+    let monotone = first.iter().all(|(verb, n_first)| {
+        second
+            .iter()
+            .find(|(v, _)| v == verb)
+            .is_some_and(|(_, n_second)| n_second >= n_first)
+    });
+    check(
+        monotone,
+        format!("stats counters went backwards: {first:?} then {second:?}"),
+    );
+    let total_first: f64 = first.iter().map(|(_, n)| n).sum();
+    let total_second: f64 = second.iter().map(|(_, n)| n).sum();
+    check(
+        total_first == soak.scheduled as f64
+            && total_second == (soak.scheduled + burst.scheduled) as f64,
+        format!(
+            "stats totals drifted: {total_first} after soak (sent {}), \
+             {total_second} after burst (sent {})",
+            soak.scheduled,
+            soak.scheduled + burst.scheduled
+        ),
+    );
+    let accept_errors = stats_after_burst
+        .get("accept_errors")
+        .and_then(Json::as_f64)
+        .unwrap_or(-1.0);
+    check(
+        accept_errors == 0.0,
+        format!("acceptor reported {accept_errors} accept errors"),
+    );
+
+    // bounded handle tracking: both runs opened connections; finished
+    // handles must have been reaped, not accumulated
+    check(
+        tracked <= config.connections + burst_config.connections,
+        format!(
+            "connection handles accumulate: {tracked} tracked after two runs \
+             of {} + {} connections",
+            config.connections, burst_config.connections
+        ),
+    );
+
+    // histogram sanity over the soak
+    let p50 = soak.latency.quantile(0.50);
+    let p90 = soak.latency.quantile(0.90);
+    let p99 = soak.latency.quantile(0.99);
+    let p999 = soak.latency.quantile(0.999);
+    check(
+        p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= soak.latency.max(),
+        format!(
+            "latency quantiles out of order: p50 {p50} p90 {p90} p99 {p99} \
+             p999 {p999} max {} (µs)",
+            soak.latency.max()
+        ),
+    );
+    check(
+        soak.latency.count() == soak.ok,
+        format!(
+            "histogram holds {} samples for {} ok responses",
+            soak.latency.count(),
+            soak.ok
+        ),
+    );
+
+    Ok(Response::LoadgenSmoke {
+        checks,
+        failures,
+        snapshot: soak.snapshot(&config),
+    })
+}
+
+/// The serve arm of `bench-compare`: replays the committed baseline's
+/// exact load config (schedule and all — it is embedded in the
+/// snapshot) against a freshly booted server, then gates the error rate
+/// while reporting latency deltas as notes.
+pub(crate) fn run_bench_compare_serve(
+    command: &Command,
+    baseline: &Json,
+) -> Result<Response, CliError> {
+    let config_json = baseline
+        .get("config")
+        .ok_or_else(|| CliError::Tool("serve baseline has no `config` object".to_string()))?;
+    let config = LoadgenConfig::from_json(config_json)
+        .map_err(|e| CliError::Tool(format!("serve baseline: {e}")))?;
+    let current = drive_loadgen(command, &config)?;
+    let tolerance_pp = command.tolerance.unwrap_or(regress::DEFAULT_TOLERANCE_PP);
+    let comparison =
+        regress::compare_serve(baseline, &current, tolerance_pp).map_err(CliError::Tool)?;
+    Ok(Response::BenchCompareServe {
+        tolerance_pp,
+        comparison,
+        current,
     })
 }

@@ -18,13 +18,23 @@ use crate::pipeline::{EvalSuite, PolicyOutcome};
 /// Bumped whenever the snapshot layout changes incompatibly.
 ///
 /// v2 added the per-bench `verify` block (static-verifier Error/Warn
-/// counts over both compiled binaries).
-pub const SCHEMA_VERSION: u64 = 2;
+/// counts over both compiled binaries). v3 added the `kind`
+/// discriminator (`"suite"` for pipeline snapshots, `"serve"` for
+/// loadgen service snapshots — see [`compare_serve`]).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest baseline schema [`compare`] still accepts. v1 snapshots lack
-/// the `verify` block, but the gain layout — the only part the comparator
-/// reads — is unchanged, so committed v1 baselines keep gating CI.
+/// the `verify` block and v1/v2 lack `kind`, but the gain layout — the
+/// only part the suite comparator reads — is unchanged, so committed
+/// v1/v2 baselines keep gating CI ([`snapshot_kind`] defaults them to
+/// `"suite"`).
 pub const MIN_BASELINE_SCHEMA: u64 = 1;
+
+/// The `kind` discriminator of a snapshot document. Pre-v3 snapshots
+/// carry no `kind` field; they are all suite snapshots.
+pub fn snapshot_kind(doc: &Json) -> &str {
+    doc.get("kind").and_then(Json::as_str).unwrap_or("suite")
+}
 
 /// Snapshot label for a workload scale.
 fn scale_label(scale: Scale) -> &'static str {
@@ -76,6 +86,7 @@ pub fn snapshot(suite: &EvalSuite, scale: Scale) -> Json {
     }
     Json::obj()
         .with("schema_version", SCHEMA_VERSION)
+        .with("kind", "suite")
         .with("scale", scale_label(scale))
         .with("benches", benches)
 }
@@ -146,17 +157,13 @@ pub fn compare(
     current: &Json,
     tolerance_pp: f64,
 ) -> Result<Vec<Regression>, String> {
-    for (label, doc, oldest) in [
-        ("baseline", baseline, MIN_BASELINE_SCHEMA),
-        ("current", current, SCHEMA_VERSION),
-    ] {
-        let version = doc
-            .get("schema_version")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("{label}: not a bench snapshot (no schema_version)"))?;
-        if version < oldest as f64 || version > SCHEMA_VERSION as f64 {
+    check_schema_versions(baseline, current)?;
+    for (label, doc) in [("baseline", baseline), ("current", current)] {
+        let kind = snapshot_kind(doc);
+        if kind != "suite" {
             return Err(format!(
-                "{label}: snapshot schema {version} outside supported {oldest}..={SCHEMA_VERSION}"
+                "{label}: `{kind}` snapshot given to the suite comparator \
+                 (serve snapshots go through compare_serve)"
             ));
         }
     }
@@ -195,6 +202,205 @@ pub fn compare(
         }
     }
     Ok(regressions)
+}
+
+/// Shared schema gate for both comparators: the baseline may be any
+/// still-supported version, the current document must carry the current
+/// schema (a fresh run can never be stale).
+fn check_schema_versions(baseline: &Json, current: &Json) -> Result<(), String> {
+    for (label, doc, oldest) in [
+        ("baseline", baseline, MIN_BASELINE_SCHEMA),
+        ("current", current, SCHEMA_VERSION),
+    ] {
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{label}: not a bench snapshot (no schema_version)"))?;
+        if version < oldest as f64 || version > SCHEMA_VERSION as f64 {
+            return Err(format!(
+                "{label}: snapshot schema {version} outside supported {oldest}..={SCHEMA_VERSION}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One serve metric that rose above its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRegression {
+    /// Dotted metric path under `results`, e.g. `error_rate_pct`.
+    pub metric: String,
+    /// The baseline value.
+    pub baseline: f64,
+    /// The freshly measured value.
+    pub current: f64,
+}
+
+impl ServeRegression {
+    /// How far above baseline the fresh value landed (always positive —
+    /// serve-gated metrics are all lower-is-better).
+    pub fn rise(&self) -> f64 {
+        self.current - self.baseline
+    }
+}
+
+/// Outcome of diffing two serve (loadgen) snapshots: hard regressions on
+/// the gated reliability metrics, plus informational latency notes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeComparison {
+    /// Gated failures: `error_rate_pct` beyond tolerance, or any rise in
+    /// `protocol_errors`.
+    pub regressions: Vec<ServeRegression>,
+    /// Latency and throughput deltas — advisory only, never a verdict,
+    /// because wall-clock latency varies with the machine and its load.
+    pub notes: Vec<String>,
+}
+
+impl ServeComparison {
+    /// `true` iff nothing gated regressed.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diffs a fresh serve (loadgen) snapshot against a baseline.
+///
+/// Reliability is gated, latency is not: `error_rate_pct` may rise at
+/// most `tolerance_pp` percentage points above baseline, and
+/// `protocol_errors` may not rise at all; p50/p99/p999 and throughput
+/// differences only produce [`ServeComparison::notes`]. Both snapshots
+/// must be `kind: "serve"` and — since the schedule is a pure function
+/// of the committed config — must have scheduled the same request
+/// count; a mismatch means the baseline's load was not replayed and the
+/// comparison would be meaningless.
+///
+/// # Errors
+///
+/// Returns a message on schema/kind mismatches, missing fields, or a
+/// scheduled-count mismatch.
+pub fn compare_serve(
+    baseline: &Json,
+    current: &Json,
+    tolerance_pp: f64,
+) -> Result<ServeComparison, String> {
+    check_schema_versions(baseline, current)?;
+    for (label, doc) in [("baseline", baseline), ("current", current)] {
+        let kind = snapshot_kind(doc);
+        if kind != "serve" {
+            return Err(format!(
+                "{label}: `{kind}` snapshot given to the serve comparator \
+                 (suite snapshots go through compare)"
+            ));
+        }
+    }
+    let field = |doc: &Json, label: &str, path: &str| {
+        doc.get_path(path)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{label}: missing number `{path}`"))
+    };
+    let scheduled_base = field(baseline, "baseline", "results.scheduled")?;
+    let scheduled_cur = field(current, "current", "results.scheduled")?;
+    if scheduled_base != scheduled_cur {
+        return Err(format!(
+            "scheduled request counts differ (baseline {scheduled_base}, current \
+             {scheduled_cur}); the run did not replay the baseline's config/seed"
+        ));
+    }
+    let mut comparison = ServeComparison::default();
+    let mut gate = |metric: &str, slack: f64| -> Result<(), String> {
+        let base = field(baseline, "baseline", &format!("results.{metric}"))?;
+        let cur = field(current, "current", &format!("results.{metric}"))?;
+        if cur > base + slack {
+            comparison.regressions.push(ServeRegression {
+                metric: metric.to_string(),
+                baseline: base,
+                current: cur,
+            });
+        }
+        Ok(())
+    };
+    gate("error_rate_pct", tolerance_pp)?;
+    gate("protocol_errors", 0.0)?;
+    for metric in [
+        "latency_ms.p50",
+        "latency_ms.p99",
+        "latency_ms.p999",
+        "throughput_rps",
+    ] {
+        let path = format!("results.{metric}");
+        let (Ok(base), Ok(cur)) = (
+            field(baseline, "baseline", &path),
+            field(current, "current", &path),
+        ) else {
+            continue; // latency fields are advisory; missing ones stay silent
+        };
+        let delta_pct = if base != 0.0 {
+            100.0 * (cur - base) / base
+        } else {
+            0.0
+        };
+        comparison.notes.push(format!(
+            "{metric}: baseline {base:.3}, current {cur:.3} ({delta_pct:+.1}%) — informational"
+        ));
+    }
+    Ok(comparison)
+}
+
+/// Machine-readable twin of a serve comparison: `{schema_version, kind,
+/// tolerance_pp, ok, notes, regressions}`.
+pub fn serve_comparison_json(comparison: &ServeComparison, tolerance_pp: f64) -> Json {
+    Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("kind", "serve")
+        .with("tolerance_pp", tolerance_pp)
+        .with("ok", comparison.ok())
+        .with("notes", comparison.notes.clone())
+        .with(
+            "regressions",
+            comparison
+                .regressions
+                .iter()
+                .map(|r| {
+                    Json::obj()
+                        .with("metric", r.metric.as_str())
+                        .with("baseline", r.baseline)
+                        .with("current", r.current)
+                        .with("rise", r.rise())
+                })
+                .collect::<Vec<_>>(),
+        )
+}
+
+/// Renders a serve comparison for the terminal.
+pub fn render_serve_report(comparison: &ServeComparison, tolerance_pp: f64) -> String {
+    let mut out = String::new();
+    if comparison.ok() {
+        let _ = writeln!(
+            out,
+            "bench-compare(serve): OK — error rate within {tolerance_pp} pp of baseline, \
+             no new protocol errors"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "bench-compare(serve): {} regression(s):",
+            comparison.regressions.len()
+        );
+        for r in &comparison.regressions {
+            let _ = writeln!(
+                out,
+                "  {:<20} baseline {:8.3}  current {:8.3}  (rise {:.3})",
+                r.metric,
+                r.baseline,
+                r.current,
+                r.rise()
+            );
+        }
+    }
+    for note in &comparison.notes {
+        let _ = writeln!(out, "  note: {note}");
+    }
+    out
 }
 
 /// Machine-readable twin of a comparison outcome: `{schema_version,
@@ -347,6 +553,111 @@ mod tests {
         );
         // the snapshot records the scale it ran at
         assert_eq!(snap.get("scale").and_then(Json::as_str), Some("test"));
+    }
+
+    /// A hand-built serve snapshot in the shape `amnesiac-loadgen`
+    /// emits (the crates cannot depend on each other; the CLI's tests
+    /// cover the two staying in sync).
+    fn serve_snapshot(error_rate_pct: f64, protocol_errors: u64, p99_ms: f64) -> Json {
+        Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("kind", "serve")
+            .with(
+                "config",
+                Json::obj().with("rate", 300.0).with("seed", 42u64),
+            )
+            .with(
+                "results",
+                Json::obj()
+                    .with("scheduled", 450u64)
+                    .with("completed", 450u64)
+                    .with("ok", 448u64)
+                    .with("protocol_errors", protocol_errors)
+                    .with("error_rate_pct", error_rate_pct)
+                    .with("throughput_rps", 299.0)
+                    .with(
+                        "latency_ms",
+                        Json::obj()
+                            .with("p50", 2.0)
+                            .with("p99", p99_ms)
+                            .with("p999", p99_ms * 2.0),
+                    ),
+            )
+    }
+
+    #[test]
+    fn serve_snapshot_compares_clean_against_itself() {
+        let snap = serve_snapshot(0.0, 0, 5.0);
+        let comparison = compare_serve(&snap, &snap, DEFAULT_TOLERANCE_PP).unwrap();
+        assert!(comparison.ok(), "{comparison:?}");
+        assert!(!comparison.notes.is_empty(), "latency notes expected");
+        let json = serve_comparison_json(&comparison, DEFAULT_TOLERANCE_PP);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("serve"));
+    }
+
+    #[test]
+    fn serve_error_rate_is_gated_but_latency_is_informational() {
+        let baseline = serve_snapshot(0.0, 0, 5.0);
+        // error rate up past tolerance AND p99 10x worse: only the error
+        // rate may gate
+        let worse = serve_snapshot(1.0, 0, 50.0);
+        let comparison = compare_serve(&baseline, &worse, DEFAULT_TOLERANCE_PP).unwrap();
+        assert_eq!(comparison.regressions.len(), 1, "{comparison:?}");
+        assert_eq!(comparison.regressions[0].metric, "error_rate_pct");
+        assert!((comparison.regressions[0].rise() - 1.0).abs() < 1e-9);
+        assert!(render_serve_report(&comparison, DEFAULT_TOLERANCE_PP).contains("regression"));
+        assert!(comparison
+            .notes
+            .iter()
+            .any(|n| n.contains("latency_ms.p99") && n.contains("informational")));
+        // within tolerance: clean
+        let slightly = serve_snapshot(DEFAULT_TOLERANCE_PP * 0.5, 0, 5.0);
+        assert!(compare_serve(&baseline, &slightly, DEFAULT_TOLERANCE_PP)
+            .unwrap()
+            .ok());
+    }
+
+    #[test]
+    fn any_protocol_error_rise_is_gated() {
+        let baseline = serve_snapshot(0.0, 0, 5.0);
+        let worse = serve_snapshot(0.0, 1, 5.0);
+        let comparison = compare_serve(&baseline, &worse, DEFAULT_TOLERANCE_PP).unwrap();
+        assert_eq!(comparison.regressions.len(), 1);
+        assert_eq!(comparison.regressions[0].metric, "protocol_errors");
+    }
+
+    #[test]
+    fn scheduled_count_mismatch_is_a_determinism_error() {
+        let baseline = serve_snapshot(0.0, 0, 5.0);
+        let mut other = serve_snapshot(0.0, 0, 5.0);
+        if let Some(results) = other.get_mut("results") {
+            results.set("scheduled", 451u64);
+        }
+        let err = compare_serve(&baseline, &other, DEFAULT_TOLERANCE_PP).unwrap_err();
+        assert!(err.contains("scheduled request counts differ"), "{err}");
+    }
+
+    #[test]
+    fn comparators_reject_snapshots_of_the_other_kind() {
+        let suite = snapshot(&tiny_suite(), Scale::Test);
+        assert_eq!(snapshot_kind(&suite), "suite");
+        let serve = serve_snapshot(0.0, 0, 5.0);
+        assert_eq!(snapshot_kind(&serve), "serve");
+        let err = compare_serve(&suite, &serve, DEFAULT_TOLERANCE_PP).unwrap_err();
+        assert!(err.contains("suite"), "{err}");
+        let err = compare(&serve, &suite, DEFAULT_TOLERANCE_PP).unwrap_err();
+        assert!(err.contains("serve"), "{err}");
+        // pre-v3 snapshots carry no kind at all: they are suite snapshots
+        let mut v2 = suite.clone();
+        v2.set("schema_version", 2u64);
+        if let Json::Obj(fields) = &mut v2 {
+            fields.retain(|(k, _)| k != "kind");
+        }
+        assert_eq!(snapshot_kind(&v2), "suite");
+        assert!(compare(&v2, &suite, DEFAULT_TOLERANCE_PP)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! HDR-style log-linear latency histograms.
+//!
+//! A [`LogHistogram`] records `u64` values (the load generator feeds it
+//! microseconds) into buckets whose width grows with the value: each
+//! power-of-two octave is split into `2^SUB_BITS = 32` equal sub-buckets,
+//! so the relative quantization error is bounded by `1/32 ≈ 3.1%` at any
+//! magnitude. Values below `2 * 32 = 64` land in exact unit buckets.
+//!
+//! This is the classic HDR-histogram trade: fixed memory (1920 buckets
+//! covers the full `u64` range), O(1) recording, and quantiles that are
+//! accurate to ~3% — plenty for latency SLOs, where the interesting
+//! question is "is p999 5 ms or 50 ms", not "is it 5.00 or 5.01".
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: exact buckets for the bottom two octaves plus 32
+/// sub-buckets for each remaining octave of the `u64` range.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// The bucket a value lands in. Contiguous: `0..64` map to themselves,
+/// larger values keep their top `SUB_BITS + 1` significant bits.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        return value as usize;
+    }
+    let top = 63 - value.leading_zeros(); // position of the MSB, >= SUB_BITS
+    let shift = top - SUB_BITS;
+    let sub = (value >> shift) as usize; // in [SUB, 2*SUB)
+    shift as usize * SUB + sub
+}
+
+/// The largest value that lands in bucket `index` (inclusive upper bound).
+/// Quantiles report this bound so they never understate latency.
+fn bucket_high(index: usize) -> u64 {
+    if index < 2 * SUB {
+        return index as u64;
+    }
+    let shift = (index / SUB - 1) as u32;
+    let sub = (index % SUB + SUB) as u64;
+    (sub << shift) + ((1u64 << shift) - 1)
+}
+
+/// A fixed-memory log-linear histogram over `u64` values.
+#[derive(Clone)]
+pub struct LogHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.total += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// How many values have been recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest recorded value (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// The arithmetic mean of recorded values (exact sum). 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the bucket holding the `ceil(q * count)`-th smallest recording,
+    /// clamped to the exact observed maximum (so `quantile(1.0) == max()`
+    /// and quantiles are never larger than anything actually seen).
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` (equivalent to replaying its recordings).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("max", &self.max())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_rng::Rng;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut hist = LogHistogram::new();
+        for v in 0..64u64 {
+            hist.record(v);
+        }
+        assert_eq!(hist.count(), 64);
+        assert_eq!(hist.max(), 63);
+        // the k-th smallest of 0..64 is k-1; quantile(k/64) must hit it exactly
+        for k in 1..=64u64 {
+            assert_eq!(hist.quantile(k as f64 / 64.0), k - 1, "rank {k}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_ordered() {
+        // every value maps into a bucket whose high bound is >= the value,
+        // and bucket highs are strictly increasing across indices
+        let mut prev = None;
+        for index in 0..BUCKETS {
+            let high = bucket_high(index);
+            if let Some(p) = prev {
+                assert!(high > p, "bucket {index} high {high} <= {p}");
+            }
+            prev = Some(high);
+        }
+        for v in [
+            0,
+            1,
+            31,
+            32,
+            63,
+            64,
+            65,
+            1000,
+            123_456,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let index = bucket_index(v);
+            assert!(index < BUCKETS, "value {v} -> out-of-range bucket {index}");
+            assert!(bucket_high(index) >= v, "value {v} above its bucket high");
+            if index > 0 {
+                assert!(
+                    bucket_high(index - 1) < v,
+                    "value {v} fits an earlier bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_values_within_the_resolution_bound() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut hist = LogHistogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            let v = rng.range_u64(1, 1_000_000_000);
+            hist.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let truth = exact[rank - 1] as f64;
+            let approx = hist.quantile(q) as f64;
+            // upper bucket bound: never understates, overstates by < 1/32
+            assert!(approx >= truth, "q={q}: {approx} < exact {truth}");
+            assert!(
+                approx <= truth * (1.0 + 1.0 / SUB as f64) + 1.0,
+                "q={q}: {approx} too far above exact {truth}"
+            );
+        }
+        assert_eq!(hist.quantile(1.0), *exact.last().unwrap());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_max() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut hist = LogHistogram::new();
+        for _ in 0..5_000 {
+            hist.record(rng.below(50_000_000));
+        }
+        let p50 = hist.quantile(0.50);
+        let p90 = hist.quantile(0.90);
+        let p99 = hist.quantile(0.99);
+        let p999 = hist.quantile(0.999);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= hist.max());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one_histogram() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..2_000 {
+            let v = rng.below(10_000_000);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.mean(), all.mean());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let hist = LogHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.mean(), 0.0);
+        assert_eq!(hist.quantile(0.5), 0);
+    }
+}

@@ -106,6 +106,21 @@ struct Stats {
 /// how long shutdown waits for an idle connection to notice the flag.
 const READ_POLL: Duration = Duration::from_millis(25);
 
+/// First pause after a transient `accept()` error. Without a pause, fd
+/// exhaustion (EMFILE) under load turns the acceptor into a 100%-CPU
+/// spin; with one, it backs off and retries once pressure eases.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(2);
+
+/// Ceiling of the accept-error backoff (doubles per consecutive error).
+/// Also bounds how long a draining server waits for the acceptor to
+/// re-check the shutdown flag after an error streak.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
+/// The next accept-error pause: exponential, capped.
+fn next_accept_backoff(current: Duration) -> Duration {
+    (current * 2).min(ACCEPT_BACKOFF_MAX)
+}
+
 struct Shared {
     handler: Handler,
     addr: SocketAddr,
@@ -116,6 +131,14 @@ struct Shared {
     /// Requests currently queued or running (admission counter).
     inflight: AtomicUsize,
     rejected_overload: AtomicU64,
+    /// Transient `listener.accept()` failures (each one also costs a
+    /// backoff pause in the acceptor).
+    accept_errors: AtomicU64,
+    /// Connections whose reader/writer threads are still running.
+    open_connections: AtomicUsize,
+    /// Jobs the pool skipped because their deadline had already passed
+    /// (or the writer had cancelled them) by the time a worker got there.
+    expired_skipped: AtomicU64,
     stats: Mutex<Stats>,
     started: Instant,
 }
@@ -181,6 +204,15 @@ impl Shared {
             .with(
                 "rejected_overload",
                 self.rejected_overload.load(Ordering::Acquire),
+            )
+            .with("accept_errors", self.accept_errors.load(Ordering::Acquire))
+            .with(
+                "open_connections",
+                self.open_connections.load(Ordering::Acquire),
+            )
+            .with(
+                "expired_skipped",
+                self.expired_skipped.load(Ordering::Acquire),
             )
             .with("draining", self.shutdown.load(Ordering::SeqCst))
             .with("verbs", verbs)
@@ -275,6 +307,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             rejected_overload: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            open_connections: AtomicUsize::new(0),
+            expired_skipped: AtomicU64::new(0),
             stats: Mutex::new(Stats::default()),
             started: Instant::now(),
         });
@@ -323,6 +358,15 @@ impl Server {
         self.shared.stats_json()
     }
 
+    /// How many connection handles the server currently tracks. Finished
+    /// connections are reaped on every accept, so this stays close to the
+    /// number of live connections instead of growing by one per
+    /// connection ever accepted — soak tests assert exactly that bound.
+    pub fn tracked_connections(&self) -> usize {
+        reap_finished(&self.conns);
+        self.conns.lock().unwrap().len()
+    }
+
     /// Waits until the acceptor, every connection, and the worker pool
     /// have exited. Only returns promptly after [`Server::shutdown`] (or
     /// a `shutdown` request) — otherwise it waits for the next one. The
@@ -364,17 +408,30 @@ fn acceptor_loop(
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     jobs_tx: Sender<Box<dyn FnOnce() + Send>>,
 ) {
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     loop {
         let Ok((stream, _)) = listener.accept() else {
+            // Transient failure (EMFILE under load, a reset mid-handshake):
+            // count it and pause before retrying so an error streak does
+            // not pin a core at 100%.
+            shared.accept_errors.fetch_add(1, Ordering::AcqRel);
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
+            thread::sleep(backoff);
+            backoff = next_accept_backoff(backoff);
             continue;
         };
+        backoff = ACCEPT_BACKOFF_MIN;
         if shared.shutdown.load(Ordering::SeqCst) {
             // Includes the self-connection `begin_shutdown` used as a wakeup.
             break;
         }
+        // Reap connections that already wound down, so a long-running
+        // server holds handles only for live connections rather than one
+        // per connection ever accepted.
+        reap_finished(&conns);
+        shared.open_connections.fetch_add(1, Ordering::AcqRel);
         let shared = Arc::clone(&shared);
         let jobs_tx = jobs_tx.clone();
         let handle = thread::Builder::new()
@@ -385,11 +442,41 @@ fn acceptor_loop(
     }
 }
 
+/// Removes and joins every finished connection handle. The join is
+/// outside the lock (it is prompt — the threads are already done — but
+/// there is no reason to hold up the acceptor's critical section for it).
+fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut guard = conns.lock().unwrap();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < guard.len() {
+            if guard[i].is_finished() {
+                out.push(guard.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    };
+    for handle in finished {
+        let _ = handle.join();
+    }
+}
+
 fn serve_connection(
     shared: Arc<Shared>,
     stream: TcpStream,
     jobs_tx: Sender<Box<dyn FnOnce() + Send>>,
 ) {
+    // Balances the acceptor's increment on every exit path.
+    struct OpenGuard(Arc<Shared>);
+    impl Drop for OpenGuard {
+        fn drop(&mut self) {
+            self.0.open_connections.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    let _open = OpenGuard(Arc::clone(&shared));
     // Short read timeouts turn the blocking reader into a poll loop that
     // notices the shutdown flag; writes stay blocking.
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
@@ -515,8 +602,16 @@ fn dispatch(
                 let request = request.clone();
                 Box::new(move || {
                     // A request whose deadline passed while it was still
-                    // queued is cancelled outright — never executed.
-                    if !job.cancelled.load(Ordering::Acquire) {
+                    // queued is cancelled outright — never executed. The
+                    // writer sets `cancelled` when it observes the timeout,
+                    // but it can only do so after resolving every earlier
+                    // response on its connection; the deadline check covers
+                    // the window where an expired job reaches a worker
+                    // before the writer got that far, so a pile-up of
+                    // expired queued requests never burns worker time.
+                    if job.cancelled.load(Ordering::Acquire) || Instant::now() >= deadline {
+                        shared.expired_skipped.fetch_add(1, Ordering::AcqRel);
+                    } else {
                         let outcome = catch_unwind(AssertUnwindSafe(|| (shared.handler)(&request)))
                             .unwrap_or_else(|_| {
                                 Err(ServeError::new(
@@ -577,5 +672,27 @@ fn writer_loop(shared: Arc<Shared>, mut stream: TcpStream, rx: Receiver<PendingR
         if stream.write_all(line.as_bytes()).is_err() || stream.flush().is_err() {
             broken = true;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_doubles_and_caps() {
+        let mut backoff = ACCEPT_BACKOFF_MIN;
+        let mut seen = vec![backoff];
+        for _ in 0..10 {
+            backoff = next_accept_backoff(backoff);
+            seen.push(backoff);
+        }
+        // strictly doubling until the cap, then pinned at the cap
+        for pair in seen.windows(2) {
+            assert!(pair[1] >= pair[0], "backoff never shrinks: {seen:?}");
+            assert!(pair[1] <= ACCEPT_BACKOFF_MAX, "capped: {seen:?}");
+        }
+        assert_eq!(seen[1], ACCEPT_BACKOFF_MIN * 2);
+        assert_eq!(*seen.last().unwrap(), ACCEPT_BACKOFF_MAX);
     }
 }

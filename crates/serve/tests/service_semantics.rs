@@ -10,8 +10,10 @@ use std::time::Duration;
 use amnesiac_serve::{code, Client, Handler, Request, Server, ServerConfig};
 use amnesiac_telemetry::Json;
 
-/// A handler with three verbs: `echo` (returns its target), `block`
-/// (parks until released through the gate channel), and `boom` (panics).
+/// A handler with four verbs: `echo` (returns its target), `block`
+/// (parks until released through the gate channel), `sleep` (sleeps
+/// `target` milliseconds — a stand-in for an expensive compute), and
+/// `boom` (panics).
 struct Gate {
     release: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
     entered: Sender<()>,
@@ -45,6 +47,15 @@ fn gated_handler() -> (
                     let _ = rx.recv_timeout(Duration::from_secs(30));
                 }
                 Ok(Json::obj().with("blocked", true))
+            }
+            "sleep" => {
+                let ms: u64 = req
+                    .target
+                    .as_deref()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(10);
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(Json::obj().with("slept_ms", ms))
             }
             "boom" => panic!("deliberate handler panic"),
             other => Err(amnesiac_serve::ServeError::new(
@@ -342,6 +353,155 @@ fn stats_tracks_per_verb_counters() {
         .is_some_and(|ms| ms >= 0.0));
     assert_eq!(payload.get("workers").and_then(Json::as_f64), Some(2.0));
     assert_eq!(payload.get("backlog").and_then(Json::as_f64), Some(8.0));
+    server.stop();
+}
+
+#[test]
+fn finished_connections_are_reaped_not_accumulated() {
+    // Regression test for the connection-handle leak: the acceptor used to
+    // push every connection's JoinHandle and only pop them at shutdown, so
+    // a long-running server grew by one handle (and one parked-thread
+    // stack) per connection ever accepted. Handles are now reaped on each
+    // accept; sequential connect/close cycles must leave the tracked set
+    // bounded by the few connections that are genuinely still winding down.
+    const CYCLES: usize = 40;
+    let (server, _release, _entered, _executed) = echo_server(1, 8, 5_000);
+    for i in 0..CYCLES {
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert!(client
+            .call(&Request::new("echo").with_id(i as u64))
+            .unwrap()
+            .is_ok());
+        drop(client);
+    }
+    // One extra accept gives the reaper a pass over the closed ones.
+    let mut last = Client::connect(server.addr()).unwrap();
+    assert!(last
+        .call(&Request::new("echo").with_id(99u64))
+        .unwrap()
+        .is_ok());
+    // The last few connections may still be draining their read poll, but
+    // nothing like one handle per accepted connection may remain.
+    let tracked = server.tracked_connections();
+    assert!(
+        tracked <= 8,
+        "tracked {tracked} handles after {CYCLES} sequential connections — leak"
+    );
+    // The open-connection gauge is exposed through stats and agrees that
+    // almost everything wound down.
+    let stats = last.call(&Request::new("stats")).unwrap();
+    let open = stats
+        .payload()
+        .unwrap()
+        .get("open_connections")
+        .and_then(Json::as_f64)
+        .expect("stats carries the open_connections gauge");
+    assert!(open <= 8.0, "open_connections {open}");
+    server.stop();
+}
+
+#[test]
+fn expired_queued_requests_are_skipped_before_reaching_the_handler() {
+    // Regression test for the timed-out-requests-burn-a-worker bug: the
+    // writer can only mark a request cancelled after resolving every
+    // earlier response on its connection. Pipeline a long-deadline `block`
+    // ahead of several already-expired `sleep`s: the writer is stuck on
+    // the block, so by the time the single worker frees, the sleeps are
+    // expired-but-not-yet-cancelled. Without the pool-side deadline check
+    // they would all run (burning the worker for their full duration);
+    // with it, the handler never sees them.
+    let (server, release, entered, executed) = echo_server(1, 64, 60_000);
+
+    // Occupy the single worker.
+    let mut blocker = Client::connect(server.addr()).unwrap();
+    blocker.send(&Request::new("block").with_id(1u64)).unwrap();
+    entered.recv_timeout(Duration::from_secs(5)).unwrap();
+
+    // A second connection pipelines: one more long-deadline block (pins
+    // this connection's writer), five sleeps with a 25 ms deadline, and a
+    // sentinel echo.
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.send(&Request::new("block").with_id(2u64)).unwrap();
+    for i in 0..5u64 {
+        client
+            .send(
+                &Request::new("sleep")
+                    .with_id(10 + i)
+                    .with_target("200")
+                    .with_timeout_ms(25),
+            )
+            .unwrap();
+    }
+    client
+        .send(&Request::new("echo").with_id(20u64).with_timeout_ms(30_000))
+        .unwrap();
+
+    // Let every sleep's deadline pass while they sit in the queue.
+    std::thread::sleep(Duration::from_millis(80));
+
+    // Free the worker: first block completes, then the second runs.
+    release.send(()).unwrap();
+    assert!(blocker.recv().unwrap().is_ok());
+    entered.recv_timeout(Duration::from_secs(5)).unwrap();
+    release.send(()).unwrap();
+
+    let drained = client.recv().unwrap();
+    assert!(drained.is_ok(), "second block: {:?}", drained.error());
+    let t_after_blocks = std::time::Instant::now();
+    for i in 0..5u64 {
+        let response = client.recv().unwrap();
+        assert_eq!(response.id, Json::Num((10 + i) as f64));
+        assert_eq!(response.error().unwrap().code, code::TIMEOUT);
+    }
+    let sentinel = client.recv().unwrap();
+    assert!(sentinel.is_ok(), "sentinel: {:?}", sentinel.error());
+
+    // Only the two blocks and the sentinel ever reached the handler — the
+    // five expired sleeps (5 × 200 ms of would-be burn) were skipped.
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        3,
+        "expired queued requests must not execute"
+    );
+    // And the sentinel arrived promptly instead of a second behind.
+    assert!(
+        t_after_blocks.elapsed() < Duration::from_millis(600),
+        "sentinel was starved behind expired work: {:?}",
+        t_after_blocks.elapsed()
+    );
+    // The skip counter saw all five.
+    let stats = client.call(&Request::new("stats")).unwrap();
+    let skipped = stats
+        .payload()
+        .unwrap()
+        .get("expired_skipped")
+        .and_then(Json::as_f64)
+        .expect("stats carries expired_skipped");
+    assert!(skipped >= 5.0, "expired_skipped {skipped}");
+    server.stop();
+}
+
+#[test]
+fn stats_carries_the_acceptor_health_counters() {
+    // `accept_errors` counts transient accept() failures (each of which
+    // now also costs the acceptor a backoff pause instead of a busy-spin);
+    // on a healthy listener it must exist and be zero.
+    let (server, _release, _entered, _executed) = echo_server(1, 4, 5_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let stats = client.call(&Request::new("stats")).unwrap();
+    let payload = stats.payload().unwrap().clone();
+    assert_eq!(
+        payload.get("accept_errors").and_then(Json::as_f64),
+        Some(0.0)
+    );
+    assert_eq!(
+        payload.get("expired_skipped").and_then(Json::as_f64),
+        Some(0.0)
+    );
+    assert!(payload
+        .get("open_connections")
+        .and_then(Json::as_f64)
+        .is_some_and(|n| n >= 1.0));
     server.stop();
 }
 
