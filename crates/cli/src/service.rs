@@ -105,6 +105,7 @@ fn request_command(request: &Request) -> Result<Command, ServeError> {
         duration_ms: None,
         seed: None,
         mix: None,
+        dispatch: None,
     })
 }
 

@@ -44,6 +44,9 @@ pub use pipeline::{
     compile, redundant_stores, CompileError, CompileOptions, CompileReport, SiteDecision,
     SiteOutcome, SliceSetPolicy,
 };
-pub use replay::{replay_validate, ReplayError, ReplayOutcome, SliceReplayStats};
+pub use replay::{
+    replay_validate, replay_validate_table, replay_validate_with, ReplayError, ReplayOutcome,
+    SliceReplayStats,
+};
 pub use slice::{SliceInstSpec, SliceSpec};
 pub use storage::StorageBounds;

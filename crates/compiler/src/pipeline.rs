@@ -11,9 +11,11 @@ use amnesiac_sim::RunError;
 use amnesiac_telemetry::{Json, ToJson};
 use amnesiac_verify::VerifyReport;
 
+use amnesiac_cfg::BlockTable;
+
 use crate::annotate::annotate_with_map;
 use crate::estimate::SliceEstimator;
-use crate::replay::replay_validate;
+use crate::replay::{replay_validate, replay_validate_table};
 use crate::slice::SliceSpec;
 use crate::storage::StorageBounds;
 
@@ -422,8 +424,12 @@ struct ValidationSummary {
 /// compile on any Error-severity diagnostic. This is the pre-replay gate:
 /// the §3.2 slice invariants are proven for *all* inputs before the dynamic
 /// replay (which only exercises the profiled ones) is allowed to run.
-fn gate_verify(annotated: &Program) -> Result<VerifyReport, CompileError> {
-    let report = amnesiac_verify::verify(annotated);
+fn gate_verify(annotated: &Program, table: &BlockTable) -> Result<VerifyReport, CompileError> {
+    let report = amnesiac_verify::verify_decoded(
+        annotated,
+        table.decoded(),
+        &amnesiac_verify::VerifyOptions::default(),
+    );
     if !report.is_clean() {
         return Err(CompileError::Verify(report));
     }
@@ -461,6 +467,7 @@ fn validation_shards(n_specs: usize) -> usize {
 fn failing_load_pcs(
     program: &Program,
     annotated: &Program,
+    table: &BlockTable,
     specs: &[SliceSpec],
     fuse: u64,
     shards: usize,
@@ -472,7 +479,7 @@ fn failing_load_pcs(
         failing.iter().map(|&id| by_pc[id as usize]).collect()
     }
     if shards <= 1 {
-        let outcome = replay_validate(annotated, fuse)?;
+        let outcome = replay_validate_table(annotated, table, fuse)?;
         return Ok(ids_to_pcs(&outcome.failing_slices(), specs));
     }
     let per_shard = specs.len().div_ceil(shards);
@@ -510,7 +517,11 @@ fn validate_specs(
     options: &CompileOptions,
 ) -> Result<ValidationSummary, CompileError> {
     let (mut annotated, mut pc_map) = annotate_with_map(program, &specs)?;
-    let mut verify_report = gate_verify(&annotated)?;
+    // One lowering per annotated binary, shared by the static verify gate
+    // and the round's validation replay (both walk the same predecoded
+    // stream; rebuilding it twice per round showed up in compile timings).
+    let mut table = BlockTable::build(&annotated);
+    let mut verify_report = gate_verify(&annotated, &table)?;
     let mut rounds = 0;
     let mut rounds_saved = 0;
     let mut capped = false;
@@ -521,6 +532,7 @@ fn validate_specs(
             let round_dropped = failing_load_pcs(
                 program,
                 &annotated,
+                &table,
                 &specs,
                 options.replay_fuse,
                 validation_shards(specs.len()),
@@ -540,7 +552,8 @@ fn validate_specs(
             specs.retain(|s| !round_dropped.contains(&s.load_pc));
             dropped_pcs.extend(round_dropped);
             (annotated, pc_map) = annotate_with_map(program, &specs)?;
-            verify_report = gate_verify(&annotated)?;
+            table = BlockTable::build(&annotated);
+            verify_report = gate_verify(&annotated, &table)?;
             if specs.is_empty() {
                 break;
             }
@@ -902,8 +915,9 @@ mod tests {
         );
         let specs = vec![bad_spec(load_a, add_a), good];
         let (annotated, _) = annotate_with_map(&p, &specs).unwrap();
-        let sequential = failing_load_pcs(&p, &annotated, &specs, 10_000, 1).unwrap();
-        let sharded = failing_load_pcs(&p, &annotated, &specs, 10_000, 2).unwrap();
+        let table = BlockTable::build(&annotated);
+        let sequential = failing_load_pcs(&p, &annotated, &table, &specs, 10_000, 1).unwrap();
+        let sharded = failing_load_pcs(&p, &annotated, &table, &specs, 10_000, 2).unwrap();
         assert_eq!(sequential, BTreeSet::from([load_a]));
         assert_eq!(
             sharded, sequential,
@@ -965,7 +979,7 @@ mod tests {
             base: Reg(1),
             offset: 0,
         };
-        match gate_verify(&annotated) {
+        match gate_verify(&annotated, &BlockTable::build(&annotated)) {
             Err(CompileError::Verify(report)) => {
                 assert!(report
                     .diagnostics

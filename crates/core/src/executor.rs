@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 
+use amnesiac_cfg::{BlockTable, Dispatch, Fusion};
 use amnesiac_energy::UarchEvent;
 use amnesiac_isa::{predecode, Category, DecodedInst, DecodedOp, OperandSource, Program, SliceId};
 use amnesiac_mem::ServiceLevel;
@@ -150,12 +151,24 @@ impl AmnesicCore {
 
     /// Runs an annotated (or classic) program to `Halt`.
     ///
+    /// Dispatches per [`CoreConfig::dispatch`]: block-level superinstruction
+    /// execution (default) or the instruction-level differential oracle.
+    ///
     /// # Errors
     ///
     /// * [`AmnesicError::Run`] on fuse/pc errors;
     /// * [`AmnesicError::ValueMismatch`] if a recomputation diverges from
     ///   memory while `check_values` is set.
     pub fn run(&self, program: &Program) -> Result<AmnesicRunResult, AmnesicError> {
+        match self.config.core.dispatch {
+            Dispatch::Inst => self.run_inst(program),
+            Dispatch::Block => self.run_block(program),
+        }
+    }
+
+    /// The instruction-level path, kept verbatim as the differential oracle
+    /// for the block engine.
+    fn run_inst(&self, program: &Program) -> Result<AmnesicRunResult, AmnesicError> {
         let mut machine = Machine::new(&self.config.core, program);
         let mut sfile = SFile::new(self.config.sfile_capacity);
         let mut renamer = Renamer::new();
@@ -312,28 +325,246 @@ impl AmnesicCore {
             pc = next_pc;
         }
 
-        stats.sfile_high_water = sfile.high_water();
-        stats.hist_high_water = hist.high_water();
-        stats.ibuff_high_water = ibuff.high_water();
-        stats.ibuff_hits = ibuff.hits();
-        stats.ibuff_misses = ibuff.misses();
-        stats.hist_reads = hist.reads();
-        stats.hist_failed_writes = hist.failed_writes();
-        stats.rename_requests = renamer.requests();
-        stats.predictions = predictor.predictions();
-        stats.mispredictions = predictor.mispredictions();
+        Ok(finish_run(
+            program, machine, &sfile, &hist, &ibuff, &renamer, &predictor, stats, retired, loads,
+            stores,
+        ))
+    }
 
-        Ok(AmnesicRunResult {
-            run: RunResult {
-                final_memory: machine.extract_output(program),
-                hierarchy: machine.hierarchy.stats().clone(),
-                account: machine.account,
-                instructions: retired,
-                loads,
-                stores,
-            },
-            stats,
-        })
+    /// The block-level engine: dispatches whole basic blocks between control
+    /// decisions, with fused pairs retiring both halves inside one handler.
+    /// Slice traversal rides the same [`BlockTable`] (its predecoded stream
+    /// covers slice bodies too). Per-instruction fetch/charge order is
+    /// identical to the oracle, so energy accounting is bit-exact
+    /// (DESIGN.md §4e).
+    #[allow(clippy::too_many_lines)]
+    fn run_block(&self, program: &Program) -> Result<AmnesicRunResult, AmnesicError> {
+        let mut machine = Machine::new(&self.config.core, program);
+        let mut sfile = SFile::new(self.config.sfile_capacity);
+        let mut renamer = Renamer::new();
+        let mut hist = Hist::new(self.config.hist_capacity);
+        let mut ibuff = IBuff::new(self.config.ibuff_capacity);
+        let mut stats = AmnesicStats {
+            per_slice: vec![SliceRuntimeStats::default(); program.slices.len()],
+            ..AmnesicStats::default()
+        };
+        let mut failed_keys: HashSet<u16> = HashSet::new();
+        let slice_keys: Vec<Vec<u16>> = program.slices.iter().map(|m| m.hist_keys()).collect();
+        let mut predictor = MissPredictor::new();
+        // One lowering covers main-code superblocks and slice bodies; the
+        // table's decoded stream is what `traverse` walks.
+        let table = BlockTable::build(program);
+        let decoded = table.decoded();
+        let max = self.config.core.max_instructions;
+
+        let mut pc = program.entry;
+        let mut retired: u64 = 0;
+        let mut loads: u64 = 0;
+        let mut stores: u64 = 0;
+
+        'run: loop {
+            if retired >= max {
+                return Err(RunError::FuseBlown { limit: max }.into());
+            }
+            if pc >= program.code_len {
+                return Err(RunError::PcOutOfRange { pc }.into());
+            }
+            let block = table.main_block(pc);
+            let mut next_pc = block.end;
+            for bi in table.units(block) {
+                if retired >= max {
+                    return Err(RunError::FuseBlown { limit: max }.into());
+                }
+                let ipc = bi.pc as usize;
+                match bi.fused {
+                    None => {
+                        let d = &decoded[ipc];
+                        machine.fetch(ipc);
+                        retired += 1;
+                        match d.op {
+                            DecodedOp::Halt => {
+                                machine.charge_op(Category::Jump);
+                                break 'run;
+                            }
+                            DecodedOp::Load { offset } => {
+                                step_load(&mut machine, d, offset);
+                                loads += 1;
+                            }
+                            DecodedOp::Store { offset } => {
+                                step_store(&mut machine, d, offset);
+                                stores += 1;
+                            }
+                            DecodedOp::Branch { cond, target } => {
+                                let vals = gather(&machine, d);
+                                machine.charge_op(Category::Branch);
+                                if cond.eval(vals[0], vals[1]) {
+                                    next_pc = target;
+                                }
+                            }
+                            DecodedOp::Jump { target } => {
+                                machine.charge_op(Category::Jump);
+                                next_pc = target;
+                            }
+                            DecodedOp::Rec { key } => {
+                                let vals = gather(&machine, d);
+                                machine.charge_op(Category::Rec);
+                                machine.account.record_event(UarchEvent::HistWrite, 0.0);
+                                if !hist.write(key, vals) {
+                                    failed_keys.insert(key);
+                                }
+                            }
+                            DecodedOp::Rcmp { offset, slice } => {
+                                let vals = gather(&machine, d);
+                                machine.charge_op(Category::Rcmp);
+                                let dst = d.dst.expect("RCMP has a dst");
+                                let addr = vals[0].wrapping_add(offset as u64);
+                                let level = machine.hierarchy.peek_data(addr * 8);
+                                let meta = program.slice(slice);
+                                retired += 1; // the RCMP decision itself retires work
+
+                                let forced = meta.compute_len() > sfile.capacity()
+                                    || slice_keys[slice.index()]
+                                        .iter()
+                                        .any(|k| failed_keys.contains(k));
+                                let fire = !forced
+                                    && self.decide(
+                                        program,
+                                        ipc,
+                                        slice,
+                                        level,
+                                        &mut machine,
+                                        &mut predictor,
+                                    );
+
+                                if fire {
+                                    match self.traverse(
+                                        program,
+                                        decoded,
+                                        slice,
+                                        &mut machine,
+                                        &mut sfile,
+                                        &mut renamer,
+                                        &mut hist,
+                                        &mut ibuff,
+                                        &mut stats,
+                                    ) {
+                                        Traversal::Done(value) => {
+                                            retired += meta.len as u64;
+                                            stats.record_decision(slice.index(), true, level);
+                                            if self.config.check_values
+                                                && value != machine.peek_mem(addr)
+                                            {
+                                                return Err(AmnesicError::ValueMismatch {
+                                                    pc: ipc,
+                                                    slice: slice.0,
+                                                    expected: machine.peek_mem(addr),
+                                                    got: value,
+                                                });
+                                            }
+                                            machine.set_reg(dst, value);
+                                        }
+                                        Traversal::MissingHist | Traversal::SFileOverflow => {
+                                            stats.per_slice[slice.index()].forced_loads += 1;
+                                            stats.performed_levels.record(level);
+                                            let (value, _) = machine.load_word(addr);
+                                            machine.set_reg(dst, value);
+                                            loads += 1;
+                                        }
+                                    }
+                                } else {
+                                    if forced {
+                                        stats.per_slice[slice.index()].forced_loads += 1;
+                                        stats.performed_levels.record(level);
+                                    } else {
+                                        stats.record_decision(slice.index(), false, level);
+                                    }
+                                    let (value, _) = machine.load_word(addr);
+                                    machine.set_reg(dst, value);
+                                    loads += 1;
+                                }
+                            }
+                            DecodedOp::Rtn => {
+                                return Err(RunError::UnexpectedInstruction {
+                                    pc: ipc,
+                                    what: program.instructions[ipc].to_string(),
+                                }
+                                .into());
+                            }
+                            _ => step_compute(&mut machine, d),
+                        }
+                    }
+                    Some(Fusion::CmpBranch) => {
+                        let (a, b) = (&decoded[ipc], &decoded[ipc + 1]);
+                        machine.fetch(ipc);
+                        retired += 1;
+                        step_compute(&mut machine, a);
+                        if retired >= max {
+                            return Err(RunError::FuseBlown { limit: max }.into());
+                        }
+                        machine.fetch(ipc + 1);
+                        retired += 1;
+                        let DecodedOp::Branch { cond, target } = b.op else {
+                            unreachable!("CmpBranch second half is a branch");
+                        };
+                        let vals = gather(&machine, b);
+                        machine.charge_op(Category::Branch);
+                        if cond.eval(vals[0], vals[1]) {
+                            next_pc = target;
+                        }
+                    }
+                    Some(Fusion::LoadAlu) => {
+                        let (a, b) = (&decoded[ipc], &decoded[ipc + 1]);
+                        machine.fetch(ipc);
+                        retired += 1;
+                        let DecodedOp::Load { offset } = a.op else {
+                            unreachable!("LoadAlu first half is a load");
+                        };
+                        step_load(&mut machine, a, offset);
+                        loads += 1;
+                        if retired >= max {
+                            return Err(RunError::FuseBlown { limit: max }.into());
+                        }
+                        machine.fetch(ipc + 1);
+                        retired += 1;
+                        step_compute(&mut machine, b);
+                    }
+                    Some(Fusion::AluiStore) => {
+                        let (a, b) = (&decoded[ipc], &decoded[ipc + 1]);
+                        machine.fetch(ipc);
+                        retired += 1;
+                        step_compute(&mut machine, a);
+                        if retired >= max {
+                            return Err(RunError::FuseBlown { limit: max }.into());
+                        }
+                        machine.fetch(ipc + 1);
+                        retired += 1;
+                        let DecodedOp::Store { offset } = b.op else {
+                            unreachable!("AluiStore second half is a store");
+                        };
+                        step_store(&mut machine, b, offset);
+                        stores += 1;
+                    }
+                    Some(Fusion::LiAlu) => {
+                        let (a, b) = (&decoded[ipc], &decoded[ipc + 1]);
+                        machine.fetch(ipc);
+                        retired += 1;
+                        step_compute(&mut machine, a);
+                        if retired >= max {
+                            return Err(RunError::FuseBlown { limit: max }.into());
+                        }
+                        machine.fetch(ipc + 1);
+                        retired += 1;
+                        step_compute(&mut machine, b);
+                    }
+                }
+            }
+            pc = next_pc;
+        }
+
+        Ok(finish_run(
+            program, machine, &sfile, &hist, &ibuff, &renamer, &predictor, stats, retired, loads,
+            stores,
+        ))
     }
 
     /// Resolves the `RCMP` branching condition (§3.3.1), charging any
@@ -510,6 +741,86 @@ impl AmnesicCore {
         sfile.release_all();
         renamer.clear();
         outcome.unwrap_or(Traversal::Done(last_value))
+    }
+}
+
+/// Reads a decoded instruction's source operand values from the register
+/// file, in source-position order (unused positions are 0).
+#[inline(always)]
+fn gather(machine: &Machine, d: &DecodedInst) -> [u64; 3] {
+    let mut vals = [0u64; 3];
+    for (j, s) in d.srcs.iter().enumerate() {
+        if let Some(r) = s {
+            vals[j] = machine.reg(*r);
+        }
+    }
+    vals
+}
+
+/// Retires one compute instruction (gather → evaluate → write-back →
+/// charge), the oracle's exact order.
+#[inline(always)]
+fn step_compute(machine: &mut Machine, d: &DecodedInst) {
+    let vals = gather(machine, d);
+    let value = d.eval_compute(vals);
+    machine.set_reg(d.dst.expect("compute has dst"), value);
+    machine.charge_op(d.category);
+}
+
+/// Retires one load.
+#[inline(always)]
+fn step_load(machine: &mut Machine, d: &DecodedInst, offset: i64) {
+    let vals = gather(machine, d);
+    let addr = vals[0].wrapping_add(offset as u64);
+    let (value, _) = machine.load_word(addr);
+    machine.set_reg(d.dst.expect("loads have a dst"), value);
+}
+
+/// Retires one store.
+#[inline(always)]
+fn step_store(machine: &mut Machine, d: &DecodedInst, offset: i64) {
+    let vals = gather(machine, d);
+    let addr = vals[1].wrapping_add(offset as u64);
+    machine.store_word(addr, vals[0]);
+}
+
+/// Assembles the run result and drains structure counters into the stats —
+/// shared by both dispatch paths so they report identically.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    program: &Program,
+    machine: Machine,
+    sfile: &SFile,
+    hist: &Hist,
+    ibuff: &IBuff,
+    renamer: &Renamer,
+    predictor: &MissPredictor,
+    mut stats: AmnesicStats,
+    retired: u64,
+    loads: u64,
+    stores: u64,
+) -> AmnesicRunResult {
+    stats.sfile_high_water = sfile.high_water();
+    stats.hist_high_water = hist.high_water();
+    stats.ibuff_high_water = ibuff.high_water();
+    stats.ibuff_hits = ibuff.hits();
+    stats.ibuff_misses = ibuff.misses();
+    stats.hist_reads = hist.reads();
+    stats.hist_failed_writes = hist.failed_writes();
+    stats.rename_requests = renamer.requests();
+    stats.predictions = predictor.predictions();
+    stats.mispredictions = predictor.mispredictions();
+
+    AmnesicRunResult {
+        run: RunResult {
+            final_memory: machine.extract_output(program),
+            hierarchy: machine.hierarchy.stats().clone(),
+            account: machine.account,
+            instructions: retired,
+            loads,
+            stores,
+        },
+        stats,
     }
 }
 

@@ -11,12 +11,12 @@
 //! correctness, since the value is recomputed or loaded exactly as under
 //! the other policies.
 
-use std::collections::HashMap;
+use amnesiac_mem::FastMap;
 
 /// Per-site 2-bit saturating miss predictor.
 #[derive(Debug, Clone, Default)]
 pub struct MissPredictor {
-    counters: HashMap<usize, u8>,
+    counters: FastMap<usize, u8>,
     predictions: u64,
     mispredictions: u64,
 }

@@ -3,9 +3,8 @@
 //! capacity limits; occupancy high-water marks are tracked so runs can be
 //! checked against the §3.4 analytic bounds.
 
-use std::collections::HashMap;
-
 use amnesiac_isa::SliceId;
+use amnesiac_mem::FastMap;
 
 /// The scratch file: dedicated buffering for in-flight recomputation
 /// results, keeping the architectural register file intact (Condition-I of
@@ -122,7 +121,7 @@ impl Renamer {
 /// load (§3.5).
 #[derive(Debug, Clone)]
 pub struct Hist {
-    entries: HashMap<u16, [u64; 3]>,
+    entries: FastMap<u16, [u64; 3]>,
     capacity: usize,
     high_water: usize,
     reads: u64,
@@ -134,7 +133,7 @@ impl Hist {
     /// Creates a `Hist` with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         Hist {
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             capacity,
             high_water: 0,
             reads: 0,
@@ -194,7 +193,7 @@ impl Hist {
 #[derive(Debug, Clone)]
 pub struct IBuff {
     capacity: usize,
-    resident: HashMap<SliceId, (usize, u64)>, // size, last-use
+    resident: FastMap<SliceId, (usize, u64)>, // size, last-use
     occupancy: usize,
     high_water: usize,
     clock: u64,
@@ -207,7 +206,7 @@ impl IBuff {
     pub fn new(capacity: usize) -> Self {
         IBuff {
             capacity,
-            resident: HashMap::new(),
+            resident: FastMap::default(),
             occupancy: 0,
             high_water: 0,
             clock: 0,

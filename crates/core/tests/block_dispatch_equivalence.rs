@@ -1,0 +1,386 @@
+//! Differential suite for the block-level execution engine: under both
+//! dispatch modes (`Inst`, the per-instruction oracle, and `Block`, the
+//! superblock/superinstruction production path) every interpreter must be
+//! byte-identical on architectural state, memory image, observer event
+//! streams, energy totals, and error paths — across randomly generated
+//! control-flow-heavy programs and the full 33-workload sweep.
+
+use amnesiac_compiler::{compile, replay_validate_with, CompileOptions};
+use amnesiac_core::{AmnesicConfig, AmnesicCore, Policy};
+use amnesiac_isa::{AluOp, BranchCond, Instruction, MemRange, Program, Reg};
+use amnesiac_mem::ServiceLevel;
+use amnesiac_profile::profile_program;
+use amnesiac_rng::Rng;
+use amnesiac_sim::{ClassicCore, CoreConfig, Dispatch, Observer, RetireEvent, RunResult};
+use amnesiac_workloads::{all_workloads, Scale};
+
+const RNG_PROGRAMS: usize = 64;
+const RNG_SEED: u64 = 0xB10C;
+
+/// One owned retirement record: pc, operand values, result, address, level.
+type Retired = (
+    usize,
+    [u64; 3],
+    Option<u64>,
+    Option<u64>,
+    Option<ServiceLevel>,
+);
+
+/// Records every retirement the classic core reports, as owned values, so
+/// two runs' full dynamic event streams can be compared exactly.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<Retired>,
+}
+
+impl Observer for Recorder {
+    fn on_retire(&mut self, event: &RetireEvent<'_>) {
+        self.events.push((
+            event.pc,
+            event.src_values,
+            event.result,
+            event.addr,
+            event.level,
+        ));
+    }
+}
+
+fn config(dispatch: Dispatch, fuse: u64) -> CoreConfig {
+    let mut c = CoreConfig::paper();
+    c.dispatch = dispatch;
+    c.max_instructions = fuse;
+    c
+}
+
+fn assert_runs_equal(name: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.instructions, b.instructions, "{name}: instruction count");
+    assert_eq!(a.loads, b.loads, "{name}: load count");
+    assert_eq!(a.stores, b.stores, "{name}: store count");
+    assert_eq!(a.final_memory, b.final_memory, "{name}: memory image");
+    assert_eq!(a.hierarchy, b.hierarchy, "{name}: hierarchy stats");
+    assert_eq!(a.account, b.account, "{name}: energy account (bit-exact)");
+}
+
+/// Runs one program through the classic core under both modes with a
+/// recording observer and asserts full equivalence, success or failure.
+fn check_classic(name: &str, program: &Program, fuse: u64) {
+    let mut oracle_events = Recorder::default();
+    let mut block_events = Recorder::default();
+    let oracle =
+        ClassicCore::new(config(Dispatch::Inst, fuse)).run_observed(program, &mut oracle_events);
+    let block =
+        ClassicCore::new(config(Dispatch::Block, fuse)).run_observed(program, &mut block_events);
+    match (&oracle, &block) {
+        (Ok(a), Ok(b)) => assert_runs_equal(name, a, b),
+        (Err(a), Err(b)) => assert_eq!(a, b, "{name}: error paths differ"),
+        _ => panic!("{name}: one mode failed, the other succeeded: {oracle:?} vs {block:?}"),
+    }
+    assert_eq!(
+        oracle_events.events, block_events.events,
+        "{name}: observer event streams differ"
+    );
+}
+
+/// Runs validation replay under both modes and asserts identical outcomes.
+fn check_replay(name: &str, program: &Program, fuse: u64) {
+    let oracle = replay_validate_with(program, fuse, Dispatch::Inst);
+    let block = replay_validate_with(program, fuse, Dispatch::Block);
+    match (&oracle, &block) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.per_slice, b.per_slice, "{name}: replay slice stats");
+            assert_eq!(a.output, b.output, "{name}: replay output image");
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "{name}: replay error paths differ"),
+        _ => panic!("{name}: replay modes disagree: {oracle:?} vs {block:?}"),
+    }
+}
+
+/// Generates a random classic program exercising the block engine's edges:
+/// fused pairs, zero-trip loops, backward branches, stores into a declared
+/// output window, and (sometimes) a fallthrough off the end of main code
+/// into a junk region shaped like slice bodies.
+fn rng_program(r: &mut Rng, case: usize) -> Program {
+    let n = r.range_usize(4, 40);
+    // r0..r6 carry arbitrary data (dense enough to fuse); r7 is the only
+    // load/store base and only ever holds small `li` constants, keeping
+    // effective addresses inside the data window like a real program
+    let reg = |r: &mut Rng| Reg(r.below(7) as u8);
+    let alu_ops = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And];
+    let conds = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+    let mut insts = Vec::with_capacity(n + 2);
+    for _ in 0..n {
+        let inst = match r.below(10) {
+            0 => Instruction::Li {
+                dst: Reg(7),
+                imm: r.below(64),
+            },
+            1 => Instruction::Li {
+                dst: reg(r),
+                imm: r.below(64),
+            },
+            2 | 3 => Instruction::Alu {
+                op: *r.choose(&alu_ops),
+                dst: reg(r),
+                lhs: reg(r),
+                rhs: reg(r),
+            },
+            4 | 5 => Instruction::Alui {
+                op: *r.choose(&alu_ops),
+                dst: reg(r),
+                src: reg(r),
+                imm: r.below(16),
+            },
+            6 => Instruction::Load {
+                dst: reg(r),
+                base: Reg(7),
+                offset: r.below(8) as i64,
+            },
+            7 => Instruction::Store {
+                src: reg(r),
+                base: Reg(7),
+                offset: r.below(8) as i64,
+            },
+            8 => Instruction::Branch {
+                cond: *r.choose(&conds),
+                lhs: reg(r),
+                rhs: reg(r),
+                // any main-code target, forward or backward (the fuse
+                // bounds runaway loops; both modes must agree on the blow)
+                target: r.below((n + 1) as u64) as usize,
+            },
+            _ => Instruction::Jump {
+                target: r.below((n + 1) as u64) as usize,
+            },
+        };
+        insts.push(inst);
+    }
+    // Half the programs halt cleanly; the rest fall through to code_len,
+    // which must yield the same PcOutOfRange in both modes.
+    let falls_through = case % 2 == 1;
+    if !falls_through {
+        insts.push(Instruction::Halt);
+    }
+    let mut p = Program::new(format!("rng-{case}"));
+    p.code_len = insts.len();
+    if falls_through {
+        // a junk region past code_len, shaped like slice bodies, that the
+        // block table must lower without ever dispatching into
+        for _ in 0..r.range_usize(1, 4) {
+            insts.push(Instruction::Li {
+                dst: Reg(1),
+                imm: 0xDEAD,
+            });
+        }
+    }
+    p.instructions = insts;
+    p.entry = 0;
+    for a in 0..8 {
+        p.data.set(a, r.next_u64() % 64);
+    }
+    // stores land in [0, 64 + 8); observe the whole window
+    p.output.push(MemRange::new(0, 80));
+    p
+}
+
+#[test]
+fn classic_and_replay_agree_on_rng_programs() {
+    let mut r = Rng::seed_from_u64(RNG_SEED);
+    for case in 0..RNG_PROGRAMS {
+        let p = rng_program(&mut r, case);
+        // generous fuse: terminating programs finish, loops blow identically
+        check_classic(&p.name, &p, 50_000);
+        check_replay(&p.name, &p, 50_000);
+        // tiny fuse: FuseBlown must fire at the same retirement even when
+        // it lands mid-block or between the halves of a fused pair
+        for fuse in [1, 2, 3, 7] {
+            check_classic(&format!("{}/fuse{}", p.name, fuse), &p, fuse);
+            check_replay(&format!("{}/fuse{}", p.name, fuse), &p, fuse);
+        }
+    }
+}
+
+#[test]
+fn directed_edge_cases_agree() {
+    // A single-instruction block that branches to itself: the degenerate
+    // superblock (one leader, one terminator, no fusion) must spin until
+    // the fuse blows identically in both modes.
+    let mut spin = Program::new("self-branch");
+    spin.instructions = vec![
+        Instruction::Branch {
+            cond: BranchCond::Eq,
+            lhs: Reg(0),
+            rhs: Reg(0),
+            target: 0,
+        },
+        Instruction::Halt,
+    ];
+    spin.code_len = 2;
+    check_classic("self-branch", &spin, 1_000);
+    check_replay("self-branch", &spin, 1_000);
+
+    // A zero-trip loop: the guard skips the body on the first evaluation,
+    // so the backward-branch block retires zero times.
+    let mut zero_trip = Program::new("zero-trip");
+    zero_trip.instructions = vec![
+        Instruction::Li {
+            dst: Reg(1),
+            imm: 0,
+        },
+        Instruction::Li {
+            dst: Reg(2),
+            imm: 0,
+        },
+        // while r1 < r2 (never): body
+        Instruction::Branch {
+            cond: BranchCond::Geu,
+            lhs: Reg(1),
+            rhs: Reg(2),
+            target: 6,
+        },
+        Instruction::Alui {
+            op: AluOp::Add,
+            dst: Reg(1),
+            src: Reg(1),
+            imm: 1,
+        },
+        Instruction::Store {
+            src: Reg(1),
+            base: Reg(0),
+            offset: 0,
+        },
+        Instruction::Jump { target: 2 },
+        Instruction::Halt,
+    ];
+    zero_trip.code_len = 7;
+    zero_trip.output.push(MemRange::new(0, 4));
+    check_classic("zero-trip", &zero_trip, 1_000);
+    check_replay("zero-trip", &zero_trip, 1_000);
+
+    // Fallthrough off the end of main code into the (unreachable) slice
+    // region: both modes must report PcOutOfRange at code_len, not run the
+    // junk the block table also lowered.
+    let mut fall = Program::new("fallthrough");
+    fall.instructions = vec![
+        Instruction::Li {
+            dst: Reg(1),
+            imm: 1,
+        },
+        Instruction::Li {
+            dst: Reg(2),
+            imm: 9,
+        }, // falls through here
+        Instruction::Li {
+            dst: Reg(3),
+            imm: 0xBAD,
+        }, // "slice" region
+    ];
+    fall.code_len = 2;
+    check_classic("fallthrough", &fall, 1_000);
+    check_replay("fallthrough", &fall, 1_000);
+}
+
+#[test]
+fn amnesic_pipeline_agrees_across_the_full_sweep() {
+    for workload in all_workloads(Scale::Test) {
+        let base = CoreConfig::paper();
+        let (profile, _) = profile_program(&workload.program, &base).expect("profiling succeeds");
+        let (binary, _) = compile(&workload.program, &profile, &CompileOptions::default())
+            .expect("compile succeeds");
+
+        // classic interpreter on the source program
+        check_classic(
+            &format!("{}/classic", workload.name),
+            &workload.program,
+            base.max_instructions,
+        );
+        // replay interpreter on the annotated binary (slice traversal rides
+        // the same block table)
+        check_replay(
+            &format!("{}/replay", workload.name),
+            &binary,
+            base.max_instructions,
+        );
+
+        // amnesic interpreter on the annotated binary, per policy
+        for policy in [Policy::Compiler, Policy::Llc, Policy::Oracle] {
+            let mut inst_cfg = AmnesicConfig::paper(policy);
+            inst_cfg.core.dispatch = Dispatch::Inst;
+            let mut block_cfg = AmnesicConfig::paper(policy);
+            block_cfg.core.dispatch = Dispatch::Block;
+            let name = format!("{}/amnesic/{:?}", workload.name, policy);
+            let a = AmnesicCore::new(inst_cfg).run(&binary);
+            let b = AmnesicCore::new(block_cfg).run(&binary);
+            match (&a, &b) {
+                (Ok(a), Ok(b)) => {
+                    assert_runs_equal(&name, &a.run, &b.run);
+                    let (s, t) = (&a.stats, &b.stats);
+                    assert_eq!(s.per_slice, t.per_slice, "{name}: per-slice stats");
+                    assert_eq!(s.swapped_levels, t.swapped_levels, "{name}: swap profile");
+                    assert_eq!(
+                        s.performed_levels, t.performed_levels,
+                        "{name}: perform profile"
+                    );
+                    assert_eq!(
+                        s.recompute_insts, t.recompute_insts,
+                        "{name}: recompute count"
+                    );
+                    assert_eq!(
+                        s.deferred_exceptions, t.deferred_exceptions,
+                        "{name}: deferred exceptions"
+                    );
+                    assert_eq!(
+                        (s.sfile_high_water, s.hist_high_water, s.ibuff_high_water),
+                        (t.sfile_high_water, t.hist_high_water, t.ibuff_high_water),
+                        "{name}: structure high-water marks"
+                    );
+                    assert_eq!(
+                        (
+                            s.ibuff_hits,
+                            s.ibuff_misses,
+                            s.hist_reads,
+                            s.hist_failed_writes
+                        ),
+                        (
+                            t.ibuff_hits,
+                            t.ibuff_misses,
+                            t.hist_reads,
+                            t.hist_failed_writes
+                        ),
+                        "{name}: supply counters"
+                    );
+                    assert_eq!(
+                        (s.rename_requests, s.predictions, s.mispredictions),
+                        (t.rename_requests, t.predictions, t.mispredictions),
+                        "{name}: rename/prediction counters"
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{name}: error paths differ"),
+                _ => panic!("{name}: amnesic modes disagree: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn profiler_output_is_dispatch_invariant() {
+    // the profiler consumes the observer stream, so its whole profile must
+    // be identical under both modes — spot-check via the reg count check
+    // plus full profile comparison on a couple of workloads
+    for name in ["cg", "is"] {
+        let w = amnesiac_workloads::build_focal(name, Scale::Test);
+        let inst_cfg = config(Dispatch::Inst, 200_000_000);
+        let block_cfg = config(Dispatch::Block, 200_000_000);
+        let (a, _) = profile_program(&w.program, &inst_cfg).expect("inst profile");
+        let (b, _) = profile_program(&w.program, &block_cfg).expect("block profile");
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{name}: profiles differ between dispatch modes"
+        );
+    }
+}

@@ -83,7 +83,22 @@ pub struct MemoryHierarchy {
     l2: Cache,
     stats: HierarchyStats,
     next_line_prefetch: bool,
+    /// Line number of the most recent instruction fetch ([`NO_LINE`] if
+    /// none). Only fetches touch L1-I, so this line is still resident and
+    /// MRU in its set: a repeat fetch of it *must* hit and can skip the
+    /// cache model entirely (see [`MemoryHierarchy::fetch_inst`]).
+    fetch_memo: u64,
+    /// Line number of the most recent data access ([`NO_LINE`] if none, or
+    /// if a prefetch fill may have evicted it). Same reasoning as
+    /// `fetch_memo` over L1-D.
+    data_memo: u64,
+    /// Whether `data_memo`'s line is known dirty (a repeat *store* may only
+    /// shortcut when the dirty bit is already set; conservatively false).
+    data_memo_dirty: bool,
 }
+
+/// Sentinel for an empty access memo.
+const NO_LINE: u64 = u64::MAX;
 
 impl MemoryHierarchy {
     /// Creates an empty (all-cold) hierarchy.
@@ -94,6 +109,9 @@ impl MemoryHierarchy {
             l2: Cache::new(config.l2),
             stats: HierarchyStats::default(),
             next_line_prefetch: config.next_line_prefetch,
+            fetch_memo: NO_LINE,
+            data_memo: NO_LINE,
+            data_memo_dirty: false,
         }
     }
 
@@ -113,6 +131,16 @@ impl MemoryHierarchy {
     /// pulls the following line into L1 (its fill source is reported in
     /// [`Access::prefetch_from`] so the energy model can charge it).
     pub fn read_data(&mut self, byte_addr: u64) -> Access {
+        let line = byte_addr / self.l1d.config().line_bytes as u64;
+        if line == self.data_memo {
+            // Repeat access to the last-touched data line: it is resident
+            // and already MRU in its set (only data accesses touch L1-D),
+            // so the full model could only report an L1 hit and re-stamp a
+            // line whose relative LRU order cannot change. Skip it.
+            let access = Access::at(ServiceLevel::L1);
+            self.stats.record_load(access);
+            return access;
+        }
         let mut access = self.data_access(byte_addr, AccessKind::Read);
         if self.next_line_prefetch && access.level != ServiceLevel::L1 {
             let next_line = byte_addr + self.l1d.config().line_bytes as u64;
@@ -124,19 +152,51 @@ impl MemoryHierarchy {
                 self.stats.prefetches += 1;
             }
         }
+        // A prefetch fill may map to any set (including the just-filled
+        // line's, for degenerate single-set geometries) — don't trust the
+        // memo after one.
+        if access.prefetch_from.is_some() {
+            self.data_memo = NO_LINE;
+        } else {
+            self.data_memo = line;
+            // On a hit the line's dirty bit is unknown from here; false is
+            // the safe side (a later store then takes the full path).
+            self.data_memo_dirty = false;
+        }
         self.stats.record_load(access);
         access
     }
 
     /// Data write at `byte_addr` (write-back, write-allocate).
     pub fn write_data(&mut self, byte_addr: u64) -> Access {
+        let line = byte_addr / self.l1d.config().line_bytes as u64;
+        if line == self.data_memo && self.data_memo_dirty {
+            // Repeat store to the last-touched line with the dirty bit
+            // already set: the full model would hit, re-dirty, and re-stamp
+            // the MRU line — all no-ops. Skip it.
+            let access = Access::at(ServiceLevel::L1);
+            self.stats.record_store(access);
+            return access;
+        }
         let access = self.data_access(byte_addr, AccessKind::Write);
+        // Hit or write-allocate fill, the line is now resident and dirty.
+        self.data_memo = line;
+        self.data_memo_dirty = true;
         self.stats.record_store(access);
         access
     }
 
     /// Instruction fetch at `byte_addr`; walks L1-I → L2 → memory.
     pub fn fetch_inst(&mut self, byte_addr: u64) -> Access {
+        let line = byte_addr / self.l1i.config().line_bytes as u64;
+        if line == self.fetch_memo {
+            // Straight-line fetch within the last-touched I-line: resident
+            // and MRU (only fetches touch L1-I) — a guaranteed L1 hit.
+            let access = Access::at(ServiceLevel::L1);
+            self.stats.record_fetch(access);
+            return access;
+        }
+        self.fetch_memo = line;
         let mut access;
         let l1 = self.l1i.access(byte_addr, AccessKind::Read);
         if l1.hit {
@@ -310,6 +370,49 @@ mod tests {
         m.read_data(0);
         assert_eq!(m.stats().prefetches, 0);
         assert_eq!(m.peek_data(64), ServiceLevel::Mem);
+    }
+
+    #[test]
+    fn repeat_same_line_reads_count_as_l1_hits() {
+        let mut m = small();
+        m.read_data(0); // Mem
+        for _ in 0..5 {
+            assert_eq!(m.read_data(8).level, ServiceLevel::L1); // same 64B line
+        }
+        assert_eq!(m.stats().loads.total(), 6);
+        assert_eq!(m.stats().loads.by_level[ServiceLevel::L1.index()], 5);
+    }
+
+    #[test]
+    fn dirty_bit_survives_shortcut_reads_before_eviction() {
+        let mut m = small();
+        m.write_data(0); // line 0 dirty
+        m.read_data(8); // same line: shortcut read must not lose dirtiness
+        m.read_data(8);
+        let a = m.read_data(128); // 1-way L1: evicts dirty line 0
+        assert_eq!(a.l1_writebacks, 1, "dirty victim still written back");
+        assert_eq!(m.peek_data(0), ServiceLevel::L2);
+    }
+
+    #[test]
+    fn store_after_clean_read_redirties_the_line() {
+        let mut m = small();
+        m.read_data(0); // clean fill
+        m.write_data(8); // same line: must take the full path and set dirty
+        let a = m.read_data(128); // evict it
+        assert_eq!(a.l1_writebacks, 1, "the store dirtied the line");
+    }
+
+    #[test]
+    fn interleaved_fetch_and_data_keep_independent_memos() {
+        let mut m = small();
+        m.read_data(0);
+        m.fetch_inst(0);
+        // data memo survives the fetch (separate L1s), fetch memo survives
+        // the data read
+        assert_eq!(m.read_data(8).level, ServiceLevel::L1);
+        assert_eq!(m.fetch_inst(8).level, ServiceLevel::L1);
+        assert_eq!(m.stats().fetches.by_level[ServiceLevel::L1.index()], 1);
     }
 
     #[test]

@@ -33,11 +33,13 @@
 //! ```
 
 mod cache;
+mod fasthash;
 mod hierarchy;
 mod paged;
 mod stats;
 
 pub use cache::{AccessKind, Cache, CacheConfig};
+pub use fasthash::{BuildFoldHasher, FastMap, FoldHasher};
 pub use hierarchy::{Access, HierarchyConfig, MemoryHierarchy};
 pub use paged::{PagedMem, PAGE_SHIFT, PAGE_WORDS};
 pub use stats::{HierarchyStats, LevelStats};

@@ -4,8 +4,10 @@
 //! replay) reads or writes one data word per memory instruction. A
 //! `HashMap<u64, u64>` pays a SipHash per word; [`PagedMem`] instead splits
 //! the word address into a page number and a page offset, keeps pages in a
-//! directory, and caches the most recently touched page so loop-local
-//! accesses cost one comparison and one indexed read.
+//! directory, and caches the two most recently touched pages (MRU order,
+//! promote on hit) so loop-local accesses — including two-page patterns
+//! like copy loops and slice traversals re-reading their `RCMP` line —
+//! cost at most two comparisons and one indexed read.
 //!
 //! Pages are zero-filled on first touch, matching the simulators'
 //! "uninitialised memory reads 0" semantics, so a [`PagedMem`] and a
@@ -13,7 +15,8 @@
 //! equivalence property test in `tests/paged_mem_props.rs`).
 
 use std::cell::Cell;
-use std::collections::HashMap;
+
+use crate::fasthash::FastMap;
 
 /// log2 of the page size in words.
 pub const PAGE_SHIFT: u32 = 12;
@@ -34,8 +37,8 @@ fn zero_page() -> Page {
         .expect("length matches PAGE_WORDS")
 }
 
-/// A sparse word-addressed memory with two-level paging and a one-entry
-/// page cache.
+/// A sparse word-addressed memory with two-level paging and a two-entry
+/// MRU page cache.
 ///
 /// Untouched words read as 0. Writing 0 to an untouched address allocates
 /// its page but is otherwise indistinguishable from not writing at all.
@@ -50,13 +53,16 @@ fn zero_page() -> Page {
 /// ```
 #[derive(Clone, Default)]
 pub struct PagedMem {
-    /// Page number → index into `pages`.
-    directory: HashMap<u64, u32>,
+    /// Page number → index into `pages` (fixed-key folded-multiply hash:
+    /// page numbers are simulator-internal, never attacker-controlled).
+    directory: FastMap<u64, u32>,
     /// Allocated pages, each tagged with its page number.
     pages: Vec<(u64, Page)>,
-    /// Index into `pages` of the most recently accessed page (a `Cell` so
-    /// reads refresh the cache too; per-word reads dominate the hot loops).
-    last: Cell<u32>,
+    /// Indices into `pages` of the two most recently accessed pages,
+    /// most-recent first (a `Cell` so reads refresh the cache too; per-word
+    /// reads dominate the hot loops). A hit on the second entry promotes
+    /// it, so two pages alternating stay cached with no directory probe.
+    mru: Cell<[u32; 2]>,
 }
 
 impl PagedMem {
@@ -66,18 +72,37 @@ impl PagedMem {
     }
 
     /// Reads the word at `addr` (0 if never written).
+    ///
+    /// The inlined fast path probes only the front MRU entry, exactly the
+    /// shape of the single-entry cache it replaced — keeping it this small
+    /// is what lets the interpreters' load handlers inline it. The second
+    /// entry and the directory live in the outlined cold path.
     #[inline]
     pub fn get(&self, addr: u64) -> u64 {
         let page_no = addr >> PAGE_SHIFT;
         let offset = (addr & OFFSET_MASK) as usize;
-        if let Some((no, page)) = self.pages.get(self.last.get() as usize) {
+        if let Some((no, page)) = self.pages.get(self.mru.get()[0] as usize) {
             if *no == page_no {
+                return page[offset];
+            }
+        }
+        self.get_slow(page_no, offset)
+    }
+
+    /// Front-entry miss: probe the second MRU entry (promote on hit), then
+    /// the directory.
+    #[cold]
+    fn get_slow(&self, page_no: u64, offset: usize) -> u64 {
+        let [m0, m1] = self.mru.get();
+        if let Some((no, page)) = self.pages.get(m1 as usize) {
+            if *no == page_no {
+                self.mru.set([m1, m0]);
                 return page[offset];
             }
         }
         match self.directory.get(&page_no) {
             Some(&idx) => {
-                self.last.set(idx);
+                self.mru.set([idx, m0]);
                 self.pages[idx as usize].1[offset]
             }
             None => 0,
@@ -85,13 +110,31 @@ impl PagedMem {
     }
 
     /// Writes the word at `addr`, allocating its page on first touch.
+    ///
+    /// Fast path mirrors [`PagedMem::get`]: front MRU entry only; second
+    /// entry, directory, and allocation are outlined.
     #[inline]
     pub fn set(&mut self, addr: u64, value: u64) {
         let page_no = addr >> PAGE_SHIFT;
         let offset = (addr & OFFSET_MASK) as usize;
-        if let Some((no, page)) = self.pages.get_mut(self.last.get() as usize) {
+        if let Some((no, page)) = self.pages.get_mut(self.mru.get()[0] as usize) {
             if *no == page_no {
                 page[offset] = value;
+                return;
+            }
+        }
+        self.set_slow(page_no, offset, value);
+    }
+
+    /// Front-entry miss: probe the second MRU entry (promote on hit), then
+    /// the directory, allocating the page on first touch.
+    #[cold]
+    fn set_slow(&mut self, page_no: u64, offset: usize, value: u64) {
+        let [m0, m1] = self.mru.get();
+        if let Some((no, page)) = self.pages.get_mut(m1 as usize) {
+            if *no == page_no {
+                page[offset] = value;
+                self.mru.set([m1, m0]);
                 return;
             }
         }
@@ -104,7 +147,7 @@ impl PagedMem {
                 idx
             }
         };
-        self.last.set(idx);
+        self.mru.set([idx, m0]);
         self.pages[idx as usize].1[offset] = value;
     }
 
@@ -187,6 +230,20 @@ mod tests {
         assert_eq!(mem.get(a + 3), 99); // i=99 wrote a+3 (99 % 8 == 3)
         assert_eq!(mem.get(b + 3), 100);
         assert_eq!(mem.page_count(), 2);
+    }
+
+    #[test]
+    fn two_entry_mru_promotes_and_evicts_correctly() {
+        let mut mem = PagedMem::new();
+        let (a, b, c) = (0, PAGE_WORDS as u64, 2 * PAGE_WORDS as u64);
+        mem.set(a, 1); // mru: [A, ?]
+        mem.set(b, 2); // mru: [B, A]
+        assert_eq!(mem.get(a), 1); // second-entry hit → promote: [A, B]
+        mem.set(c, 3); // directory miss → [C, A], B evicted
+        assert_eq!(mem.get(b), 2); // B correct via directory
+        assert_eq!(mem.get(a), 1);
+        assert_eq!(mem.get(c), 3);
+        assert_eq!(mem.page_count(), 3);
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The profiling pass: one observed classic run producing a
 //! [`ProgramProfile`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use amnesiac_isa::{Instruction, Program, NUM_REGS};
-use amnesiac_mem::LevelStats;
+use amnesiac_mem::{FastMap, LevelStats};
 use amnesiac_sim::{ClassicCore, CoreConfig, Observer, RetireEvent, RunError, RunResult};
 
 use crate::provenance::ValueNode;
@@ -144,9 +144,14 @@ struct Tracker<'p> {
     program: &'p Program,
     regs: [u64; NUM_REGS],
     reg_prov: Vec<Option<Rc<ValueNode>>>,
-    mem_prov: HashMap<u64, MemCell>,
-    loads: BTreeMap<usize, LoadSiteProfile>,
-    stores: BTreeMap<usize, StoreSiteProfile>,
+    /// Probed on every dynamic load and store; fixed-key hashing (the keys
+    /// are simulated addresses) keeps the per-retirement cost down.
+    mem_prov: FastMap<u64, MemCell>,
+    /// Per-site profiles, dense by pc (every observed pc is main code, so
+    /// `pc < code_len`): the per-dynamic-load site lookup is an index, not
+    /// a map probe. [`Tracker::finish`] converts to the profile's BTreeMaps.
+    loads: Vec<Option<LoadSiteProfile>>,
+    stores: Vec<Option<StoreSiteProfile>>,
     all_loads: LevelStats,
     /// dense per-pc execution counters (pcs are `< code_len`)
     pc_counts: Vec<u64>,
@@ -161,9 +166,9 @@ impl<'p> Tracker<'p> {
             program,
             regs: [0; NUM_REGS],
             reg_prov: vec![None; NUM_REGS],
-            mem_prov: HashMap::new(),
-            loads: BTreeMap::new(),
-            stores: BTreeMap::new(),
+            mem_prov: FastMap::default(),
+            loads: vec![None; program.code_len],
+            stores: vec![None; program.code_len],
             all_loads: LevelStats::default(),
             pc_counts: vec![0; program.code_len],
             last_exec: vec![None; program.code_len],
@@ -178,10 +183,7 @@ impl<'p> Tracker<'p> {
 
         self.all_loads.record(level);
         let regs = &self.regs;
-        let site = self
-            .loads
-            .entry(pc)
-            .or_insert_with(|| LoadSiteProfile::new(pc));
+        let site = self.loads[pc].get_or_insert_with(|| LoadSiteProfile::new(pc));
         site.count += 1;
         site.levels.record(level);
         if site.last_value == Some(value) {
@@ -195,10 +197,8 @@ impl<'p> Tracker<'p> {
                 cell.read = true;
                 let store_pc = cell.store_pc;
                 let node = cell.node.clone();
-                *self
-                    .stores
-                    .entry(store_pc)
-                    .or_default()
+                *self.stores[store_pc]
+                    .get_or_insert_with(Default::default)
                     .consumers
                     .entry(pc)
                     .or_insert(0) += 1;
@@ -252,7 +252,7 @@ impl<'p> Tracker<'p> {
     fn on_store(&mut self, event: &RetireEvent<'_>) {
         let addr = event.addr.expect("stores carry an address");
         let src_reg = event.inst.srcs()[0].expect("stores read a source register");
-        let store = self.stores.entry(event.pc).or_default();
+        let store = self.stores[event.pc].get_or_insert_with(Default::default);
         store.count += 1;
         let previous = self.mem_prov.insert(
             addr,
@@ -264,7 +264,9 @@ impl<'p> Tracker<'p> {
         );
         if let Some(prev) = previous {
             if !prev.read {
-                self.stores.entry(prev.store_pc).or_default().unread += 1;
+                self.stores[prev.store_pc]
+                    .get_or_insert_with(Default::default)
+                    .unread += 1;
             }
         }
     }
@@ -296,10 +298,24 @@ impl<'p> Tracker<'p> {
         // words never read before halt count as unread for their last store
         for cell in self.mem_prov.values() {
             if !cell.read {
-                self.stores.entry(cell.store_pc).or_default().unread += 1;
+                self.stores[cell.store_pc]
+                    .get_or_insert_with(Default::default)
+                    .unread += 1;
             }
         }
-        (self.loads, self.stores, self.all_loads, self.pc_counts)
+        let loads = self
+            .loads
+            .into_iter()
+            .flatten()
+            .map(|s| (s.pc, s))
+            .collect();
+        let stores = self
+            .stores
+            .into_iter()
+            .enumerate()
+            .filter_map(|(pc, s)| s.map(|s| (pc, s)))
+            .collect();
+        (loads, stores, self.all_loads, self.pc_counts)
     }
 }
 

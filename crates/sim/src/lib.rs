@@ -40,6 +40,7 @@ mod classic;
 mod eval;
 mod machine;
 
+pub use amnesiac_cfg::Dispatch;
 pub use classic::{ClassicCore, NullObserver, Observer, RetireEvent, RunResult, TraceWriter};
 pub use eval::{compute_exception, decoded_exception, eval_compute, ExceptionKind};
 pub use machine::{CoreConfig, Machine, RunError};

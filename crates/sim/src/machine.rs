@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use amnesiac_cfg::Dispatch;
 use amnesiac_energy::{EnergyAccount, EnergyModel, UarchEvent};
 use amnesiac_isa::{Category, Program, Reg, NUM_REGS};
 use amnesiac_mem::{Access, HierarchyConfig, MemoryHierarchy, PagedMem, ServiceLevel};
@@ -26,6 +27,9 @@ pub struct CoreConfig {
     /// Model instruction supply through L1-I (fill energy + stall cycles on
     /// misses). Disable for pure-functional runs (e.g. profiling replays).
     pub model_fetch: bool,
+    /// Dispatch granularity: block-level superinstruction execution
+    /// (default) or the instruction-level differential oracle.
+    pub dispatch: Dispatch,
 }
 
 impl CoreConfig {
@@ -36,6 +40,7 @@ impl CoreConfig {
             energy: EnergyModel::paper(),
             max_instructions: 200_000_000,
             model_fetch: true,
+            dispatch: Dispatch::Block,
         }
     }
 

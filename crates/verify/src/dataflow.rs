@@ -9,18 +9,28 @@
 //! dominator query in [`crate::cfg`]), which the verifier uses as a fast
 //! path — this analysis is the general case for multiple sites per key.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use amnesiac_isa::{DecodedInst, DecodedOp};
 
 use crate::cfg::Cfg;
 
 /// Result of the must-reach analysis over a program's main code.
+///
+/// Key sets are kept as dense bitsets over the distinct reachable `REC`
+/// keys (bit *i* of a row ↔ `keys[i]`): the compile gate re-runs this
+/// analysis once per validation round, and `BTreeSet` unions/intersections
+/// allocated per block per fixpoint iteration dominated its cost.
 #[derive(Debug, Clone)]
 pub struct RecCoverage {
-    /// Per-block key sets at block entry; `None` means the block was never
-    /// reached by the analysis (unreachable from the program entry).
-    entry_sets: Vec<Option<BTreeSet<u16>>>,
+    /// Distinct keys with a reachable `REC` site, ascending (the bitset
+    /// index space; keys never checkpointed can never be covered).
+    keys: Vec<u16>,
+    /// Words per bitset row (`keys.len()` bits, rounded up).
+    words: usize,
+    /// Per-block key bitsets at block entry; `None` means the block was
+    /// never reached by the analysis (unreachable from the program entry).
+    entry_sets: Vec<Option<Vec<u64>>>,
     /// Reachable `REC` sites per key, in ascending pc order.
     rec_sites: BTreeMap<u16, Vec<usize>>,
 }
@@ -31,7 +41,7 @@ impl RecCoverage {
     pub fn analyze(decoded: &[DecodedInst], code_len: usize, cfg: &Cfg) -> RecCoverage {
         let code_len = code_len.min(decoded.len());
         let n = cfg.len();
-        let mut entry_sets: Vec<Option<BTreeSet<u16>>> = vec![None; n];
+        let mut entry_sets: Vec<Option<Vec<u64>>> = vec![None; n];
         let mut rec_sites: BTreeMap<u16, Vec<usize>> = BTreeMap::new();
 
         for (pc, inst) in decoded[..code_len].iter().enumerate() {
@@ -42,61 +52,75 @@ impl RecCoverage {
             }
         }
 
+        // Bitset index space: every key a reachable block can generate is a
+        // reachable REC's key, so `rec_sites` already enumerates them all.
+        let keys: Vec<u16> = rec_sites.keys().copied().collect();
+        let words = keys.len().div_ceil(64).max(1);
+        let bit_of = |key: u16| keys.binary_search(&key).ok();
+
         let Some(entry) = cfg.entry_block else {
             return RecCoverage {
+                keys,
+                words,
                 entry_sets,
                 rec_sites,
             };
         };
 
         // gen[b]: keys checkpointed anywhere in block b (REC never kills).
-        let gen: Vec<BTreeSet<u16>> = cfg
-            .blocks
-            .iter()
-            .map(|blk| {
-                decoded[blk.start..blk.end]
-                    .iter()
-                    .filter_map(|d| match d.op {
-                        DecodedOp::Rec { key } => Some(key),
-                        _ => None,
-                    })
-                    .collect()
-            })
-            .collect();
-
-        // in[entry] = ∅; in[b] = ∩ preds (in[p] ∪ gen[p]). Unvisited blocks
-        // stay ⊤ (`None`) and drop out of the meet. Iterate in reverse
-        // postorder to fixpoint; sets only shrink, so this terminates.
-        entry_sets[entry] = Some(BTreeSet::new());
-        let order: Vec<usize> = (0..n).collect();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in &order {
-                if b == entry {
-                    continue;
-                }
-                let mut meet: Option<BTreeSet<u16>> = None;
-                for &p in &cfg.blocks[b].preds {
-                    let Some(in_p) = &entry_sets[p] else {
-                        continue;
-                    };
-                    let out_p: BTreeSet<u16> = in_p.union(&gen[p]).copied().collect();
-                    meet = Some(match meet {
-                        None => out_p,
-                        Some(cur) => cur.intersection(&out_p).copied().collect(),
-                    });
-                }
-                if let Some(new_in) = meet {
-                    if entry_sets[b].as_ref() != Some(&new_in) {
-                        entry_sets[b] = Some(new_in);
-                        changed = true;
+        // Keys of unreachable RECs are absent from the index space; their
+        // blocks' gen rows are never consulted (entry stays `None`).
+        let mut gen: Vec<u64> = vec![0; n * words];
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for d in &decoded[blk.start..blk.end] {
+                if let DecodedOp::Rec { key } = d.op {
+                    if let Some(i) = bit_of(key) {
+                        gen[b * words + i / 64] |= 1 << (i % 64);
                     }
                 }
             }
         }
 
+        // in[entry] = ∅; in[b] = ∩ preds (in[p] ∪ gen[p]). Unvisited blocks
+        // stay ⊤ (`None`) and drop out of the meet. Iterate to fixpoint
+        // into one scratch row (sets only shrink, so this terminates); a
+        // fresh row is allocated only when a block's set actually changes.
+        entry_sets[entry] = Some(vec![0; words]);
+        let mut meet = vec![0u64; words];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                if b == entry {
+                    continue;
+                }
+                let mut seen_pred = false;
+                for &p in &cfg.blocks[b].preds {
+                    let Some(in_p) = &entry_sets[p] else {
+                        continue;
+                    };
+                    let gen_p = &gen[p * words..(p + 1) * words];
+                    if seen_pred {
+                        for (m, (i, g)) in meet.iter_mut().zip(in_p.iter().zip(gen_p)) {
+                            *m &= i | g;
+                        }
+                    } else {
+                        for (m, (i, g)) in meet.iter_mut().zip(in_p.iter().zip(gen_p)) {
+                            *m = i | g;
+                        }
+                        seen_pred = true;
+                    }
+                }
+                if seen_pred && entry_sets[b].as_deref() != Some(&meet) {
+                    entry_sets[b] = Some(meet.clone());
+                    changed = true;
+                }
+            }
+        }
+
         RecCoverage {
+            keys,
+            words,
             entry_sets,
             rec_sites,
         }
@@ -125,8 +149,11 @@ impl RecCoverage {
         let Some(at_entry) = &self.entry_sets[b] else {
             return false;
         };
-        if at_entry.contains(&key) {
-            return true;
+        if let Ok(i) = self.keys.binary_search(&key) {
+            debug_assert_eq!(self.words, at_entry.len());
+            if at_entry[i / 64] & (1 << (i % 64)) != 0 {
+                return true;
+            }
         }
         let start = cfg.blocks[b].start;
         decoded[start..pc]

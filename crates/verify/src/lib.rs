@@ -23,13 +23,13 @@
 //! panics on malformed input — adversarially mutated binaries are exactly
 //! its job — so every index into the program is bounds-checked.
 
-pub mod cfg;
+pub use amnesiac_cfg as cfg;
 pub mod dataflow;
 
 use std::collections::BTreeSet;
 use std::fmt;
 
-use amnesiac_isa::{predecode, Instruction, Program};
+use amnesiac_isa::{predecode, DecodedInst, Instruction, Program};
 use amnesiac_telemetry::{Json, ToJson};
 
 use cfg::Cfg;
@@ -277,13 +277,26 @@ pub fn verify(program: &Program) -> VerifyReport {
 /// Runs on classic binaries too (the slice checks are vacuous), so callers
 /// can gate uniformly. Never panics on malformed or mutated input.
 pub fn verify_with(program: &Program, opts: &VerifyOptions) -> VerifyReport {
+    verify_decoded(program, &predecode(program), opts)
+}
+
+/// [`verify_with`] over a caller-supplied predecoded stream of `program`.
+///
+/// The compile gate re-verifies after every validation round; sharing the
+/// round's predecode (the same stream its replay dispatches on) avoids
+/// decoding the annotated binary twice per round.
+pub fn verify_decoded(
+    program: &Program,
+    decoded: &[DecodedInst],
+    opts: &VerifyOptions,
+) -> VerifyReport {
     let v = Verifier {
         program,
         opts,
         code_len: program.code_len.min(program.instructions.len()),
         diagnostics: Vec::new(),
     };
-    v.run()
+    v.run(decoded)
 }
 
 struct Verifier<'a> {
@@ -310,17 +323,16 @@ impl Verifier<'_> {
         });
     }
 
-    fn run(mut self) -> VerifyReport {
-        let decoded = predecode(self.program);
-        let cfg = Cfg::build(&decoded, self.code_len, self.program.entry);
+    fn run(mut self, decoded: &[DecodedInst]) -> VerifyReport {
+        let cfg = Cfg::build(decoded, self.code_len, self.program.entry);
 
         self.check_main_region();
         // Slices with a sound RCMP binding, eligible for the path checks.
         let bound: Vec<bool> = (0..self.program.slices.len())
             .map(|i| self.check_slice(i))
             .collect();
-        let coverage = RecCoverage::analyze(&decoded, self.code_len, &cfg);
-        self.check_rec_coverage(&decoded, &cfg, &coverage, &bound);
+        let coverage = RecCoverage::analyze(decoded, self.code_len, &cfg);
+        self.check_rec_coverage(decoded, &cfg, &coverage, &bound);
         self.check_orphan_recs(&coverage);
 
         VerifyReport {
