@@ -1,0 +1,341 @@
+//! Full-fidelity JSON codec for [`CompileReport`].
+//!
+//! The compiler's own `ToJson` impl is a human-facing *summary*; the disk
+//! store needs every field back exactly, so this module defines a lossless
+//! encoding. Floats survive because the telemetry writer prints the
+//! shortest round-trippable representation; every integer field in a
+//! report is far below 2⁵³. Unknown outcome/diagnostic tags fail the
+//! decode, which the disk layer treats as a discarded entry.
+
+use amnesiac_compiler::{CompileReport, SiteDecision, SiteOutcome, StorageBounds};
+use amnesiac_profile::Unswappable;
+use amnesiac_telemetry::Json;
+use amnesiac_verify::{Diagnostic, DiagnosticKind, VerifyReport};
+
+/// Encodes a report losslessly (see module docs).
+#[must_use]
+pub fn report_to_json(report: &CompileReport) -> Json {
+    Json::obj()
+        .with(
+            "decisions",
+            Json::Arr(report.decisions.iter().map(decision_to_json).collect()),
+        )
+        .with("storage", storage_to_json(&report.storage))
+        .with("validation_rounds", report.validation_rounds)
+        .with("validation_rounds_saved", report.validation_rounds_saved)
+        .with("validation_capped", report.validation_capped)
+        .with("rec_count", report.rec_count)
+        .with(
+            "pc_map",
+            Json::Arr(report.pc_map.iter().map(|&pc| Json::from(pc)).collect()),
+        )
+        .with("verify", verify_to_json(&report.verify))
+}
+
+/// Decodes a report produced by [`report_to_json`]. Returns `None` on any
+/// structural mismatch — missing field, unknown tag, non-integral count.
+#[must_use]
+pub fn report_from_json(json: &Json) -> Option<CompileReport> {
+    Some(CompileReport {
+        decisions: json
+            .get("decisions")?
+            .as_arr()?
+            .iter()
+            .map(decision_from_json)
+            .collect::<Option<Vec<_>>>()?,
+        storage: storage_from_json(json.get("storage")?)?,
+        validation_rounds: get_u64(json, "validation_rounds")? as u32,
+        validation_rounds_saved: get_u64(json, "validation_rounds_saved")? as u32,
+        validation_capped: get_bool(json, "validation_capped")?,
+        rec_count: get_usize(json, "rec_count")?,
+        pc_map: json
+            .get("pc_map")?
+            .as_arr()?
+            .iter()
+            .map(as_usize)
+            .collect::<Option<Vec<_>>>()?,
+        verify: verify_from_json(json.get("verify")?)?,
+    })
+}
+
+fn decision_to_json(decision: &SiteDecision) -> Json {
+    let outcome = match &decision.outcome {
+        SiteOutcome::Selected {
+            slice_len,
+            height,
+            has_nonrecomputable,
+            est_recompute_nj,
+            est_load_nj,
+        } => Json::obj()
+            .with("kind", "selected")
+            .with("slice_len", *slice_len)
+            .with("height", *height)
+            .with("has_nonrecomputable", *has_nonrecomputable)
+            .with("est_recompute_nj", *est_recompute_nj)
+            .with("est_load_nj", *est_load_nj),
+        SiteOutcome::RejectedEnergy {
+            est_recompute_nj,
+            est_load_nj,
+        } => Json::obj()
+            .with("kind", "rejected-energy")
+            .with("est_recompute_nj", *est_recompute_nj)
+            .with("est_load_nj", *est_load_nj),
+        SiteOutcome::Unswappable(why) => Json::obj()
+            .with("kind", "unswappable")
+            .with("why", format!("{why:?}")),
+        SiteOutcome::DroppedByValidation => Json::obj().with("kind", "dropped-by-validation"),
+    };
+    Json::obj()
+        .with("load_pc", decision.load_pc)
+        .with("dyn_count", decision.dyn_count)
+        .with("outcome", outcome)
+}
+
+fn decision_from_json(json: &Json) -> Option<SiteDecision> {
+    let outcome = json.get("outcome")?;
+    let outcome = match outcome.get("kind")?.as_str()? {
+        "selected" => SiteOutcome::Selected {
+            slice_len: get_usize(outcome, "slice_len")?,
+            height: get_u64(outcome, "height")? as u32,
+            has_nonrecomputable: get_bool(outcome, "has_nonrecomputable")?,
+            est_recompute_nj: outcome.get("est_recompute_nj")?.as_f64()?,
+            est_load_nj: outcome.get("est_load_nj")?.as_f64()?,
+        },
+        "rejected-energy" => SiteOutcome::RejectedEnergy {
+            est_recompute_nj: outcome.get("est_recompute_nj")?.as_f64()?,
+            est_load_nj: outcome.get("est_load_nj")?.as_f64()?,
+        },
+        "unswappable" => SiteOutcome::Unswappable(match outcome.get("why")?.as_str()? {
+            "ReadOnlyRoot" => Unswappable::ReadOnlyRoot,
+            "NoProducer" => Unswappable::NoProducer,
+            "UnstableRoot" => Unswappable::UnstableRoot,
+            _ => return None,
+        }),
+        "dropped-by-validation" => SiteOutcome::DroppedByValidation,
+        _ => return None,
+    };
+    Some(SiteDecision {
+        load_pc: get_usize(json, "load_pc")?,
+        dyn_count: get_u64(json, "dyn_count")?,
+        outcome,
+    })
+}
+
+fn storage_to_json(storage: &StorageBounds) -> Json {
+    Json::obj()
+        .with("sfile_entries", storage.sfile_entries)
+        .with("hist_entries", storage.hist_entries)
+        .with("ibuff_entries", storage.ibuff_entries)
+        .with("max_insts_per_slice", storage.max_insts_per_slice)
+        .with("n_slices", storage.n_slices)
+}
+
+fn storage_from_json(json: &Json) -> Option<StorageBounds> {
+    Some(StorageBounds {
+        sfile_entries: get_usize(json, "sfile_entries")?,
+        hist_entries: get_usize(json, "hist_entries")?,
+        ibuff_entries: get_usize(json, "ibuff_entries")?,
+        max_insts_per_slice: get_usize(json, "max_insts_per_slice")?,
+        n_slices: get_usize(json, "n_slices")?,
+    })
+}
+
+fn verify_to_json(verify: &VerifyReport) -> Json {
+    Json::obj()
+        .with(
+            "diagnostics",
+            Json::Arr(verify.diagnostics.iter().map(diagnostic_to_json).collect()),
+        )
+        .with("blocks", verify.blocks)
+        .with("slices_checked", verify.slices_checked)
+}
+
+fn verify_from_json(json: &Json) -> Option<VerifyReport> {
+    Some(VerifyReport {
+        diagnostics: json
+            .get("diagnostics")?
+            .as_arr()?
+            .iter()
+            .map(diagnostic_from_json)
+            .collect::<Option<Vec<_>>>()?,
+        blocks: get_usize(json, "blocks")?,
+        slices_checked: get_usize(json, "slices_checked")?,
+    })
+}
+
+fn diagnostic_to_json(diagnostic: &Diagnostic) -> Json {
+    let mut json = Json::obj().with("kind", diagnostic.kind.name());
+    if let Some(pc) = diagnostic.pc {
+        json.set("pc", pc);
+    }
+    if let Some(slice) = diagnostic.slice {
+        json.set("slice", slice);
+    }
+    json.set("message", diagnostic.message.as_str());
+    json
+}
+
+fn diagnostic_from_json(json: &Json) -> Option<Diagnostic> {
+    let kind = kind_by_name(json.get("kind")?.as_str()?)?;
+    Some(Diagnostic {
+        kind,
+        // severity is a pure function of the kind; recomputing it keeps the
+        // denormalised field impossible to desynchronise on disk
+        severity: kind.severity(),
+        pc: match json.get("pc") {
+            Some(v) => Some(as_usize(v)?),
+            None => None,
+        },
+        slice: match json.get("slice") {
+            Some(v) => Some(as_u64(v)? as u32),
+            None => None,
+        },
+        message: json.get("message")?.as_str()?.to_string(),
+    })
+}
+
+fn kind_by_name(name: &str) -> Option<DiagnosticKind> {
+    const ALL: [DiagnosticKind; 12] = [
+        DiagnosticKind::SliceSideEffect,
+        DiagnosticKind::SliceMissingRtn,
+        DiagnosticKind::SliceOutOfBounds,
+        DiagnosticKind::RcmpBadTarget,
+        DiagnosticKind::OperandPlanMismatch,
+        DiagnosticKind::LeafNotCovered,
+        DiagnosticKind::UncheckpointedHist,
+        DiagnosticKind::RecNotDominating,
+        DiagnosticKind::RecKeyOrphan,
+        DiagnosticKind::SfilePressure,
+        DiagnosticKind::MainCodeEntersSliceRegion,
+        DiagnosticKind::UnreachableSlice,
+    ];
+    ALL.into_iter().find(|k| k.name() == name)
+}
+
+fn as_u64(json: &Json) -> Option<u64> {
+    let x = json.as_f64()?;
+    // exact only below 2^53; counts in a report never get near that
+    if x >= 0.0 && x.fract() == 0.0 && x < 9.0e15 {
+        Some(x as u64)
+    } else {
+        None
+    }
+}
+
+fn as_usize(json: &Json) -> Option<usize> {
+    as_u64(json).map(|x| x as usize)
+}
+
+fn get_u64(json: &Json, key: &str) -> Option<u64> {
+    as_u64(json.get(key)?)
+}
+
+fn get_usize(json: &Json, key: &str) -> Option<usize> {
+    as_usize(json.get(key)?)
+}
+
+fn get_bool(json: &Json, key: &str) -> Option<bool> {
+    match json.get(key)? {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_telemetry::{parse, ToJson};
+    use amnesiac_verify::Severity;
+
+    fn sample_report() -> CompileReport {
+        CompileReport {
+            decisions: vec![
+                SiteDecision {
+                    load_pc: 12,
+                    dyn_count: 100_000,
+                    outcome: SiteOutcome::Selected {
+                        slice_len: 5,
+                        height: 3,
+                        has_nonrecomputable: true,
+                        est_recompute_nj: 0.123_456_789_012_345,
+                        est_load_nj: 1.0 / 3.0,
+                    },
+                },
+                SiteDecision {
+                    load_pc: 20,
+                    dyn_count: 7,
+                    outcome: SiteOutcome::RejectedEnergy {
+                        est_recompute_nj: 2.5e-3,
+                        est_load_nj: 1.25e-3,
+                    },
+                },
+                SiteDecision {
+                    load_pc: 33,
+                    dyn_count: 0,
+                    outcome: SiteOutcome::Unswappable(Unswappable::UnstableRoot),
+                },
+                SiteDecision {
+                    load_pc: 41,
+                    dyn_count: 9,
+                    outcome: SiteOutcome::DroppedByValidation,
+                },
+            ],
+            storage: StorageBounds {
+                sfile_entries: 4,
+                hist_entries: 2,
+                ibuff_entries: 17,
+                max_insts_per_slice: 5,
+                n_slices: 1,
+            },
+            validation_rounds: 2,
+            validation_rounds_saved: 1,
+            validation_capped: false,
+            rec_count: 3,
+            pc_map: vec![0, 1, 2, 5, 6],
+            verify: VerifyReport {
+                diagnostics: vec![Diagnostic {
+                    kind: DiagnosticKind::RecNotDominating,
+                    severity: DiagnosticKind::RecNotDominating.severity(),
+                    pc: Some(17),
+                    slice: None,
+                    message: "REC at 17 may not dominate".to_string(),
+                }],
+                blocks: 6,
+                slices_checked: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn report_round_trips_exactly() {
+        let report = sample_report();
+        let encoded = report_to_json(&report).compact();
+        let decoded = report_from_json(&parse(&encoded).expect("parse")).expect("decode");
+        assert_eq!(report, decoded);
+        // and the decoded report summarises identically (what responses show)
+        assert_eq!(report.to_json().compact(), decoded.to_json().compact());
+    }
+
+    #[test]
+    fn severity_is_recomputed_from_kind() {
+        let report = sample_report();
+        let json = report_to_json(&report);
+        let decoded = report_from_json(&json).expect("decode");
+        assert_eq!(decoded.verify.diagnostics[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn unknown_tags_fail_the_decode() {
+        let report = sample_report();
+        let mut json = report_to_json(&report);
+        let decisions = json.get_mut("decisions").and_then(|d| match d {
+            Json::Arr(items) => items.first_mut(),
+            _ => None,
+        });
+        decisions
+            .and_then(|d| d.get_mut("outcome"))
+            .expect("outcome")
+            .set("kind", "from-the-future");
+        assert!(report_from_json(&json).is_none());
+    }
+}

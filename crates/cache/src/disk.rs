@@ -1,0 +1,208 @@
+//! Persistent artifact store: one framed file per key.
+//!
+//! Layout of `<dir>/<key:032x>.amnc` (all integers little-endian):
+//!
+//! ```text
+//! "AMNE"                     entry magic (distinct from the "AMNC" program image)
+//! u32  ENTRY_VERSION         framing version
+//! u32  CACHE_SCHEMA_VERSION  pipeline generation the entry was written under
+//! u128 key                   must match the filename-derived lookup key
+//! u32  prog_len  + bytes     canonical program image (encode_program)
+//! u32  report_len + bytes    compact report JSON (codec module)
+//! u64  checksum              hash128 of everything above, folded to 64 bits
+//! ```
+//!
+//! Every load re-validates all of it — magic, versions, key echo,
+//! checksum, program decode, report parse. Any mismatch means the entry is
+//! silently ignored (a cache can always recompute; it must never trust a
+//! stale or torn file). Writes go through a temp file and rename so a
+//! crash mid-write leaves no half-entry under a valid name.
+
+use crate::codec::{report_from_json, report_to_json};
+use crate::{CompileArtifact, CACHE_SCHEMA_VERSION};
+use amnesiac_isa::{decode_program, encode_program};
+use amnesiac_mem::hash128;
+use amnesiac_telemetry::parse;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic for a cache entry file.
+const ENTRY_MAGIC: &[u8; 4] = b"AMNE";
+/// Version of the framing itself (bump on layout changes).
+const ENTRY_VERSION: u32 = 1;
+
+/// A directory of framed cache entries.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(dir: &Path) -> io::Result<DiskStore> {
+        fs::create_dir_all(dir)?;
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn entry_path(&self, key: u128) -> PathBuf {
+        self.dir.join(format!("{key:032x}.amnc"))
+    }
+
+    /// Writes the artifact for `key` atomically (temp file + rename).
+    pub fn store(&self, key: u128, artifact: &CompileArtifact) -> io::Result<()> {
+        let program = encode_program(&artifact.program);
+        let report = report_to_json(&artifact.report).compact();
+        let mut bytes = Vec::with_capacity(program.len() + report.len() + 64);
+        bytes.extend_from_slice(ENTRY_MAGIC);
+        bytes.extend_from_slice(&ENTRY_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&CACHE_SCHEMA_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(program.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&program);
+        bytes.extend_from_slice(&(report.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(report.as_bytes());
+        let checksum = hash128(&[&bytes]) as u64;
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+
+        let tmp = self.dir.join(format!(".tmp-{key:032x}"));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Loads and fully validates the entry for `key`; `None` means absent,
+    /// corrupt, or from another schema generation — indistinguishable by
+    /// design, the caller just recompiles.
+    pub fn load(&self, key: u128) -> Option<CompileArtifact> {
+        let bytes = fs::read(self.entry_path(key)).ok()?;
+        let body_len = bytes.len().checked_sub(8)?;
+        let (body, tail) = bytes.split_at(body_len);
+        let checksum = u64::from_le_bytes(tail.try_into().ok()?);
+        if hash128(&[body]) as u64 != checksum {
+            return None;
+        }
+        let mut r = Reader { body, at: 0 };
+        if r.take(4)? != ENTRY_MAGIC {
+            return None;
+        }
+        if r.u32()? != ENTRY_VERSION || r.u32()? != CACHE_SCHEMA_VERSION {
+            return None;
+        }
+        if u128::from_le_bytes(r.take(16)?.try_into().ok()?) != key {
+            return None;
+        }
+        let prog_len = r.u32()? as usize;
+        let program = decode_program(r.take(prog_len)?).ok()?;
+        let report_len = r.u32()? as usize;
+        let report = std::str::from_utf8(r.take(report_len)?).ok()?;
+        let report = report_from_json(&parse(report).ok()?)?;
+        if r.at != r.body.len() {
+            return None; // trailing garbage
+        }
+        Some(CompileArtifact { program, report })
+    }
+}
+
+/// Bounds-checked cursor over the entry body.
+struct Reader<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.body.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_compiler::{compile, CompileOptions};
+    use amnesiac_profile::profile_program;
+    use amnesiac_sim::CoreConfig;
+    use amnesiac_workloads::{build_focal, Scale};
+
+    fn artifact() -> (u128, CompileArtifact) {
+        let program = build_focal("is", Scale::Test).program;
+        let options = CompileOptions::default();
+        let (profile, _) = profile_program(&program, &CoreConfig::paper()).expect("profile");
+        let (annotated, report) = compile(&program, &profile, &options).expect("compile");
+        (
+            crate::artifact_key(&program, &options),
+            CompileArtifact {
+                program: annotated,
+                report,
+            },
+        )
+    }
+
+    fn temp_store(tag: &str) -> DiskStore {
+        let dir =
+            std::env::temp_dir().join(format!("amnesiac-cache-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DiskStore::open(&dir).expect("open")
+    }
+
+    #[test]
+    fn round_trips_through_the_frame() {
+        let store = temp_store("roundtrip");
+        let (key, art) = artifact();
+        store.store(key, &art).expect("store");
+        let loaded = store.load(key).expect("load");
+        assert_eq!(art.program, loaded.program);
+        assert_eq!(art.report, loaded.report);
+        assert!(store.load(key ^ 1).is_none(), "absent key loads nothing");
+    }
+
+    #[test]
+    fn corrupt_entries_are_discarded() {
+        let store = temp_store("corrupt");
+        let (key, art) = artifact();
+        store.store(key, &art).expect("store");
+        let path = store.entry_path(key);
+        let mut bytes = fs::read(&path).expect("read back");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).expect("rewrite");
+        assert!(store.load(key).is_none(), "bit flip must fail the checksum");
+
+        // truncation is equally fatal
+        store.store(key, &art).expect("store again");
+        let bytes = fs::read(&path).expect("read back");
+        fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
+        assert!(store.load(key).is_none());
+    }
+
+    #[test]
+    fn version_mismatch_is_discarded() {
+        let store = temp_store("version");
+        let (key, art) = artifact();
+        store.store(key, &art).expect("store");
+        let path = store.entry_path(key);
+        let mut bytes = fs::read(&path).expect("read back");
+        // bump the embedded cache schema version and re-seal the checksum,
+        // simulating an entry written by a future pipeline generation
+        let schema_at = 8;
+        let future = (CACHE_SCHEMA_VERSION + 1).to_le_bytes();
+        bytes[schema_at..schema_at + 4].copy_from_slice(&future);
+        let body_len = bytes.len() - 8;
+        let checksum = hash128(&[&bytes[..body_len]]) as u64;
+        let at = body_len;
+        bytes[at..].copy_from_slice(&checksum.to_le_bytes());
+        fs::write(&path, &bytes).expect("rewrite");
+        assert!(
+            store.load(key).is_none(),
+            "schema-version mismatch must be rejected even with a valid checksum"
+        );
+    }
+}

@@ -1,0 +1,502 @@
+//! The sharded in-memory store: byte-budget LRU with single-flight
+//! compilation and lazy disk fault-in.
+
+use crate::disk::DiskStore;
+use crate::{artifact_key, listing_key, CacheStats, CompileArtifact};
+use amnesiac_compiler::{CompileError, CompileOptions, CompileReport};
+use amnesiac_isa::Program;
+use amnesiac_mem::FastMap;
+use amnesiac_telemetry::Json;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shard count. Key bits select the shard, so contention on unrelated
+/// programs never serialises; 8 matches the serve worker-count default.
+const SHARDS: usize = 8;
+
+/// Default total byte budget (split evenly across shards). Artifacts at
+/// test scale are a few KB each, so this holds the whole benchmark suite
+/// with room to spare while still exercising eviction under synthetic
+/// pressure in tests.
+pub const DEFAULT_BYTE_BUDGET: usize = 64 << 20;
+
+/// What a shard holds for one key.
+enum Slot {
+    /// A resident artifact or listing.
+    Ready(Entry),
+    /// A compilation in progress; waiters block on the flight.
+    InFlight(Arc<Flight>),
+}
+
+struct Entry {
+    value: Value,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Clone)]
+enum Value {
+    Artifact(Arc<CompileArtifact>),
+    Listing(Arc<str>),
+}
+
+/// Rendezvous for concurrent requests of one key: the leader compiles,
+/// everyone else blocks here and receives the shared result.
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    /// The leader finished; errors are shared with waiters but the slot is
+    /// already gone, so later requests retry the compilation.
+    Done(Result<Arc<CompileArtifact>, CompileError>),
+    /// The leader panicked. Waiters must retry as a fresh request.
+    Poisoned,
+}
+
+struct Shard {
+    slots: FastMap<u128, Slot>,
+    resident_bytes: usize,
+}
+
+/// The content-addressed compile cache (see crate docs for the design).
+pub struct CompileCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget.
+    shard_budget: usize,
+    /// Global LRU clock; ticks on every touch.
+    clock: AtomicU64,
+    disk: Option<DiskStore>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileCache")
+            .field("shards", &SHARDS)
+            .field("shard_budget", &self.shard_budget)
+            .field("persistent", &self.disk.is_some())
+            .finish()
+    }
+}
+
+impl CompileCache {
+    /// A memory-only cache with the default byte budget.
+    #[must_use]
+    pub fn in_memory() -> CompileCache {
+        CompileCache::with_budget(DEFAULT_BYTE_BUDGET)
+    }
+
+    /// A memory-only cache with an explicit total byte budget (split
+    /// evenly across shards; a budget smaller than one artifact still
+    /// retains the most recent entry per shard).
+    #[must_use]
+    pub fn with_budget(total_bytes: usize) -> CompileCache {
+        CompileCache {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        slots: FastMap::default(),
+                        resident_bytes: 0,
+                    })
+                })
+                .collect(),
+            shard_budget: total_bytes / SHARDS,
+            clock: AtomicU64::new(0),
+            disk: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache backed by a persistent store under `dir` (created if
+    /// absent). Artifacts are written through on compilation and faulted
+    /// in lazily on the first miss after a restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if `dir` cannot be created.
+    pub fn persistent(dir: &Path) -> std::io::Result<CompileCache> {
+        let mut cache = CompileCache::in_memory();
+        cache.disk = Some(DiskStore::open(dir)?);
+        Ok(cache)
+    }
+
+    /// The cache's counters.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The counters as a JSON object (`{hits, misses, ...}`).
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        self.stats.to_json()
+    }
+
+    fn shard_for(&self, key: u128) -> &Mutex<Shard> {
+        // the low bits already carry full fold-mix entropy
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up (or compiles exactly once, across all concurrent callers)
+    /// the artifact for `(program, options)` and returns it shared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s [`CompileError`]. Errors are delivered to
+    /// every waiter of the failing flight but are not retained: the next
+    /// request for the key compiles again.
+    pub fn get_or_compile_arc(
+        &self,
+        program: &Program,
+        options: &CompileOptions,
+        compute: &mut dyn FnMut() -> Result<(Program, CompileReport), CompileError>,
+    ) -> Result<Arc<CompileArtifact>, CompileError> {
+        let key = artifact_key(program, options);
+        loop {
+            let flight = {
+                let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+                match shard.slots.get_mut(&key) {
+                    Some(Slot::Ready(entry)) => {
+                        if let Value::Artifact(artifact) = &entry.value {
+                            let artifact = Arc::clone(artifact);
+                            entry.last_used = self.tick();
+                            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(artifact);
+                        }
+                        // a listing under an artifact key is impossible
+                        // (disjoint tag spaces), but fall through safely
+                        unreachable!("listing entry under artifact key");
+                    }
+                    Some(Slot::InFlight(flight)) => Arc::clone(flight),
+                    None => {
+                        if let Some(artifact) = self.disk.as_ref().and_then(|d| d.load(key)) {
+                            let artifact = Arc::new(artifact);
+                            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                            self.stats.disk_loads.fetch_add(1, Ordering::Relaxed);
+                            self.insert_ready(
+                                &mut shard,
+                                key,
+                                Value::Artifact(Arc::clone(&artifact)),
+                            );
+                            return Ok(artifact);
+                        }
+                        let flight = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            done: Condvar::new(),
+                        });
+                        shard.slots.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                        drop(shard);
+                        return self.lead_flight(key, &flight, compute);
+                    }
+                }
+            };
+            // waiter path: block until the leader resolves the flight
+            self.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
+            let mut state = flight.state.lock().expect("flight poisoned");
+            loop {
+                match &*state {
+                    FlightState::Pending => {
+                        state = flight.done.wait(state).expect("flight poisoned");
+                    }
+                    FlightState::Done(result) => return result.clone(),
+                    FlightState::Poisoned => break, // retry as a fresh request
+                }
+            }
+        }
+    }
+
+    /// Runs `compute` as the flight leader, publishes the result to the
+    /// shard and to every waiter, and writes through to disk on success.
+    fn lead_flight(
+        &self,
+        key: u128,
+        flight: &Arc<Flight>,
+        compute: &mut dyn FnMut() -> Result<(Program, CompileReport), CompileError>,
+    ) -> Result<Arc<CompileArtifact>, CompileError> {
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        // If `compute` panics we must not strand waiters on a Pending
+        // flight: the guard poisons it and clears the slot on unwind.
+        let mut guard = FlightGuard {
+            cache: self,
+            key,
+            flight: Arc::clone(flight),
+            armed: true,
+        };
+        let result =
+            compute().map(|(program, report)| Arc::new(CompileArtifact { program, report }));
+        guard.armed = false;
+        drop(guard);
+
+        if let (Ok(artifact), Some(disk)) = (&result, self.disk.as_ref()) {
+            // best-effort write-through; a full disk must not fail compiles
+            let _ = disk.store(key, artifact);
+        }
+        {
+            let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+            match &result {
+                Ok(artifact) => {
+                    self.insert_ready(&mut shard, key, Value::Artifact(Arc::clone(artifact)));
+                }
+                Err(_) => {
+                    shard.slots.remove(&key);
+                }
+            }
+        }
+        let mut state = flight.state.lock().expect("flight poisoned");
+        *state = FlightState::Done(result.clone());
+        drop(state);
+        flight.done.notify_all();
+        result
+    }
+
+    /// Returns the cached disassembly listing for `program`, rendering it
+    /// with `render` on a miss. Listings are memory-only text artifacts in
+    /// the same LRU (no single-flight: rendering is cheap and idempotent,
+    /// so a race just renders twice and keeps one).
+    pub fn get_or_listing(&self, program: &Program, render: impl FnOnce() -> String) -> Arc<str> {
+        let key = listing_key(program);
+        {
+            let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+            if let Some(Slot::Ready(entry)) = shard.slots.get_mut(&key) {
+                if let Value::Listing(listing) = &entry.value {
+                    let listing = Arc::clone(listing);
+                    entry.last_used = self.tick();
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return listing;
+                }
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let listing: Arc<str> = Arc::from(render());
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        match shard.slots.get_mut(&key) {
+            // lost the render race: keep the incumbent for sharing
+            Some(Slot::Ready(entry)) => {
+                if let Value::Listing(incumbent) = &entry.value {
+                    return Arc::clone(incumbent);
+                }
+                Arc::clone(&listing)
+            }
+            _ => {
+                self.insert_ready(&mut shard, key, Value::Listing(Arc::clone(&listing)));
+                listing
+            }
+        }
+    }
+
+    /// Inserts a ready entry and evicts least-recently-used residents
+    /// until the shard is back under budget. In-flight slots are never
+    /// evicted, and the entry just inserted survives even when it alone
+    /// exceeds the budget (evicting it would thrash).
+    fn insert_ready(&self, shard: &mut Shard, key: u128, value: Value) {
+        let bytes = match &value {
+            Value::Artifact(artifact) => artifact.approx_bytes(),
+            Value::Listing(listing) => listing.len(),
+        };
+        let previous = shard.slots.insert(
+            key,
+            Slot::Ready(Entry {
+                value,
+                bytes,
+                last_used: self.tick(),
+            }),
+        );
+        if let Some(Slot::Ready(old)) = previous {
+            shard.resident_bytes -= old.bytes;
+            self.stats
+                .bytes
+                .fetch_sub(old.bytes as u64, Ordering::Relaxed);
+        }
+        shard.resident_bytes += bytes;
+        self.stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+
+        while shard.resident_bytes > self.shard_budget {
+            let victim = shard
+                .slots
+                .iter()
+                .filter_map(|(&k, slot)| match slot {
+                    Slot::Ready(entry) if k != key => Some((k, entry.last_used)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, last_used)| last_used)
+                .map(|(k, _)| k);
+            let Some(victim) = victim else { break };
+            if let Some(Slot::Ready(old)) = shard.slots.remove(&victim) {
+                shard.resident_bytes -= old.bytes;
+                self.stats
+                    .bytes
+                    .fetch_sub(old.bytes as u64, Ordering::Relaxed);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Poisons the flight and clears its slot if the leader unwinds before
+/// publishing a result, so waiters wake up and retry instead of hanging.
+struct FlightGuard<'a> {
+    cache: &'a CompileCache,
+    key: u128,
+    flight: Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Ok(mut shard) = self.cache.shard_for(self.key).lock() {
+            if matches!(shard.slots.get(&self.key), Some(Slot::InFlight(_))) {
+                shard.slots.remove(&self.key);
+            }
+        }
+        if let Ok(mut state) = self.flight.state.lock() {
+            *state = FlightState::Poisoned;
+        }
+        self.flight.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_compiler::compile;
+    use amnesiac_profile::profile_program;
+    use amnesiac_sim::CoreConfig;
+    use amnesiac_workloads::{build_focal, Scale};
+
+    fn compiled(name: &str) -> (Program, CompileOptions, Arc<CompileArtifact>) {
+        let program = build_focal(name, Scale::Test).program;
+        let options = CompileOptions::default();
+        let (profile, _) = profile_program(&program, &CoreConfig::paper()).expect("profile");
+        let (annotated, report) = compile(&program, &profile, &options).expect("compile");
+        (
+            program,
+            options,
+            Arc::new(CompileArtifact {
+                program: annotated,
+                report,
+            }),
+        )
+    }
+
+    fn compute_from<'a>(
+        artifact: &Arc<CompileArtifact>,
+        calls: &'a mut usize,
+    ) -> impl FnMut() -> Result<(Program, CompileReport), CompileError> + 'a {
+        // the artifact is precomputed so tests control exactly how many
+        // times the "pipeline" runs
+        let artifact = Arc::clone(artifact);
+        move || {
+            *calls += 1;
+            Ok((artifact.program.clone(), artifact.report.clone()))
+        }
+    }
+
+    #[test]
+    fn second_request_hits_without_computing() {
+        let cache = CompileCache::in_memory();
+        let (program, options, artifact) = compiled("is");
+        let mut calls = 0;
+        {
+            let mut compute = compute_from(&artifact, &mut calls);
+            let first = cache
+                .get_or_compile_arc(&program, &options, &mut compute)
+                .expect("first");
+            let second = cache
+                .get_or_compile_arc(&program, &options, &mut compute)
+                .expect("second");
+            assert!(Arc::ptr_eq(&first, &second), "hit must share the artifact");
+        }
+        assert_eq!(calls, 1, "one compilation for two requests");
+        assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 1);
+        assert!(cache.stats().bytes.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn compile_errors_are_not_retained() {
+        let cache = CompileCache::in_memory();
+        let (program, options, artifact) = compiled("is");
+        let mut failures = 0;
+        let err = cache.get_or_compile_arc(&program, &options, &mut || {
+            failures += 1;
+            Err(CompileError::Isa(amnesiac_isa::IsaError::UnboundLabel {
+                label: 0,
+            }))
+        });
+        assert!(err.is_err());
+        let mut calls = 0;
+        {
+            let mut compute = compute_from(&artifact, &mut calls);
+            cache
+                .get_or_compile_arc(&program, &options, &mut compute)
+                .expect("retry compiles fresh");
+        }
+        assert_eq!(failures, 1);
+        assert_eq!(calls, 1, "error was not cached");
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // a budget small enough that each shard holds roughly one artifact
+        let (program, options, artifact) = compiled("is");
+        let one = artifact.approx_bytes();
+        let cache = CompileCache::with_budget(one * SHARDS);
+        let mut calls = 0;
+
+        // distinct keys via distinct option fingerprints; all map through
+        // the same artifact payload so sizes are equal
+        let mut variants = Vec::new();
+        for i in 0..16u32 {
+            let mut o = options.clone();
+            o.max_height = 48 + i;
+            variants.push(o);
+        }
+        {
+            let mut compute = compute_from(&artifact, &mut calls);
+            for o in &variants {
+                cache
+                    .get_or_compile_arc(&program, o, &mut compute)
+                    .expect("insert");
+            }
+        }
+        assert!(
+            cache.stats().evictions.load(Ordering::Relaxed) > 0,
+            "16 one-budget artifacts across {SHARDS} shards must evict"
+        );
+        let resident = cache.stats().bytes.load(Ordering::Relaxed) as usize;
+        assert!(
+            resident <= one * SHARDS + one,
+            "gauge {resident} must track the budget"
+        );
+    }
+
+    #[test]
+    fn listing_cache_shares_and_hits() {
+        let cache = CompileCache::in_memory();
+        let (program, _, _) = compiled("is");
+        let mut renders = 0;
+        let first = cache.get_or_listing(&program, || {
+            renders += 1;
+            "LISTING".to_string()
+        });
+        let second = cache.get_or_listing(&program, || {
+            renders += 1;
+            "NEVER".to_string()
+        });
+        assert_eq!(renders, 1);
+        assert_eq!(&*first, "LISTING");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Satellite: single-flight deduplication under real concurrency.
+//!
+//! Eight threads request the same `bench:mcf` compile through one shared
+//! cache, released together by a barrier. The pipeline must run exactly
+//! once (counter hook on the compute closure) and every thread must
+//! receive the identical artifact.
+
+use amnesiac_cache::CompileCache;
+use amnesiac_compiler::{compile, CompileOptions};
+use amnesiac_profile::profile_program;
+use amnesiac_sim::CoreConfig;
+use amnesiac_workloads::{build_focal, Scale};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 8;
+
+#[test]
+fn eight_threads_one_compilation() {
+    let program = build_focal("mcf", Scale::Test).program;
+    let options = CompileOptions::default();
+    let (profile, _) = profile_program(&program, &CoreConfig::paper()).expect("profile");
+
+    let cache = Arc::new(CompileCache::in_memory());
+    let pipeline_runs = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let runs = Arc::clone(&pipeline_runs);
+            let barrier = Arc::clone(&barrier);
+            let program = program.clone();
+            let profile = profile.clone();
+            let options = options.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache
+                    .get_or_compile_arc(&program, &options, &mut || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        compile(&program, &profile, &options)
+                    })
+                    .expect("cached compile")
+            })
+        })
+        .collect();
+
+    let artifacts: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("thread"))
+        .collect();
+
+    assert_eq!(
+        pipeline_runs.load(Ordering::SeqCst),
+        1,
+        "exactly one pipeline execution for {THREADS} concurrent requests"
+    );
+    let first = &artifacts[0];
+    for artifact in &artifacts[1..] {
+        assert!(
+            Arc::ptr_eq(first, artifact),
+            "all threads must share one artifact allocation"
+        );
+    }
+    // the artifact is the real thing, not a placeholder
+    let (expected_program, expected_report) =
+        compile(&program, &profile, &options).expect("reference compile");
+    assert_eq!(first.program, expected_program);
+    assert_eq!(first.report, expected_report);
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        stats.hits.load(Ordering::SeqCst) + stats.inflight_waits.load(Ordering::SeqCst),
+        (THREADS - 1) as u64,
+        "everyone but the leader either hit or waited in-flight"
+    );
+}
+
+#[test]
+fn warm_restart_serves_from_disk_without_recompiling() {
+    // two cache instances over one directory = a process restart
+    let dir = std::env::temp_dir().join(format!("amnesiac-cache-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let program = build_focal("mcf", Scale::Test).program;
+    let options = CompileOptions::default();
+    let (profile, _) = profile_program(&program, &CoreConfig::paper()).expect("profile");
+
+    let cold = CompileCache::persistent(&dir).expect("cold cache");
+    let mut cold_runs = 0;
+    let cold_artifact = cold
+        .get_or_compile_arc(&program, &options, &mut || {
+            cold_runs += 1;
+            compile(&program, &profile, &options)
+        })
+        .expect("cold compile");
+    assert_eq!(cold_runs, 1);
+    assert_eq!(cold.stats().disk_loads.load(Ordering::SeqCst), 0);
+
+    let warm = CompileCache::persistent(&dir).expect("warm cache");
+    let mut warm_runs = 0;
+    let warm_artifact = warm
+        .get_or_compile_arc(&program, &options, &mut || {
+            warm_runs += 1;
+            compile(&program, &profile, &options)
+        })
+        .expect("warm load");
+    assert_eq!(warm_runs, 0, "warm restart must not recompile");
+    assert_eq!(warm.stats().disk_loads.load(Ordering::SeqCst), 1);
+    assert_eq!(warm.stats().misses.load(Ordering::SeqCst), 0);
+    assert_eq!(warm.stats().hits.load(Ordering::SeqCst), 1);
+    assert_eq!(cold_artifact.program, warm_artifact.program);
+    assert_eq!(cold_artifact.report, warm_artifact.report);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

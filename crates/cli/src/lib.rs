@@ -68,7 +68,8 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use amnesiac_compiler::{compile, CompileOptions};
+use amnesiac_cache::CompileCache;
+use amnesiac_compiler::{compile, compile_cached, CompileOptions};
 use amnesiac_core::{AmnesicConfig, AmnesicCore, Policy};
 use amnesiac_isa::{disassemble, parse_asm, Program};
 use amnesiac_profile::profile_program;
@@ -125,6 +126,10 @@ pub struct Command {
     /// (`--dispatch <inst|block>`; block-level is the default, inst is the
     /// differential oracle).
     pub dispatch: Option<Dispatch>,
+    /// Persistent compile-cache directory (`--cache-dir <dir>`) for the
+    /// cacheable verbs (compile, disasm, verify) and the serve verbs,
+    /// where it backs the shared in-process cache across restarts.
+    pub cache_dir: Option<String>,
 }
 
 /// CLI subcommands.
@@ -205,12 +210,14 @@ pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
        amnesiac experiments --json <dir> [--paper-scale]
        amnesiac bench-snapshot <out.json> [--scale <test|paper>] [--reps <n>]
        amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--scale <test|paper>] [--reps <n>] [--json <dir>]
-       amnesiac serve [--port <p>] [--workers <n>] [--backlog <n>] [--timeout-ms <ms>]
+       amnesiac serve [--port <p>] [--workers <n>] [--backlog <n>] [--timeout-ms <ms>] [--cache-dir <dir>]
        amnesiac serve-smoke [--workers <n>] [--backlog <n>] [--timeout-ms <ms>]
        amnesiac loadgen [--rate <req/s>] [--duration-ms <ms>] [--seed <n>] [--mix <verb=w,...>]
                         [--workers <n>] [--backlog <n>] [--timeout-ms <ms>] [--json <dir>]
        amnesiac loadgen-smoke [loadgen flags]
   every verb accepts --json <dir> to export its payload as <verb>.json
+  compile, disasm, and verify accept --cache-dir <dir>: a persistent
+  content-addressed compile cache, reused across process restarts
   built-in benchmarks: 11 focal (mcf sx cg is ca fs fe rt bp bfs sr),
   5 controls, 17 extended (see `amnesiac-workloads`)";
 
@@ -263,6 +270,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut seed = None;
     let mut mix = None;
     let mut dispatch = None;
+    let mut cache_dir = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -396,6 +404,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 let spec = flag_value(args, &mut i, arg, "a verb=weight list")?;
                 set_once(&mut mix, spec.to_string(), arg)?;
             }
+            "--cache-dir" => {
+                let dir = flag_value(args, &mut i, arg, "a directory")?;
+                set_once(&mut cache_dir, dir.to_string(), arg)?;
+            }
             "--dispatch" => {
                 let raw = flag_value(args, &mut i, arg, "<inst|block>")?;
                 let parsed = Dispatch::parse(raw).ok_or_else(|| {
@@ -461,6 +473,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .into(),
         ));
     }
+    let cacheable = matches!(verb, Verb::Compile | Verb::Disasm | Verb::Verify) || serve_verb;
+    if cache_dir.is_some() && !cacheable {
+        return Err(CliError::Usage(
+            "--cache-dir only applies to the cacheable verbs \
+             (compile, disasm, verify) and the serve verbs"
+                .into(),
+        ));
+    }
     match verb {
         Verb::Encode if output.is_none() => {
             return Err(CliError::Usage("encode needs an output path".into()));
@@ -514,6 +534,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         seed,
         mix,
         dispatch,
+        cache_dir,
     })
 }
 
@@ -594,20 +615,58 @@ pub fn load_program(target: &str, paper_scale: bool) -> Result<Program, CliError
 /// Returns [`CliError::Tool`] when a pipeline stage itself fails
 /// (unreadable input, simulator fault, divergence).
 pub fn run(command: &Command) -> Result<Response, CliError> {
+    // the serve verbs thread their own shared cache through the handler;
+    // for the one-shot verbs a `--cache-dir` opens the persistent store
+    let cache = match (&command.verb, command.cache_dir.as_deref()) {
+        (Verb::Compile | Verb::Disasm | Verb::Verify, Some(dir)) => Some(
+            CompileCache::persistent(std::path::Path::new(dir))
+                .map_err(|e| CliError::Tool(format!("cannot open cache dir `{dir}`: {e}")))?,
+        ),
+        _ => None,
+    };
+    run_with_cache(command, cache.as_ref())
+}
+
+/// [`run`] with an externally owned cache — the entry point the serve
+/// handler uses so every request shares one store.
+pub(crate) fn run_with_cache(
+    command: &Command,
+    cache: Option<&CompileCache>,
+) -> Result<Response, CliError> {
     match command.verb {
         Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => run_suite_verb(command),
-        Verb::Verify => run_verify(command),
+        Verb::Verify => run_verify(command, cache),
         Verb::Serve => service::run_serve(command),
         Verb::ServeSmoke => service::run_serve_smoke(command),
         Verb::Loadgen => service::run_loadgen(command),
         Verb::LoadgenSmoke => service::run_loadgen_smoke(command),
-        _ => run_program_verb(command),
+        _ => run_program_verb(command, cache),
+    }
+}
+
+/// Compiles through the cache when one is threaded in, plain otherwise.
+/// Profiling (a full observed simulation, the expensive step) runs only
+/// on a cache miss — a hit serves the artifact without simulating.
+fn compile_maybe_cached(
+    cache: Option<&CompileCache>,
+    program: &Program,
+    config: &CoreConfig,
+    options: &CompileOptions,
+) -> Result<(Program, amnesiac_compiler::CompileReport), amnesiac_compiler::CompileError> {
+    let profile = || {
+        profile_program(program, config)
+            .map(|(profile, _)| profile)
+            .map_err(amnesiac_compiler::CompileError::Replay)
+    };
+    match cache {
+        Some(cache) => compile_cached(cache, program, options, profile),
+        None => compile(program, &profile()?, options),
     }
 }
 
 /// The program verbs: `run`, `disasm`, `profile`, `compile`, `compare`,
 /// `encode`, `trace`.
-fn run_program_verb(command: &Command) -> Result<Response, CliError> {
+fn run_program_verb(command: &Command, cache: Option<&CompileCache>) -> Result<Response, CliError> {
     let target = command.target.as_deref().expect("parse_args enforced this");
     let program = load_program(target, command.effective_scale() == Scale::Paper)?;
     let mut config = CoreConfig::paper();
@@ -625,10 +684,18 @@ fn run_program_verb(command: &Command) -> Result<Response, CliError> {
                 instructions: program.instructions.len(),
             })
         }
-        Verb::Disasm => Ok(Response::Disasm {
-            program: program.name.clone(),
-            listing: disassemble(&program),
-        }),
+        Verb::Disasm => {
+            let listing = match cache {
+                Some(cache) => cache
+                    .get_or_listing(&program, || disassemble(&program))
+                    .to_string(),
+                None => disassemble(&program),
+            };
+            Ok(Response::Disasm {
+                program: program.name.clone(),
+                listing,
+            })
+        }
         Verb::Trace => {
             let mut tracer = amnesiac_sim::TraceWriter::new(200);
             ClassicCore::new(config)
@@ -656,13 +723,20 @@ fn run_program_verb(command: &Command) -> Result<Response, CliError> {
             })
         }
         Verb::Compile => {
-            let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
             let (binary, report) =
-                compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
+                compile_maybe_cached(cache, &program, &config, &CompileOptions::default())
+                    .map_err(|e| tool(&e))?;
+            // counters ride along only on the one-shot `--cache-dir` path;
+            // served responses must stay byte-identical hit vs cold
+            let cache_stats = match (cache, &command.cache_dir) {
+                (Some(cache), Some(_)) => Some(cache.stats_json()),
+                _ => None,
+            };
             Ok(Response::Compile {
                 program: program.name.clone(),
                 report,
                 listing: disassemble(&binary),
+                cache: cache_stats,
             })
         }
         Verb::Compare => {
@@ -696,7 +770,7 @@ fn run_program_verb(command: &Command) -> Result<Response, CliError> {
 
 /// The `verify` verb: static well-formedness over one target (or, with no
 /// target, the whole built-in suite in parallel).
-fn run_verify(command: &Command) -> Result<Response, CliError> {
+fn run_verify(command: &Command, cache: Option<&CompileCache>) -> Result<Response, CliError> {
     use amnesiac_experiments::VerifySweep;
 
     match command.target.as_deref() {
@@ -705,9 +779,9 @@ fn run_verify(command: &Command) -> Result<Response, CliError> {
             let mut config = CoreConfig::paper();
             config.dispatch = command.effective_dispatch();
             let tool = |e: &dyn std::fmt::Display| CliError::Tool(e.to_string());
-            let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
             let (binary, _) =
-                compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
+                compile_maybe_cached(cache, &program, &config, &CompileOptions::default())
+                    .map_err(|e| tool(&e))?;
             Ok(Response::VerifyTarget {
                 target: target.to_string(),
                 report: amnesiac_verify::verify(&binary),
@@ -950,6 +1024,43 @@ mod tests {
             parse_args(&args(&["serve", "bench:is"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_and_validates_the_cache_dir_flag() {
+        let c = parse_args(&args(&["compile", "bench:is", "--cache-dir", "/tmp/c"])).unwrap();
+        assert_eq!(c.cache_dir.as_deref(), Some("/tmp/c"));
+        for verb in ["disasm", "verify", "serve", "serve-smoke", "loadgen"] {
+            let argv: Vec<&str> = if verb.starts_with("serve") || verb == "loadgen" {
+                vec![verb, "--cache-dir", "/tmp/c"]
+            } else {
+                vec![verb, "bench:is", "--cache-dir", "/tmp/c"]
+            };
+            let c = parse_args(&args(&argv)).unwrap_or_else(|e| panic!("{verb}: {e:?}"));
+            assert_eq!(c.cache_dir.as_deref(), Some("/tmp/c"), "{verb}");
+        }
+        // duplicate flag
+        match parse_args(&args(&[
+            "compile",
+            "bench:is",
+            "--cache-dir",
+            "a",
+            "--cache-dir",
+            "b",
+        ])) {
+            Err(CliError::Usage(msg)) => assert_eq!(msg, "--cache-dir given twice"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // missing value
+        match parse_args(&args(&["compile", "bench:is", "--cache-dir"])) {
+            Err(CliError::Usage(msg)) => assert_eq!(msg, "--cache-dir needs a directory"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // non-cacheable verbs reject it
+        match parse_args(&args(&["run", "bench:is", "--cache-dir", "/tmp/c"])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("cacheable"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]

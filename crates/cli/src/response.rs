@@ -64,6 +64,12 @@ pub enum Response {
         report: CompileReport,
         /// Disassembly of the annotated binary.
         listing: String,
+        /// Compile-cache counters, attached only on the one-shot
+        /// `--cache-dir` path. Deliberately `None` for served requests:
+        /// counters are volatile, and a cache-hit response must stay
+        /// byte-identical on the wire to its cold-compile twin (the serve
+        /// `stats` verb reports the shared cache instead).
+        cache: Option<Json>,
     },
     /// `compare`: classic vs every amnesic policy.
     Compare {
@@ -548,10 +554,17 @@ impl Response {
                 program,
                 report,
                 listing,
-            } => Json::obj()
-                .with("program", program.as_str())
-                .with("report", report.to_json())
-                .with("listing", listing.as_str()),
+                cache,
+            } => {
+                let mut report_json = report.to_json();
+                if let Some(cache) = cache {
+                    report_json.set("cache", cache.clone());
+                }
+                Json::obj()
+                    .with("program", program.as_str())
+                    .with("report", report_json)
+                    .with("listing", listing.as_str())
+            }
             Response::Compare {
                 program,
                 classic,

@@ -20,10 +20,11 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
+use amnesiac_cache::CompileCache;
 use amnesiac_experiments::regress;
 use amnesiac_loadgen::{run_against, LoadgenConfig, Mix};
 use amnesiac_serve::{code, Client, Handler, Request, Response as WireResponse, ServeError};
-use amnesiac_serve::{Server, ServerConfig};
+use amnesiac_serve::{Server, ServerConfig, StatsHook};
 use amnesiac_telemetry::Json;
 use amnesiac_workloads::Scale;
 
@@ -43,11 +44,37 @@ const SMOKE_CLIENTS: usize = 8;
 /// `ok` with the full structured payload; only pipeline faults become
 /// error payloads, carrying [`CliError::code`].
 pub fn serve_handler() -> Handler {
-    Arc::new(|request: &Request| {
+    serve_handler_with_cache(Arc::new(CompileCache::in_memory()))
+}
+
+/// [`serve_handler`] over an externally owned compile cache, so the
+/// embedding layer can share one store across the handler, the `stats`
+/// hook, and (for `--cache-dir`) a persistent directory.
+pub fn serve_handler_with_cache(cache: Arc<CompileCache>) -> Handler {
+    Arc::new(move |request: &Request| {
         let command = request_command(request)?;
-        let response = crate::run(&command).map_err(|e| ServeError::new(e.code(), e.message()))?;
+        let response = crate::run_with_cache(&command, Some(&cache))
+            .map_err(|e| ServeError::new(e.code(), e.message()))?;
         Ok(response.payload_json())
     })
+}
+
+/// Builds the shared cache for a serve verb: persistent when the command
+/// carries `--cache-dir`, memory-only otherwise.
+fn serve_cache(command: &Command) -> Result<Arc<CompileCache>, CliError> {
+    Ok(Arc::new(match command.cache_dir.as_deref() {
+        Some(dir) => CompileCache::persistent(std::path::Path::new(dir))
+            .map_err(|e| CliError::Tool(format!("cannot open cache dir `{dir}`: {e}")))?,
+        None => CompileCache::in_memory(),
+    }))
+}
+
+/// The `stats`-payload extension reporting the shared cache's counters.
+fn cache_stats_hook(cache: &Arc<CompileCache>) -> Option<StatsHook> {
+    let cache = Arc::clone(cache);
+    Some(Arc::new(move || {
+        Json::obj().with("cache", cache.stats_json())
+    }))
 }
 
 /// Maps a wire request onto the typed [`Command`] it stands for.
@@ -106,6 +133,7 @@ fn request_command(request: &Request) -> Result<Command, ServeError> {
         seed: None,
         mix: None,
         dispatch: None,
+        cache_dir: None,
     })
 }
 
@@ -133,8 +161,13 @@ fn server_config(command: &Command) -> ServerConfig {
 pub(crate) fn run_serve(command: &Command) -> Result<Response, CliError> {
     let config = server_config(command);
     let (workers, backlog, timeout_ms) = (config.workers, config.backlog, config.timeout_ms);
-    let mut server = Server::start(config, serve_handler())
-        .map_err(|e| CliError::Tool(format!("cannot start server: {e}")))?;
+    let cache = serve_cache(command)?;
+    let mut server = Server::start_with_stats(
+        config,
+        serve_handler_with_cache(Arc::clone(&cache)),
+        cache_stats_hook(&cache),
+    )
+    .map_err(|e| CliError::Tool(format!("cannot start server: {e}")))?;
     let addr = server.addr();
     println!(
         "amnesiac-serve listening on {addr} ({workers} workers, backlog {backlog}, \
@@ -241,8 +274,13 @@ pub(crate) fn run_serve_smoke(command: &Command) -> Result<Response, CliError> {
         config.timeout_ms = 300_000; // generous — the deadline path has its own tests
     }
     let cases = smoke_cases()?;
-    let server = Server::start(config, serve_handler())
-        .map_err(|e| CliError::Tool(format!("cannot start smoke server: {e}")))?;
+    let cache = serve_cache(command)?;
+    let server = Server::start_with_stats(
+        config,
+        serve_handler_with_cache(Arc::clone(&cache)),
+        cache_stats_hook(&cache),
+    )
+    .map_err(|e| CliError::Tool(format!("cannot start smoke server: {e}")))?;
     let addr = server.addr();
 
     let mut checks = 0usize;
@@ -301,6 +339,41 @@ pub(crate) fn run_serve_smoke(command: &Command) -> Result<Response, CliError> {
         Err(e) => failures.push(format!("unknown-verb request failed: {e}")),
     }
 
+    // Cache-path checks. A repeated identical compile must come back
+    // byte-identical on the wire (the second answer is a cache hit), the
+    // shared cache must report those hits, and a mutated program must
+    // miss instead of falsely sharing the original's artifact.
+    checks += 1;
+    match repeated_compile_wire_lines(addr) {
+        Ok((first, second)) if first == second => {}
+        Ok((first, second)) => failures.push(format!(
+            "cache hit is not byte-identical on the wire: {} vs {} bytes",
+            first.len(),
+            second.len()
+        )),
+        Err(e) => failures.push(format!("repeated-compile check failed: {e}")),
+    }
+    checks += 1;
+    match admin.call(&Request::new("stats").with_id("cache-stats")) {
+        Ok(response) => {
+            let hits = response
+                .payload()
+                .and_then(|p| p.get_path("cache.hits"))
+                .and_then(Json::as_f64)
+                .unwrap_or(-1.0);
+            if hits < 1.0 {
+                failures.push(format!(
+                    "stats: cache.hits is {hits}, expected at least 1 after repeated compiles"
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("cache-stats request failed: {e}")),
+    }
+    checks += 1;
+    if let Err(e) = mutated_program_misses(&mut admin) {
+        failures.push(e);
+    }
+
     let stats = server.stats_json();
     server.stop();
     Ok(Response::ServeSmoke {
@@ -308,6 +381,82 @@ pub(crate) fn run_serve_smoke(command: &Command) -> Result<Response, CliError> {
         failures,
         stats,
     })
+}
+
+/// Fires the same `compile` request (same id and all) twice over one raw
+/// TCP connection and returns both serialized response payloads — the
+/// wire-level byte-identity probe for cache hits. The envelope's
+/// `elapsed_ms` is the one legitimately volatile field, so the probe
+/// compares the compact `payload` bytes, not the whole line.
+fn repeated_compile_wire_lines(addr: SocketAddr) -> Result<(String, String), CliError> {
+    use std::io::{BufRead as _, BufReader};
+
+    let request = Request::new("compile")
+        .with_target("bench:is")
+        .with_id("twin");
+    let line = request.to_json().compact();
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| CliError::Tool(format!("connect: {e}")))?;
+    stream.set_read_timeout(Some(Duration::from_secs(300))).ok();
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| CliError::Tool(format!("clone stream: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let mut answers = Vec::new();
+    for _ in 0..2 {
+        writeln!(writer, "{line}").map_err(|e| CliError::Tool(format!("send: {e}")))?;
+        let mut answer = String::new();
+        reader
+            .read_line(&mut answer)
+            .map_err(|e| CliError::Tool(format!("receive: {e}")))?;
+        let payload = amnesiac_telemetry::parse(answer.trim_end())
+            .map_err(|e| CliError::Tool(format!("parse response: {e}")))?
+            .get("payload")
+            .map(Json::compact)
+            .ok_or_else(|| CliError::Tool("compile response carried no payload".into()))?;
+        answers.push(payload);
+    }
+    let second = answers.pop().expect("two answers");
+    let first = answers.pop().expect("two answers");
+    Ok((first, second))
+}
+
+/// Compiles a temp `.asm` program, mutates one data word, compiles the
+/// mutated file, and reports an error string unless the payloads differ —
+/// the no-false-sharing probe for the content-addressed key.
+fn mutated_program_misses(admin: &mut Client) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("amnesiac-smoke-mutate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mutation check: mkdir: {e}"))?;
+    let path = dir.join("probe.asm");
+    let source = include_str!("../../../assets/dotprod.asm");
+    let mut compile_at = |source: &str| -> Result<Json, String> {
+        std::fs::write(&path, source).map_err(|e| format!("mutation check: write: {e}"))?;
+        let request = Request::new("compile")
+            .with_target(path.to_string_lossy().as_ref())
+            .with_id("mutate");
+        let response = admin
+            .call(&request)
+            .map_err(|e| format!("mutation check: call: {e}"))?;
+        response
+            .payload()
+            .cloned()
+            .ok_or_else(|| "mutation check: compile answered with an error".to_string())
+    };
+    let original = compile_at(source)?;
+    // shrink the loop bound: the mutated listing and dynamic counts differ
+    let mutated_source = source.replace("li r4, 40960", "li r4, 40704");
+    if mutated_source == source {
+        return Err("mutation check: probe source did not change".to_string());
+    }
+    let mutated = compile_at(&mutated_source)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    if original == mutated {
+        return Err(
+            "mutation check: mutated program produced the original's payload (false sharing)"
+                .to_string(),
+        );
+    }
+    Ok(())
 }
 
 /// Server tuning for the loadgen verbs' private in-process server.
@@ -351,15 +500,47 @@ fn loadgen_config(command: &Command) -> Result<LoadgenConfig, CliError> {
     Ok(config)
 }
 
-/// Boots a private server, drives `config`'s open-loop load at it, and
-/// returns the snapshot document.
+/// Boots a private server with a shared compile cache, drives `config`'s
+/// open-loop load at it twice — a cold burst against the empty cache,
+/// then a warm burst replaying the *identical* schedule — and returns the
+/// snapshot document for the cold burst with two extra `results` blocks:
+/// `cache` (the shared cache's counters after both bursts) and `warm`
+/// (the warm burst's outcome). Snapshot schema v4; the comparator keeps
+/// accepting v3 baselines, which simply lack the two blocks.
 fn drive_loadgen(command: &Command, config: &LoadgenConfig) -> Result<Json, CliError> {
-    let server = Server::start(loadgen_server_config(command), serve_handler())
-        .map_err(|e| CliError::Tool(format!("cannot start loadgen server: {e}")))?;
-    let report = run_against(server.addr(), config)
-        .map_err(|e| CliError::Tool(format!("loadgen run failed: {e}")));
+    let cache = serve_cache(command)?;
+    let server = Server::start_with_stats(
+        loadgen_server_config(command),
+        serve_handler_with_cache(Arc::clone(&cache)),
+        cache_stats_hook(&cache),
+    )
+    .map_err(|e| CliError::Tool(format!("cannot start loadgen server: {e}")))?;
+    let outcome = (|| {
+        let cold = run_against(server.addr(), config)
+            .map_err(|e| CliError::Tool(format!("loadgen cold burst failed: {e}")))?;
+        let warm = run_against(server.addr(), config)
+            .map_err(|e| CliError::Tool(format!("loadgen warm burst failed: {e}")))?;
+        Ok((cold, warm))
+    })();
     server.stop();
-    Ok(report?.snapshot(config))
+    let (cold, warm) = outcome?;
+    let mut snapshot = cold.snapshot(config);
+    if let Some(results) = snapshot.get_mut("results") {
+        results.set("cache", cache.stats_json());
+        results.set(
+            "warm",
+            Json::obj()
+                .with("scheduled", warm.scheduled)
+                .with("completed", warm.completed)
+                .with("ok", warm.ok)
+                .with("protocol_errors", warm.protocol_errors)
+                .with("error_rate_pct", warm.error_rate_pct())
+                .with("throughput_rps", warm.throughput_rps())
+                .with("elapsed_ms", warm.elapsed_ms)
+                .with("latency_ms", warm.latency_ms_json()),
+        );
+    }
+    Ok(snapshot)
 }
 
 /// The `loadgen` verb: one measured open-loop run against a private
@@ -386,8 +567,13 @@ pub(crate) fn run_loadgen_smoke(command: &Command) -> Result<Response, CliError>
     smoke.timeout_ms.get_or_insert(60_000);
     let config = loadgen_config(&smoke)?;
 
-    let server = Server::start(loadgen_server_config(&smoke), serve_handler())
-        .map_err(|e| CliError::Tool(format!("cannot start smoke server: {e}")))?;
+    let cache = serve_cache(&smoke)?;
+    let server = Server::start_with_stats(
+        loadgen_server_config(&smoke),
+        serve_handler_with_cache(Arc::clone(&cache)),
+        cache_stats_hook(&cache),
+    )
+    .map_err(|e| CliError::Tool(format!("cannot start smoke server: {e}")))?;
     let soak = run_against(server.addr(), &config)
         .map_err(|e| CliError::Tool(format!("loadgen soak failed: {e}")))?;
     let stats_after_soak = server.stats_json();
@@ -520,6 +706,17 @@ pub(crate) fn run_loadgen_smoke(command: &Command) -> Result<Response, CliError>
             soak.latency.count(),
             soak.ok
         ),
+    );
+
+    // the repeated disasm targets in the smoke mix must hit the shared
+    // cache — the `stats` payload carries the counters via the hook
+    let cache_hits = stats_after_burst
+        .get_path("cache.hits")
+        .and_then(Json::as_f64)
+        .unwrap_or(-1.0);
+    check(
+        cache_hits > 0.0,
+        format!("shared cache reported {cache_hits} hits after repeated disasm requests"),
     );
 
     Ok(Response::LoadgenSmoke {

@@ -1,0 +1,56 @@
+//! Warm-restart acceptance: a fresh CLI invocation pointed at a
+//! populated `--cache-dir` must serve the compile from disk — zero
+//! misses, at least one disk load — and produce the identical artifact.
+
+use amnesiac_cli::{parse_args, run, Response};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn compile_with_cache(dir: &str) -> (String, amnesiac_telemetry::Json) {
+    let cmd = parse_args(&args(&["compile", "bench:is", "--cache-dir", dir])).unwrap();
+    match run(&cmd).unwrap() {
+        Response::Compile { listing, cache, .. } => {
+            (listing, cache.expect("--cache-dir attaches cache stats"))
+        }
+        other => panic!("expected Compile, got {other:?}"),
+    }
+}
+
+fn stat(stats: &amnesiac_telemetry::Json, field: &str) -> f64 {
+    stats
+        .get(field)
+        .and_then(amnesiac_telemetry::Json::as_f64)
+        .unwrap_or_else(|| panic!("cache stats missing `{field}`: {stats:?}"))
+}
+
+#[test]
+fn second_invocation_restores_the_artifact_from_disk() {
+    let dir = std::env::temp_dir().join(format!("amnesiac-warm-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_string_lossy().to_string();
+
+    // Cold invocation: the store is empty, so the compile is a miss that
+    // writes the artifact through to disk.
+    let (cold_listing, cold_stats) = compile_with_cache(&dir_str);
+    assert_eq!(stat(&cold_stats, "misses"), 1.0, "cold run must miss");
+    assert_eq!(stat(&cold_stats, "disk_loads"), 0.0);
+
+    // Warm restart: a brand-new process-level cache over the same
+    // directory must fault the artifact in from disk without recompiling.
+    let (warm_listing, warm_stats) = compile_with_cache(&dir_str);
+    assert_eq!(
+        stat(&warm_stats, "misses"),
+        0.0,
+        "warm restart recompiled instead of loading from disk: {warm_stats:?}"
+    );
+    assert!(
+        stat(&warm_stats, "disk_loads") >= 1.0,
+        "warm restart did not load from disk: {warm_stats:?}"
+    );
+    assert!(stat(&warm_stats, "hits") >= 1.0);
+    assert_eq!(cold_listing, warm_listing, "artifacts must be identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -78,7 +78,8 @@ fn eight_concurrent_clients_complete_a_mixed_batch_without_mismatches() {
         } => {
             assert!(failures.is_empty(), "smoke failures: {failures:#?}");
             // 8 clients x 5 cases + stats + unknown-verb probe
-            assert_eq!(checks, 8 * 5 + 2);
+            // + 3 cache probes (byte-identity, hit count, mutation miss)
+            assert_eq!(checks, 8 * 5 + 2 + 3);
         }
         other => panic!("expected ServeSmoke, got {other:?}"),
     }

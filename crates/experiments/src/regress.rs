@@ -20,8 +20,12 @@ use crate::pipeline::{EvalSuite, PolicyOutcome};
 /// v2 added the per-bench `verify` block (static-verifier Error/Warn
 /// counts over both compiled binaries). v3 added the `kind`
 /// discriminator (`"suite"` for pipeline snapshots, `"serve"` for
-/// loadgen service snapshots — see [`compare_serve`]).
-pub const SCHEMA_VERSION: u64 = 3;
+/// loadgen service snapshots — see [`compare_serve`]). v4 added the
+/// optional `results.cache` and `results.warm` blocks of serve
+/// snapshots (compile-cache counters and the warm-burst outcome); v3
+/// serve baselines simply lack them, so the comparator keeps accepting
+/// them and skips the warm gate.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest baseline schema [`compare`] still accepts. v1 snapshots lack
 /// the `verify` block and v1/v2 lack `kind`, but the gain layout — the
@@ -321,6 +325,14 @@ pub fn compare_serve(
     };
     gate("error_rate_pct", tolerance_pp)?;
     gate("protocol_errors", 0.0)?;
+    // Warm-burst reliability (schema v4+). Older baselines simply lack the
+    // `results.warm` block, so the gate only engages when both sides carry
+    // it — a v3 baseline against a v4 run still compares the cold burst.
+    let warm_in = |doc: &Json| doc.get_path("results.warm").is_some();
+    if warm_in(baseline) && warm_in(current) {
+        gate("warm.error_rate_pct", tolerance_pp)?;
+        gate("warm.protocol_errors", 0.0)?;
+    }
     for metric in [
         "latency_ms.p50",
         "latency_ms.p99",

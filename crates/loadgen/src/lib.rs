@@ -32,7 +32,11 @@ use amnesiac_telemetry::Json;
 /// lockstep with `amnesiac_experiments::regress::SCHEMA_VERSION` (a CLI
 /// test asserts the two are equal — the crates cannot depend on each
 /// other directly without pulling serve into experiments).
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the optional `results.cache` (shared compile-cache counters)
+/// and `results.warm` (second-burst outcome over the identical schedule)
+/// blocks the CLI attaches to serve snapshots.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 4;
 
 /// Hard cap on scheduled requests per run — a misconfigured
 /// `rate * duration` should fail loudly, not allocate without bound.
@@ -40,7 +44,10 @@ pub const MAX_SCHEDULED: usize = 1 << 20;
 
 /// The wire verbs a mix may draw from, with the default target each one
 /// gets (`None` = the verb takes no target). Targets pick small built-in
-/// benchmarks so a load point costs milliseconds, not seconds.
+/// benchmarks so a load point costs milliseconds, not seconds. The
+/// cacheable verbs (`compile`, `verify`, `disasm`) override this default
+/// at schedule time with a seeded draw over a kernel pool — see
+/// [`schedule`].
 const VERB_TARGETS: &[(&str, Option<&str>)] = &[
     ("compile", Some("bench:is")),
     ("simulate", Some("bench:sr")),
@@ -184,7 +191,7 @@ impl Default for LoadgenConfig {
             duration_ms: 1000,
             seed: 42,
             mix: Mix::default(),
-            connections: 4,
+            connections: 16,
             timeout_ms: 10_000,
         }
     }
@@ -272,15 +279,61 @@ pub struct Arrival {
     pub verb: String,
     /// The target, where the verb takes one.
     pub target: Option<String>,
+    /// The workload scale attached to the request (`None` = the
+    /// service default, test scale).
+    pub scale: Option<String>,
+}
+
+/// The artifact sweep pool for `compile`/`verify`: kernels whose
+/// paper-scale compile (profiling simulation included) costs tens of
+/// milliseconds — expensive enough that a cache miss is clearly visible
+/// in the latency histogram, cheap enough that a cold sweep of the whole
+/// pool fits inside one burst. The heavy tail of the suite (paper-scale
+/// `mcf`, `calculix`, ... run for seconds to minutes) stays out so the
+/// pinned load point remains a latency benchmark, not a soak test.
+const PAPER_SWEEP: &[&str] = &[
+    "bodytrack",
+    "hotspot",
+    "particlefilter",
+    "blackscholes",
+    "bfs",
+    "mg",
+    "freqmine",
+    "sr",
+    "omnetpp",
+    "perlbench",
+    "soplex",
+    "dedup",
+    "swaptions",
+    "x264",
+    "libquantum",
+    "ft",
+    "nw",
+];
+
+/// The listing sweep pool for `disasm`: every built-in kernel at test
+/// scale, as `bench:<name>` references, in suite order (focal, control,
+/// extended) — breadth for the listing side of the cache.
+fn listing_sweep_targets() -> Vec<String> {
+    amnesiac_workloads::FOCAL_NAMES
+        .iter()
+        .chain(amnesiac_workloads::CONTROL_NAMES.iter())
+        .chain(amnesiac_workloads::EXTENDED_NAMES.iter())
+        .map(|name| format!("bench:{name}"))
+        .collect()
 }
 
 /// Draws the full arrival schedule: exponential inter-arrival gaps at
 /// `config.rate` (a Poisson process) until `config.duration_ms` is
-/// exhausted, each arrival tagged with a mix draw. Deterministic in
-/// `(rate, duration_ms, seed, mix)`; offsets are non-decreasing and the
-/// length is capped at [`MAX_SCHEDULED`].
+/// exhausted, each arrival tagged with a mix draw. The cacheable verbs
+/// additionally draw their target from a kernel pool:
+/// `compile`/`verify` sweep [`PAPER_SWEEP`] at paper scale (expensive
+/// artifacts), `disasm` sweeps the whole suite at test scale (broad
+/// listings). Deterministic in `(rate, duration_ms, seed, mix)`; offsets
+/// are non-decreasing and the length is capped at [`MAX_SCHEDULED`].
 pub fn schedule(config: &LoadgenConfig) -> Vec<Arrival> {
     let mut rng = Rng::seed_from_u64(config.seed);
+    let listings = listing_sweep_targets();
     let horizon_us = config.duration_ms as f64 * 1000.0;
     let mut t_us = 0.0f64;
     let mut arrivals = Vec::new();
@@ -295,10 +348,22 @@ pub fn schedule(config: &LoadgenConfig) -> Vec<Arrival> {
             break;
         }
         let entry = config.mix.sample(&mut rng);
+        let (target, scale) = match entry.verb.as_str() {
+            "compile" | "verify" => {
+                let name = PAPER_SWEEP[rng.below(PAPER_SWEEP.len() as u64) as usize];
+                (Some(format!("bench:{name}")), Some("paper".to_string()))
+            }
+            "disasm" => {
+                let target = listings[rng.below(listings.len() as u64) as usize].clone();
+                (Some(target), None)
+            }
+            _ => (entry.target.clone(), None),
+        };
         arrivals.push(Arrival {
             offset_us: t_us as u64,
             verb: entry.verb.clone(),
-            target: entry.target.clone(),
+            target,
+            scale,
         });
     }
     arrivals
@@ -366,6 +431,50 @@ mod tests {
             ..config
         });
         assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn cacheable_verbs_sweep_the_kernel_pools() {
+        let config = LoadgenConfig {
+            rate: 1_000.0,
+            duration_ms: 2_000,
+            seed: 7,
+            ..LoadgenConfig::default()
+        };
+        let listings: std::collections::BTreeSet<String> =
+            listing_sweep_targets().into_iter().collect();
+        assert_eq!(listings.len(), 33, "the full built-in suite");
+        let artifacts: std::collections::BTreeSet<String> = PAPER_SWEEP
+            .iter()
+            .map(|name| format!("bench:{name}"))
+            .collect();
+        let mut seen_artifacts: std::collections::BTreeSet<&str> = Default::default();
+        let mut seen_listings: std::collections::BTreeSet<&str> = Default::default();
+        let arrivals = schedule(&config);
+        for arrival in &arrivals {
+            match arrival.verb.as_str() {
+                "compile" | "verify" => {
+                    let target = arrival.target.as_deref().expect("artifact verbs take one");
+                    assert!(artifacts.contains(target), "{target} not in the pool");
+                    assert_eq!(arrival.scale.as_deref(), Some("paper"));
+                    seen_artifacts.insert(target);
+                }
+                "disasm" => {
+                    let target = arrival.target.as_deref().expect("disasm takes a target");
+                    assert!(listings.contains(target), "{target} not in the suite");
+                    assert_eq!(arrival.scale, None);
+                    seen_listings.insert(target);
+                }
+                "stats" => {
+                    assert_eq!(arrival.target, None);
+                    assert_eq!(arrival.scale, None);
+                }
+                _ => assert_eq!(arrival.scale, None),
+            }
+        }
+        // hundreds of draws per pool: everything shows up
+        assert_eq!(seen_artifacts.len(), artifacts.len(), "artifact sweep");
+        assert_eq!(seen_listings.len(), listings.len(), "listing sweep");
     }
 
     #[test]

@@ -172,6 +172,9 @@ pub fn run_against(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<Loadg
         if let Some(target) = &arrival.target {
             request = request.with_target(target.clone());
         }
+        if let Some(scale) = &arrival.scale {
+            request = request.with_scale(scale.clone());
+        }
         let mut line = request.to_json().compact();
         line.push('\n');
         plans[index % lanes_n].push(LanePlan {

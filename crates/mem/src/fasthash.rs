@@ -93,6 +93,45 @@ impl Hasher for FoldHasher {
     }
 }
 
+/// Second multiplicative constant for the independent lane of
+/// [`hash128`] (also from splitmix64's output mixing constants).
+const K2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// A 128-bit content hash over a sequence of byte chunks — the *one*
+/// audited hash implementation shared by the compile-cache content key
+/// and the [`FoldHasher`]-backed hot maps (both fold words with
+/// [`fold_mul`]).
+///
+/// Two independent 64-bit lanes run over the same stream with different
+/// multipliers and initial states; each chunk is terminated by its
+/// length so `["ab","c"]` and `["a","bc"]` hash differently. Like
+/// [`FoldHasher`] this is deterministic across runs and processes and
+/// **not** DoS-resistant — key only trusted content with it.
+#[must_use]
+pub fn hash128(chunks: &[&[u8]]) -> u128 {
+    let mut lo: u64 = 0x243F_6A88_85A3_08D3; // pi fraction: arbitrary, fixed
+    let mut hi: u64 = 0x1319_8A2E_0370_7344;
+    for bytes in chunks {
+        let mut words = bytes.chunks_exact(8);
+        for w in &mut words {
+            let w = u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes"));
+            lo = fold_mul(lo ^ w, K);
+            hi = fold_mul(hi ^ w, K2);
+        }
+        let rem = words.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            let w = u64::from_le_bytes(tail);
+            lo = fold_mul(lo ^ w, K);
+            hi = fold_mul(hi ^ w, K2);
+        }
+        lo = fold_mul(lo ^ bytes.len() as u64, K);
+        hi = fold_mul(hi ^ bytes.len() as u64, K2);
+    }
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
 /// [`std::hash::BuildHasher`] for [`FoldHasher`] (stateless, deterministic).
 pub type BuildFoldHasher = BuildHasherDefault<FoldHasher>;
 
@@ -137,6 +176,25 @@ mod tests {
         b.write(b"a");
         b.write(b"bc");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hash128_deterministic_and_sensitive() {
+        let a = hash128(&[b"program bytes", b"options"]);
+        assert_eq!(a, hash128(&[b"program bytes", b"options"]));
+        // single-byte mutation flips the key
+        assert_ne!(a, hash128(&[b"program bytez", b"options"]));
+        // chunk boundaries matter (length-terminated chunks)
+        assert_ne!(
+            hash128(&[b"ab", b"c"]),
+            hash128(&[b"a", b"bc"]),
+            "chunk boundary must affect the hash"
+        );
+        // the two 64-bit lanes are independent: flipping input changes both
+        let b = hash128(&[b"program bytes", b"optionz"]);
+        assert_ne!(a as u64, b as u64);
+        assert_ne!((a >> 64) as u64, (b >> 64) as u64);
+        assert_ne!(hash128(&[]), hash128(&[b""]));
     }
 
     #[test]

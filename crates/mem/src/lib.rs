@@ -39,7 +39,7 @@ mod paged;
 mod stats;
 
 pub use cache::{AccessKind, Cache, CacheConfig};
-pub use fasthash::{BuildFoldHasher, FastMap, FoldHasher};
+pub use fasthash::{hash128, BuildFoldHasher, FastMap, FoldHasher};
 pub use hierarchy::{Access, HierarchyConfig, MemoryHierarchy};
 pub use paged::{PagedMem, PAGE_SHIFT, PAGE_WORDS};
 pub use stats::{HierarchyStats, LevelStats};

@@ -37,4 +37,4 @@ pub mod server;
 
 pub use client::Client;
 pub use protocol::{code, Request, Response, ServeError, PROTOCOL_VERSION};
-pub use server::{Handler, Server, ServerConfig};
+pub use server::{Handler, Server, ServerConfig, StatsHook};

@@ -53,6 +53,12 @@ use crate::protocol::{code, Request, Response, ServeError, PROTOCOL_VERSION};
 /// [`code::INTERNAL`], never crashes the server.
 pub type Handler = Arc<dyn Fn(&Request) -> Result<Json, ServeError> + Send + Sync>;
 
+/// An optional extension to the `stats` verb's payload: called on every
+/// stats snapshot, and every field of the returned object is appended to
+/// the payload. Lets the embedding layer surface its own counters (e.g.
+/// a shared compile cache) without the server knowing their shape.
+pub type StatsHook = Arc<dyn Fn() -> Json + Send + Sync>;
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -140,6 +146,7 @@ struct Shared {
     /// (or the writer had cancelled them) by the time a worker got there.
     expired_skipped: AtomicU64,
     stats: Mutex<Stats>,
+    stats_ext: Option<StatsHook>,
     started: Instant,
 }
 
@@ -194,7 +201,7 @@ impl Shared {
                     .with("max_ms", v.max_ms),
             );
         }
-        Json::obj()
+        let mut payload = Json::obj()
             .with("protocol_version", PROTOCOL_VERSION)
             .with("uptime_ms", self.started.elapsed().as_secs_f64() * 1e3)
             .with("workers", self.workers)
@@ -215,7 +222,15 @@ impl Shared {
                 self.expired_skipped.load(Ordering::Acquire),
             )
             .with("draining", self.shutdown.load(Ordering::SeqCst))
-            .with("verbs", verbs)
+            .with("verbs", verbs);
+        if let Some(hook) = &self.stats_ext {
+            if let Json::Obj(fields) = hook() {
+                for (key, value) in fields {
+                    payload.set(&key, value);
+                }
+            }
+        }
+        payload
     }
 }
 
@@ -295,6 +310,20 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn start(config: ServerConfig, handler: Handler) -> std::io::Result<Server> {
+        Server::start_with_stats(config, handler, None)
+    }
+
+    /// [`Server::start`] with an optional [`StatsHook`] whose fields are
+    /// appended to every `stats` payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_with_stats(
+        config: ServerConfig,
+        handler: Handler,
+        stats_ext: Option<StatsHook>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
@@ -311,6 +340,7 @@ impl Server {
             open_connections: AtomicUsize::new(0),
             expired_skipped: AtomicU64::new(0),
             stats: Mutex::new(Stats::default()),
+            stats_ext,
             started: Instant::now(),
         });
         // The dispatcher thread owns the pool: jobs reach it over a
