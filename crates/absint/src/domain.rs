@@ -1,0 +1,454 @@
+//! The unsigned interval lattice over 64-bit machine words.
+//!
+//! An [`Interval`] abstracts a set of `u64` values as a contiguous
+//! inclusive range `[lo, hi]`, with [`Interval::Bot`] for "no value"
+//! (unreachable code, infeasible branch edges). The transfer functions
+//! mirror [`amnesiac_isa::AluOp::apply`] exactly — including the ISA's
+//! division-by-zero (`u64::MAX`), remainder-by-zero (the dividend), and
+//! shift-modulo-64 conventions — and over-approximate whenever the precise
+//! result set is not an interval (wrap-around straddles, bitwise ops,
+//! floating point).
+
+use amnesiac_isa::{AluOp, BranchCond};
+
+/// An abstract 64-bit unsigned value: either no value, or every value in
+/// an inclusive range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interval {
+    /// The empty set: unreachable, or an infeasible refinement.
+    Bot,
+    /// All values `v` with `lo <= v <= hi` (unsigned, inclusive).
+    Range(u64, u64),
+}
+
+use Interval::{Bot, Range};
+
+impl Interval {
+    /// The full range `[0, u64::MAX]` — no information.
+    pub const TOP: Interval = Range(0, u64::MAX);
+
+    /// The singleton `[c, c]`.
+    pub fn constant(c: u64) -> Interval {
+        Range(c, c)
+    }
+
+    /// `Some(c)` if this is the singleton `[c, c]`.
+    pub fn as_const(self) -> Option<u64> {
+        match self {
+            Range(lo, hi) if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    /// `true` for the full range.
+    pub fn is_top(self) -> bool {
+        self == Self::TOP
+    }
+
+    /// `true` if `v` is in the abstract set.
+    pub fn contains(self, v: u64) -> bool {
+        match self {
+            Bot => false,
+            Range(lo, hi) => lo <= v && v <= hi,
+        }
+    }
+
+    /// Least upper bound: the smallest interval containing both.
+    pub fn join(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (Range(a, b), Range(c, d)) => Range(a.min(c), b.max(d)),
+        }
+    }
+
+    /// Greatest lower bound: the intersection.
+    pub fn meet(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Bot, _) | (_, Bot) => Bot,
+            (Range(a, b), Range(c, d)) => {
+                let lo = a.max(c);
+                let hi = b.min(d);
+                if lo <= hi {
+                    Range(lo, hi)
+                } else {
+                    Bot
+                }
+            }
+        }
+    }
+
+    /// `true` if the two abstract sets share at least one value.
+    pub fn intersects(self, other: Interval) -> bool {
+        self.meet(other) != Bot
+    }
+
+    /// `true` if every value of `other` is contained in `self`.
+    pub fn covers(self, other: Interval) -> bool {
+        match (self, other) {
+            (_, Bot) => true,
+            (Bot, _) => false,
+            (Range(a, b), Range(c, d)) => a <= c && d <= b,
+        }
+    }
+
+    /// Standard interval widening: any bound that moved since `self` jumps
+    /// straight to its extreme, guaranteeing termination at loop heads.
+    pub fn widen(self, next: Interval) -> Interval {
+        match (self, next) {
+            (Bot, x) | (x, Bot) => x,
+            (Range(a, b), Range(c, d)) => {
+                let lo = if c < a { 0 } else { a };
+                let hi = if d > b { u64::MAX } else { b };
+                Range(lo, hi)
+            }
+        }
+    }
+
+    /// Wrapping addition of a constant (the ISA's effective-address rule
+    /// `base.wrapping_add(offset as u64)`). Exact when both shifted bounds
+    /// wrap together; `TOP` when the range straddles the wrap point.
+    pub fn wrapping_add_const(self, c: u64) -> Interval {
+        match self {
+            Bot => Bot,
+            Range(lo, hi) => {
+                let (nl, lw) = lo.overflowing_add(c);
+                let (nh, hw) = hi.overflowing_add(c);
+                if lw == hw {
+                    Range(nl, nh)
+                } else {
+                    Self::TOP
+                }
+            }
+        }
+    }
+
+    /// Applies an integer ALU operation abstractly. Sound for every
+    /// concrete pair drawn from the operands, matching
+    /// [`AluOp::apply`]'s edge-case conventions.
+    pub fn alu(op: AluOp, lhs: Interval, rhs: Interval) -> Interval {
+        let (Range(a, b), Range(c, d)) = (lhs, rhs) else {
+            return Bot;
+        };
+        match op {
+            AluOp::Add => {
+                let (nl, lw) = a.overflowing_add(c);
+                let (nh, hw) = b.overflowing_add(d);
+                if lw == hw {
+                    Range(nl, nh)
+                } else {
+                    Self::TOP
+                }
+            }
+            AluOp::Sub => {
+                let (nl, lw) = a.overflowing_sub(d);
+                let (nh, hw) = b.overflowing_sub(c);
+                if lw == hw {
+                    Range(nl, nh)
+                } else {
+                    Self::TOP
+                }
+            }
+            AluOp::Mul => match (a.checked_mul(c), b.checked_mul(d)) {
+                (Some(nl), Some(nh)) => Range(nl, nh),
+                _ => Self::TOP,
+            },
+            AluOp::Div => {
+                // division by zero yields all-ones in this ISA
+                let mut out = Bot;
+                if c == 0 {
+                    out = out.join(Interval::constant(u64::MAX));
+                }
+                if let Some(lo) = a.checked_div(d) {
+                    out = out.join(Range(lo, b / c.max(1)));
+                }
+                out
+            }
+            AluOp::Rem => {
+                // remainder by zero yields the dividend
+                let mut out = Bot;
+                if c == 0 {
+                    out = out.join(lhs);
+                }
+                if d > 0 {
+                    out = out.join(Range(0, (d - 1).min(b)));
+                }
+                out
+            }
+            AluOp::And => match (lhs.as_const(), rhs.as_const()) {
+                (Some(x), Some(y)) => Interval::constant(x & y),
+                // a & b is never larger than either operand
+                _ => Range(0, b.min(d)),
+            },
+            AluOp::Or | AluOp::Xor => match (lhs.as_const(), rhs.as_const()) {
+                (Some(x), Some(y)) => {
+                    Interval::constant(if op == AluOp::Or { x | y } else { x ^ y })
+                }
+                // bounded by the highest bit either operand can set
+                _ => Range(0, bit_ceiling(b | d)),
+            },
+            AluOp::Shl => match rhs.as_const() {
+                Some(s) => {
+                    let s = s & 63;
+                    match (a.checked_shl(s as u32), b.checked_shl(s as u32)) {
+                        (Some(nl), Some(nh)) if b.leading_zeros() as u64 >= s => Range(nl, nh),
+                        _ => Self::TOP,
+                    }
+                }
+                None => Self::TOP,
+            },
+            AluOp::Shr => match rhs.as_const() {
+                Some(s) => {
+                    let s = s & 63;
+                    Range(a >> s, b >> s)
+                }
+                None => Range(0, b),
+            },
+            AluOp::Slt => {
+                // signed compare: only decidable here when both ranges stay
+                // in the non-negative half, where it agrees with unsigned
+                if b <= i64::MAX as u64 && d <= i64::MAX as u64 {
+                    Self::alu(AluOp::Sltu, lhs, rhs)
+                } else {
+                    Range(0, 1)
+                }
+            }
+            AluOp::Sltu => {
+                if b < c {
+                    Interval::constant(1)
+                } else if a >= d {
+                    Interval::constant(0)
+                } else {
+                    Range(0, 1)
+                }
+            }
+            AluOp::Seq => {
+                if lhs.as_const().is_some() && lhs == rhs {
+                    Interval::constant(1)
+                } else if !lhs.intersects(rhs) {
+                    Interval::constant(0)
+                } else {
+                    Range(0, 1)
+                }
+            }
+            AluOp::Min => Range(a.min(c), b.min(d)),
+            AluOp::Max => Range(a.max(c), b.max(d)),
+        }
+    }
+
+    /// Refines `(lhs, rhs)` assuming the branch condition evaluated to
+    /// `taken`. Returns `Bot` components when the assumption is infeasible
+    /// — the caller kills the corresponding CFG edge.
+    ///
+    /// Signed conditions refine only when both operands provably sit in
+    /// the non-negative half, where signed and unsigned order coincide.
+    pub fn refine(
+        cond: BranchCond,
+        taken: bool,
+        lhs: Interval,
+        rhs: Interval,
+    ) -> (Interval, Interval) {
+        let (Range(a, b), Range(c, d)) = (lhs, rhs) else {
+            return (Bot, Bot);
+        };
+        // reduce everything to Eq / Ne / Ltu / Geu
+        let (cond, taken) = match cond {
+            BranchCond::Lt | BranchCond::Ge if b <= i64::MAX as u64 && d <= i64::MAX as u64 => (
+                if cond == BranchCond::Lt {
+                    BranchCond::Ltu
+                } else {
+                    BranchCond::Geu
+                },
+                taken,
+            ),
+            BranchCond::Lt | BranchCond::Ge => return (lhs, rhs),
+            c => (c, taken),
+        };
+        let lt = matches!(
+            (cond, taken),
+            (BranchCond::Ltu, true) | (BranchCond::Geu, false)
+        );
+        let ge = matches!(
+            (cond, taken),
+            (BranchCond::Geu, true) | (BranchCond::Ltu, false)
+        );
+        if lt {
+            // lhs < rhs: lhs caps below max(rhs), rhs floors above min(lhs)
+            let nl = if d == 0 {
+                Bot
+            } else {
+                lhs.meet(Range(0, d - 1))
+            };
+            let nr = if a == u64::MAX {
+                Bot
+            } else {
+                rhs.meet(Range(a + 1, u64::MAX))
+            };
+            return (nl, nr);
+        }
+        if ge {
+            // lhs >= rhs: lhs floors at min(rhs), rhs caps at max(lhs)
+            let nl = lhs.meet(Range(c, u64::MAX));
+            let nr = rhs.meet(Range(0, b));
+            return (nl, nr);
+        }
+        match (cond, taken) {
+            (BranchCond::Eq, true) | (BranchCond::Ne, false) => {
+                let m = lhs.meet(rhs);
+                (m, m)
+            }
+            (BranchCond::Eq, false) | (BranchCond::Ne, true) => {
+                (exclude_const(lhs, rhs), exclude_const(rhs, lhs))
+            }
+            _ => (lhs, rhs),
+        }
+    }
+}
+
+/// `x` minus the value of `other` when `other` is a constant at one of
+/// `x`'s endpoints — the only case an interval can express `!=`.
+fn exclude_const(x: Interval, other: Interval) -> Interval {
+    let (Some(c), Range(lo, hi)) = (other.as_const(), x) else {
+        return x;
+    };
+    if lo == hi && lo == c {
+        Bot
+    } else if lo == c {
+        Range(lo + 1, hi)
+    } else if hi == c {
+        Range(lo, hi - 1)
+    } else {
+        x
+    }
+}
+
+/// The all-ones mask covering every bit position at or below the highest
+/// set bit of `v` (0 for 0): an upper bound for `|` and `^` results.
+fn bit_ceiling(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        u64::MAX >> v.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesiac_rng::Rng;
+
+    #[test]
+    fn lattice_basics() {
+        let a = Range(3, 7);
+        let b = Range(5, 10);
+        assert_eq!(a.join(b), Range(3, 10));
+        assert_eq!(a.meet(b), Range(5, 7));
+        assert_eq!(Range(0, 1).meet(Range(4, 5)), Bot);
+        assert_eq!(Bot.join(a), a);
+        assert!(Interval::TOP.covers(a));
+        assert!(!a.covers(Interval::TOP));
+        assert_eq!(Interval::constant(4).as_const(), Some(4));
+    }
+
+    #[test]
+    fn widening_terminates_at_extremes() {
+        let w = Range(0, 5).widen(Range(0, 6));
+        assert_eq!(w, Range(0, u64::MAX));
+        let w2 = Range(5, 9).widen(Range(4, 9));
+        assert_eq!(w2, Range(0, 9));
+        assert_eq!(Range(1, 2).widen(Range(1, 2)), Range(1, 2));
+    }
+
+    #[test]
+    fn refinement_narrows_loop_guards() {
+        // i in [0, MAX], n = 50: the "enter body" edge of `bgeu i, n, exit`
+        let i = Interval::TOP;
+        let n = Interval::constant(50);
+        let (body_i, _) = Interval::refine(BranchCond::Geu, false, i, n);
+        assert_eq!(body_i, Range(0, 49));
+        let (exit_i, _) = Interval::refine(BranchCond::Geu, true, i, n);
+        assert_eq!(exit_i, Range(50, u64::MAX));
+        // first visit with i = 0 cannot take the exit edge
+        let (inf, _) = Interval::refine(BranchCond::Geu, true, Interval::constant(0), n);
+        assert_eq!(inf, Bot);
+    }
+
+    /// Every ALU transfer function is sound: apply the abstract op to two
+    /// random intervals, then check random concrete pairs land inside.
+    #[test]
+    fn alu_transfer_is_sound_on_random_samples() {
+        let mut rng = Rng::seed_from_u64(0xAB51);
+        let ops = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Rem,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Seq,
+            AluOp::Min,
+            AluOp::Max,
+        ];
+        for _ in 0..4000 {
+            let op = ops[rng.below(ops.len() as u64) as usize];
+            let mk = |rng: &mut Rng| {
+                // mix small ranges, wide ranges, and extremes
+                let lo = match rng.below(3) {
+                    0 => rng.below(100),
+                    1 => u64::MAX - rng.below(100),
+                    _ => rng.next_u64(),
+                };
+                let hi = lo.saturating_add(rng.below(64));
+                Range(lo, hi)
+            };
+            let (la, lb) = (mk(&mut rng), mk(&mut rng));
+            let abs = Interval::alu(op, la, lb);
+            for _ in 0..8 {
+                let (Range(a, b), Range(c, d)) = (la, lb) else {
+                    unreachable!()
+                };
+                let x = a + rng.below(b - a + 1);
+                let y = c + rng.below(d - c + 1);
+                let concrete = op.apply(x, y);
+                assert!(
+                    abs.contains(concrete),
+                    "{op:?}: {x} op {y} = {concrete} outside {abs:?} (from {la:?}, {lb:?})"
+                );
+            }
+        }
+    }
+
+    /// Branch refinement never drops a concrete pair that satisfies the
+    /// assumed outcome.
+    #[test]
+    fn refinement_is_sound_on_random_samples() {
+        let mut rng = Rng::seed_from_u64(0x4EF1);
+        for _ in 0..4000 {
+            let cond = BranchCond::ALL[rng.below(6) as usize];
+            let taken = rng.below(2) == 0;
+            let lo1 = rng.below(1000);
+            let r1 = Range(lo1, lo1 + rng.below(50));
+            let lo2 = rng.below(1000);
+            let r2 = Range(lo2, lo2 + rng.below(50));
+            let (n1, n2) = Interval::refine(cond, taken, r1, r2);
+            let (Range(a, b), Range(c, d)) = (r1, r2) else {
+                unreachable!()
+            };
+            for _ in 0..8 {
+                let x = a + rng.below(b - a + 1);
+                let y = c + rng.below(d - c + 1);
+                if cond.eval(x, y) == taken {
+                    assert!(
+                        n1.contains(x) && n2.contains(y),
+                        "{cond:?}/{taken}: ({x}, {y}) dropped from ({r1:?}, {r2:?}) -> ({n1:?}, {n2:?})"
+                    );
+                }
+            }
+        }
+    }
+}

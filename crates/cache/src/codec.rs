@@ -23,6 +23,10 @@ pub fn report_to_json(report: &CompileReport) -> Json {
         .with("storage", storage_to_json(&report.storage))
         .with("validation_rounds", report.validation_rounds)
         .with("validation_rounds_saved", report.validation_rounds_saved)
+        .with(
+            "validation_rounds_saved_static",
+            report.validation_rounds_saved_static,
+        )
         .with("validation_capped", report.validation_capped)
         .with("rec_count", report.rec_count)
         .with(
@@ -46,6 +50,7 @@ pub fn report_from_json(json: &Json) -> Option<CompileReport> {
         storage: storage_from_json(json.get("storage")?)?,
         validation_rounds: get_u64(json, "validation_rounds")? as u32,
         validation_rounds_saved: get_u64(json, "validation_rounds_saved")? as u32,
+        validation_rounds_saved_static: get_u64(json, "validation_rounds_saved_static")? as u32,
         validation_capped: get_bool(json, "validation_capped")?,
         rec_count: get_usize(json, "rec_count")?,
         pc_map: json
@@ -172,6 +177,9 @@ fn diagnostic_to_json(diagnostic: &Diagnostic) -> Json {
         json.set("slice", slice);
     }
     json.set("message", diagnostic.message.as_str());
+    if let Some(why) = &diagnostic.explained {
+        json.set("explained", why.as_str());
+    }
     json
 }
 
@@ -191,11 +199,15 @@ fn diagnostic_from_json(json: &Json) -> Option<Diagnostic> {
             None => None,
         },
         message: json.get("message")?.as_str()?.to_string(),
+        explained: match json.get("explained") {
+            Some(v) => Some(v.as_str()?.to_string()),
+            None => None,
+        },
     })
 }
 
 fn kind_by_name(name: &str) -> Option<DiagnosticKind> {
-    const ALL: [DiagnosticKind; 12] = [
+    const ALL: [DiagnosticKind; 17] = [
         DiagnosticKind::SliceSideEffect,
         DiagnosticKind::SliceMissingRtn,
         DiagnosticKind::SliceOutOfBounds,
@@ -208,6 +220,11 @@ fn kind_by_name(name: &str) -> Option<DiagnosticKind> {
         DiagnosticKind::SfilePressure,
         DiagnosticKind::MainCodeEntersSliceRegion,
         DiagnosticKind::UnreachableSlice,
+        DiagnosticKind::DeadSliceCompute,
+        DiagnosticKind::ConstantFoldableSlice,
+        DiagnosticKind::RcmpDivergent,
+        DiagnosticKind::HistKeyOutOfRange,
+        DiagnosticKind::SfileOverflow,
     ];
     ALL.into_iter().find(|k| k.name() == name)
 }
@@ -289,17 +306,29 @@ mod tests {
             },
             validation_rounds: 2,
             validation_rounds_saved: 1,
+            validation_rounds_saved_static: 1,
             validation_capped: false,
             rec_count: 3,
             pc_map: vec![0, 1, 2, 5, 6],
             verify: VerifyReport {
-                diagnostics: vec![Diagnostic {
-                    kind: DiagnosticKind::RecNotDominating,
-                    severity: DiagnosticKind::RecNotDominating.severity(),
-                    pc: Some(17),
-                    slice: None,
-                    message: "REC at 17 may not dominate".to_string(),
-                }],
+                diagnostics: vec![
+                    Diagnostic {
+                        kind: DiagnosticKind::RecNotDominating,
+                        severity: DiagnosticKind::RecNotDominating.severity(),
+                        pc: Some(17),
+                        slice: None,
+                        message: "REC at 17 may not dominate".to_string(),
+                        explained: None,
+                    },
+                    Diagnostic {
+                        kind: DiagnosticKind::RcmpDivergent,
+                        severity: DiagnosticKind::RcmpDivergent.severity(),
+                        pc: Some(21),
+                        slice: Some(0),
+                        message: "recomputation always yields 7".to_string(),
+                        explained: Some("zero-trip proof".to_string()),
+                    },
+                ],
                 blocks: 6,
                 slices_checked: 1,
             },

@@ -47,7 +47,7 @@ pub use store::CompileCache;
 /// entries — in memory and on disk — at once. Bump whenever the compile
 /// pipeline's output for a fixed input can change, or when the report
 /// codec or disk framing changes shape.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// A compiled artifact: the annotated binary and its per-site report.
 #[derive(Debug, Clone, PartialEq)]

@@ -9,7 +9,7 @@ use amnesiac_mem::FastMap;
 use amnesiac_telemetry::Json;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Shard count. Key bits select the shard, so contention on unrelated
 /// programs never serialises; 8 matches the serve worker-count default.
@@ -46,6 +46,13 @@ enum Value {
 struct Flight {
     state: Mutex<FlightState>,
     done: Condvar,
+}
+
+/// Locks `m`, recovering the guard from a poisoned mutex: shard and
+/// flight state stay structurally valid across a panicking holder (the
+/// flight guard repairs its slot on unwind), so the data is safe to use.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 enum FlightState {
@@ -162,7 +169,7 @@ impl CompileCache {
         let key = artifact_key(program, options);
         loop {
             let flight = {
-                let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+                let mut shard = lock(self.shard_for(key));
                 match shard.slots.get_mut(&key) {
                     Some(Slot::Ready(entry)) => {
                         if let Value::Artifact(artifact) = &entry.value {
@@ -200,11 +207,14 @@ impl CompileCache {
             };
             // waiter path: block until the leader resolves the flight
             self.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
-            let mut state = flight.state.lock().expect("flight poisoned");
+            let mut state = lock(&flight.state);
             loop {
                 match &*state {
                     FlightState::Pending => {
-                        state = flight.done.wait(state).expect("flight poisoned");
+                        state = flight
+                            .done
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                     FlightState::Done(result) => return result.clone(),
                     FlightState::Poisoned => break, // retry as a fresh request
@@ -240,7 +250,7 @@ impl CompileCache {
             let _ = disk.store(key, artifact);
         }
         {
-            let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+            let mut shard = lock(self.shard_for(key));
             match &result {
                 Ok(artifact) => {
                     self.insert_ready(&mut shard, key, Value::Artifact(Arc::clone(artifact)));
@@ -250,7 +260,7 @@ impl CompileCache {
                 }
             }
         }
-        let mut state = flight.state.lock().expect("flight poisoned");
+        let mut state = lock(&flight.state);
         *state = FlightState::Done(result.clone());
         drop(state);
         flight.done.notify_all();
@@ -264,7 +274,7 @@ impl CompileCache {
     pub fn get_or_listing(&self, program: &Program, render: impl FnOnce() -> String) -> Arc<str> {
         let key = listing_key(program);
         {
-            let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+            let mut shard = lock(self.shard_for(key));
             if let Some(Slot::Ready(entry)) = shard.slots.get_mut(&key) {
                 if let Value::Listing(listing) = &entry.value {
                     let listing = Arc::clone(listing);
@@ -276,7 +286,7 @@ impl CompileCache {
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         let listing: Arc<str> = Arc::from(render());
-        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        let mut shard = lock(self.shard_for(key));
         match shard.slots.get_mut(&key) {
             // lost the render race: keep the incumbent for sharing
             Some(Slot::Ready(entry)) => {

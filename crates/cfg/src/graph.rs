@@ -244,6 +244,55 @@ impl Cfg {
         self.block_of.get(pc).copied()
     }
 
+    /// Reachable blocks in reverse postorder from the entry. Forward
+    /// dataflow (dominators here, the interval analysis in
+    /// `amnesiac-absint`) converges fastest iterating in this order.
+    pub fn rpo(&self) -> &[usize] {
+        &self.rpo
+    }
+
+    /// Position of block `b` in [`Cfg::rpo`], or `None` if `b` is
+    /// unreachable from the entry.
+    pub fn rpo_number(&self, b: usize) -> Option<usize> {
+        match self.rpo_num.get(b) {
+            Some(&n) if n != usize::MAX => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if block `b` is reachable from the entry block.
+    pub fn is_reachable_block(&self, b: usize) -> bool {
+        self.reachable.get(b).copied().unwrap_or(false)
+    }
+
+    /// Returns `true` if the edge `from → to` is a retreating (back) edge
+    /// in the depth-first ordering: it closes a cycle, so `to` is a loop
+    /// head for any analysis that widens there.
+    pub fn is_back_edge(&self, from: usize, to: usize) -> bool {
+        match (self.rpo_number(from), self.rpo_number(to)) {
+            (Some(f), Some(t)) => t <= f && self.blocks[from].succs.contains(&to),
+            _ => false,
+        }
+    }
+
+    /// Blocks that are the target of at least one back edge — the widening
+    /// points of any forward analysis over this graph.
+    pub fn loop_heads(&self) -> Vec<usize> {
+        let mut heads = vec![false; self.blocks.len()];
+        for (from, block) in self.blocks.iter().enumerate() {
+            for &to in &block.succs {
+                if self.is_back_edge(from, to) {
+                    heads[to] = true;
+                }
+            }
+        }
+        heads
+            .iter()
+            .enumerate()
+            .filter_map(|(b, &h)| h.then_some(b))
+            .collect()
+    }
+
     /// Returns `true` if the instruction at `pc` is reachable from the entry.
     pub fn is_reachable_pc(&self, pc: usize) -> bool {
         self.block_of_pc(pc).is_some_and(|b| self.reachable[b])
@@ -375,6 +424,40 @@ mod tests {
         assert!(cfg.dominates_pc(1, 4), "loop header dominates exit");
         assert!(!cfg.dominates_pc(2, 4), "loop body does not dominate exit");
         assert!(!cfg.dominates_pc(5, 4), "unreachable dominates nothing");
+    }
+
+    #[test]
+    fn back_edges_and_loop_heads() {
+        // 0: alu | 1: branch 4 (exit) | 2: alu, 3: jump 1 | 4: halt
+        let p = program(vec![
+            alu(1),
+            branch(4),
+            alu(2),
+            Instruction::Jump { target: 1 },
+            Instruction::Halt,
+        ]);
+        let cfg = Cfg::build(&predecode(&p), p.code_len, 0);
+        let head = cfg.block_of_pc(1).unwrap();
+        let body = cfg.block_of_pc(2).unwrap();
+        assert!(cfg.is_back_edge(body, head));
+        assert!(!cfg.is_back_edge(head, body));
+        assert_eq!(cfg.loop_heads(), vec![head]);
+        // rpo covers exactly the reachable blocks, entry first
+        assert_eq!(cfg.rpo().len(), cfg.len());
+        assert_eq!(cfg.rpo()[0], cfg.entry_block.unwrap());
+        assert_eq!(cfg.rpo_number(cfg.rpo()[0]), Some(0));
+        assert!(cfg.is_reachable_block(body));
+    }
+
+    #[test]
+    fn unreachable_block_has_no_rpo_number() {
+        // 0: halt | 1: alu (dead)
+        let p = program(vec![Instruction::Halt, alu(1)]);
+        let cfg = Cfg::build(&predecode(&p), p.code_len, 0);
+        let dead = cfg.block_of_pc(1).unwrap();
+        assert_eq!(cfg.rpo_number(dead), None);
+        assert!(!cfg.is_reachable_block(dead));
+        assert!(cfg.loop_heads().is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! amnesiac encode <prog | bench:NAME> <out.bin>        # binary image
 //! amnesiac trace <prog | bench:NAME>                   # dynamic trace
 //! amnesiac verify [<prog | bench:NAME>] [--json <dir>] # static well-formedness
+//! amnesiac lint [<prog | bench:NAME>] [--json <dir>]   # abstract-interpretation lint
 //! amnesiac experiments --json <dir>                    # suite + JSON twins
 //! amnesiac bench-snapshot <out.json>                   # perf baseline
 //! amnesiac bench-compare <baseline.json> [--tolerance <pp>]
@@ -144,6 +145,7 @@ pub enum Verb {
     Encode,
     Trace,
     Verify,
+    Lint,
     Experiments,
     BenchSnapshot,
     BenchCompare,
@@ -207,6 +209,7 @@ pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
 <prog.asm | prog.bin | bench:NAME> [--paper-scale] [--dispatch <inst|block>]
        amnesiac encode <prog | bench:NAME> <out.bin>
        amnesiac verify [<prog | bench:NAME>] [--json <dir>] [--scale <test|paper>]
+       amnesiac lint [<prog | bench:NAME>] [--json <dir>] [--scale <test|paper>]
        amnesiac experiments --json <dir> [--paper-scale]
        amnesiac bench-snapshot <out.json> [--scale <test|paper>] [--reps <n>]
        amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--scale <test|paper>] [--reps <n>] [--json <dir>]
@@ -276,7 +279,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         let arg = args[i].as_str();
         match arg {
             "run" | "disasm" | "profile" | "compile" | "compare" | "encode" | "trace"
-            | "verify" | "experiments" | "bench-snapshot" | "bench-compare" | "serve"
+            | "verify" | "lint" | "experiments" | "bench-snapshot" | "bench-compare" | "serve"
             | "serve-smoke" | "loadgen" | "loadgen-smoke"
                 if verb.is_none() =>
             {
@@ -288,6 +291,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "compare" => Verb::Compare,
                     "trace" => Verb::Trace,
                     "verify" => Verb::Verify,
+                    "lint" => Verb::Lint,
                     "experiments" => Verb::Experiments,
                     "bench-snapshot" => Verb::BenchSnapshot,
                     "bench-compare" => Verb::BenchCompare,
@@ -464,12 +468,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
     let executes_programs = matches!(
         verb,
-        Verb::Run | Verb::Trace | Verb::Profile | Verb::Compile | Verb::Compare | Verb::Verify
+        Verb::Run
+            | Verb::Trace
+            | Verb::Profile
+            | Verb::Compile
+            | Verb::Compare
+            | Verb::Verify
+            | Verb::Lint
     );
     if dispatch.is_some() && !executes_programs {
         return Err(CliError::Usage(
             "--dispatch only applies to the executing program verbs \
-             (run, trace, profile, compile, compare, verify)"
+             (run, trace, profile, compile, compare, verify, lint)"
                 .into(),
         ));
     }
@@ -504,6 +514,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             ));
         }
         Verb::Verify
+        | Verb::Lint
         | Verb::Experiments
         | Verb::BenchSnapshot
         | Verb::BenchCompare
@@ -636,6 +647,7 @@ pub(crate) fn run_with_cache(
     match command.verb {
         Verb::Experiments | Verb::BenchSnapshot | Verb::BenchCompare => run_suite_verb(command),
         Verb::Verify => run_verify(command, cache),
+        Verb::Lint => run_lint(command),
         Verb::Serve => service::run_serve(command),
         Verb::ServeSmoke => service::run_serve_smoke(command),
         Verb::Loadgen => service::run_loadgen(command),
@@ -789,6 +801,32 @@ fn run_verify(command: &Command, cache: Option<&CompileCache>) -> Result<Respons
         }
         None => Ok(Response::VerifySweep {
             sweep: VerifySweep::compute(command.effective_scale()),
+        }),
+    }
+}
+
+/// The `lint` verb: abstract-interpretation findings for one target — or,
+/// with no target, the whole built-in suite in parallel. Stricter than
+/// `verify`: unexplained Warn diagnostics also fail the lint.
+fn run_lint(command: &Command) -> Result<Response, CliError> {
+    use amnesiac_experiments::LintSweep;
+
+    match command.target.as_deref() {
+        Some(target) => {
+            let program = load_program(target, command.effective_scale() == Scale::Paper)?;
+            let mut config = CoreConfig::paper();
+            config.dispatch = command.effective_dispatch();
+            let tool = |e: &dyn std::fmt::Display| CliError::Tool(e.to_string());
+            let (profile, _) = profile_program(&program, &config).map_err(|e| tool(&e))?;
+            let (_, report) =
+                compile(&program, &profile, &CompileOptions::default()).map_err(|e| tool(&e))?;
+            Ok(Response::LintTarget {
+                target: target.to_string(),
+                report,
+            })
+        }
+        None => Ok(Response::LintSweep {
+            sweep: LintSweep::compute(command.effective_scale()),
         }),
     }
 }

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use amnesiac_compiler::{CompileReport, SiteOutcome};
 use amnesiac_core::AmnesicRunResult;
 use amnesiac_experiments::regress::{self, Regression, ServeComparison};
-use amnesiac_experiments::VerifySweep;
+use amnesiac_experiments::{LintSweep, VerifySweep};
 use amnesiac_profile::ProgramProfile;
 use amnesiac_sim::RunResult;
 use amnesiac_telemetry::{Json, ToJson};
@@ -101,6 +101,20 @@ pub enum Response {
         /// The sweep over all built-in workloads.
         sweep: VerifySweep,
     },
+    /// `lint <target>`: abstract-interpretation findings for one program
+    /// (the full compile report — verifier diagnostics plus the
+    /// replay-validation counters showing what the static prover skipped).
+    LintTarget {
+        /// The target as given on the command line.
+        target: String,
+        /// The compiler's report for the default slice set.
+        report: CompileReport,
+    },
+    /// `lint` with no target: the whole-suite sweep.
+    LintSweep {
+        /// The sweep over all built-in workloads.
+        sweep: LintSweep,
+    },
     /// `experiments`: the evaluation suite's artifact set.
     Experiments {
         /// Destination directory (`None` when invoked over the wire —
@@ -186,6 +200,7 @@ impl Response {
             Response::Compare { .. } => "compare",
             Response::Encode { .. } => "encode",
             Response::VerifyTarget { .. } | Response::VerifySweep { .. } => "verify",
+            Response::LintTarget { .. } | Response::LintSweep { .. } => "lint",
             Response::Experiments { .. } => "experiments",
             Response::BenchSnapshot { .. } => "bench-snapshot",
             Response::BenchCompare { .. } => "bench-compare",
@@ -203,6 +218,10 @@ impl Response {
         match self {
             Response::VerifyTarget { report, .. } => !report.is_clean(),
             Response::VerifySweep { sweep } => !sweep.is_clean(),
+            Response::LintTarget { report, .. } => {
+                !report.verify.is_clean() || report.verify.unexplained_warn_count() > 0
+            }
+            Response::LintSweep { sweep } => !sweep.is_clean(),
             Response::BenchCompare { regressions, .. } => !regressions.is_empty(),
             Response::ServeSmoke { failures, .. } => !failures.is_empty(),
             Response::LoadgenSmoke { failures, .. } => !failures.is_empty(),
@@ -363,6 +382,30 @@ impl Response {
                 out
             }
             Response::VerifySweep { sweep } => sweep.render(),
+            Response::LintTarget { target, report } => {
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "{target}: {} slices: {} error(s), {} warning(s) ({} unexplained)",
+                    report.verify.slices_checked,
+                    report.verify.error_count(),
+                    report.verify.warn_count(),
+                    report.verify.unexplained_warn_count()
+                );
+                let _ = writeln!(
+                    out,
+                    "  replay validation: {} round(s) run, {} saved by drop \
+                     disjointness, {} saved by static equivalence",
+                    report.validation_rounds,
+                    report.validation_rounds_saved,
+                    report.validation_rounds_saved_static
+                );
+                for d in &report.verify.diagnostics {
+                    let _ = writeln!(out, "  {d}");
+                }
+                out
+            }
+            Response::LintSweep { sweep } => sweep.render(),
             Response::Experiments {
                 dir,
                 n_benches,
@@ -594,6 +637,10 @@ impl Response {
                 .with("instructions", *instructions as u64),
             Response::VerifyTarget { report, .. } => report.to_json(),
             Response::VerifySweep { sweep } => sweep.to_json(),
+            Response::LintTarget { target, report } => Json::obj()
+                .with("target", target.as_str())
+                .with("report", report.to_json()),
+            Response::LintSweep { sweep } => sweep.to_json(),
             Response::Experiments {
                 n_benches,
                 artifacts,

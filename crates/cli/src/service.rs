@@ -83,6 +83,7 @@ fn request_command(request: &Request) -> Result<Command, ServeError> {
         "compile" => Verb::Compile,
         "simulate" | "run" => Verb::Run,
         "verify" => Verb::Verify,
+        "lint" => Verb::Lint,
         "bench" | "compare" => Verb::Compare,
         "experiments" => Verb::Experiments,
         "disasm" => Verb::Disasm,
@@ -93,7 +94,7 @@ fn request_command(request: &Request) -> Result<Command, ServeError> {
                 code::USAGE,
                 format!(
                     "unknown verb `{other}`; this server answers compile, simulate, \
-                     verify, bench, experiments, disasm, profile, and trace"
+                     verify, lint, bench, experiments, disasm, profile, and trace"
                 ),
             ))
         }
@@ -109,7 +110,7 @@ fn request_command(request: &Request) -> Result<Command, ServeError> {
         }
     };
     let target = request.target.clone();
-    if target.is_none() && !matches!(verb, Verb::Verify | Verb::Experiments) {
+    if target.is_none() && !matches!(verb, Verb::Verify | Verb::Lint | Verb::Experiments) {
         return Err(ServeError::bad_request(format!(
             "verb `{}` needs a target (a path or `bench:<name>`)",
             request.verb

@@ -52,6 +52,11 @@ pub struct CompileOptions {
     pub validate: bool,
     /// Dynamic-instruction fuse for the validation replay.
     pub replay_fuse: u64,
+    /// Let the abstract-interpretation prover (`amnesiac-absint`) skip a
+    /// whole-program replay round when every embedded slice is statically
+    /// proven replay-equivalent. Never changes the drop set — a proof only
+    /// skips a confirmation that could not have dropped anything.
+    pub static_equivalence: bool,
 }
 
 impl Default for CompileOptions {
@@ -63,6 +68,7 @@ impl Default for CompileOptions {
             max_slice_insts: 64,
             validate: true,
             replay_fuse: 400_000_000,
+            static_equivalence: true,
         }
     }
 }
@@ -130,6 +136,11 @@ pub struct CompileReport {
     /// because a round's dropped slices shared no `REC`/`Hist` origin with
     /// any survivor (their outcomes could not have changed).
     pub validation_rounds_saved: u32,
+    /// Whole-program replay rounds skipped because the static
+    /// replay-equivalence prover certified every embedded slice — the
+    /// abstract interpreter proved the recomputation equals the loaded
+    /// value on all inputs, so the replay could not have dropped anything.
+    pub validation_rounds_saved_static: u32,
     /// `true` when the validation-round cap was hit with slices still
     /// failing — the binary ships with unvalidated slices and must not be
     /// trusted for bit-exact amnesic execution.
@@ -191,6 +202,10 @@ impl ToJson for CompileReport {
             .with("rec_count", self.rec_count)
             .with("validation_rounds", self.validation_rounds)
             .with("validation_rounds_saved", self.validation_rounds_saved)
+            .with(
+                "validation_rounds_saved_static",
+                self.validation_rounds_saved_static,
+            )
             .with("validation_capped", self.validation_capped)
             .with("storage", self.storage.to_json())
             .with("verify", self.verify.to_json())
@@ -393,6 +408,7 @@ pub fn compile(
         decisions,
         validation_rounds: validated.rounds,
         validation_rounds_saved: validated.rounds_saved,
+        validation_rounds_saved_static: validated.rounds_saved_static,
         validation_capped: validated.capped,
         rec_count,
         pc_map: validated.pc_map,
@@ -412,6 +428,8 @@ struct ValidationSummary {
     rounds: u32,
     /// Confirmatory rounds skipped thanks to the independence argument.
     rounds_saved: u32,
+    /// Rounds skipped thanks to the static replay-equivalence prover.
+    rounds_saved_static: u32,
     /// The round cap was hit with slices still failing.
     capped: bool,
     /// Load pcs whose slices were dropped.
@@ -438,6 +456,27 @@ fn gate_verify(annotated: &Program, table: &BlockTable) -> Result<VerifyReport, 
 
 /// Cap on whole-program validation replays per compile.
 const MAX_VALIDATION_ROUNDS: u32 = 8;
+
+/// `true` when the abstract-interpretation prover certifies every slice of
+/// `annotated` replay-equivalent: each recomputation provably yields the
+/// loaded value on all inputs, so a validation replay cannot drop anything.
+///
+/// This is the *static pre-pass* of the validator. It is only ever used to
+/// skip a replay round wholesale, never to pre-drop or keep individual
+/// slices, so a prover bug can cost a wasted replay but can never change
+/// which slices ship. The dynamic replay remains the differential oracle:
+/// `amnesiac-verify`'s mutation suite asserts that whenever this returns
+/// `true`, the replay is exact.
+fn all_slices_proven_static(annotated: &Program) -> bool {
+    if annotated.slices.is_empty() {
+        return false;
+    }
+    let mut analysis = amnesiac_absint::Analysis::of_program(annotated);
+    analysis
+        .slice_reports(annotated)
+        .iter()
+        .all(|r| r.verdict.is_proven())
+}
 
 /// Shard count for one validation round: split across the pool only when
 /// there is real parallelism to win. Sharding replays the base instruction
@@ -524,9 +563,18 @@ fn validate_specs(
     let mut verify_report = gate_verify(&annotated, &table)?;
     let mut rounds = 0;
     let mut rounds_saved = 0;
+    let mut rounds_saved_static = 0;
     let mut capped = false;
     let mut dropped_pcs: BTreeSet<usize> = BTreeSet::new();
-    if options.validate && !specs.is_empty() {
+    // Static pre-pass: when every slice is proven replay-equivalent the
+    // discovery round cannot drop anything, so it is skipped outright.
+    let statically_proven = options.validate
+        && !specs.is_empty()
+        && options.static_equivalence
+        && all_slices_proven_static(&annotated);
+    if statically_proven {
+        rounds_saved_static += 1;
+    } else if options.validate && !specs.is_empty() {
         loop {
             rounds += 1;
             let round_dropped = failing_load_pcs(
@@ -566,6 +614,13 @@ fn validate_specs(
                 rounds_saved += 1;
                 break;
             }
+            // The drops shared REC origins with survivors, so a
+            // confirmatory replay is normally owed — unless the prover
+            // certifies every survivor under the re-annotation.
+            if options.static_equivalence && all_slices_proven_static(&annotated) {
+                rounds_saved_static += 1;
+                break;
+            }
         }
     }
     Ok(ValidationSummary {
@@ -573,6 +628,7 @@ fn validate_specs(
         pc_map,
         rounds,
         rounds_saved,
+        rounds_saved_static,
         capped,
         dropped_pcs,
         verify: verify_report,
@@ -741,11 +797,16 @@ mod tests {
             "the tmp[i] reload is recomputable"
         );
         assert!(annotated.is_annotated());
-        assert!(report.validation_rounds >= 1);
+        // the fill-loop slices are statically proven replay-equivalent, so
+        // the pre-pass skips the discovery replay outright
+        assert_eq!(report.validation_rounds, 0);
+        assert_eq!(report.validation_rounds_saved_static, 1);
         assert!(!report.validation_capped);
-        // every surviving slice validated exactly
+        // differential oracle: a statically-approved skip must be backed by
+        // an exact dynamic replay
         let outcome = replay_validate(&annotated, 1_000_000).unwrap();
         assert!(outcome.failing_slices().is_empty());
+        assert!(outcome.per_slice.iter().all(|s| s.is_exact()));
         // RCMPs replaced the selected loads
         let rcmps = annotated.instructions[..annotated.code_len]
             .iter()
@@ -913,8 +974,12 @@ mod tests {
                 },
             ],
         );
-        let specs = vec![bad_spec(load_a, add_a), good];
-        let v = validate_specs(&p, specs, &CompileOptions::default()).unwrap();
+        let specs = vec![bad_spec(load_a, add_a), good.clone()];
+        let opts = CompileOptions {
+            static_equivalence: false,
+            ..CompileOptions::default()
+        };
+        let v = validate_specs(&p, specs, &opts).unwrap();
         assert_eq!(v.dropped_pcs, BTreeSet::from([load_a]));
         assert_eq!(
             v.rounds, 2,
@@ -923,6 +988,15 @@ mod tests {
         assert_eq!(v.rounds_saved, 0);
         assert!(!v.capped);
         assert_eq!(v.annotated.slices.len(), 1, "only the good slice remains");
+
+        // with the prover on, the confirmatory replay is skipped: the
+        // surviving slice is certified under the re-annotation
+        let specs = vec![bad_spec(load_a, add_a), good];
+        let v = validate_specs(&p, specs, &CompileOptions::default()).unwrap();
+        assert_eq!(v.dropped_pcs, BTreeSet::from([load_a]));
+        assert_eq!(v.rounds, 1, "only the discovery replay runs");
+        assert_eq!(v.rounds_saved_static, 1);
+        assert_eq!(v.annotated.slices.len(), 1);
     }
 
     #[test]
@@ -999,11 +1073,23 @@ mod tests {
                 sources: [Some(OperandSource::Hist { key: 0 }), None, None],
             }],
         );
-        let v = validate_specs(&p, vec![good], &CompileOptions::default()).unwrap();
+        // with the prover off, one discovery round runs and nothing is saved
+        let opts = CompileOptions {
+            static_equivalence: false,
+            ..CompileOptions::default()
+        };
+        let v = validate_specs(&p, vec![good.clone()], &opts).unwrap();
         assert!(v.dropped_pcs.is_empty());
         assert_eq!(v.rounds, 1);
         assert_eq!(v.rounds_saved, 0);
+        assert_eq!(v.rounds_saved_static, 0);
         assert!(!v.capped);
+
+        // with the prover on, even the discovery round is skipped
+        let v = validate_specs(&p, vec![good], &CompileOptions::default()).unwrap();
+        assert!(v.dropped_pcs.is_empty());
+        assert_eq!(v.rounds, 0);
+        assert_eq!(v.rounds_saved_static, 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | [`table6`] | Table 6 — break-even `R` per benchmark |
 //! | [`ablations`] | structure-sizing, probe-cost and store-elision studies |
 //! | [`verification`] | suite-wide static well-formedness sweep (`amnesiac verify`) |
+//! | [`lint`] | abstract-interpretation lint sweep (`amnesiac lint`) |
 
 pub mod ablations;
 pub mod export;
@@ -36,6 +37,7 @@ pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod lint;
 pub mod pipeline;
 pub mod regress;
 pub mod report;
@@ -47,6 +49,7 @@ pub mod table5;
 pub mod table6;
 pub mod verification;
 
+pub use lint::LintSweep;
 pub use pipeline::{BenchEval, EvalSuite, PolicyOutcome};
 pub use verification::VerifySweep;
 

@@ -79,13 +79,27 @@ pub fn snapshot(suite: &EvalSuite, scale: Scale) -> Json {
                 "warnings",
                 bench.prob_report.verify.warn_count() + bench.oracle_report.verify.warn_count(),
             );
+        // additive since the lint PR: how much dynamic replay the static
+        // equivalence pre-pass retired; older baselines simply lack it
+        let validation = Json::obj()
+            .with(
+                "rounds",
+                u64::from(bench.prob_report.validation_rounds)
+                    + u64::from(bench.oracle_report.validation_rounds),
+            )
+            .with(
+                "rounds_saved_static",
+                u64::from(bench.prob_report.validation_rounds_saved_static)
+                    + u64::from(bench.oracle_report.validation_rounds_saved_static),
+            );
         benches.set(
             bench.name,
             Json::obj()
                 .with("pipeline_ms", bench.stages.total_ms())
                 .with("stages", amnesiac_telemetry::ToJson::to_json(&bench.stages))
                 .with("gains", gains)
-                .with("verify", verify),
+                .with("verify", verify)
+                .with("validation", validation),
         );
     }
     Json::obj()
@@ -704,6 +718,16 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(0.0),
             "pipeline-gated binaries must snapshot zero verify errors"
+        );
+        let rounds = snap
+            .get_path("benches.is.validation.rounds")
+            .and_then(Json::as_f64);
+        let saved = snap
+            .get_path("benches.is.validation.rounds_saved_static")
+            .and_then(Json::as_f64);
+        assert!(
+            rounds.is_some() && saved.is_some(),
+            "snapshot must carry the static-skip counters"
         );
         let warnings = vec!["baseline gain `x` is exactly zero".to_string()];
         let json = comparison_json(&[], &warnings, DEFAULT_TOLERANCE_PP);

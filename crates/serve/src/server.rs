@@ -38,7 +38,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -127,6 +127,15 @@ fn next_accept_backoff(current: Duration) -> Duration {
     (current * 2).min(ACCEPT_BACKOFF_MAX)
 }
 
+/// Locks a mutex, recovering the guard when a panicking thread poisoned
+/// it. Every structure behind a server mutex (stats counters, connection
+/// handles, completion slots) stays well-formed across a handler panic,
+/// and refusing all further service over a poisoned counter would turn
+/// one panic into an outage.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 struct Shared {
     handler: Handler,
     addr: SocketAddr,
@@ -173,7 +182,7 @@ impl Shared {
     }
 
     fn record(&self, verb: &str, outcome: &Result<Json, ServeError>, elapsed_ms: f64) {
-        let mut stats = self.stats.lock().unwrap();
+        let mut stats = lock(&self.stats);
         let entry = stats.verbs.entry(verb.to_string()).or_default();
         entry.requests += 1;
         match outcome {
@@ -187,7 +196,7 @@ impl Shared {
 
     /// The `stats` verb's payload.
     fn stats_json(&self) -> Json {
-        let stats = self.stats.lock().unwrap();
+        let stats = lock(&self.stats);
         let mut verbs = Json::obj();
         for (verb, v) in &stats.verbs {
             verbs.set(
@@ -252,14 +261,14 @@ impl Job {
     }
 
     fn complete(&self, result: Result<Json, ServeError>) {
-        *self.slot.lock().unwrap() = Some(result);
+        *lock(&self.slot) = Some(result);
         self.done.notify_all();
     }
 
     /// Waits for completion until `deadline`; `None` means the deadline
     /// passed first (the caller reports a timeout and cancels).
     fn wait_until(&self, deadline: Instant) -> Option<Result<Json, ServeError>> {
-        let mut slot = self.slot.lock().unwrap();
+        let mut slot = lock(&self.slot);
         loop {
             if let Some(result) = slot.take() {
                 return Some(result);
@@ -268,7 +277,10 @@ impl Job {
             if now >= deadline {
                 return None;
             }
-            let (next, timeout) = self.done.wait_timeout(slot, deadline - now).unwrap();
+            let (next, timeout) = self
+                .done
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             slot = next;
             if timeout.timed_out() && slot.is_none() {
                 return None;
@@ -351,16 +363,14 @@ impl Server {
         let (jobs_tx, jobs_rx) = channel::<Box<dyn FnOnce() + Send>>();
         let dispatcher = thread::Builder::new()
             .name("amnesiac-serve-dispatch".into())
-            .spawn(move || dispatcher_loop(workers, jobs_rx))
-            .expect("spawn dispatcher");
+            .spawn(move || dispatcher_loop(workers, jobs_rx))?;
         let conns = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
             let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
             thread::Builder::new()
                 .name("amnesiac-serve-accept".into())
-                .spawn(move || acceptor_loop(listener, shared, conns, jobs_tx))
-                .expect("spawn acceptor")
+                .spawn(move || acceptor_loop(listener, shared, conns, jobs_tx))?
         };
         Ok(Server {
             shared,
@@ -394,7 +404,7 @@ impl Server {
     /// connection ever accepted — soak tests assert exactly that bound.
     pub fn tracked_connections(&self) -> usize {
         reap_finished(&self.conns);
-        self.conns.lock().unwrap().len()
+        lock(&self.conns).len()
     }
 
     /// Waits until the acceptor, every connection, and the worker pool
@@ -407,7 +417,7 @@ impl Server {
             let _ = acceptor.join();
         }
         loop {
-            let Some(conn) = self.conns.lock().unwrap().pop() else {
+            let Some(conn) = lock(&self.conns).pop() else {
                 break;
             };
             let _ = conn.join();
@@ -462,13 +472,20 @@ fn acceptor_loop(
         // per connection ever accepted.
         reap_finished(&conns);
         shared.open_connections.fetch_add(1, Ordering::AcqRel);
-        let shared = Arc::clone(&shared);
-        let jobs_tx = jobs_tx.clone();
-        let handle = thread::Builder::new()
+        let conn_shared = Arc::clone(&shared);
+        let conn_jobs = jobs_tx.clone();
+        match thread::Builder::new()
             .name("amnesiac-serve-conn".into())
-            .spawn(move || serve_connection(shared, stream, jobs_tx))
-            .expect("spawn connection thread");
-        conns.lock().unwrap().push(handle);
+            .spawn(move || serve_connection(conn_shared, stream, conn_jobs))
+        {
+            Ok(handle) => lock(&conns).push(handle),
+            Err(_) => {
+                // Thread exhaustion: drop the connection unserved and count
+                // it like an accept failure (same transient-pressure class).
+                shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                shared.accept_errors.fetch_add(1, Ordering::AcqRel);
+            }
+        }
     }
 }
 
@@ -477,7 +494,7 @@ fn acceptor_loop(
 /// there is no reason to hold up the acceptor's critical section for it).
 fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
     let finished: Vec<JoinHandle<()>> = {
-        let mut guard = conns.lock().unwrap();
+        let mut guard = lock(conns);
         let mut out = Vec::new();
         let mut i = 0;
         while i < guard.len() {
@@ -518,10 +535,14 @@ fn serve_connection(
     let (tx, rx) = channel::<PendingResponse>();
     let writer = {
         let shared = Arc::clone(&shared);
-        thread::Builder::new()
+        let spawned = thread::Builder::new()
             .name("amnesiac-serve-write".into())
-            .spawn(move || writer_loop(shared, write_stream, rx))
-            .expect("spawn connection writer")
+            .spawn(move || writer_loop(shared, write_stream, rx));
+        match spawned {
+            Ok(handle) => handle,
+            // No writer means no way to answer: close the connection.
+            Err(_) => return,
+        }
     };
     reader_loop(&shared, stream, &jobs_tx, &tx);
     drop(tx); // close the writer's queue so it drains and exits

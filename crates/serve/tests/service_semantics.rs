@@ -246,8 +246,26 @@ fn backlog_overflow_is_rejected_with_overloaded() {
     let mut filler = Client::connect(server.addr()).unwrap();
     filler.send(&Request::new("block").with_id(2u64)).unwrap();
     // The filler is queued (not entered: single worker is busy). Now the
-    // backlog (running + queued = 2) is full.
+    // backlog (running + queued = 2) is full. `send` returns once the bytes
+    // are written, not once the server has admitted them, so wait for the
+    // admission counter (`stats` bypasses the backlog) before probing.
     let mut rejected = Client::connect(server.addr()).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = rejected.call(&Request::new("stats")).unwrap();
+        let inflight = stats
+            .payload()
+            .and_then(|p| p.get("inflight").and_then(Json::as_f64))
+            .unwrap();
+        if inflight >= 2.0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "filler never admitted: inflight {inflight}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
     let response = rejected.call(&Request::new("echo").with_id(3u64)).unwrap();
     let error = response.error().expect("backlog is full");
     assert_eq!(error.code, code::OVERLOADED);

@@ -40,6 +40,11 @@ use dataflow::RecCoverage;
 /// (`max#slice_insts × max#rename`), matching the runtime configuration.
 pub const DEFAULT_SFILE_CAPACITY: usize = 256;
 
+/// Default `Hist` capacity (keys) used by the key-range invariant: the
+/// checkpoint table is direct-mapped on the leaf key, so a key at or past
+/// this bound can never be recorded or found at runtime.
+pub const DEFAULT_HIST_CAPACITY: usize = 4096;
+
 /// How serious a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
@@ -105,6 +110,28 @@ pub enum DiagnosticKind {
     /// A slice whose owning `RCMP` is unreachable from the program entry —
     /// the body is dead weight in the binary.
     UnreachableSlice,
+    /// Slice body producers whose value is never consumed — not by any
+    /// later `SFile` operand and not as the root. The recomputation burns
+    /// energy on values it throws away.
+    DeadSliceCompute,
+    /// The whole recomputation folds to one compile-time constant: the
+    /// slice spends a multi-instruction traversal on what a single
+    /// immediate would provide.
+    ConstantFoldableSlice,
+    /// The abstract interpreter proves the recomputed value lies outside
+    /// every value the loaded address can hold: the slice diverges at every
+    /// firing. The `RCMP` still retires the architecturally loaded value,
+    /// so this degrades energy (wasted traversals), not correctness — and
+    /// dynamic replay will drop the slice.
+    RcmpDivergent,
+    /// A `Hist` key at or past the checkpoint table's capacity: the runtime
+    /// can never record or find it, so every firing misses and falls back.
+    HistKeyOutOfRange,
+    /// Liveness proof that the body needs more concurrently live `SFile`
+    /// slots than the file has even with perfect renaming — a strictly
+    /// stronger fact than [`DiagnosticKind::SfilePressure`]'s instruction
+    /// count.
+    SfileOverflow,
 }
 
 impl DiagnosticKind {
@@ -118,11 +145,16 @@ impl DiagnosticKind {
             | DiagnosticKind::OperandPlanMismatch
             | DiagnosticKind::LeafNotCovered
             | DiagnosticKind::UncheckpointedHist
-            | DiagnosticKind::MainCodeEntersSliceRegion => Severity::Error,
+            | DiagnosticKind::MainCodeEntersSliceRegion
+            | DiagnosticKind::HistKeyOutOfRange
+            | DiagnosticKind::SfileOverflow => Severity::Error,
             DiagnosticKind::RecNotDominating
             | DiagnosticKind::RecKeyOrphan
             | DiagnosticKind::SfilePressure
-            | DiagnosticKind::UnreachableSlice => Severity::Warn,
+            | DiagnosticKind::UnreachableSlice
+            | DiagnosticKind::DeadSliceCompute
+            | DiagnosticKind::ConstantFoldableSlice
+            | DiagnosticKind::RcmpDivergent => Severity::Warn,
         }
     }
 
@@ -141,6 +173,11 @@ impl DiagnosticKind {
             DiagnosticKind::SfilePressure => "sfile-pressure",
             DiagnosticKind::MainCodeEntersSliceRegion => "main-code-enters-slice-region",
             DiagnosticKind::UnreachableSlice => "unreachable-slice",
+            DiagnosticKind::DeadSliceCompute => "dead-slice-compute",
+            DiagnosticKind::ConstantFoldableSlice => "constant-foldable-slice",
+            DiagnosticKind::RcmpDivergent => "rcmp-divergent",
+            DiagnosticKind::HistKeyOutOfRange => "hist-key-out-of-range",
+            DiagnosticKind::SfileOverflow => "sfile-overflow",
         }
     }
 }
@@ -164,6 +201,11 @@ pub struct Diagnostic {
     pub slice: Option<u32>,
     /// Human-readable explanation.
     pub message: String,
+    /// When the verifier itself can prove the warned-about situation is
+    /// benign (e.g. the uncovered path is statically infeasible), the proof
+    /// sketch lands here and the finding no longer counts against
+    /// [`VerifyReport::unexplained_warn_count`]. Always `None` on errors.
+    pub explained: Option<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -175,12 +217,16 @@ impl fmt::Display for Diagnostic {
         if let Some(s) = self.slice {
             write!(f, " slice{s}")?;
         }
-        write!(f, ": {}", self.message)
+        write!(f, ": {}", self.message)?;
+        if let Some(why) = &self.explained {
+            write!(f, " (explained: {why})")?;
+        }
+        Ok(())
     }
 }
 
 impl ToJson for Diagnostic {
-    /// `{kind, severity, pc?, slice?, message}`.
+    /// `{kind, severity, pc?, slice?, message, explained?}`.
     fn to_json(&self) -> Json {
         let mut j = Json::obj()
             .with("kind", self.kind.name())
@@ -191,7 +237,11 @@ impl ToJson for Diagnostic {
         if let Some(s) = self.slice {
             j.set("slice", s);
         }
-        j.with("message", self.message.as_str())
+        j = j.with("message", self.message.as_str());
+        if let Some(why) = &self.explained {
+            j.set("explained", why.as_str());
+        }
+        j
     }
 }
 
@@ -200,12 +250,21 @@ impl ToJson for Diagnostic {
 pub struct VerifyOptions {
     /// `SFile` capacity used by the register-pressure invariant.
     pub sfile_capacity: usize,
+    /// `Hist` capacity used by the key-range invariant.
+    pub hist_capacity: usize,
+    /// Run the abstract-interpretation passes (`amnesiac-absint`): liveness
+    /// proofs, constant folding, divergence detection, and zero-trip
+    /// explanations for coverage warnings. On by default; switch off to get
+    /// the purely structural verifier.
+    pub static_analysis: bool,
 }
 
 impl Default for VerifyOptions {
     fn default() -> Self {
         VerifyOptions {
             sfile_capacity: DEFAULT_SFILE_CAPACITY,
+            hist_capacity: DEFAULT_HIST_CAPACITY,
+            static_analysis: true,
         }
     }
 }
@@ -235,6 +294,17 @@ impl VerifyReport {
         self.diagnostics.len() - self.error_count()
     }
 
+    /// Warnings with no machine-checked benignity proof attached. This is
+    /// the number the lint gate holds at zero: an explained warning is an
+    /// allowlisted, understood degradation; an unexplained one is new
+    /// information.
+    pub fn unexplained_warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn && d.explained.is_none())
+            .count()
+    }
+
     /// `true` when no Error-severity invariant is violated (warnings are
     /// allowed: they flag statically unprovable but dynamically safe
     /// situations).
@@ -249,12 +319,14 @@ impl VerifyReport {
 }
 
 impl ToJson for VerifyReport {
-    /// `{clean, errors, warnings, blocks, slices_checked, diagnostics}`.
+    /// `{clean, errors, warnings, unexplained_warnings, blocks,
+    /// slices_checked, diagnostics}`.
     fn to_json(&self) -> Json {
         Json::obj()
             .with("clean", self.is_clean())
             .with("errors", self.error_count())
             .with("warnings", self.warn_count())
+            .with("unexplained_warnings", self.unexplained_warn_count())
             .with("blocks", self.blocks)
             .with("slices_checked", self.slices_checked)
             .with(
@@ -314,12 +386,24 @@ impl Verifier<'_> {
         slice: Option<u32>,
         message: String,
     ) {
+        self.emit_explained(kind, pc, slice, message, None);
+    }
+
+    fn emit_explained(
+        &mut self,
+        kind: DiagnosticKind,
+        pc: Option<usize>,
+        slice: Option<u32>,
+        message: String,
+        explained: Option<String>,
+    ) {
         self.diagnostics.push(Diagnostic {
             kind,
             severity: kind.severity(),
             pc,
             slice,
             message,
+            explained,
         });
     }
 
@@ -332,8 +416,15 @@ impl Verifier<'_> {
             .map(|i| self.check_slice(i))
             .collect();
         let coverage = RecCoverage::analyze(decoded, self.code_len, &cfg);
-        self.check_rec_coverage(decoded, &cfg, &coverage, &bound);
+        let mut analysis = self
+            .opts
+            .static_analysis
+            .then(|| amnesiac_absint::Analysis::of_program(self.program));
+        self.check_rec_coverage(decoded, &cfg, &coverage, &bound, analysis.as_ref());
         self.check_orphan_recs(&coverage);
+        if let Some(a) = analysis.as_mut() {
+            self.check_absint(a, &bound);
+        }
 
         VerifyReport {
             diagnostics: self.diagnostics,
@@ -540,6 +631,22 @@ impl Verifier<'_> {
             );
         }
 
+        // Hist keys must index into the checkpoint table: the runtime can
+        // neither record nor look up a key past its capacity.
+        for key in meta.hist_keys() {
+            if key as usize >= self.opts.hist_capacity {
+                self.emit(
+                    DiagnosticKind::HistKeyOutOfRange,
+                    Some(meta.entry),
+                    Some(sid),
+                    format!(
+                        "Hist key {} is outside the {}-entry checkpoint table",
+                        key, self.opts.hist_capacity
+                    ),
+                );
+            }
+        }
+
         rcmp_ok
     }
 
@@ -677,6 +784,7 @@ impl Verifier<'_> {
         cfg: &Cfg,
         coverage: &RecCoverage,
         bound: &[bool],
+        analysis: Option<&amnesiac_absint::Analysis>,
     ) {
         for (idx, meta) in self.program.slices.iter().enumerate() {
             if !bound.get(idx).copied().unwrap_or(false) {
@@ -716,7 +824,30 @@ impl Verifier<'_> {
                     _ => coverage.covered_at(decoded, cfg, meta.rcmp_pc, key),
                 };
                 if !covered {
-                    self.emit(
+                    // The uncovered path may be statically infeasible: the
+                    // zero-trip analysis prunes branch edges that cannot be
+                    // taken on first traversal (e.g. a counted loop's guard
+                    // skipping a body that must run at least once). If some
+                    // REC still must-passes on every feasible path, the
+                    // Hist entry is recorded before the RCMP can fire and
+                    // the warning is a benign artefact of path-insensitive
+                    // dominance.
+                    let explained = analysis.and_then(|a| {
+                        let rb = a.cfg.block_of_pc(meta.rcmp_pc)?;
+                        sites.iter().find_map(|&s_pc| {
+                            let sb = a.cfg.block_of_pc(s_pc)?;
+                            let first = a.zerotrip.must_pass(&a.cfg, sb, rb)
+                                && (sb != rb || s_pc < meta.rcmp_pc);
+                            first.then(|| {
+                                format!(
+                                    "zero-trip analysis proves the REC at pc {s_pc} executes \
+                                     before the RCMP on every feasible path; the uncovered \
+                                     paths cannot be taken"
+                                )
+                            })
+                        })
+                    });
+                    self.emit_explained(
                         DiagnosticKind::RecNotDominating,
                         Some(meta.rcmp_pc),
                         Some(sid),
@@ -724,8 +855,74 @@ impl Verifier<'_> {
                             "REC @{key} (pc {:?}) does not cover every path to the RCMP at pc {}; uncovered paths miss in Hist and fall back to the load",
                             sites, meta.rcmp_pc
                         ),
+                        explained,
                     );
                 }
+            }
+        }
+    }
+
+    /// Abstract-interpretation findings per slice: dead body compute,
+    /// constant-foldable recomputation, provable divergence from the loaded
+    /// value, and a liveness-based `SFile` overflow proof.
+    fn check_absint(&mut self, analysis: &mut amnesiac_absint::Analysis, bound: &[bool]) {
+        let reports = analysis.slice_reports(self.program);
+        for report in &reports {
+            let idx = report.slice as usize;
+            if !bound.get(idx).copied().unwrap_or(false) {
+                continue; // structurally broken slices get no derived facts
+            }
+            let Some(meta) = self.program.slices.get(idx) else {
+                continue;
+            };
+            let sid = meta.id.0;
+            if !report.dead_producers.is_empty() {
+                self.emit(
+                    DiagnosticKind::DeadSliceCompute,
+                    Some(meta.entry),
+                    Some(sid),
+                    format!(
+                        "body instruction(s) {:?} produce values nothing consumes",
+                        report.dead_producers
+                    ),
+                );
+            }
+            if report.peak_sfile > self.opts.sfile_capacity {
+                self.emit(
+                    DiagnosticKind::SfileOverflow,
+                    Some(meta.entry),
+                    Some(sid),
+                    format!(
+                        "body needs {} concurrently live SFile slots, the file has {}",
+                        report.peak_sfile, self.opts.sfile_capacity
+                    ),
+                );
+            }
+            if let Some(c) = report.recomputed_const {
+                if meta.compute_len() > 1 {
+                    self.emit(
+                        DiagnosticKind::ConstantFoldableSlice,
+                        Some(meta.entry),
+                        Some(sid),
+                        format!(
+                            "the {}-instruction recomputation always yields {c}; a single \
+                             immediate would do",
+                            meta.compute_len()
+                        ),
+                    );
+                }
+            }
+            if let Some((c, lo, hi)) = report.divergent {
+                self.emit(
+                    DiagnosticKind::RcmpDivergent,
+                    Some(meta.rcmp_pc),
+                    Some(sid),
+                    format!(
+                        "recomputation always yields {c}, but the loaded address can only \
+                         hold values in [{lo}, {hi}]; every firing diverges and wastes the \
+                         traversal"
+                    ),
+                );
             }
         }
     }
@@ -958,6 +1155,8 @@ mod tests {
             "a bypassable REC degrades gracefully at runtime: {:?}",
             report.diagnostics
         );
+        // here the bypass is genuinely takeable, so no benignity proof
+        assert!(report.unexplained_warn_count() >= 1);
     }
 
     #[test]
@@ -975,9 +1174,224 @@ mod tests {
     #[test]
     fn sfile_pressure_warns_under_tiny_capacity() {
         let p = fixture();
-        let report = verify_with(&p, &VerifyOptions { sfile_capacity: 0 });
+        // static analysis off: this exercises the structural instruction
+        // count alone (the liveness pass would upgrade to SfileOverflow)
+        let report = verify_with(
+            &p,
+            &VerifyOptions {
+                sfile_capacity: 0,
+                static_analysis: false,
+                ..Default::default()
+            },
+        );
         assert!(report.has_kind(DiagnosticKind::SfilePressure));
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn liveness_proof_upgrades_pressure_to_overflow() {
+        let p = fixture();
+        let report = verify_with(
+            &p,
+            &VerifyOptions {
+                sfile_capacity: 0,
+                ..Default::default()
+            },
+        );
+        assert!(report.has_kind(DiagnosticKind::SfilePressure));
+        assert!(report.has_kind(DiagnosticKind::SfileOverflow));
+        assert!(!report.is_clean(), "the overflow proof is a hard error");
+    }
+
+    #[test]
+    fn hist_key_past_table_capacity_is_an_error() {
+        let p = fixture();
+        let report = verify_with(
+            &p,
+            &VerifyOptions {
+                hist_capacity: 0,
+                ..Default::default()
+            },
+        );
+        assert!(report.has_kind(DiagnosticKind::HistKeyOutOfRange));
+        assert!(!report.is_clean());
+        // and the default capacity admits the fixture's key 0
+        assert!(verify(&p).is_clean());
+    }
+
+    #[test]
+    fn mismatched_store_makes_the_slice_provably_divergent() {
+        // store r1 (= 5) instead of r2 (= 10): the recomputation folds to
+        // 10 but the cell can only ever hold 0 or 5
+        let mut p = fixture();
+        p.instructions[3] = Instruction::Store {
+            src: Reg(1),
+            base: Reg(0),
+            offset: 100,
+        };
+        let report = verify(&p);
+        assert!(report.has_kind(DiagnosticKind::RcmpDivergent));
+        assert!(
+            report.is_clean(),
+            "divergence costs energy, not correctness"
+        );
+    }
+
+    /// Extends the fixture body to two compute instructions:
+    /// `r2 = Hist@0 + Hist@0; r2 = r2 + r2; Rtn`.
+    fn two_inst_fixture() -> Program {
+        let mut p = fixture();
+        p.instructions[7] = Instruction::Alu {
+            op: AluOp::Add,
+            dst: Reg(2),
+            lhs: Reg(2),
+            rhs: Reg(2),
+        };
+        p.instructions.push(Instruction::Rtn { slice: SliceId(0) });
+        p.slices[0].len = 3;
+        p.slices[0].plans.push(OperandPlan {
+            sources: [
+                Some(OperandSource::SFile { producer: 0 }),
+                Some(OperandSource::SFile { producer: 0 }),
+                None,
+            ],
+        });
+        p
+    }
+
+    #[test]
+    fn multi_instruction_constant_body_warns_foldable() {
+        let report = verify(&two_inst_fixture());
+        assert!(report.has_kind(DiagnosticKind::ConstantFoldableSlice));
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn unconsumed_body_producer_warns_dead_compute() {
+        // make the second instruction ignore the first: producer 0 is dead
+        let mut p = two_inst_fixture();
+        p.slices[0].plans[1] = OperandPlan {
+            sources: [
+                Some(OperandSource::Hist { key: 0 }),
+                Some(OperandSource::Hist { key: 0 }),
+                None,
+            ],
+        };
+        p.slices[0].leaves.push(LeafInfo {
+            index: 1,
+            needs_hist: true,
+            origin_pc: Some(2),
+        });
+        let report = verify(&p);
+        assert!(report.has_kind(DiagnosticKind::DeadSliceCompute));
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn loop_guarded_rec_warn_is_explained() {
+        // The REC sits inside a counted loop that provably runs at least
+        // once. Classic dominance sees the zero-trip path around the body;
+        // the zero-trip analysis proves that path infeasible, so the
+        // coverage warning carries a benignity proof.
+        let mut p = Program::new("loop-rec");
+        p.instructions = vec![
+            Instruction::Li {
+                dst: Reg(1),
+                imm: 5,
+            },
+            Instruction::Li {
+                dst: Reg(2),
+                imm: 0,
+            },
+            Instruction::Li {
+                dst: Reg(3),
+                imm: 3,
+            },
+            Instruction::Branch {
+                cond: amnesiac_isa::BranchCond::Geu,
+                lhs: Reg(2),
+                rhs: Reg(3),
+                target: 7,
+            },
+            Instruction::Rec {
+                key: 0,
+                srcs: [Some(Reg(1)), Some(Reg(1)), None],
+            },
+            Instruction::Alui {
+                op: AluOp::Add,
+                dst: Reg(2),
+                src: Reg(2),
+                imm: 1,
+            },
+            Instruction::Jump { target: 3 },
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(4),
+                lhs: Reg(1),
+                rhs: Reg(1),
+            },
+            Instruction::Store {
+                src: Reg(4),
+                base: Reg(0),
+                offset: 100,
+            },
+            Instruction::Rcmp {
+                dst: Reg(5),
+                base: Reg(0),
+                offset: 100,
+                slice: SliceId(0),
+            },
+            Instruction::Halt,
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(4),
+                lhs: Reg(1),
+                rhs: Reg(1),
+            },
+            Instruction::Rtn { slice: SliceId(0) },
+        ];
+        p.code_len = 11;
+        p.slices = vec![SliceMeta {
+            id: SliceId(0),
+            rcmp_pc: 9,
+            entry: 11,
+            len: 2,
+            root_reg: Reg(4),
+            plans: vec![OperandPlan {
+                sources: [
+                    Some(OperandSource::Hist { key: 0 }),
+                    Some(OperandSource::Hist { key: 0 }),
+                    None,
+                ],
+            }],
+            leaves: vec![LeafInfo {
+                index: 0,
+                needs_hist: true,
+                origin_pc: Some(7),
+            }],
+            has_nonrecomputable: true,
+            est_recompute_nj: 1.0,
+            est_load_nj: 2.0,
+            height: 1,
+        }];
+        let report = verify(&p);
+        assert!(report.has_kind(DiagnosticKind::RecNotDominating));
+        assert_eq!(
+            report.unexplained_warn_count(),
+            0,
+            "the zero-trip proof explains the warning: {:?}",
+            report.diagnostics
+        );
+        // without the static analysis, the same warning is unexplained
+        let bare = verify_with(
+            &p,
+            &VerifyOptions {
+                static_analysis: false,
+                ..Default::default()
+            },
+        );
+        assert!(bare.has_kind(DiagnosticKind::RecNotDominating));
+        assert!(bare.unexplained_warn_count() >= 1);
     }
 
     #[test]
@@ -1058,6 +1472,11 @@ mod tests {
             SfilePressure,
             MainCodeEntersSliceRegion,
             UnreachableSlice,
+            DeadSliceCompute,
+            ConstantFoldableSlice,
+            RcmpDivergent,
+            HistKeyOutOfRange,
+            SfileOverflow,
         ];
         let names: BTreeSet<&str> = all.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), all.len(), "names are distinct");
@@ -1065,8 +1484,8 @@ mod tests {
             all.iter()
                 .filter(|k| k.severity() == Severity::Error)
                 .count(),
-            8,
-            "eight hard invariants"
+            10,
+            "ten hard invariants"
         );
     }
 

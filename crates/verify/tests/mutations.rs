@@ -5,7 +5,7 @@
 //! without changing the harness.
 
 use amnesiac_compiler::{compile, CompileOptions};
-use amnesiac_isa::{Instruction, Program, Reg, SliceId};
+use amnesiac_isa::{Instruction, OperandSource, Program, Reg, SliceId};
 use amnesiac_profile::profile_program;
 use amnesiac_rng::Rng;
 use amnesiac_sim::CoreConfig;
@@ -162,6 +162,138 @@ fn dropping_a_rtn_is_a_missing_rtn_error() {
         exercised += 1;
     }
     assert!(exercised >= 3);
+}
+
+#[test]
+fn widening_a_hist_key_past_the_table_is_an_out_of_range_error() {
+    let mut rng = Rng::seed_from_u64(0x4157_0CAB);
+    let mut exercised = 0;
+    for mut binary in sliced_binaries() {
+        // every (slice, plan, source-slot) carrying a checkpointed operand
+        let sites: Vec<(usize, usize, usize)> = binary
+            .slices
+            .iter()
+            .enumerate()
+            .flat_map(|(i, m)| {
+                m.plans.iter().enumerate().flat_map(move |(k, p)| {
+                    p.sources.iter().enumerate().filter_map(move |(j, s)| {
+                        matches!(s, Some(OperandSource::Hist { .. })).then_some((i, k, j))
+                    })
+                })
+            })
+            .collect();
+        let Some(&(i, k, j)) = sites.get(rng.below(sites.len().max(1) as u64) as usize) else {
+            continue;
+        };
+        if let Some(OperandSource::Hist { key }) = &mut binary.slices[i].plans[k].sources[j] {
+            *key = u16::MAX; // far past any checkpoint table capacity
+        }
+        let report = verify(&binary);
+        assert!(
+            report.has_kind(DiagnosticKind::HistKeyOutOfRange),
+            "{}: widening the Hist key of slice {i} went unnoticed: {report:?}",
+            binary.name
+        );
+        assert!(!report.is_clean());
+        exercised += 1;
+    }
+    assert!(exercised >= 1, "no binary carried a Hist operand to widen");
+}
+
+/// A pipeline-compiled constant-fill kernel: `tmp[i] = 42` in a counted
+/// loop, then a reload-sum loop. Deliberately tiny caches make the reloads
+/// miss, so the compiler slices them; the one-instruction recomputation
+/// folds to 42 and the footprint bounds the loaded region to `[0, 42]`.
+fn constant_fill_binary() -> Program {
+    use amnesiac_isa::{AluOp, BranchCond, ProgramBuilder};
+    use amnesiac_mem::{CacheConfig, HierarchyConfig};
+    let mut b = ProgramBuilder::new("const-fill");
+    let tmp = b.alloc_zeroed(50);
+    let out = b.alloc_zeroed(1);
+    b.mark_output(out, 1);
+    b.li(Reg(1), tmp);
+    b.li(Reg(2), 0);
+    b.li(Reg(3), 50);
+    b.li(Reg(4), 42);
+    let top = b.label();
+    let fill_done = b.label();
+    b.bind(top).unwrap();
+    b.branch(BranchCond::Geu, Reg(2), Reg(3), fill_done);
+    b.alu(AluOp::Add, Reg(7), Reg(1), Reg(2));
+    b.store(Reg(4), Reg(7), 0);
+    b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+    b.jump(top);
+    b.bind(fill_done).unwrap();
+    b.li(Reg(2), 0);
+    b.li(Reg(8), 0);
+    let top2 = b.label();
+    let done = b.label();
+    b.bind(top2).unwrap();
+    b.branch(BranchCond::Geu, Reg(2), Reg(3), done);
+    b.alu(AluOp::Add, Reg(7), Reg(1), Reg(2));
+    b.load(Reg(9), Reg(7), 0);
+    b.alu(AluOp::Add, Reg(8), Reg(8), Reg(9));
+    b.alui(AluOp::Add, Reg(2), Reg(2), 1);
+    b.jump(top2);
+    b.bind(done).unwrap();
+    b.li(Reg(10), out);
+    b.store(Reg(8), Reg(10), 0);
+    b.halt();
+    let p = b.finish().unwrap();
+    let mut config = CoreConfig::paper();
+    config.hierarchy = HierarchyConfig {
+        l1i: CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        },
+        l1d: CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 8,
+        },
+        l2: CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 8,
+        },
+        next_line_prefetch: false,
+    };
+    let (profile, _) = profile_program(&p, &config).expect("profiling succeeds");
+    let (binary, _) = compile(&p, &profile, &CompileOptions::default()).expect("compile succeeds");
+    assert!(!binary.slices.is_empty(), "the constant reload must slice");
+    binary
+}
+
+#[test]
+fn constant_folding_a_divergent_recomputation_is_flagged() {
+    let mut binary = constant_fill_binary();
+    assert!(verify(&binary).is_clean(), "the unmutated kernel is clean");
+    // Push the body's immediate far outside any value the loaded region
+    // can hold: the fold still closes, but now provably diverges from the
+    // footprint's loaded-value bound at every firing.
+    let li_pcs: Vec<usize> = binary
+        .slices
+        .iter()
+        .flat_map(|m| m.entry..m.entry + m.compute_len())
+        .filter(|&pc| matches!(binary.instructions[pc], Instruction::Li { .. }))
+        .collect();
+    assert!(!li_pcs.is_empty(), "the slice body recomputes via an Li");
+    for pc in li_pcs {
+        if let Instruction::Li { imm, .. } = &mut binary.instructions[pc] {
+            *imm = imm.wrapping_add(0x00AB_5EED_0000);
+        }
+    }
+    let report = verify(&binary);
+    assert!(
+        report.has_kind(DiagnosticKind::RcmpDivergent),
+        "constant-folding the recomputation away from the loaded bound went unnoticed: {report:?}"
+    );
+    assert_eq!(
+        DiagnosticKind::RcmpDivergent.severity(),
+        amnesiac_verify::Severity::Warn,
+        "divergence is a profitability warning, not a soundness error"
+    );
 }
 
 #[test]
