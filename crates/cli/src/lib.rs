@@ -24,6 +24,8 @@
 //! amnesiac serve-smoke                                 # service self-test
 //! amnesiac loadgen [--rate <r>] [--duration-ms <ms>] [--seed <n>] [--mix <m>]
 //! amnesiac loadgen-smoke                               # load-generator soak test
+//! amnesiac cluster [--workers <n>] [--port <p>]        # router + worker fleet
+//! amnesiac cluster-smoke                               # kill-a-worker self-test
 //! ```
 //!
 //! Every verb flows through the typed core: [`parse_args`] produces a
@@ -62,6 +64,14 @@
 //! embedded config, and gates the error rate (latency is
 //! informational). `loadgen-smoke` is the fast in-process soak test.
 //!
+//! `cluster` scales the same service across processes: a router
+//! consistent-hashes each request's routing key over `--workers <n>`
+//! spawned `amnesiac serve` worker processes, with health probes, a
+//! generation-numbered membership view, and re-route on worker loss;
+//! `cluster-smoke` is the self-test that kills a worker mid-batch and
+//! proves exactly-once response accounting, and `loadgen --cluster <n>`
+//! drives the open-loop schedule through the router (DESIGN.md §4g).
+//!
 //! Programs are referenced either as a path to an `.asm` file or as
 //! `bench:<name>` for any of the 33 built-in kernels (at test scale by
 //! default; append `--paper-scale` for the evaluation inputs).
@@ -80,6 +90,7 @@ use amnesiac_workloads::{
     build_control, build_extended, build_focal, Scale, CONTROL_NAMES, EXTENDED_NAMES, FOCAL_NAMES,
 };
 
+mod cluster;
 mod response;
 mod service;
 
@@ -131,6 +142,10 @@ pub struct Command {
     /// cacheable verbs (compile, disasm, verify) and the serve verbs,
     /// where it backs the shared in-process cache across restarts.
     pub cache_dir: Option<String>,
+    /// Router mode for `loadgen` (`--cluster <n>`): boot `n` worker
+    /// processes behind a router and drive the load at the router
+    /// instead of a single in-process server.
+    pub cluster: Option<usize>,
 }
 
 /// CLI subcommands.
@@ -153,6 +168,8 @@ pub enum Verb {
     ServeSmoke,
     Loadgen,
     LoadgenSmoke,
+    Cluster,
+    ClusterSmoke,
 }
 
 /// CLI errors (also carry the usage text).
@@ -215,8 +232,10 @@ pub const USAGE: &str = "usage: amnesiac <run|disasm|profile|compile|compare> \
        amnesiac bench-compare <baseline.json> [--tolerance <pp>] [--scale <test|paper>] [--reps <n>] [--json <dir>]
        amnesiac serve [--port <p>] [--workers <n>] [--backlog <n>] [--timeout-ms <ms>] [--cache-dir <dir>]
        amnesiac serve-smoke [--workers <n>] [--backlog <n>] [--timeout-ms <ms>]
+       amnesiac cluster [--workers <n>] [--port <p>] [--timeout-ms <ms>] [--cache-dir <dir>]
+       amnesiac cluster-smoke [--workers <n>] [--timeout-ms <ms>]
        amnesiac loadgen [--rate <req/s>] [--duration-ms <ms>] [--seed <n>] [--mix <verb=w,...>]
-                        [--workers <n>] [--backlog <n>] [--timeout-ms <ms>] [--json <dir>]
+                        [--workers <n>] [--backlog <n>] [--timeout-ms <ms>] [--cluster <n>] [--json <dir>]
        amnesiac loadgen-smoke [loadgen flags]
   every verb accepts --json <dir> to export its payload as <verb>.json
   compile, disasm, and verify accept --cache-dir <dir>: a persistent
@@ -274,13 +293,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut mix = None;
     let mut dispatch = None;
     let mut cache_dir = None;
+    let mut cluster = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
         match arg {
             "run" | "disasm" | "profile" | "compile" | "compare" | "encode" | "trace"
             | "verify" | "lint" | "experiments" | "bench-snapshot" | "bench-compare" | "serve"
-            | "serve-smoke" | "loadgen" | "loadgen-smoke"
+            | "serve-smoke" | "loadgen" | "loadgen-smoke" | "cluster" | "cluster-smoke"
                 if verb.is_none() =>
             {
                 verb = Some(match arg {
@@ -299,6 +319,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "serve-smoke" => Verb::ServeSmoke,
                     "loadgen" => Verb::Loadgen,
                     "loadgen-smoke" => Verb::LoadgenSmoke,
+                    "cluster" => Verb::Cluster,
+                    "cluster-smoke" => Verb::ClusterSmoke,
                     _ => Verb::Encode,
                 });
             }
@@ -412,6 +434,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 let dir = flag_value(args, &mut i, arg, "a directory")?;
                 set_once(&mut cache_dir, dir.to_string(), arg)?;
             }
+            "--cluster" => {
+                let raw = flag_value(args, &mut i, arg, "a worker count")?;
+                let parsed = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("--cluster: `{raw}` is not a worker count"))
+                    })?;
+                set_once(&mut cluster, parsed, arg)?;
+            }
             "--dispatch" => {
                 let raw = flag_value(args, &mut i, arg, "<inst|block>")?;
                 let parsed = Dispatch::parse(raw).ok_or_else(|| {
@@ -437,7 +470,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         ));
     }
     let loadgen_verb = matches!(verb, Verb::Loadgen | Verb::LoadgenSmoke);
-    let serve_verb = matches!(verb, Verb::Serve | Verb::ServeSmoke) || loadgen_verb;
+    let cluster_verb = matches!(verb, Verb::Cluster | Verb::ClusterSmoke);
+    let serve_verb = matches!(verb, Verb::Serve | Verb::ServeSmoke) || loadgen_verb || cluster_verb;
+    if cluster.is_some() && !loadgen_verb {
+        return Err(CliError::Usage(
+            "--cluster only applies to the loadgen verbs (the cluster verbs size \
+             the worker fleet with --workers)"
+                .into(),
+        ));
+    }
     if !serve_verb {
         for (flag, given) in [
             ("--port", port.is_some()),
@@ -508,7 +549,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 "bench-compare needs a baseline path".into(),
             ));
         }
-        Verb::Serve | Verb::ServeSmoke | Verb::Loadgen | Verb::LoadgenSmoke if target.is_some() => {
+        Verb::Serve
+        | Verb::ServeSmoke
+        | Verb::Loadgen
+        | Verb::LoadgenSmoke
+        | Verb::Cluster
+        | Verb::ClusterSmoke
+            if target.is_some() =>
+        {
             return Err(CliError::Usage(
                 "the serve verbs take flags only — no positional argument".into(),
             ));
@@ -521,7 +569,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         | Verb::Serve
         | Verb::ServeSmoke
         | Verb::Loadgen
-        | Verb::LoadgenSmoke => {}
+        | Verb::LoadgenSmoke
+        | Verb::Cluster
+        | Verb::ClusterSmoke => {}
         _ if target.is_none() => {
             return Err(CliError::Usage("missing program".into()));
         }
@@ -546,6 +596,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         mix,
         dispatch,
         cache_dir,
+        cluster,
     })
 }
 
@@ -652,6 +703,8 @@ pub(crate) fn run_with_cache(
         Verb::ServeSmoke => service::run_serve_smoke(command),
         Verb::Loadgen => service::run_loadgen(command),
         Verb::LoadgenSmoke => service::run_loadgen_smoke(command),
+        Verb::Cluster => cluster::run_cluster(command),
+        Verb::ClusterSmoke => cluster::run_cluster_smoke(command),
         _ => run_program_verb(command, cache),
     }
 }

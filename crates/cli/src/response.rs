@@ -175,6 +175,26 @@ pub enum Response {
         /// Snapshot of the soak run.
         snapshot: Json,
     },
+    /// `cluster`: the router drained and stopped, workers reaped.
+    Cluster {
+        /// The address the router was bound to.
+        addr: String,
+        /// Number of worker processes spawned.
+        workers: usize,
+        /// Final router statistics (aggregated worker counters,
+        /// membership view, reroute counts).
+        stats: Json,
+    },
+    /// `cluster-smoke`: the end-to-end cluster self-test (spawned
+    /// workers, kill-one-mid-flight, exactly-once response accounting).
+    ClusterSmoke {
+        /// Number of checks performed.
+        checks: usize,
+        /// Human-readable description of every failed check.
+        failures: Vec<String>,
+        /// Router statistics at the end of the smoke run.
+        stats: Json,
+    },
     /// `bench-compare` against a `kind: "serve"` baseline: a fresh
     /// loadgen replay diffed against the committed service baseline.
     BenchCompareServe {
@@ -208,6 +228,8 @@ impl Response {
             Response::ServeSmoke { .. } => "serve-smoke",
             Response::Loadgen { .. } => "loadgen",
             Response::LoadgenSmoke { .. } => "loadgen-smoke",
+            Response::Cluster { .. } => "cluster",
+            Response::ClusterSmoke { .. } => "cluster-smoke",
             Response::BenchCompareServe { .. } => "bench-compare",
         }
     }
@@ -225,6 +247,7 @@ impl Response {
             Response::BenchCompare { regressions, .. } => !regressions.is_empty(),
             Response::ServeSmoke { failures, .. } => !failures.is_empty(),
             Response::LoadgenSmoke { failures, .. } => !failures.is_empty(),
+            Response::ClusterSmoke { failures, .. } => !failures.is_empty(),
             Response::BenchCompareServe { comparison, .. } => !comparison.ok(),
             _ => false,
         }
@@ -545,6 +568,30 @@ impl Response {
                 }
                 out
             }
+            Response::Cluster {
+                addr,
+                workers,
+                stats,
+            } => {
+                let forwarded = stats.get("forwarded").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                let rerouted = stats.get("rerouted").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                format!(
+                    "amnesiac-cluster on {addr} drained and stopped: {workers} worker(s), \
+                     {forwarded} forwarded, {rerouted} rerouted\n"
+                )
+            }
+            Response::ClusterSmoke {
+                checks, failures, ..
+            } => {
+                let mut out = format!(
+                    "cluster-smoke: {checks} checks, {} failure(s)\n",
+                    failures.len()
+                );
+                for f in failures {
+                    let _ = writeln!(out, "  FAIL: {f}");
+                }
+                out
+            }
             Response::BenchCompareServe {
                 tolerance_pp,
                 comparison,
@@ -690,6 +737,22 @@ impl Response {
                 .with("checks", *checks as u64)
                 .with("failures", failures.to_vec())
                 .with("snapshot", snapshot.clone()),
+            Response::Cluster {
+                addr,
+                workers,
+                stats,
+            } => Json::obj()
+                .with("addr", addr.as_str())
+                .with("workers", *workers as u64)
+                .with("stats", stats.clone()),
+            Response::ClusterSmoke {
+                checks,
+                failures,
+                stats,
+            } => Json::obj()
+                .with("checks", *checks as u64)
+                .with("failures", failures.to_vec())
+                .with("stats", stats.clone()),
             Response::BenchCompareServe {
                 tolerance_pp,
                 comparison,

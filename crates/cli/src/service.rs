@@ -24,7 +24,7 @@ use amnesiac_cache::CompileCache;
 use amnesiac_experiments::regress;
 use amnesiac_loadgen::{run_against, LoadgenConfig, Mix};
 use amnesiac_serve::{code, Client, Handler, Request, Response as WireResponse, ServeError};
-use amnesiac_serve::{Server, ServerConfig, StatsHook};
+use amnesiac_serve::{Server, ServerConfig, StatsHook, WireVerb};
 use amnesiac_telemetry::Json;
 use amnesiac_workloads::Scale;
 
@@ -61,7 +61,7 @@ pub fn serve_handler_with_cache(cache: Arc<CompileCache>) -> Handler {
 
 /// Builds the shared cache for a serve verb: persistent when the command
 /// carries `--cache-dir`, memory-only otherwise.
-fn serve_cache(command: &Command) -> Result<Arc<CompileCache>, CliError> {
+pub(crate) fn serve_cache(command: &Command) -> Result<Arc<CompileCache>, CliError> {
     Ok(Arc::new(match command.cache_dir.as_deref() {
         Some(dir) => CompileCache::persistent(std::path::Path::new(dir))
             .map_err(|e| CliError::Tool(format!("cannot open cache dir `{dir}`: {e}")))?,
@@ -70,31 +70,39 @@ fn serve_cache(command: &Command) -> Result<Arc<CompileCache>, CliError> {
 }
 
 /// The `stats`-payload extension reporting the shared cache's counters.
-fn cache_stats_hook(cache: &Arc<CompileCache>) -> Option<StatsHook> {
+pub(crate) fn cache_stats_hook(cache: &Arc<CompileCache>) -> Option<StatsHook> {
     let cache = Arc::clone(cache);
     Some(Arc::new(move || {
         Json::obj().with("cache", cache.stats_json())
     }))
 }
 
-/// Maps a wire request onto the typed [`Command`] it stands for.
-fn request_command(request: &Request) -> Result<Command, ServeError> {
-    let verb = match request.verb.as_str() {
-        "compile" => Verb::Compile,
-        "simulate" | "run" => Verb::Run,
-        "verify" => Verb::Verify,
-        "lint" => Verb::Lint,
-        "bench" | "compare" => Verb::Compare,
-        "experiments" => Verb::Experiments,
-        "disasm" => Verb::Disasm,
-        "profile" => Verb::Profile,
-        "trace" => Verb::Trace,
-        other => {
+/// Maps a wire request onto the typed [`Command`] it stands for. The
+/// verb vocabulary is the shared [`WireVerb`] enum — the same one the
+/// router places with and the load generator draws mixes from — so the
+/// three layers cannot drift apart.
+pub(crate) fn request_command(request: &Request) -> Result<Command, ServeError> {
+    let verb = match request.wire_verb() {
+        Some(WireVerb::Compile) => Verb::Compile,
+        Some(WireVerb::Simulate | WireVerb::Run) => Verb::Run,
+        Some(WireVerb::Verify) => Verb::Verify,
+        Some(WireVerb::Lint) => Verb::Lint,
+        Some(WireVerb::Bench | WireVerb::Compare) => Verb::Compare,
+        Some(WireVerb::Experiments) => Verb::Experiments,
+        Some(WireVerb::Disasm) => Verb::Disasm,
+        Some(WireVerb::Profile) => Verb::Profile,
+        Some(WireVerb::Trace) => Verb::Trace,
+        // The lifecycle verbs are the transport's, not the handler's
+        // (`stats`/`shutdown` answer inside `amnesiac-serve`; `drain` /
+        // `cluster` inside the router), so reaching the handler with one
+        // is a usage error, same as an unknown verb.
+        Some(WireVerb::Stats | WireVerb::Shutdown | WireVerb::Drain | WireVerb::Cluster) | None => {
             return Err(ServeError::new(
                 code::USAGE,
                 format!(
-                    "unknown verb `{other}`; this server answers compile, simulate, \
-                     verify, lint, bench, experiments, disasm, profile, and trace"
+                    "unknown verb `{}`; this server answers compile, simulate, \
+                     verify, lint, bench, experiments, disasm, profile, and trace",
+                    request.verb
                 ),
             ))
         }
@@ -135,6 +143,7 @@ fn request_command(request: &Request) -> Result<Command, ServeError> {
         mix: None,
         dispatch: None,
         cache_dir: None,
+        cluster: None,
     })
 }
 
@@ -185,15 +194,17 @@ pub(crate) fn run_serve(command: &Command) -> Result<Response, CliError> {
 
 /// One smoke case: the request to put on the wire and the payload the
 /// typed core produces for the equivalent command.
-struct SmokeCase {
-    request: Request,
-    expected: Json,
+pub(crate) struct SmokeCase {
+    pub(crate) request: Request,
+    pub(crate) expected: Json,
 }
 
 /// The mixed batch every smoke client fires: one request per exposed
 /// service verb family, all deterministic (no wall-clock fields), so
 /// wire payloads must equal the typed core's documents byte for byte.
-fn smoke_cases() -> Result<Vec<SmokeCase>, CliError> {
+/// Shared with the cluster smoke test, where the same batch doubles as
+/// the v1-parity proof against the router.
+pub(crate) fn smoke_cases() -> Result<Vec<SmokeCase>, CliError> {
     let specs: &[(&str, Option<&str>)] = &[
         ("compile", Some("bench:is")),
         ("simulate", Some("bench:sr")),
@@ -480,7 +491,7 @@ fn loadgen_server_config(command: &Command) -> ServerConfig {
 
 /// Builds the load configuration from the loadgen flags, keeping the
 /// crate defaults for anything not given.
-fn loadgen_config(command: &Command) -> Result<LoadgenConfig, CliError> {
+pub(crate) fn loadgen_config(command: &Command) -> Result<LoadgenConfig, CliError> {
     let mut config = LoadgenConfig::default();
     if let Some(rate) = command.rate {
         config.rate = rate;
@@ -547,9 +558,14 @@ fn drive_loadgen(command: &Command, config: &LoadgenConfig) -> Result<Json, CliE
 /// The `loadgen` verb: one measured open-loop run against a private
 /// in-process server, reported as the snapshot document (which `--json`
 /// writes verbatim — commit it as `BENCH_serve.json` to pin a baseline).
+/// With `--cluster <n>` the load is driven at a router in front of `n`
+/// worker processes instead (see [`crate::cluster`]).
 pub(crate) fn run_loadgen(command: &Command) -> Result<Response, CliError> {
     let config = loadgen_config(command)?;
-    let snapshot = drive_loadgen(command, &config)?;
+    let snapshot = match command.cluster {
+        Some(workers) => crate::cluster::drive_loadgen_cluster(command, &config, workers)?,
+        None => drive_loadgen(command, &config)?,
+    };
     Ok(Response::Loadgen { snapshot })
 }
 

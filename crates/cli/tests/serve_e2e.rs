@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use amnesiac_cli::{execute, parse_args, run, serve_handler, Response};
-use amnesiac_serve::{code, Client, Request, Server, ServerConfig};
+use amnesiac_serve::{code, Client, ClientPool, Request, Server, ServerConfig};
 
 fn args(list: &[&str]) -> Vec<String> {
     list.iter().map(|s| s.to_string()).collect()
@@ -37,10 +37,18 @@ fn socket_payload_equals_the_cli_json_artifact() {
         amnesiac_telemetry::parse(&std::fs::read_to_string(dir.join("compile.json")).unwrap())
             .unwrap();
 
-    // Wire side: the same verb over a socket answers the same document.
+    // Wire side: the same verb over a pooled connection answers the same
+    // document (the pool round-robins its lanes, so the two calls below
+    // travel different connections and must still agree).
     let server = start(2, 16, 120_000);
-    let mut client = Client::connect(server.addr()).unwrap();
-    let response = client
+    let mut pool = ClientPool::builder(server.addr())
+        .lanes(2)
+        .attempts(3)
+        .backoff(Duration::from_millis(5), Duration::from_millis(50))
+        .read_timeout(Some(Duration::from_secs(120)))
+        .build()
+        .unwrap();
+    let response = pool
         .call(
             &Request::new("compile")
                 .with_target("bench:is")
@@ -56,7 +64,7 @@ fn socket_payload_equals_the_cli_json_artifact() {
     let on_disk =
         amnesiac_telemetry::parse(&std::fs::read_to_string(dir.join("verify.json")).unwrap())
             .unwrap();
-    let response = client
+    let response = pool
         .call(&Request::new("verify").with_target("bench:is").with_id(2u64))
         .unwrap();
     assert!(response.is_ok());

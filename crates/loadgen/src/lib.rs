@@ -26,6 +26,7 @@ pub use hist::LogHistogram;
 pub use run::{run_against, LoadgenReport};
 
 use amnesiac_rng::Rng;
+use amnesiac_serve::WireVerb;
 use amnesiac_telemetry::Json;
 
 /// Snapshot schema version stamped into loadgen snapshots. Kept in
@@ -42,30 +43,33 @@ pub const SNAPSHOT_SCHEMA_VERSION: u64 = 4;
 /// `rate * duration` should fail loudly, not allocate without bound.
 pub const MAX_SCHEDULED: usize = 1 << 20;
 
-/// The wire verbs a mix may draw from, with the default target each one
-/// gets (`None` = the verb takes no target). Targets pick small built-in
-/// benchmarks so a load point costs milliseconds, not seconds. The
-/// cacheable verbs (`compile`, `verify`, `disasm`) override this default
-/// at schedule time with a seeded draw over a kernel pool — see
+/// The wire verbs a mix may draw from — the shared [`WireVerb`]
+/// vocabulary minus the admin verbs the generator has no business firing
+/// at rate (`shutdown`, `drain`, `cluster`) — with the default target
+/// each one gets (`None` = the verb takes no target). Targets pick small
+/// built-in benchmarks so a load point costs milliseconds, not seconds.
+/// The cacheable verbs (`compile`, `verify`, `disasm`) override this
+/// default at schedule time with a seeded draw over a kernel pool — see
 /// [`schedule`].
-const VERB_TARGETS: &[(&str, Option<&str>)] = &[
-    ("compile", Some("bench:is")),
-    ("simulate", Some("bench:sr")),
-    ("run", Some("bench:sr")),
-    ("verify", Some("bench:is")),
-    ("bench", Some("bench:is")),
-    ("compare", Some("bench:is")),
-    ("disasm", Some("bench:cg")),
-    ("profile", Some("bench:is")),
-    ("trace", Some("bench:bfs")),
-    ("stats", None),
+const VERB_TARGETS: &[(WireVerb, Option<&str>)] = &[
+    (WireVerb::Compile, Some("bench:is")),
+    (WireVerb::Simulate, Some("bench:sr")),
+    (WireVerb::Run, Some("bench:sr")),
+    (WireVerb::Verify, Some("bench:is")),
+    (WireVerb::Bench, Some("bench:is")),
+    (WireVerb::Compare, Some("bench:is")),
+    (WireVerb::Disasm, Some("bench:cg")),
+    (WireVerb::Profile, Some("bench:is")),
+    (WireVerb::Trace, Some("bench:bfs")),
+    (WireVerb::Stats, None),
 ];
 
 /// One weighted entry of a request mix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MixEntry {
-    /// The wire verb.
-    pub verb: String,
+    /// The wire verb (typed — the same vocabulary the server dispatches
+    /// on and the router places with).
+    pub verb: WireVerb,
     /// The target attached to each request of this verb.
     pub target: Option<String>,
     /// Relative sampling weight (> 0).
@@ -104,7 +108,7 @@ impl Mix {
             if part.is_empty() {
                 return Err(format!("empty entry in mix spec `{spec}`"));
             }
-            let (verb, weight) = match part.split_once('=') {
+            let (raw_verb, weight) = match part.split_once('=') {
                 None => (part, 1),
                 Some((verb, weight)) => {
                     let weight: u64 = weight.parse().ok().filter(|&w| w > 0).ok_or_else(|| {
@@ -113,19 +117,25 @@ impl Mix {
                     (verb.trim(), weight)
                 }
             };
-            let target = VERB_TARGETS
-                .iter()
-                .find(|(known, _)| *known == verb)
-                .map(|(_, target)| target.map(str::to_string))
+            let (verb, target) = WireVerb::parse(raw_verb)
+                .and_then(|verb| {
+                    VERB_TARGETS
+                        .iter()
+                        .find(|(known, _)| *known == verb)
+                        .map(|(_, target)| (verb, target.map(str::to_string)))
+                })
                 .ok_or_else(|| {
-                    let known: Vec<&str> = VERB_TARGETS.iter().map(|(v, _)| *v).collect();
-                    format!("unknown mix verb `{verb}` (known: {})", known.join(", "))
+                    let known: Vec<&str> = VERB_TARGETS.iter().map(|(v, _)| v.name()).collect();
+                    format!(
+                        "unknown mix verb `{raw_verb}` (known: {})",
+                        known.join(", ")
+                    )
                 })?;
             if entries.iter().any(|e| e.verb == verb) {
                 return Err(format!("verb `{verb}` appears twice in mix spec"));
             }
             entries.push(MixEntry {
-                verb: verb.to_string(),
+                verb,
                 target,
                 weight,
             });
@@ -348,12 +358,12 @@ pub fn schedule(config: &LoadgenConfig) -> Vec<Arrival> {
             break;
         }
         let entry = config.mix.sample(&mut rng);
-        let (target, scale) = match entry.verb.as_str() {
-            "compile" | "verify" => {
+        let (target, scale) = match entry.verb {
+            WireVerb::Compile | WireVerb::Verify => {
                 let name = PAPER_SWEEP[rng.below(PAPER_SWEEP.len() as u64) as usize];
                 (Some(format!("bench:{name}")), Some("paper".to_string()))
             }
-            "disasm" => {
+            WireVerb::Disasm => {
                 let target = listings[rng.below(listings.len() as u64) as usize].clone();
                 (Some(target), None)
             }
@@ -361,7 +371,7 @@ pub fn schedule(config: &LoadgenConfig) -> Vec<Arrival> {
         };
         arrivals.push(Arrival {
             offset_us: t_us as u64,
-            verb: entry.verb.clone(),
+            verb: entry.verb.name().to_string(),
             target,
             scale,
         });
@@ -406,7 +416,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(5);
         let mut compiles = 0u64;
         for _ in 0..10_000 {
-            if mix.sample(&mut rng).verb == "compile" {
+            if mix.sample(&mut rng).verb == WireVerb::Compile {
                 compiles += 1;
             }
         }

@@ -18,7 +18,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use amnesiac_serve::{Request, Response};
+use amnesiac_serve::{ClientConfig, Request, Response};
 use amnesiac_telemetry::Json;
 
 use crate::{schedule, LoadgenConfig, LogHistogram, SNAPSHOT_SCHEMA_VERSION};
@@ -186,13 +186,17 @@ pub fn run_against(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<Loadg
     }
 
     // Connect every lane before the epoch so connection setup is not
-    // charged to the first requests.
+    // charged to the first requests. Lanes come from the shared client
+    // connector: a couple of retries absorb a router or server that is
+    // still binding, and the read timeout bounds a wedged wire.
+    let connector = ClientConfig::new()
+        .attempts(3)
+        .backoff(Duration::from_millis(10), Duration::from_millis(100))
+        .read_timeout(Some(Duration::from_millis(config.timeout_ms) + RECV_SLACK));
     let mut lanes: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::with_capacity(lanes_n);
     for _ in 0..lanes_n {
-        let writer = TcpStream::connect(addr)?;
+        let (writer, reader) = connector.connect(addr)?.split();
         writer.set_nodelay(true).ok();
-        writer.set_read_timeout(Some(Duration::from_millis(config.timeout_ms) + RECV_SLACK))?;
-        let reader = BufReader::new(writer.try_clone()?);
         lanes.push((writer, reader));
     }
 

@@ -28,13 +28,22 @@
 //! # }
 //! ```
 //!
-//! See [`protocol`] for the wire schema and the stable error codes, and
-//! [`server`] for the backpressure / deadline / shutdown semantics.
+//! See [`protocol`] for the wire schema and the stable error codes,
+//! [`server`] for the backpressure / deadline / shutdown semantics, and
+//! [`router`] for the sharded cluster topology (consistent-hash
+//! placement over [`ring`], generation-numbered [`membership`], health
+//! probes, and retry-once reroute).
 
 pub mod client;
+pub mod membership;
 pub mod protocol;
+pub mod ring;
+pub mod router;
 pub mod server;
 
-pub use client::Client;
-pub use protocol::{code, Request, Response, ServeError, PROTOCOL_VERSION};
+pub use client::{Client, ClientConfig, ClientPool, ClientPoolBuilder};
+pub use membership::{Membership, ProbeOutcome, WorkerInfo, WorkerState};
+pub use protocol::{code, Request, Response, RouteMeta, ServeError, WireVerb, PROTOCOL_VERSION};
+pub use ring::{Ring, WorkerId, REPLICAS};
+pub use router::{Router, RouterConfig};
 pub use server::{Handler, Server, ServerConfig, StatsHook};

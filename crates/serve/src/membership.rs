@@ -1,0 +1,352 @@
+//! The router's membership view: a generation-numbered worker table.
+//!
+//! Every observable change to the member set — a join, a worker marked
+//! down, a drain, a detected restart — bumps the generation and
+//! rebuilds the placement [`Ring`] over the workers that are up.
+//! Routing decisions carry the generation they were made under, so a
+//! forward that fails can tell "the world changed under me" (reroute)
+//! from "the world is simply out of workers" (unavailable).
+//!
+//! Restart detection leans on the `server_id` / `started_at_ms` pair
+//! every server reports through `stats`: a probe that comes back with a
+//! different `server_id` on the same port is a *new* process behind a
+//! reused address, which counts as a membership change like any other.
+
+use std::net::SocketAddr;
+
+use amnesiac_telemetry::Json;
+
+use crate::ring::{Ring, WorkerId};
+
+/// One worker's lifecycle state in the view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Healthy: in the ring, receiving new work.
+    Up,
+    /// Told to drain: out of the ring, in-flight work allowed to finish.
+    Draining,
+    /// Lost: out of the ring; probes keep watching the address so a
+    /// restart can rejoin it.
+    Down,
+}
+
+impl WorkerState {
+    /// The state's stable wire spelling (`up` / `draining` / `down`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkerState::Up => "up",
+            WorkerState::Draining => "draining",
+            WorkerState::Down => "down",
+        }
+    }
+}
+
+/// What a successful probe revealed about a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Same process as before; nothing changed.
+    Unchanged,
+    /// First successful probe of this worker.
+    FirstContact,
+    /// A different process answered on the same address: the worker
+    /// restarted behind a reused port (generation bumped).
+    Restarted,
+    /// The worker was down (or draining) and a live process answered:
+    /// it rejoined the ring (generation bumped).
+    Rejoined,
+}
+
+/// One row of the worker table.
+#[derive(Debug, Clone)]
+pub struct WorkerInfo {
+    /// Stable join index; never reused.
+    pub id: WorkerId,
+    /// The worker's listen address.
+    pub addr: SocketAddr,
+    /// Lifecycle state.
+    pub state: WorkerState,
+    /// The worker's self-reported identity (from `stats`), once probed.
+    pub server_id: Option<String>,
+    /// The worker's self-reported start instant (UNIX ms), once probed.
+    pub started_at_ms: Option<u64>,
+    /// Consecutive failed probes (reset on success).
+    pub probe_failures: u32,
+    /// How many distinct processes have answered on this address.
+    pub restarts: u64,
+}
+
+impl WorkerInfo {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("id", self.id)
+            .with("addr", self.addr.to_string())
+            .with("state", self.state.name())
+            .with(
+                "server_id",
+                self.server_id
+                    .as_deref()
+                    .map_or(Json::Null, |s| Json::Str(s.to_string())),
+            )
+            .with(
+                "started_at_ms",
+                self.started_at_ms
+                    .map_or(Json::Null, |ms| Json::Num(ms as f64)),
+            )
+            .with("probe_failures", self.probe_failures)
+            .with("restarts", self.restarts)
+    }
+}
+
+/// The generation-numbered membership view plus its placement ring.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    generation: u64,
+    workers: Vec<WorkerInfo>,
+    ring: Ring,
+}
+
+impl Membership {
+    /// A view seeded with the initial worker set, all up, generation 1.
+    pub fn new(addrs: &[SocketAddr]) -> Membership {
+        let workers = addrs
+            .iter()
+            .enumerate()
+            .map(|(index, &addr)| WorkerInfo {
+                id: index as WorkerId,
+                addr,
+                state: WorkerState::Up,
+                server_id: None,
+                started_at_ms: None,
+                probe_failures: 0,
+                restarts: 0,
+            })
+            .collect::<Vec<_>>();
+        let mut view = Membership {
+            generation: 1,
+            workers,
+            ring: Ring::default(),
+        };
+        view.rebuild();
+        view
+    }
+
+    /// The current generation (bumped on every membership change).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The worker table.
+    pub fn workers(&self) -> &[WorkerInfo] {
+        &self.workers
+    }
+
+    /// One worker by id.
+    pub fn worker(&self, id: WorkerId) -> Option<&WorkerInfo> {
+        self.workers.iter().find(|w| w.id == id)
+    }
+
+    /// How many workers are up (in the ring).
+    pub fn up_count(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.state == WorkerState::Up)
+            .count()
+    }
+
+    /// Places a routing key: `(worker id, address, generation)` of the
+    /// owner, or `None` when no worker is up.
+    pub fn route(&self, key: &str) -> Option<(WorkerId, SocketAddr, u64)> {
+        let id = self.ring.route(key)?;
+        let worker = self.worker(id)?;
+        Some((id, worker.addr, self.generation))
+    }
+
+    /// Adds a worker to the view (up, in the ring). Returns its id.
+    pub fn join(&mut self, addr: SocketAddr) -> WorkerId {
+        let id = self.workers.iter().map(|w| w.id + 1).max().unwrap_or(0);
+        self.workers.push(WorkerInfo {
+            id,
+            addr,
+            state: WorkerState::Up,
+            server_id: None,
+            started_at_ms: None,
+            probe_failures: 0,
+            restarts: 0,
+        });
+        self.bump();
+        id
+    }
+
+    /// Marks a worker down (lost). Returns `true` when that changed the
+    /// view (and bumped the generation).
+    pub fn mark_down(&mut self, id: WorkerId) -> bool {
+        self.transition(id, WorkerState::Down)
+    }
+
+    /// Marks a worker draining: out of the ring, not counted as lost.
+    pub fn mark_draining(&mut self, id: WorkerId) -> bool {
+        self.transition(id, WorkerState::Draining)
+    }
+
+    /// Records a failed probe; returns the consecutive-failure count.
+    pub fn probe_failed(&mut self, id: WorkerId) -> u32 {
+        match self.workers.iter_mut().find(|w| w.id == id) {
+            Some(worker) => {
+                worker.probe_failures = worker.probe_failures.saturating_add(1);
+                worker.probe_failures
+            }
+            None => 0,
+        }
+    }
+
+    /// Records a successful probe carrying the worker's self-reported
+    /// identity, detecting restarts behind reused ports and rejoins of
+    /// workers previously marked down.
+    pub fn observe_probe(
+        &mut self,
+        id: WorkerId,
+        server_id: &str,
+        started_at_ms: u64,
+    ) -> ProbeOutcome {
+        let Some(worker) = self.workers.iter_mut().find(|w| w.id == id) else {
+            return ProbeOutcome::Unchanged;
+        };
+        worker.probe_failures = 0;
+        let was_down = worker.state == WorkerState::Down;
+        let outcome = match (worker.server_id.as_deref(), was_down) {
+            (Some(known), _) if known != server_id => ProbeOutcome::Restarted,
+            (_, true) => ProbeOutcome::Rejoined,
+            (None, false) => ProbeOutcome::FirstContact,
+            (Some(_), false) => ProbeOutcome::Unchanged,
+        };
+        worker.server_id = Some(server_id.to_string());
+        worker.started_at_ms = Some(started_at_ms);
+        match outcome {
+            ProbeOutcome::Restarted => {
+                worker.restarts += 1;
+                worker.state = WorkerState::Up;
+                self.bump();
+            }
+            ProbeOutcome::Rejoined => {
+                worker.state = WorkerState::Up;
+                self.bump();
+            }
+            ProbeOutcome::FirstContact | ProbeOutcome::Unchanged => {}
+        }
+        outcome
+    }
+
+    /// The membership view as JSON (the router's `cluster` verb).
+    pub fn to_json(&self) -> Json {
+        let workers = self.workers.iter().map(WorkerInfo::to_json).collect();
+        Json::obj()
+            .with("generation", self.generation)
+            .with("up", self.up_count())
+            .with("workers", Json::Arr(workers))
+    }
+
+    fn transition(&mut self, id: WorkerId, state: WorkerState) -> bool {
+        let Some(worker) = self.workers.iter_mut().find(|w| w.id == id) else {
+            return false;
+        };
+        if worker.state == state {
+            return false;
+        }
+        worker.state = state;
+        self.bump();
+        true
+    }
+
+    fn bump(&mut self) {
+        self.generation += 1;
+        self.rebuild();
+    }
+
+    fn rebuild(&mut self) {
+        let up: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .filter(|w| w.state == WorkerState::Up)
+            .map(|w| w.id)
+            .collect();
+        self.ring = Ring::build(&up);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn generations_count_every_membership_change() {
+        let mut view = Membership::new(&[addr(1), addr(2), addr(3)]);
+        assert_eq!(view.generation(), 1);
+        assert_eq!(view.up_count(), 3);
+
+        assert!(view.mark_down(1));
+        assert_eq!(view.generation(), 2);
+        assert_eq!(view.up_count(), 2);
+        // Idempotent: marking the same worker down again changes nothing.
+        assert!(!view.mark_down(1));
+        assert_eq!(view.generation(), 2);
+
+        assert!(view.mark_draining(2));
+        assert_eq!(view.generation(), 3);
+        assert_eq!(view.up_count(), 1);
+
+        let id = view.join(addr(4));
+        assert_eq!(id, 3);
+        assert_eq!(view.generation(), 4);
+        assert_eq!(view.up_count(), 2);
+    }
+
+    #[test]
+    fn routing_skips_down_and_draining_workers() {
+        let mut view = Membership::new(&[addr(1), addr(2)]);
+        view.mark_down(0);
+        view.mark_draining(1);
+        assert_eq!(view.route("bench:is"), None);
+        // A rejoin puts worker 1 back in the ring.
+        view.observe_probe(1, "abc", 42);
+        // (draining + successful probe does not auto-rejoin: the state
+        // was Draining, not Down, and server_id was unknown)
+        assert_eq!(view.worker(1).unwrap().state, WorkerState::Draining);
+    }
+
+    #[test]
+    fn probe_observations_detect_restarts_and_rejoins() {
+        let mut view = Membership::new(&[addr(1)]);
+        assert_eq!(
+            view.observe_probe(0, "aaa", 100),
+            ProbeOutcome::FirstContact
+        );
+        let g = view.generation();
+        assert_eq!(view.observe_probe(0, "aaa", 100), ProbeOutcome::Unchanged);
+        assert_eq!(view.generation(), g);
+
+        // Same address, new process: a restart.
+        assert_eq!(view.observe_probe(0, "bbb", 200), ProbeOutcome::Restarted);
+        assert_eq!(view.worker(0).unwrap().restarts, 1);
+        assert!(view.generation() > g);
+
+        // Down, then the same process answers again: a rejoin.
+        view.mark_down(0);
+        let g = view.generation();
+        assert_eq!(view.observe_probe(0, "bbb", 200), ProbeOutcome::Rejoined);
+        assert_eq!(view.worker(0).unwrap().state, WorkerState::Up);
+        assert!(view.generation() > g);
+    }
+
+    #[test]
+    fn probe_failures_accumulate_and_reset() {
+        let mut view = Membership::new(&[addr(1)]);
+        assert_eq!(view.probe_failed(0), 1);
+        assert_eq!(view.probe_failed(0), 2);
+        view.observe_probe(0, "aaa", 1);
+        assert_eq!(view.worker(0).unwrap().probe_failures, 0);
+    }
+}

@@ -22,12 +22,31 @@
 //!
 //! Error codes are stable strings (see [`code`]); clients dispatch on
 //! `error.code`, never on `error.message`.
+//!
+//! ## Protocol v2 (routing-aware envelope)
+//!
+//! A request may carry `"proto": 2` to opt into the routing-aware
+//! envelope. An absent `proto` means v1 and the response is emitted
+//! exactly as before — no new fields — so v1 clients round-trip
+//! unchanged against both a single server and a cluster router. A v2
+//! request may also pin an explicit `routing_key`; otherwise the key is
+//! derived from the target (see [`Request::routing_key`]). A v2
+//! response folds routing metadata into the envelope:
+//!
+//! ```json
+//! {"id": 7, "ok": true, "verb": "compile", "elapsed_ms": 2.2,
+//!  "proto": 2, "routing_key": "bench:is", "rerouted": 0,
+//!  "hops": [{"node": "router", "ms": 2.2}, {"node": "w1", "ms": 1.9}],
+//!  "payload": {...}}
+//! ```
 
 use amnesiac_telemetry::Json;
 
-/// Protocol version, reported by the `stats` verb. Bump on any
-/// incompatible schema change.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol version, reported by the `stats` verb and the maximum
+/// accepted in a request's `proto` field. Version 2 adds the
+/// routing-aware envelope; requests without a `proto` field speak v1
+/// and get byte-identical v1 responses.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Stable machine-readable error codes carried in `error.code`.
 pub mod code {
@@ -50,6 +69,114 @@ pub mod code {
     pub const SHUTTING_DOWN: &str = "shutting_down";
     /// The handler panicked or the server hit an unexpected condition.
     pub const INTERNAL: &str = "internal";
+    /// No worker could be found for the request: the cluster has no live
+    /// member for its routing key, or the forward failed on both the
+    /// primary and the reroute attempt.
+    pub const UNAVAILABLE: &str = "unavailable";
+}
+
+/// Every verb that exists on the wire, shared by client, router, and
+/// server so a verb cannot reach the wire without a typed counterpart.
+///
+/// `Request.verb` stays a string at the transport layer (an unknown verb
+/// must produce a structured [`code::USAGE`] error from the handler, not
+/// a parse failure), but every layer that *interprets* a verb goes
+/// through [`WireVerb::parse`] / [`Request::wire_verb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WireVerb {
+    /// Compile a program (slice planning + validation).
+    Compile,
+    /// Simulate a program on the baseline interpreter.
+    Simulate,
+    /// Alias of `simulate` kept for CLI symmetry (`run`).
+    Run,
+    /// Static verification sweep of the slice contract.
+    Verify,
+    /// Abstract-interpretation lint diagnostics.
+    Lint,
+    /// Compile-oracle benchmark of one workload.
+    Bench,
+    /// Alias of `bench` (`compare` renders the same measurement).
+    Compare,
+    /// The paper's experiment table.
+    Experiments,
+    /// Disassemble an annotated binary.
+    Disasm,
+    /// Profile a program (basic-block heat).
+    Profile,
+    /// Instruction-trace a program.
+    Trace,
+    /// Server/router statistics snapshot (answered inline, never queued).
+    Stats,
+    /// Begin a graceful drain of the server or the whole cluster.
+    Shutdown,
+    /// Router-only: drain one worker out of the ring (`target` names it).
+    Drain,
+    /// Router-only: the generation-numbered membership view.
+    Cluster,
+}
+
+impl WireVerb {
+    /// Every wire verb, in canonical order.
+    pub const ALL: [WireVerb; 15] = [
+        WireVerb::Compile,
+        WireVerb::Simulate,
+        WireVerb::Run,
+        WireVerb::Verify,
+        WireVerb::Lint,
+        WireVerb::Bench,
+        WireVerb::Compare,
+        WireVerb::Experiments,
+        WireVerb::Disasm,
+        WireVerb::Profile,
+        WireVerb::Trace,
+        WireVerb::Stats,
+        WireVerb::Shutdown,
+        WireVerb::Drain,
+        WireVerb::Cluster,
+    ];
+
+    /// The canonical wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireVerb::Compile => "compile",
+            WireVerb::Simulate => "simulate",
+            WireVerb::Run => "run",
+            WireVerb::Verify => "verify",
+            WireVerb::Lint => "lint",
+            WireVerb::Bench => "bench",
+            WireVerb::Compare => "compare",
+            WireVerb::Experiments => "experiments",
+            WireVerb::Disasm => "disasm",
+            WireVerb::Profile => "profile",
+            WireVerb::Trace => "trace",
+            WireVerb::Stats => "stats",
+            WireVerb::Shutdown => "shutdown",
+            WireVerb::Drain => "drain",
+            WireVerb::Cluster => "cluster",
+        }
+    }
+
+    /// Parses a wire spelling; `None` for verbs unknown to the protocol
+    /// (the handler answers those with a [`code::USAGE`] error).
+    pub fn parse(name: &str) -> Option<WireVerb> {
+        WireVerb::ALL.into_iter().find(|v| v.name() == name)
+    }
+
+    /// `true` for verbs the server or router answers inline instead of
+    /// forwarding to a handler/worker.
+    pub fn is_admin(self) -> bool {
+        matches!(
+            self,
+            WireVerb::Stats | WireVerb::Shutdown | WireVerb::Drain | WireVerb::Cluster
+        )
+    }
+}
+
+impl std::fmt::Display for WireVerb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// A structured service error: stable code plus human-readable message.
@@ -109,6 +236,13 @@ pub struct Request {
     /// Per-request deadline override in milliseconds; the server default
     /// applies when absent.
     pub timeout_ms: Option<u64>,
+    /// Protocol version the client speaks. Absent means v1: the response
+    /// envelope carries no routing metadata, byte-identical to the
+    /// pre-cluster wire format.
+    pub proto: Option<u64>,
+    /// Explicit routing-key override (v2). Absent means the key is
+    /// derived from target/verb — see [`Request::routing_key`].
+    pub routing_key: Option<String>,
 }
 
 impl Request {
@@ -120,6 +254,8 @@ impl Request {
             target: None,
             scale: None,
             timeout_ms: None,
+            proto: None,
+            routing_key: None,
         }
     }
 
@@ -147,6 +283,45 @@ impl Request {
         self
     }
 
+    /// Opts into a protocol version (`2` for the routing-aware envelope).
+    pub fn with_proto(mut self, proto: u64) -> Request {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// Pins an explicit routing key (v2).
+    pub fn with_routing_key(mut self, key: impl Into<String>) -> Request {
+        self.routing_key = Some(key.into());
+        self
+    }
+
+    /// The protocol version this request speaks (absent field = 1).
+    pub fn proto_version(&self) -> u64 {
+        self.proto.unwrap_or(1)
+    }
+
+    /// The typed wire verb, `None` when the verb string is unknown to the
+    /// protocol (handlers answer those with [`code::USAGE`]).
+    pub fn wire_verb(&self) -> Option<WireVerb> {
+        WireVerb::parse(&self.verb)
+    }
+
+    /// The key a cluster router consistent-hashes to place this request:
+    /// the explicit `routing_key` when pinned, else the target program
+    /// reference (a `bench:NAME` or path — suffixed with the scale, since
+    /// per-scale artifacts are distinct cache entries), else the verb, so
+    /// target-less verbs still place deterministically.
+    pub fn routing_key(&self) -> String {
+        if let Some(key) = &self.routing_key {
+            return key.clone();
+        }
+        match (&self.target, &self.scale) {
+            (Some(target), Some(scale)) => format!("{target}#{scale}"),
+            (Some(target), None) => target.clone(),
+            (None, _) => self.verb.clone(),
+        }
+    }
+
     /// The request's wire object.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj();
@@ -162,6 +337,12 @@ impl Request {
         }
         if let Some(timeout_ms) = self.timeout_ms {
             obj.set("timeout_ms", timeout_ms);
+        }
+        if let Some(proto) = self.proto {
+            obj.set("proto", proto);
+        }
+        if let Some(key) = &self.routing_key {
+            obj.set("routing_key", key.as_str());
         }
         obj
     }
@@ -208,6 +389,20 @@ impl Request {
                         ))
                     }
                 },
+                "proto" => match field.as_f64() {
+                    Some(v) if v >= 1.0 && v.fract() == 0.0 && v as u64 <= PROTOCOL_VERSION => {
+                        request.proto = Some(v as u64);
+                    }
+                    _ => {
+                        return Err(ServeError::bad_request(format!(
+                            "`proto` must be an integer between 1 and {PROTOCOL_VERSION}"
+                        )))
+                    }
+                },
+                "routing_key" => match field.as_str() {
+                    Some(key) => request.routing_key = Some(key.to_string()),
+                    None => return Err(ServeError::bad_request("`routing_key` must be a string")),
+                },
                 other => {
                     return Err(ServeError::bad_request(format!(
                         "unknown request field `{other}`"
@@ -234,6 +429,37 @@ impl Request {
     }
 }
 
+/// Protocol-v2 routing metadata folded into the response envelope.
+/// Present only when the request opted in with `proto >= 2`; a v1
+/// response omits all of it and stays byte-identical to the pre-cluster
+/// format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteMeta {
+    /// Envelope version (currently always 2 when present).
+    pub proto: u64,
+    /// The routing key the placement decision used.
+    pub routing_key: String,
+    /// How many times this request was re-placed after a worker loss or
+    /// drain (0 on the happy path; the router retries once).
+    pub rerouted: u64,
+    /// Per-hop timing: `(node label, wall-clock ms at that node)`. A
+    /// single server reports one `serve` hop; a router reports itself
+    /// plus the worker that answered.
+    pub hops: Vec<(String, f64)>,
+}
+
+impl RouteMeta {
+    /// Metadata for a request answered by a single node (no routing).
+    pub fn local(routing_key: impl Into<String>, node: impl Into<String>, ms: f64) -> RouteMeta {
+        RouteMeta {
+            proto: 2,
+            routing_key: routing_key.into(),
+            rerouted: 0,
+            hops: vec![(node.into(), ms)],
+        }
+    }
+}
+
 /// A response line: either a payload or a structured error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -245,6 +471,8 @@ pub struct Response {
     pub elapsed_ms: f64,
     /// The payload (`ok: true`) or the error (`ok: false`).
     pub result: Result<Json, ServeError>,
+    /// Routing metadata (v2 envelope only; `None` for v1 responses).
+    pub meta: Option<RouteMeta>,
 }
 
 impl Response {
@@ -265,11 +493,21 @@ impl Response {
 
     /// The response's wire object.
     pub fn to_json(&self) -> Json {
-        let obj = Json::obj()
+        let mut obj = Json::obj()
             .with("id", self.id.clone())
             .with("ok", self.is_ok())
             .with("verb", self.verb.as_str())
             .with("elapsed_ms", self.elapsed_ms);
+        if let Some(meta) = &self.meta {
+            let mut hops = Vec::with_capacity(meta.hops.len());
+            for (node, ms) in &meta.hops {
+                hops.push(Json::obj().with("node", node.as_str()).with("ms", *ms));
+            }
+            obj.set("proto", meta.proto);
+            obj.set("routing_key", meta.routing_key.as_str());
+            obj.set("rerouted", meta.rerouted);
+            obj.set("hops", Json::Arr(hops));
+        }
         match &self.result {
             Ok(payload) => obj.with("payload", payload.clone()),
             Err(error) => obj.with("error", error.to_json()),
@@ -319,11 +557,46 @@ impl Response {
                 .ok_or_else(|| bad("error without string `message`"))?;
             Err(ServeError::new(code, message))
         };
+        let meta = match value.get("proto").and_then(Json::as_f64) {
+            Some(proto) if proto >= 2.0 => {
+                let routing_key = value
+                    .get("routing_key")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                let rerouted = value
+                    .get("rerouted")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+                    .max(0.0) as u64;
+                let hops = value
+                    .get("hops")
+                    .and_then(Json::as_arr)
+                    .map(|hops| {
+                        hops.iter()
+                            .filter_map(|hop| {
+                                let node = hop.get("node").and_then(Json::as_str)?;
+                                let ms = hop.get("ms").and_then(Json::as_f64)?;
+                                Some((node.to_string(), ms))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Some(RouteMeta {
+                    proto: proto as u64,
+                    routing_key,
+                    rerouted,
+                    hops,
+                })
+            }
+            _ => None,
+        };
         Ok(Response {
             id,
             verb,
             elapsed_ms,
             result,
+            meta,
         })
     }
 
@@ -392,17 +665,120 @@ mod tests {
             verb: "verify".into(),
             elapsed_ms: 1.25,
             result: Ok(Json::obj().with("clean", true)),
+            meta: None,
         };
         let err = Response {
             id: Json::Null,
             verb: "bench".into(),
             elapsed_ms: 0.5,
             result: Err(ServeError::new(code::OVERLOADED, "backlog full")),
+            meta: None,
         };
         for response in [ok, err] {
             let line = response.to_json().compact();
             assert_eq!(Response::parse_line(&line).unwrap(), response, "{line}");
         }
+    }
+
+    #[test]
+    fn v2_request_and_envelope_round_trip() {
+        let request = Request::new("compile")
+            .with_id(9u64)
+            .with_target("bench:is")
+            .with_proto(2)
+            .with_routing_key("pin");
+        let line = request.to_json().compact();
+        let parsed = Request::parse_line(&line).unwrap();
+        assert_eq!(parsed, request);
+        assert_eq!(parsed.proto_version(), 2);
+        assert_eq!(parsed.routing_key(), "pin");
+
+        let response = Response {
+            id: Json::Num(9.0),
+            verb: "compile".into(),
+            elapsed_ms: 2.5,
+            result: Ok(Json::obj().with("gain", 1.5)),
+            meta: Some(RouteMeta {
+                proto: 2,
+                routing_key: "pin".into(),
+                rerouted: 1,
+                hops: vec![("router".into(), 2.5), ("w1".into(), 2.0)],
+            }),
+        };
+        let line = response.to_json().compact();
+        assert_eq!(Response::parse_line(&line).unwrap(), response, "{line}");
+    }
+
+    #[test]
+    fn v1_wire_format_is_unchanged_by_the_v2_fields() {
+        // A request without `proto` emits exactly the v1 fields.
+        let request = Request::new("compile")
+            .with_id(1u64)
+            .with_target("bench:is");
+        assert_eq!(
+            request.to_json().compact(),
+            "{\"id\":1,\"verb\":\"compile\",\"target\":\"bench:is\"}"
+        );
+        // A response without meta emits exactly the v1 envelope.
+        let response = Response {
+            id: Json::Num(1.0),
+            verb: "compile".into(),
+            elapsed_ms: 1.0,
+            result: Ok(Json::obj().with("x", 1u64)),
+            meta: None,
+        };
+        let line = response.to_json().compact();
+        for v2_field in ["proto", "routing_key", "rerouted", "hops"] {
+            assert!(!line.contains(v2_field), "{line}");
+        }
+    }
+
+    #[test]
+    fn proto_field_is_validated_against_the_supported_range() {
+        assert_eq!(
+            Request::parse_line("{\"verb\":\"run\",\"proto\":2}")
+                .unwrap()
+                .proto_version(),
+            2
+        );
+        for line in [
+            "{\"verb\":\"run\",\"proto\":0}",
+            "{\"verb\":\"run\",\"proto\":3}",
+            "{\"verb\":\"run\",\"proto\":1.5}",
+            "{\"verb\":\"run\",\"proto\":\"2\"}",
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert_eq!(err.code, code::BAD_REQUEST);
+            assert!(err.message.contains("proto"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn routing_key_derivation_prefers_pin_then_target_then_verb() {
+        let pinned = Request::new("compile")
+            .with_target("bench:is")
+            .with_routing_key("k");
+        assert_eq!(pinned.routing_key(), "k");
+        let scaled = Request::new("compile")
+            .with_target("bench:is")
+            .with_scale("paper");
+        assert_eq!(scaled.routing_key(), "bench:is#paper");
+        let bare = Request::new("compile").with_target("bench:is");
+        assert_eq!(bare.routing_key(), "bench:is");
+        assert_eq!(Request::new("experiments").routing_key(), "experiments");
+    }
+
+    #[test]
+    fn wire_verbs_round_trip_and_cover_the_vocabulary() {
+        for verb in WireVerb::ALL {
+            assert_eq!(WireVerb::parse(verb.name()), Some(verb));
+        }
+        assert_eq!(WireVerb::parse("frobnicate"), None);
+        assert!(WireVerb::Stats.is_admin());
+        assert!(WireVerb::Drain.is_admin());
+        assert!(!WireVerb::Compile.is_admin());
+        assert_eq!(Request::new("compile").wire_verb(), Some(WireVerb::Compile));
+        assert_eq!(Request::new("nope").wire_verb(), None);
     }
 
     #[test]

@@ -43,9 +43,10 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use amnesiac_pool::Pool;
+use amnesiac_rng::Rng;
 use amnesiac_telemetry::Json;
 
-use crate::protocol::{code, Request, Response, ServeError, PROTOCOL_VERSION};
+use crate::protocol::{code, Request, Response, RouteMeta, ServeError, PROTOCOL_VERSION};
 
 /// How the request handler is plugged into the server: a function from
 /// parsed request to payload-or-error. Called on pool workers; must be
@@ -127,6 +128,29 @@ fn next_accept_backoff(current: Duration) -> Duration {
     (current * 2).min(ACCEPT_BACKOFF_MAX)
 }
 
+/// Wall-clock milliseconds since the UNIX epoch (0 if the clock is
+/// before the epoch, which only a badly broken host reports).
+pub(crate) fn wall_clock_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A fresh process-unique server identity: a seeded-random 64-bit hex
+/// string. Paired with `started_at_ms` in the `stats` payload so a
+/// cluster membership view can tell a restarted worker from the old one
+/// even when the OS reuses the port.
+pub(crate) fn fresh_server_id() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 20))
+        .unwrap_or(0);
+    let seed = nanos ^ u64::from(std::process::id()).rotate_left(32);
+    let mut rng = Rng::seed_from_u64(seed);
+    format!("{:016x}", rng.next_u64())
+}
+
 /// Locks a mutex, recovering the guard when a panicking thread poisoned
 /// it. Every structure behind a server mutex (stats counters, connection
 /// handles, completion slots) stays well-formed across a handler panic,
@@ -157,6 +181,11 @@ struct Shared {
     stats: Mutex<Stats>,
     stats_ext: Option<StatsHook>,
     started: Instant,
+    /// Seeded-random process identity, exposed via `stats` so a cluster
+    /// membership view can detect a restart behind a reused port.
+    server_id: String,
+    /// Wall-clock UNIX ms at startup (same restart-detection purpose).
+    started_at_ms: u64,
 }
 
 impl Shared {
@@ -212,6 +241,8 @@ impl Shared {
         }
         let mut payload = Json::obj()
             .with("protocol_version", PROTOCOL_VERSION)
+            .with("server_id", self.server_id.as_str())
+            .with("started_at_ms", self.started_at_ms)
             .with("uptime_ms", self.started.elapsed().as_secs_f64() * 1e3)
             .with("workers", self.workers)
             .with("backlog", self.backlog)
@@ -294,6 +325,10 @@ struct PendingResponse {
     id: Json,
     verb: String,
     received: Instant,
+    /// `Some(key)` when the request opted into the v2 envelope: the
+    /// writer folds routing metadata (key, zero reroutes, one `serve`
+    /// hop) into the response. `None` keeps the v1 envelope unchanged.
+    routing_key: Option<String>,
     kind: PendingKind,
 }
 
@@ -354,6 +389,8 @@ impl Server {
             stats: Mutex::new(Stats::default()),
             stats_ext,
             started: Instant::now(),
+            server_id: fresh_server_id(),
+            started_at_ms: wall_clock_ms(),
         });
         // The dispatcher thread owns the pool: jobs reach it over a
         // channel whose senders are held by the acceptor and the
@@ -604,16 +641,19 @@ fn process_line(
                 id: Json::Null,
                 verb: "?".to_string(),
                 received,
+                routing_key: None,
                 kind: PendingKind::Ready(Err(error)),
             });
             return;
         }
     };
+    let routing_key = (request.proto_version() >= 2).then(|| request.routing_key());
     let kind = dispatch(shared, jobs_tx, &request);
     let _ = tx.send(PendingResponse {
         id: request.id,
         verb: request.verb,
         received,
+        routing_key,
         kind,
     });
 }
@@ -717,6 +757,9 @@ fn writer_loop(shared: Arc<Shared>, mut stream: TcpStream, rx: Receiver<PendingR
             verb: pending.verb,
             elapsed_ms,
             result,
+            meta: pending
+                .routing_key
+                .map(|key| RouteMeta::local(key, "serve", elapsed_ms)),
         };
         let mut line = response.to_json().compact();
         line.push('\n');
